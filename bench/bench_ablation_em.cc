@@ -1,0 +1,59 @@
+// Ablation: EM training budget of the Fellegi-Sunter matcher (the paper
+// trains on "a sample of at most 30k"). Sweeps the pair-sample size and
+// toggles the restart heuristic; reports FSrck match quality.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "match/evaluation.h"
+#include "match/fellegi_sunter.h"
+#include "match/hs_rules.h"
+#include "match/windowing.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+int main() {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = bench::FullRun() ? 20000 : 10000;
+  gen.seed = 6300;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+
+  auto deduction = bench::DeduceRcks(data, &ops);
+  ComparisonVector vector = RelaxVectorForMatching(
+      ComparisonVector::UnionOfKeys(deduction.rcks, 5), ops.Dl(0.8));
+  CandidateSet candidates = WindowCandidatesMultiPass(
+      data.instance, StandardWindowKeys(data.pair), 10);
+
+  std::printf("== Ablation: EM sample size and restarts (K = %zu) ==\n",
+              gen.num_base);
+  TableWriter table({"sample", "restarts", "precision", "recall",
+                     "EM iters", "p-hat"});
+  for (size_t sample : {1000, 5000, 30000}) {
+    for (size_t restarts : {size_t{1}, size_t{3}}) {
+      FsOptions options;
+      options.max_training_pairs = sample;
+      options.em_restarts = restarts;
+      FellegiSunter fs(vector, options);
+      if (auto st = fs.Train(data.instance, ops); !st.ok()) {
+        std::fprintf(stderr, "train failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      MatchQuality q =
+          Evaluate(fs.Match(data.instance, ops, candidates), data.instance);
+      table.AddRow({std::to_string(sample), std::to_string(restarts),
+                    TableWriter::Num(100 * q.precision, 1),
+                    TableWriter::Num(100 * q.recall, 1),
+                    std::to_string(fs.model().iterations_run),
+                    TableWriter::Num(fs.model().p, 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: quality saturates well below the 30k budget on this "
+      "workload; restarts guard the small-sample regime against local "
+      "optima.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: value-resolution policies of the enforcement chase. Enforcing
+// the 7 MDs on a dirty slice identifies attribute cells; the policy picks
+// the surviving value. We measure how often the stable instance's Y cells
+// equal the entity's clean base value (record-fusion accuracy).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/enforce.h"
+
+using namespace mdmatch;
+
+int main() {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = bench::FullRun() ? 300 : 120;  // chase is O(pairs·rounds)
+  gen.seed = 6100;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+
+  struct Named {
+    const char* name;
+    ValuePolicy policy;
+  };
+  const Named policies[] = {
+      {"prefer longest", ValuePolicy::kPreferLongest},
+      {"prefer left (credit is master)", ValuePolicy::kPreferLeft},
+      {"lexicographically greatest", ValuePolicy::kLexGreatest},
+      {"majority vote", ValuePolicy::kMostFrequent},
+  };
+
+  std::printf("== Ablation: chase value policies (K = %zu) ==\n",
+              gen.num_base);
+  TableWriter table({"policy", "fusion accuracy (%)", "merges", "rounds"});
+  for (const Named& named : policies) {
+    EnforceOptions options;
+    options.policy = named.policy;
+    EnforceStats stats;
+    auto stable = Enforce(data.instance, data.mds, ops, options, &stats);
+    if (!stable.ok()) {
+      std::fprintf(stderr, "enforce failed: %s\n",
+                   stable.status().ToString().c_str());
+      return 1;
+    }
+
+    // Fusion accuracy: Y cells of the stable credit relation vs the
+    // entity's clean base tuple (position = entity id).
+    size_t correct = 0, total = 0;
+    for (size_t i = 0; i < stable->left().size(); ++i) {
+      const Tuple& fused = stable->left().tuple(i);
+      const Tuple& base = data.instance.left().tuple(
+          static_cast<size_t>(fused.entity()));
+      for (size_t yi = 0; yi < data.target.size(); ++yi) {
+        AttrId a = data.target.left()[yi];
+        ++total;
+        if (fused.value(a) == base.value(a)) ++correct;
+      }
+    }
+    double accuracy =
+        total == 0 ? 0 : 100.0 * static_cast<double>(correct) /
+                             static_cast<double>(total);
+    table.AddRow({named.name, TableWriter::Num(accuracy, 1),
+                  std::to_string(stats.merges),
+                  std::to_string(stats.rounds)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: majority vote resolves typo'd duplicates back to the "
+      "clean value most often; lexicographic is the weakest but fully "
+      "order-independent.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: the Section 5 quality model. Compares findRCKs output under
+//   (a) the full model (diversity counter w1, length w2, accuracy w3),
+//   (b) no diversity pressure (w1 = 0),
+//   (c) no accuracy signal (ac ≡ 1),
+//   (d) uniform costs (w1 = w2 = w3 = 0).
+// Reported: how many distinct attribute pairs the RCK set covers (the
+// model's diversity goal) and the blocking pairs completeness of the key
+// built from the top two RCKs (the model's reliability goal).
+
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "bench_common.h"
+#include "match/blocking.h"
+#include "match/evaluation.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+namespace {
+
+struct Config {
+  const char* name;
+  double w1, w2, w3;
+  bool use_accuracy;
+};
+
+}  // namespace
+
+int main() {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = bench::FullRun() ? 20000 : 5000;
+  gen.seed = 6000;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+
+  const Config configs[] = {
+      {"full model", 1.0, 0.05, 3.0, true},
+      {"no diversity (w1=0)", 0.0, 0.05, 3.0, true},
+      {"no accuracy (ac=1)", 1.0, 0.05, 3.0, false},
+      {"uniform costs", 0.0, 0.0, 0.0, false},
+  };
+
+  std::printf("== Ablation: quality model (K = %zu) ==\n", gen.num_base);
+  TableWriter table({"configuration", "RCKs", "distinct pairs",
+                     "blocking PC (%)", "RR (%)"});
+  for (const Config& config : configs) {
+    QualityModel quality(config.w1, config.w2, config.w3);
+    quality.EstimateLengthsFromData(data.instance, data.mds, data.target);
+    if (config.use_accuracy) {
+      datagen::ApplyDefaultAccuracies(data.pair, data.target, &quality);
+    }
+    FindRcksOptions options;
+    options.m = 10;
+    FindRcksResult result =
+        FindRcks(data.pair, ops, data.mds, data.target, options, &quality);
+
+    std::set<AttrPair> distinct;
+    for (const auto& key : result.rcks) {
+      for (const auto& e : key.elements()) distinct.insert(e.attrs);
+    }
+
+    RelativeKey merged;
+    for (size_t i = 0; i < result.rcks.size() && i < 2; ++i) {
+      for (const auto& e : result.rcks[i].elements()) merged.AddUnique(e);
+    }
+    KeyFunction key = KeyFunction::FromKeyElementsByCost(
+        merged, data.pair, quality, 3, {"fname", "mname", "lname"});
+    CandidateQuality q = EvaluateCandidates(
+        BlockCandidates(data.instance, key), data.instance);
+
+    table.AddRow({config.name, std::to_string(result.rcks.size()),
+                  std::to_string(distinct.size()),
+                  TableWriter::Num(100 * q.pairs_completeness, 1),
+                  TableWriter::Num(100 * q.reduction_ratio, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: the full model selects diverse, reliable attributes; "
+      "ablating accuracy degrades blocking PC, ablating diversity narrows "
+      "the covered attribute pairs.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the sliding-window size the paper fixes at 10 (Exp-2/3).
+// Sweeps the window and reports the PC / RR / runtime trade-off of SNrck.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "match/evaluation.h"
+#include "match/hs_rules.h"
+#include "match/sorted_neighborhood.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+int main() {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = bench::FullRun() ? 20000 : 10000;
+  gen.seed = 6200;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+
+  auto window_keys = StandardWindowKeys(data.pair);
+  auto deduction = bench::DeduceRcks(data, &ops);
+  auto rules = bench::TopRckRules(deduction.rcks, &ops, deduction.quality);
+
+  std::printf("== Ablation: window size (K = %zu, SNrck) ==\n", gen.num_base);
+  TableWriter table({"window", "precision", "recall", "candidates",
+                     "RR (%)", "time (s)"});
+  for (size_t window : {2, 5, 10, 20, 40}) {
+    Stopwatch sw;
+    SnOptions options;
+    options.window_size = window;
+    SnResult result =
+        SortedNeighborhood(data.instance, ops, window_keys, rules, options);
+    double seconds = sw.ElapsedSeconds();
+    MatchQuality q = Evaluate(result.matches, data.instance);
+    CandidateQuality cq = EvaluateCandidates(result.candidates, data.instance);
+    table.AddRow({std::to_string(window),
+                  TableWriter::Num(100 * q.precision, 1),
+                  TableWriter::Num(100 * q.recall, 1),
+                  std::to_string(cq.candidates),
+                  TableWriter::Num(100 * cq.reduction_ratio, 3),
+                  TableWriter::Num(seconds, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: recall saturates within a few window steps (the sort "
+      "keys place duplicates adjacently) while cost grows linearly — the "
+      "paper's w = 10 sits at the knee.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark) for the compile-time machinery:
+// MDClosure deduction (Theorem 4.1: O(n² + h³)) and the similarity
+// operator suite. Run in Release mode for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/closure.h"
+#include "core/find_rcks.h"
+#include "core/md_generator.h"
+#include "sim/edit_distance.h"
+#include "sim/jaro.h"
+#include "sim/phonetic.h"
+#include "sim/qgram.h"
+
+namespace {
+
+using namespace mdmatch;
+
+// ---------------------------------------------------------- MDClosure
+
+void BM_MdClosureDeduce(benchmark::State& state) {
+  const size_t num_mds = static_cast<size_t>(state.range(0));
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions gen;
+  gen.num_mds = num_mds;
+  gen.y_length = 8;
+  gen.seed = 11;
+  MdWorkload w = GenerateMdWorkload(gen, &ops);
+
+  // Candidate: the identity key over the target lists.
+  std::vector<Conjunct> lhs;
+  std::vector<AttrPair> rhs;
+  for (size_t i = 0; i < w.target.size(); ++i) {
+    lhs.push_back(Conjunct{w.target.pair_at(i), sim::SimOpRegistry::kEq});
+    rhs.push_back(w.target.pair_at(i));
+  }
+  MatchingDependency phi(lhs, rhs);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Deduces(w.pair, ops, w.sigma, phi));
+  }
+  state.SetComplexityN(static_cast<int64_t>(num_mds));
+}
+BENCHMARK(BM_MdClosureDeduce)->RangeMultiplier(2)->Range(128, 4096)
+    ->Complexity();
+
+void BM_MinimizeIdentityKey(benchmark::State& state) {
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions gen;
+  gen.num_mds = static_cast<size_t>(state.range(0));
+  gen.y_length = 8;
+  gen.seed = 13;
+  MdWorkload w = GenerateMdWorkload(gen, &ops);
+  std::vector<Conjunct> identity;
+  for (size_t i = 0; i < w.target.size(); ++i) {
+    identity.push_back(Conjunct{w.target.pair_at(i), sim::SimOpRegistry::kEq});
+  }
+  QualityModel quality;
+  for (auto _ : state) {
+    RelativeKey key = Minimize(w.pair, ops, w.sigma, w.target, quality,
+                               RelativeKey(identity));
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_MinimizeIdentityKey)->Arg(256)->Arg(1024);
+
+// ----------------------------------------------------- similarity ops
+
+void BM_DamerauLevenshtein(benchmark::State& state) {
+  std::string a = "10 Oak Street, Murray Hill, NJ 07974";
+  std::string b = "10 Oka Stret, Murray Hil, NJ 07974";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::DamerauLevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_DamerauLevenshtein);
+
+void BM_DlSimilarThreshold(benchmark::State& state) {
+  std::string a = "Clifford";
+  std::string b = "Clivord";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::DlSimilar(a, b, 0.8));
+  }
+}
+BENCHMARK(BM_DlSimilarThreshold);
+
+void BM_LevenshteinBounded(benchmark::State& state) {
+  std::string a = "10 Oak Street, Murray Hill, NJ 07974";
+  std::string b = "620 Elm Street, Trenton, NJ 08601";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::LevenshteinDistanceBounded(a, b, 3));
+  }
+}
+BENCHMARK(BM_LevenshteinBounded);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = "Clifford";
+  std::string b = "Clivord";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_QGramJaccard(benchmark::State& state) {
+  std::string a = "Clifford";
+  std::string b = "Clivord";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::QGramJaccard(a, b, 2));
+  }
+}
+BENCHMARK(BM_QGramJaccard);
+
+void BM_Soundex(benchmark::State& state) {
+  std::string name = "Ashcraft";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Soundex(name));
+  }
+}
+BENCHMARK(BM_Soundex);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Figures 10(a), 10(b), 10(c): the sorted-neighborhood method with the 25
+// hand-written equational-theory rules (SN) versus the union of the top
+// five deduced RCKs (SNrck). Shared windowing keys, window size 10
+// (paper Exp-3).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "match/evaluation.h"
+#include "match/hs_rules.h"
+#include "match/sorted_neighborhood.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+int main() {
+  std::printf("== Figure 10(a,b,c): Sorted Neighborhood with vs without "
+              "RCKs ==\n");
+  TableWriter table({"K", "SNrck prec", "SN prec", "SNrck recall",
+                     "SN recall", "SNrck time(s)", "SN time(s)"});
+  for (size_t k : bench::KRange()) {
+    sim::SimOpRegistry ops;
+    datagen::CreditBillingOptions gen;
+    gen.num_base = k;
+    gen.seed = 2000 + k;
+    datagen::CreditBillingData data =
+        datagen::GenerateCreditBilling(gen, &ops);
+
+    auto window_keys = StandardWindowKeys(data.pair);
+    auto hs_rules = HernandezStolfoRules(data.pair, &ops);
+    auto deduction = bench::DeduceRcks(data, &ops);
+    const auto& rcks = deduction.rcks;
+    auto rck_rules = bench::TopRckRules(rcks, &ops, deduction.quality);
+
+    Stopwatch sw_rck;
+    SnResult rck_result =
+        SortedNeighborhood(data.instance, ops, window_keys, rck_rules);
+    double t_rck = sw_rck.ElapsedSeconds();
+    MatchQuality q_rck = Evaluate(rck_result.matches, data.instance);
+
+    Stopwatch sw_sn;
+    SnResult sn_result =
+        SortedNeighborhood(data.instance, ops, window_keys, hs_rules);
+    double t_sn = sw_sn.ElapsedSeconds();
+    MatchQuality q_sn = Evaluate(sn_result.matches, data.instance);
+
+    table.AddRow({std::to_string(k / 1000) + "k",
+                  TableWriter::Num(100 * q_rck.precision, 1),
+                  TableWriter::Num(100 * q_sn.precision, 1),
+                  TableWriter::Num(100 * q_rck.recall, 1),
+                  TableWriter::Num(100 * q_sn.recall, 1),
+                  TableWriter::Num(t_rck, 2), TableWriter::Num(t_sn, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: SNrck outperforms SN in precision and recall (around "
+      "20%%) and runs faster (fewer rules, fewer attributes compared).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 10(d): reduction ratio of blocking with the RCK-derived key
+// versus the manually chosen key (paper Exp-4; RR = saving in comparison
+// space, computed against the full cross product).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "match/blocking.h"
+#include "match/evaluation.h"
+#include "match/hs_rules.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+int main() {
+  std::printf("== Figure 10(d): blocking reduction ratio ==\n");
+  TableWriter table({"K", "RR rck-key (%)", "RR manual-key (%)",
+                     "blocks rck", "blocks manual"});
+  for (size_t k : bench::KRange()) {
+    sim::SimOpRegistry ops;
+    datagen::CreditBillingOptions gen;
+    gen.num_base = k;
+    gen.seed = 3000 + k;  // same data as Fig. 9(d)
+    datagen::CreditBillingData data =
+        datagen::GenerateCreditBilling(gen, &ops);
+
+    auto deduction = bench::DeduceRcks(data, &ops);
+    const auto& rcks = deduction.rcks;
+    RelativeKey merged;
+    for (size_t i = 0; i < rcks.size() && i < 2; ++i) {
+      for (const auto& e : rcks[i].elements()) merged.AddUnique(e);
+    }
+    KeyFunction rck_key = KeyFunction::FromKeyElementsByCost(
+        merged, data.pair, deduction.quality, 3, {"fname", "mname", "lname"});
+    KeyFunction manual_key = ManualBlockingKey(data.pair);
+
+    CandidateQuality rck_q = EvaluateCandidates(
+        BlockCandidates(data.instance, rck_key), data.instance);
+    CandidateQuality man_q = EvaluateCandidates(
+        BlockCandidates(data.instance, manual_key), data.instance);
+    BlockingStats rck_stats = AnalyzeBlocks(data.instance, rck_key);
+    BlockingStats man_stats = AnalyzeBlocks(data.instance, manual_key);
+
+    table.AddRow({std::to_string(k / 1000) + "k",
+                  TableWriter::Num(100 * rck_q.reduction_ratio, 3),
+                  TableWriter::Num(100 * man_q.reduction_ratio, 3),
+                  std::to_string(rck_stats.num_blocks),
+                  std::to_string(man_stats.num_blocks)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: both keys keep RR in the 95-100%% band; the RCK key "
+      "achieves its better pairs completeness without losing reduction.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 8(b): scalability of findRCKs w.r.t. the number m of requested
+// RCKs. card(Σ) fixed at 2000 (1000 in the default run); m varies 5..50.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/md_generator.h"
+
+using namespace mdmatch;
+
+int main() {
+  const size_t card = bench::FullRun() ? 2000 : 1000;
+  std::printf("== Figure 8(b): findRCKs runtime vs m, card(Sigma) = %zu ==\n",
+              card);
+  TableWriter table(
+      {"m", "|Y|=6 (s)", "|Y|=8 (s)", "|Y|=10 (s)", "|Y|=12 (s)"});
+  for (size_t m = 5; m <= 50; m += 5) {
+    std::vector<std::string> row = {std::to_string(m)};
+    for (size_t y : bench::YLengths()) {
+      sim::SimOpRegistry ops;
+      MdGeneratorOptions gen;
+      gen.num_mds = card;
+      gen.y_length = y;
+      gen.seed = 97 + y;
+      MdWorkload w = GenerateMdWorkload(gen, &ops);
+
+      QualityModel quality;
+      FindRcksOptions options;
+      options.m = m;
+      Stopwatch sw;
+      FindRcksResult result =
+          FindRcks(w.pair, ops, w.sigma, w.target, options, &quality);
+      row.push_back(TableWriter::Num(sw.ElapsedSeconds(), 3));
+      (void)result;
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: roughly linear growth in m, steeper for longer Y.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figures 9(a), 9(b), 9(c): the Fellegi-Sunter method with and without
+// RCKs. FSrck compares the union of the top five RCKs (θ = 0.8 similarity
+// test); FS compares an EM-picked attribute vector of the same size.
+// Both classify the same windowing candidates (window size 10, shared
+// keys), as in the paper's Exp-2.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "match/evaluation.h"
+#include "match/fellegi_sunter.h"
+#include "match/hs_rules.h"
+#include "match/windowing.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+int main() {
+  std::printf(
+      "== Figure 9(a,b,c): Fellegi-Sunter with vs without RCKs ==\n");
+  TableWriter table({"K", "FSrck prec", "FS prec", "FSrck recall",
+                     "FS recall", "FSrck time(s)", "FS time(s)"});
+  for (size_t k : bench::KRange()) {
+    sim::SimOpRegistry ops;
+    datagen::CreditBillingOptions gen;
+    gen.num_base = k;
+    gen.seed = 1000 + k;
+    datagen::CreditBillingData data =
+        datagen::GenerateCreditBilling(gen, &ops);
+
+    auto window_keys = StandardWindowKeys(data.pair);
+    CandidateSet candidates =
+        WindowCandidatesMultiPass(data.instance, window_keys, 10);
+
+    // FSrck: RCK-union comparison vector (deduced at compile time).
+    auto deduction = bench::DeduceRcks(data, &ops);
+    const auto& rcks = deduction.rcks;
+    ComparisonVector rck_vector = RelaxVectorForMatching(
+        ComparisonVector::UnionOfKeys(rcks, 5), ops.Dl(0.8));
+
+    Stopwatch sw_rck;
+    FellegiSunter fs_rck(rck_vector);
+    if (auto st = fs_rck.Train(data.instance, ops); !st.ok()) {
+      std::fprintf(stderr, "train failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    MatchQuality q_rck = Evaluate(
+        fs_rck.Match(data.instance, ops, candidates), data.instance);
+    double t_rck = sw_rck.ElapsedSeconds();
+
+    // FS baseline: EM-picked vector of the same size.
+    Stopwatch sw_fs;
+    ComparisonVector em_vector = SelectVectorByEm(
+        data.instance, ops, data.target, ops.Dl(0.8), rck_vector.size());
+    FellegiSunter fs(em_vector);
+    if (auto st = fs.Train(data.instance, ops); !st.ok()) {
+      std::fprintf(stderr, "train failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    MatchQuality q_fs =
+        Evaluate(fs.Match(data.instance, ops, candidates), data.instance);
+    double t_fs = sw_fs.ElapsedSeconds();
+
+    table.AddRow({std::to_string(k / 1000) + "k",
+                  TableWriter::Num(100 * q_rck.precision, 1),
+                  TableWriter::Num(100 * q_fs.precision, 1),
+                  TableWriter::Num(100 * q_rck.recall, 1),
+                  TableWriter::Num(100 * q_fs.recall, 1),
+                  TableWriter::Num(t_rck, 2), TableWriter::Num(t_fs, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: FSrck beats FS on precision (up to 20%% at 80k) with "
+      "comparable recall and runtime; FSrck is less sensitive to K.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 9(d): pairs completeness of blocking with an RCK-derived key
+// (three attributes from the top two RCKs, name Soundex-encoded) versus a
+// manually chosen key (paper Exp-4).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "match/blocking.h"
+#include "match/evaluation.h"
+#include "match/hs_rules.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+int main() {
+  std::printf("== Figure 9(d): blocking pairs completeness ==\n");
+  TableWriter table({"K", "PC rck-key", "PC manual-key", "cand rck",
+                     "cand manual"});
+  for (size_t k : bench::KRange()) {
+    sim::SimOpRegistry ops;
+    datagen::CreditBillingOptions gen;
+    gen.num_base = k;
+    gen.seed = 3000 + k;
+    datagen::CreditBillingData data =
+        datagen::GenerateCreditBilling(gen, &ops);
+
+    auto deduction = bench::DeduceRcks(data, &ops);
+    const auto& rcks = deduction.rcks;
+    RelativeKey merged;
+    for (size_t i = 0; i < rcks.size() && i < 2; ++i) {
+      for (const auto& e : rcks[i].elements()) merged.AddUnique(e);
+    }
+    KeyFunction rck_key = KeyFunction::FromKeyElementsByCost(
+        merged, data.pair, deduction.quality, 3, {"fname", "mname", "lname"});
+    KeyFunction manual_key = ManualBlockingKey(data.pair);
+
+    CandidateQuality rck_q = EvaluateCandidates(
+        BlockCandidates(data.instance, rck_key), data.instance);
+    CandidateQuality man_q = EvaluateCandidates(
+        BlockCandidates(data.instance, manual_key), data.instance);
+
+    table.AddRow({std::to_string(k / 1000) + "k",
+                  TableWriter::Num(100 * rck_q.pairs_completeness, 1),
+                  TableWriter::Num(100 * man_q.pairs_completeness, 1),
+                  std::to_string(rck_q.candidates),
+                  std::to_string(man_q.candidates)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: RCK-based blocking keys improve pairs completeness "
+      "consistently (above 10%%) at comparable reduction ratios.\n");
+  return 0;
+}

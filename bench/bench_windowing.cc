@@ -1,0 +1,54 @@
+// Section 6.2, Exp-4 windowing experiment (the paper states the results
+// are "comparable to those reported in Fig. 9(d) and Fig. 10(d)" but omits
+// the figure): pairs completeness and reduction ratio of windowing with
+// RCK-derived sort keys versus manually chosen keys, window size 10.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "match/evaluation.h"
+#include "match/hs_rules.h"
+#include "match/sorted_neighborhood.h"
+#include "match/windowing.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+int main() {
+  std::printf("== Exp-4 windowing: PC / RR with RCK vs manual sort keys ==\n");
+  TableWriter table({"K", "PC rck", "PC manual", "RR rck (%)",
+                     "RR manual (%)"});
+  for (size_t k : bench::KRange()) {
+    sim::SimOpRegistry ops;
+    datagen::CreditBillingOptions gen;
+    gen.num_base = k;
+    gen.seed = 4000 + k;
+    datagen::CreditBillingData data =
+        datagen::GenerateCreditBilling(gen, &ops);
+
+    auto deduction = bench::DeduceRcks(data, &ops);
+    const auto& rcks = deduction.rcks;
+    std::vector<MatchRule> rck_rules(rcks.begin(), rcks.end());
+    auto rck_keys = SortKeysFromRules(rck_rules, data.pair, 3);
+    auto manual_keys = StandardWindowKeys(data.pair);
+
+    CandidateQuality rck_q = EvaluateCandidates(
+        WindowCandidatesMultiPass(data.instance, rck_keys, 10),
+        data.instance);
+    CandidateQuality man_q = EvaluateCandidates(
+        WindowCandidatesMultiPass(data.instance, manual_keys, 10),
+        data.instance);
+
+    table.AddRow({std::to_string(k / 1000) + "k",
+                  TableWriter::Num(100 * rck_q.pairs_completeness, 1),
+                  TableWriter::Num(100 * man_q.pairs_completeness, 1),
+                  TableWriter::Num(100 * rck_q.reduction_ratio, 3),
+                  TableWriter::Num(100 * man_q.reduction_ratio, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape: comparable to the blocking results — RCK sort keys "
+      "yield better PC at near-identical RR.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Blocking and windowing with RCK-derived keys (the paper's Exp-4 use
+// case, at example scale): generate a dirty credit/billing dataset, deduce
+// RCKs, build blocking and sort keys from them, and compare pairs
+// completeness / reduction ratio against a manually chosen key.
+
+#include <cstdio>
+
+#include "core/find_rcks.h"
+#include "datagen/credit_billing.h"
+#include "match/blocking.h"
+#include "match/evaluation.h"
+#include "match/hs_rules.h"
+#include "match/sorted_neighborhood.h"
+#include "match/windowing.h"
+
+using namespace mdmatch;
+using namespace mdmatch::match;
+
+int main() {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = 2000;
+  gen.seed = 5;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+  std::printf("dataset: %zu credit tuples, %zu billing tuples, %zu true "
+              "match pairs\n",
+              data.instance.left().size(), data.instance.right().size(),
+              CountTruePairs(data.instance));
+
+  // Deduce RCKs and derive a blocking key from the top two.
+  QualityModel quality;
+  quality.EstimateLengthsFromData(data.instance, data.mds, data.target);
+  FindRcksOptions options;
+  options.m = 10;
+  auto rcks =
+      FindRcks(data.pair, ops, data.mds, data.target, options, &quality).rcks;
+  std::printf("\n== deduced RCKs ==\n");
+  for (const auto& key : rcks) {
+    std::printf("  %s\n", key.ToString(data.pair, ops).c_str());
+  }
+
+  RelativeKey merged;
+  for (size_t i = 0; i < rcks.size() && i < 2; ++i) {
+    for (const auto& e : rcks[i].elements()) merged.AddUnique(e);
+  }
+  KeyFunction rck_key = KeyFunction::FromKeyElements(
+      merged, data.pair, 3, {"fname", "mname", "lname"});
+  KeyFunction manual_key = ManualBlockingKey(data.pair);
+
+  // --- blocking ---
+  auto report = [&](const char* title, const CandidateQuality& q,
+                    const BlockingStats* stats) {
+    std::printf("  %-12s PC = %5.1f%%   RR = %7.3f%%   candidates = %zu",
+                title, 100 * q.pairs_completeness, 100 * q.reduction_ratio,
+                q.candidates);
+    if (stats != nullptr) std::printf("   blocks = %zu", stats->num_blocks);
+    std::printf("\n");
+  };
+
+  std::printf("\n== blocking ==\n");
+  auto rck_blocks = BlockCandidates(data.instance, rck_key);
+  auto man_blocks = BlockCandidates(data.instance, manual_key);
+  BlockingStats rck_stats = AnalyzeBlocks(data.instance, rck_key);
+  BlockingStats man_stats = AnalyzeBlocks(data.instance, manual_key);
+  report("rck key:", EvaluateCandidates(rck_blocks, data.instance),
+         &rck_stats);
+  report("manual key:", EvaluateCandidates(man_blocks, data.instance),
+         &man_stats);
+
+  // --- windowing ---
+  std::printf("\n== windowing (window = 10) ==\n");
+  auto rck_keys = SortKeysFromRules(
+      std::vector<MatchRule>(rcks.begin(), rcks.end()), data.pair, 3);
+  auto manual_keys = StandardWindowKeys(data.pair);
+  report("rck keys:",
+         EvaluateCandidates(
+             WindowCandidatesMultiPass(data.instance, rck_keys, 10),
+             data.instance),
+         nullptr);
+  report("manual keys:",
+         EvaluateCandidates(
+             WindowCandidatesMultiPass(data.instance, manual_keys, 10),
+             data.instance),
+         nullptr);
+
+  std::printf(
+      "\nThe RCK-derived keys block/sort on the attributes the dependency "
+      "analysis proves discriminating, so more true matches end up in the "
+      "same block or window at a comparable reduction ratio.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Fraud detection (the paper's Example 1.1, end to end): given a credit
+// relation and a billing relation, decide for each billing tuple whether
+// the card user is the legitimate card holder.
+//
+// The walk-through shows the paper's storyline:
+//   1. the domain-expert matching key alone matches only t3;
+//   2. MD reasoning deduces three further keys at compile time;
+//   3. the deduced keys match t4, t5, t6 — catching what the original key
+//      misses — while the unrelated card holder t2 stays unmatched;
+//   4. enforcing the MDs chases the instance to a stable one in which the
+//      identified attributes are equal.
+
+#include <cstdio>
+
+#include "core/enforce.h"
+#include "core/find_rcks.h"
+#include "datagen/credit_billing.h"
+#include "match/comparison.h"
+
+using namespace mdmatch;
+
+namespace {
+
+void PrintRelation(const char* title, const Relation& rel) {
+  std::printf("%s\n", title);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    std::printf("  t%zu:", rel.tuple(i).id() + 1);
+    for (const auto& v : rel.tuple(i).values()) std::printf(" %s |", v.c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::SimOpRegistry ops = sim::SimOpRegistry::Default();
+  // The paper's FN-similarity admits "Mark" ~ "Marx"; that is the
+  // θ = 0.75 DL threshold on 4-character names.
+  sim::SimOpId dl75 = ops.Dl(0.75);
+
+  datagen::Example11Data ex = datagen::MakeExample11(&ops);
+  PrintRelation("== credit (Fig. 1a) ==", ex.instance.left());
+  PrintRelation("== billing (Fig. 1b) ==", ex.instance.right());
+
+  // Σ with ϕ1's FN conjunct at the ≈d that matches the paper's narrative.
+  MdSet sigma;
+  {
+    MdBuilder b1(ex.pair, &ops);
+    b1.Lhs("LN", "=", "LN")
+        .Lhs("addr", "=", "post")
+        .Lhs("FN", ops.Name(dl75), "FN")
+        .Rhs("FN", "FN")
+        .Rhs("LN", "LN")
+        .Rhs("addr", "post")
+        .Rhs("tel", "phn")
+        .Rhs("gender", "gender");
+    sigma.push_back(*b1.Build());
+    sigma.push_back(ex.mds[1]);  // ϕ2: tel = phn -> addr <=> post
+    sigma.push_back(ex.mds[2]);  // ϕ3: email = email -> names identified
+  }
+
+  std::printf("\n== matching dependencies (Σ) ==\n");
+  for (const auto& md : sigma) {
+    std::printf("  %s\n", md.ToString(ex.pair, ops).c_str());
+  }
+
+  // Deduce RCKs relative to (Yc, Yb) at "compile time".
+  QualityModel quality;
+  quality.EstimateLengthsFromData(ex.instance, sigma, ex.target);
+  FindRcksOptions options;
+  options.m = 10;
+  FindRcksResult rcks =
+      FindRcks(ex.pair, ops, sigma, ex.target, options, &quality);
+  std::printf("\n== deduced RCKs ==\n");
+  for (const auto& key : rcks.rcks) {
+    std::printf("  %s\n", key.ToString(ex.pair, ops).c_str());
+  }
+
+  // Fraud check: does each billing tuple belong to its card's holder?
+  std::printf("\n== card-holder verification ==\n");
+  for (size_t bi = 0; bi < ex.instance.right().size(); ++bi) {
+    const Tuple& bill = ex.instance.right().tuple(bi);
+    bool verified = false;
+    std::string via;
+    for (size_t ci = 0; ci < ex.instance.left().size(); ++ci) {
+      const Tuple& card = ex.instance.left().tuple(ci);
+      if (card.value(0) != bill.value(0)) continue;  // different card number
+      for (const auto& key : rcks.rcks) {
+        if (match::RuleMatches(key, ops, card, bill)) {
+          verified = true;
+          via = key.ToString(ex.pair, ops);
+          break;
+        }
+      }
+    }
+    std::printf("  billing t%zu (%s, %s): %s%s%s\n", bi + 3,
+                bill.value(7).c_str(), bill.value(8).c_str(),
+                verified ? "holder verified" : "NO MATCH - flag for review",
+                verified ? " via " : "", via.c_str());
+  }
+
+  // Dynamic semantics: chase the instance to a stable one.
+  auto stable = Enforce(ex.instance, sigma, ops);
+  if (!stable.ok()) {
+    std::printf("enforce failed: %s\n", stable.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== stable instance after enforcing Σ (billing side) ==\n");
+  PrintRelation("", stable->right());
+  std::printf("\n(t4's postal address and t3's phone were completed from the "
+              "credit master record, as in the paper's Fig. 2.)\n");
+  return 0;
+}

@@ -1,0 +1,359 @@
+#include "core/closure.h"
+
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+namespace mdmatch {
+
+namespace {
+
+/// Work item of procedure Propagate: a newly recorded similar pair.
+struct WorkItem {
+  int32_t a;         // dense qualified-attribute index
+  int32_t b;
+  sim::SimOpId op;
+};
+
+/// Implements Fig. 5/6 over dense attribute indexes.
+class ClosureComputation {
+ public:
+  ClosureComputation(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                     ClosureStats* stats)
+      : pair_(pair),
+        ops_(ops),
+        h_(pair.total_attrs()),
+        left_arity_(pair.left().arity()),
+        m_(pair, ops.size()),
+        stats_(stats) {}
+
+  /// Dense index of R1[a] (side 0) or R2[a] (side 1).
+  int32_t Dense(int side, AttrId a) const {
+    return side == 0 ? a : left_arity_ + a;
+  }
+
+  /// Procedure AssignVal (Fig. 5): records a ≈op b (and its symmetric
+  /// entry) unless already present or subsumed by an "=" entry.
+  bool AssignVal(int32_t a, int32_t b, sim::SimOpId op) {
+    if (m_.Get(a, b, sim::SimOpRegistry::kEq)) return false;
+    if (m_.Get(a, b, op)) return false;
+    m_.Set(a, b, op);
+    m_.Set(b, a, op);
+    if (stats_) ++stats_->entries_set;
+    return true;
+  }
+
+  /// Procedure Infer (Fig. 6): given the new pair x ≈op y, scans the
+  /// attributes C of relation `side`:
+  ///   - if M(x, C, =) = 1      then y ≈op C   (equality transitivity)
+  ///   - if op is "=" then for every ≈d with M(x, C, ≈d) = 1: y ≈d C.
+  void Infer(int32_t x, int32_t y, int side, sim::SimOpId op) {
+    const int32_t begin = side == 0 ? 0 : left_arity_;
+    const int32_t end = side == 0 ? left_arity_ : h_;
+    const size_t num_ops = m_.num_ops();
+    for (int32_t c = begin; c < end; ++c) {
+      if (m_.Get(x, c, sim::SimOpRegistry::kEq)) {
+        if (AssignVal(y, c, op)) Push(y, c, op);
+      }
+      if (op == sim::SimOpRegistry::kEq) {
+        for (sim::SimOpId d = 1; d < static_cast<sim::SimOpId>(num_ops); ++d) {
+          if (m_.Get(x, c, d) && AssignVal(y, c, d)) Push(y, c, d);
+        }
+      }
+    }
+  }
+
+  /// Procedure Propagate (Fig. 6): drains the queue, firing Infer in both
+  /// argument orders against both relations (superset of the paper's
+  /// case split; see closure.h).
+  void Propagate(int32_t a, int32_t b, sim::SimOpId op) {
+    Push(a, b, op);
+    while (!queue_.empty()) {
+      WorkItem w = queue_.front();
+      queue_.pop_front();
+      for (int side = 0; side < 2; ++side) {
+        Infer(w.a, w.b, side, w.op);
+        Infer(w.b, w.a, side, w.op);
+      }
+    }
+  }
+
+  void Push(int32_t a, int32_t b, sim::SimOpId op) {
+    queue_.push_back(WorkItem{a, b, op});
+    if (stats_) ++stats_->queue_pushes;
+  }
+
+  /// Main driver (Fig. 5).
+  ClosureMatrix Run(const MdSet& sigma_in, const std::vector<Conjunct>& lhs) {
+    // Lines 2-4: seed with the candidate's LHS conjuncts.
+    for (const auto& c : lhs) {
+      int32_t a = Dense(0, c.attrs.left);
+      int32_t b = Dense(1, c.attrs.right);
+      if (AssignVal(a, b, c.op)) Propagate(a, b, c.op);
+    }
+
+    // Lines 5-11: apply MDs of Σ (normal form) until fixpoint. An applied
+    // MD is never inspected again.
+    MdSet sigma = NormalizeSet(sigma_in);
+    std::vector<bool> applied(sigma.size(), false);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      if (stats_) ++stats_->rounds;
+      for (size_t i = 0; i < sigma.size(); ++i) {
+        if (applied[i]) continue;
+        if (!LhsMatched(sigma[i])) continue;
+        applied[i] = true;
+        changed = true;
+        if (stats_) ++stats_->mds_applied;
+        const AttrPair rhs = sigma[i].rhs()[0];
+        int32_t a = Dense(0, rhs.left);
+        int32_t b = Dense(1, rhs.right);
+        if (AssignVal(a, b, sim::SimOpRegistry::kEq)) {
+          Propagate(a, b, sim::SimOpRegistry::kEq);
+        }
+      }
+    }
+    return std::move(m_);
+  }
+
+ private:
+  /// Line 7 of Fig. 5: every conjunct holds via its own operator or via "="
+  /// (equality subsumes every similarity operator).
+  bool LhsMatched(const MatchingDependency& md) const {
+    for (const auto& c : md.lhs()) {
+      int32_t a = Dense(0, c.attrs.left);
+      int32_t b = Dense(1, c.attrs.right);
+      if (!m_.Get(a, b, sim::SimOpRegistry::kEq) && !m_.Get(a, b, c.op)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const SchemaPair& pair_;
+  const sim::SimOpRegistry& ops_;
+  const int32_t h_;
+  const int32_t left_arity_;
+  ClosureMatrix m_;
+  ClosureStats* stats_;
+  std::deque<WorkItem> queue_;
+};
+
+/// The indexed variant (Beeri-Bernstein-style counters; see closure.h).
+class IndexedClosureComputation {
+ public:
+  IndexedClosureComputation(const SchemaPair& pair,
+                            const sim::SimOpRegistry& ops,
+                            ClosureStats* stats)
+      : h_(pair.total_attrs()),
+        left_arity_(pair.left().arity()),
+        p_(ops.size()),
+        m_(pair, ops.size()),
+        stats_(stats) {}
+
+  ClosureMatrix Run(const MdSet& sigma_in, const std::vector<Conjunct>& lhs) {
+    sigma_ = NormalizeSet(sigma_in);
+
+    // Build the conjunct index: (dense a, dense b, op) -> [(md, conjunct)].
+    counters_.resize(sigma_.size());
+    satisfied_.resize(sigma_.size());
+    fired_.assign(sigma_.size(), false);
+    for (size_t i = 0; i < sigma_.size(); ++i) {
+      counters_[i] = sigma_[i].lhs().size();
+      satisfied_[i].assign(sigma_[i].lhs().size(), false);
+      if (counters_[i] == 0) fire_queue_.push_back(i);  // empty LHS
+      for (size_t j = 0; j < sigma_[i].lhs().size(); ++j) {
+        const Conjunct& c = sigma_[i].lhs()[j];
+        index_[EntryKey(Dense(0, c.attrs.left), Dense(1, c.attrs.right),
+                        c.op)]
+            .emplace_back(i, j);
+      }
+    }
+
+    // Seed with LHS(φ); every write flows through AssignVal and hence the
+    // counter hook.
+    for (const auto& c : lhs) {
+      int32_t a = Dense(0, c.attrs.left);
+      int32_t b = Dense(1, c.attrs.right);
+      if (AssignVal(a, b, c.op)) Propagate(a, b, c.op);
+    }
+
+    // Fire MDs as their counters hit zero; firings cause writes which may
+    // enqueue further firings.
+    while (!fire_queue_.empty()) {
+      size_t i = fire_queue_.back();
+      fire_queue_.pop_back();
+      if (fired_[i]) continue;
+      fired_[i] = true;
+      if (stats_) {
+        ++stats_->mds_applied;
+        ++stats_->rounds;  // one "round" per firing in the indexed variant
+      }
+      const AttrPair rhs = sigma_[i].rhs()[0];
+      int32_t a = Dense(0, rhs.left);
+      int32_t b = Dense(1, rhs.right);
+      if (AssignVal(a, b, sim::SimOpRegistry::kEq)) {
+        Propagate(a, b, sim::SimOpRegistry::kEq);
+      }
+    }
+    return std::move(m_);
+  }
+
+ private:
+  size_t EntryKey(int32_t a, int32_t b, sim::SimOpId op) const {
+    return (static_cast<size_t>(a) * static_cast<size_t>(h_) +
+            static_cast<size_t>(b)) *
+               p_ +
+           static_cast<size_t>(op);
+  }
+
+  int32_t Dense(int side, AttrId a) const {
+    return side == 0 ? a : left_arity_ + a;
+  }
+
+  /// Counter hook: a new 1-entry (a, b, op') satisfies every indexed
+  /// conjunct on (a, b) with operator op', and — when op' is "=" — with
+  /// any operator (equality subsumes similarity).
+  void OnEntry(int32_t a, int32_t b, sim::SimOpId op) {
+    auto decrement = [&](size_t key) {
+      auto it = index_.find(key);
+      if (it == index_.end()) return;
+      for (auto [mi, cj] : it->second) {
+        if (satisfied_[mi][cj]) continue;
+        satisfied_[mi][cj] = true;
+        if (--counters_[mi] == 0 && !fired_[mi]) fire_queue_.push_back(mi);
+      }
+    };
+    decrement(EntryKey(a, b, op));
+    if (op == sim::SimOpRegistry::kEq) {
+      for (sim::SimOpId d = 1; d < static_cast<sim::SimOpId>(p_); ++d) {
+        decrement(EntryKey(a, b, d));
+      }
+    }
+  }
+
+  bool AssignVal(int32_t a, int32_t b, sim::SimOpId op) {
+    if (m_.Get(a, b, sim::SimOpRegistry::kEq)) return false;
+    if (m_.Get(a, b, op)) return false;
+    m_.Set(a, b, op);
+    m_.Set(b, a, op);
+    if (stats_) ++stats_->entries_set;
+    OnEntry(a, b, op);
+    OnEntry(b, a, op);
+    return true;
+  }
+
+  void Infer(int32_t x, int32_t y, int side, sim::SimOpId op) {
+    const int32_t begin = side == 0 ? 0 : left_arity_;
+    const int32_t end = side == 0 ? left_arity_ : h_;
+    for (int32_t c = begin; c < end; ++c) {
+      if (m_.Get(x, c, sim::SimOpRegistry::kEq)) {
+        if (AssignVal(y, c, op)) Push(y, c, op);
+      }
+      if (op == sim::SimOpRegistry::kEq) {
+        for (sim::SimOpId d = 1; d < static_cast<sim::SimOpId>(p_); ++d) {
+          if (m_.Get(x, c, d) && AssignVal(y, c, d)) Push(y, c, d);
+        }
+      }
+    }
+  }
+
+  void Propagate(int32_t a, int32_t b, sim::SimOpId op) {
+    Push(a, b, op);
+    while (!queue_.empty()) {
+      WorkItem w = queue_.front();
+      queue_.pop_front();
+      for (int side = 0; side < 2; ++side) {
+        Infer(w.a, w.b, side, w.op);
+        Infer(w.b, w.a, side, w.op);
+      }
+    }
+  }
+
+  void Push(int32_t a, int32_t b, sim::SimOpId op) {
+    queue_.push_back(WorkItem{a, b, op});
+    if (stats_) ++stats_->queue_pushes;
+  }
+
+  const int32_t h_;
+  const int32_t left_arity_;
+  const size_t p_;
+  ClosureMatrix m_;
+  ClosureStats* stats_;
+  MdSet sigma_;
+  std::unordered_map<size_t, std::vector<std::pair<size_t, size_t>>> index_;
+  std::vector<size_t> counters_;
+  std::vector<std::vector<bool>> satisfied_;
+  std::vector<bool> fired_;
+  std::vector<size_t> fire_queue_;
+  std::deque<WorkItem> queue_;
+};
+
+}  // namespace
+
+ClosureMatrix::ClosureMatrix(const SchemaPair& pair, size_t num_ops)
+    : h_(pair.total_attrs()),
+      left_arity_(pair.left().arity()),
+      p_(num_ops),
+      bits_(static_cast<size_t>(h_) * static_cast<size_t>(h_) * p_, 0) {}
+
+bool ClosureMatrix::Holds(QualifiedAttr a, QualifiedAttr b,
+                          sim::SimOpId op) const {
+  return Get(a.rel == 0 ? a.attr : left_arity_ + a.attr,
+             b.rel == 0 ? b.attr : left_arity_ + b.attr, op);
+}
+
+bool ClosureMatrix::HoldsOrEq(QualifiedAttr a, QualifiedAttr b,
+                              sim::SimOpId op) const {
+  return Holds(a, b, sim::SimOpRegistry::kEq) || Holds(a, b, op);
+}
+
+bool ClosureMatrix::Identified(AttrPair p) const {
+  return Get(p.left, left_arity_ + p.right, sim::SimOpRegistry::kEq);
+}
+
+size_t ClosureMatrix::PopCount() const {
+  size_t n = 0;
+  for (uint8_t b : bits_) n += b;
+  return n;
+}
+
+ClosureMatrix ComputeClosure(const SchemaPair& pair,
+                             const sim::SimOpRegistry& ops, const MdSet& sigma,
+                             const std::vector<Conjunct>& lhs,
+                             ClosureStats* stats) {
+  ClosureComputation comp(pair, ops, stats);
+  return comp.Run(sigma, lhs);
+}
+
+bool Deduces(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+             const MdSet& sigma, const MatchingDependency& phi,
+             ClosureStats* stats) {
+  ClosureMatrix m = ComputeClosure(pair, ops, sigma, phi.lhs(), stats);
+  for (const auto& rhs : phi.rhs()) {
+    if (!m.Identified(rhs)) return false;
+  }
+  return true;
+}
+
+ClosureMatrix ComputeClosureIndexed(const SchemaPair& pair,
+                                    const sim::SimOpRegistry& ops,
+                                    const MdSet& sigma,
+                                    const std::vector<Conjunct>& lhs,
+                                    ClosureStats* stats) {
+  IndexedClosureComputation comp(pair, ops, stats);
+  return comp.Run(sigma, lhs);
+}
+
+bool DeducesIndexed(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                    const MdSet& sigma, const MatchingDependency& phi,
+                    ClosureStats* stats) {
+  ClosureMatrix m = ComputeClosureIndexed(pair, ops, sigma, phi.lhs(), stats);
+  for (const auto& rhs : phi.rhs()) {
+    if (!m.Identified(rhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace mdmatch

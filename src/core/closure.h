@@ -1,0 +1,119 @@
+#ifndef MDMATCH_CORE_CLOSURE_H_
+#define MDMATCH_CORE_CLOSURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/md.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+
+namespace mdmatch {
+
+/// \brief The closure matrix M of algorithm MDClosure (paper Fig. 5).
+///
+/// M is an h×h×p boolean array, where h is the total number of qualified
+/// attributes of (R1, R2) and p the number of similarity operators
+/// (including "="). After ComputeClosure(Σ, LHS(φ)):
+///
+///   M(a, b, ≈) = 1  iff  Σ ⊨m LHS(φ) → a ≈ b
+///
+/// Entries may relate attributes of the same relation — the Lemma 3.4
+/// interactions between the matching operator, equality and similarity.
+class ClosureMatrix {
+ public:
+  ClosureMatrix(const SchemaPair& pair, size_t num_ops);
+
+  /// Whether `a ≈op b` is in the closure. Note that "=" entries subsume
+  /// similarity entries semantically; HoldsOrEq answers "does a ≈op b
+  /// follow", i.e. checks both the op entry and the "=" entry.
+  bool Holds(QualifiedAttr a, QualifiedAttr b, sim::SimOpId op) const;
+  bool HoldsOrEq(QualifiedAttr a, QualifiedAttr b, sim::SimOpId op) const;
+
+  /// Whether the cross-relation pair (R1[p.left], R2[p.right]) is
+  /// *identified* (the "=" entry) — the RHS test of deduction.
+  bool Identified(AttrPair p) const;
+
+  int32_t num_attrs() const { return h_; }
+  size_t num_ops() const { return p_; }
+
+  /// Number of 1-entries (symmetric entries counted twice); used by the
+  /// complexity tests: bounded by h² · p.
+  size_t PopCount() const;
+
+  // Internal setters (used by the closure computation).
+  bool Get(int32_t a, int32_t b, sim::SimOpId op) const {
+    return bits_[Index(a, b, op)] != 0;
+  }
+  void Set(int32_t a, int32_t b, sim::SimOpId op) {
+    bits_[Index(a, b, op)] = 1;
+  }
+
+ private:
+  size_t Index(int32_t a, int32_t b, sim::SimOpId op) const {
+    return (static_cast<size_t>(a) * static_cast<size_t>(h_) +
+            static_cast<size_t>(b)) *
+               p_ +
+           static_cast<size_t>(op);
+  }
+
+  int32_t h_;
+  int32_t left_arity_;
+  size_t p_;
+  std::vector<uint8_t> bits_;
+};
+
+/// Counters exposed for the complexity benches and tests.
+struct ClosureStats {
+  size_t mds_applied = 0;    ///< MDs of Σ whose LHS matched (each at most once)
+  size_t entries_set = 0;    ///< AssignVal successes (pairs of symmetric writes)
+  size_t queue_pushes = 0;   ///< total propagation work items
+  size_t rounds = 0;         ///< passes of the outer repeat loop
+};
+
+/// \brief Algorithm MDClosure (paper Fig. 5): computes the closure of Σ and
+/// a conjunction `lhs` (the LHS of the candidate MD φ).
+///
+/// Σ is normalized internally. The propagation (Fig. 6) applies the generic
+/// similarity axioms with a work queue; our Infer scans *both* relations for
+/// the transitivity partner (a conservative superset of the paper's
+/// case-split, sound by the same axioms and within the same O(n² + h³)
+/// bound — see DESIGN.md).
+ClosureMatrix ComputeClosure(const SchemaPair& pair,
+                             const sim::SimOpRegistry& ops, const MdSet& sigma,
+                             const std::vector<Conjunct>& lhs,
+                             ClosureStats* stats = nullptr);
+
+/// \brief Deduction test: Σ ⊨m φ (Theorem 4.1, O(n² + h³) time).
+///
+/// Computes the closure of Σ and LHS(φ) once and checks that every RHS pair
+/// of φ is identified.
+bool Deduces(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+             const MdSet& sigma, const MatchingDependency& phi,
+             ClosureStats* stats = nullptr);
+
+/// \brief Indexed MDClosure — the O(n + h³) refinement the paper sketches
+/// after Theorem 4.1 ("the algorithm can possibly be improved ... by
+/// leveraging the index structures of [8, 25] for FD implication").
+///
+/// Instead of re-scanning Σ on every round, an index maps each (attribute
+/// pair, operator) to the MDs whose LHS contains that conjunct, with a
+/// per-MD counter of still-unsatisfied conjuncts (Beeri-Bernstein style).
+/// When an M entry flips to 1 the counters of the affected MDs decrement;
+/// an MD fires exactly when its counter reaches zero. Produces the same
+/// closure as ComputeClosure (property-tested), in time linear in the size
+/// of Σ plus the propagation cost.
+ClosureMatrix ComputeClosureIndexed(const SchemaPair& pair,
+                                    const sim::SimOpRegistry& ops,
+                                    const MdSet& sigma,
+                                    const std::vector<Conjunct>& lhs,
+                                    ClosureStats* stats = nullptr);
+
+/// Deduction test backed by the indexed closure.
+bool DeducesIndexed(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                    const MdSet& sigma, const MatchingDependency& phi,
+                    ClosureStats* stats = nullptr);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_CLOSURE_H_

@@ -1,0 +1,212 @@
+#include "core/discovery.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace mdmatch {
+
+namespace {
+
+/// Samples cross-relation pairs: neighbors under a value sort on the first
+/// candidate attributes (match-enriched) plus uniform random pairs.
+std::vector<std::pair<uint32_t, uint32_t>> SamplePairs(
+    const Instance& instance, const std::vector<Conjunct>& candidates,
+    size_t max_pairs, uint64_t seed) {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  if (instance.left().empty() || instance.right().empty()) return pairs;
+  Rng rng(seed);
+
+  // Sort both sides by the concatenation of (up to) the first two
+  // candidate attributes and pair up aligned neighbors.
+  auto key = [&](const Tuple& t, int side) {
+    std::string k;
+    for (size_t i = 0; i < candidates.size() && i < 2; ++i) {
+      AttrId a = side == 0 ? candidates[i].attrs.left
+                           : candidates[i].attrs.right;
+      k += t.value(a);
+      k.push_back('|');
+    }
+    return k;
+  };
+  std::vector<uint32_t> left_order(instance.left().size());
+  std::vector<uint32_t> right_order(instance.right().size());
+  for (uint32_t i = 0; i < left_order.size(); ++i) left_order[i] = i;
+  for (uint32_t i = 0; i < right_order.size(); ++i) right_order[i] = i;
+  std::sort(left_order.begin(), left_order.end(), [&](uint32_t a, uint32_t b) {
+    return key(instance.left().tuple(a), 0) < key(instance.left().tuple(b), 0);
+  });
+  std::sort(right_order.begin(), right_order.end(),
+            [&](uint32_t a, uint32_t b) {
+              return key(instance.right().tuple(a), 1) <
+                     key(instance.right().tuple(b), 1);
+            });
+
+  size_t neighbor_quota = max_pairs / 2;
+  size_t n = std::min(left_order.size(), right_order.size());
+  for (size_t i = 0; i < n && pairs.size() < neighbor_quota; ++i) {
+    for (size_t d = 0; d < 3 && i + d < n; ++d) {
+      pairs.emplace_back(left_order[i], right_order[i + d]);
+    }
+  }
+  while (pairs.size() < max_pairs) {
+    pairs.emplace_back(
+        static_cast<uint32_t>(rng.Index(instance.left().size())),
+        static_cast<uint32_t>(rng.Index(instance.right().size())));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<Conjunct> CandidateConjuncts(
+    const ComparableLists& target, const std::vector<sim::SimOpId>& op_ids) {
+  std::vector<Conjunct> out;
+  for (size_t i = 0; i < target.size(); ++i) {
+    for (sim::SimOpId op : op_ids) {
+      out.push_back(Conjunct{target.pair_at(i), op});
+    }
+  }
+  return out;
+}
+
+std::vector<DiscoveredMd> DiscoverMds(
+    const Instance& instance, const sim::SimOpRegistry& ops,
+    const std::vector<Conjunct>& lhs_candidates,
+    const std::vector<AttrPair>& rhs_candidates,
+    const DiscoveryOptions& options) {
+  std::vector<DiscoveredMd> out;
+  if (lhs_candidates.empty() || rhs_candidates.empty()) return out;
+
+  auto pairs =
+      SamplePairs(instance, lhs_candidates, options.max_pairs, options.seed);
+  const size_t np = pairs.size();
+  if (np == 0) return out;
+
+  // Precompute per-pair truth bits for every candidate conjunct and RHS.
+  const size_t nc = lhs_candidates.size();
+  const size_t nr = rhs_candidates.size();
+  std::vector<uint8_t> conj_bits(np * nc);
+  std::vector<uint8_t> rhs_bits(np * nr);
+  for (size_t p = 0; p < np; ++p) {
+    const Tuple& l = instance.left().tuple(pairs[p].first);
+    const Tuple& r = instance.right().tuple(pairs[p].second);
+    for (size_t c = 0; c < nc; ++c) {
+      const Conjunct& cj = lhs_candidates[c];
+      conj_bits[p * nc + c] = ops.Eval(cj.op, l.value(cj.attrs.left),
+                                       r.value(cj.attrs.right))
+                                  ? 1
+                                  : 0;
+    }
+    for (size_t z = 0; z < nr; ++z) {
+      rhs_bits[p * nr + z] =
+          l.value(rhs_candidates[z].left) == r.value(rhs_candidates[z].right)
+              ? 1
+              : 0;
+    }
+  }
+
+  // Emitted minimal LHS sets per RHS (for the minimality pruning).
+  std::vector<std::vector<std::vector<size_t>>> emitted(nr);
+  auto subsumed = [&](size_t rhs, const std::vector<size_t>& lhs_set) {
+    for (const auto& prev : emitted[rhs]) {
+      if (std::includes(lhs_set.begin(), lhs_set.end(), prev.begin(),
+                        prev.end())) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Evaluates one LHS conjunct-index set against all RHS candidates.
+  auto evaluate = [&](const std::vector<size_t>& lhs_set, size_t* support,
+                      std::vector<size_t>* agree) {
+    *support = 0;
+    agree->assign(nr, 0);
+    for (size_t p = 0; p < np; ++p) {
+      bool match = true;
+      for (size_t c : lhs_set) {
+        if (!conj_bits[p * nc + c]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      ++*support;
+      for (size_t z = 0; z < nr; ++z) {
+        (*agree)[z] += rhs_bits[p * nr + z];
+      }
+    }
+  };
+
+  auto is_trivial = [&](const std::vector<size_t>& lhs_set, size_t rhs) {
+    // "A = B → A ⇌ B" is vacuous; suppress when the LHS contains the RHS
+    // pair under equality.
+    for (size_t c : lhs_set) {
+      if (lhs_candidates[c].attrs == rhs_candidates[rhs] &&
+          lhs_candidates[c].op == sim::SimOpRegistry::kEq) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Level-wise search.
+  std::vector<std::vector<size_t>> frontier;
+  for (size_t c = 0; c < nc; ++c) frontier.push_back({c});
+  for (size_t level = 1; level <= options.max_lhs && !frontier.empty();
+       ++level) {
+    std::vector<std::vector<size_t>> next;
+    for (const auto& lhs_set : frontier) {
+      size_t support;
+      std::vector<size_t> agree;
+      evaluate(lhs_set, &support, &agree);
+      if (support < options.min_support) continue;  // support pruning
+      bool all_rhs_emitted = true;
+      for (size_t z = 0; z < nr; ++z) {
+        if (subsumed(z, lhs_set) || is_trivial(lhs_set, z)) continue;
+        double confidence =
+            static_cast<double>(agree[z]) / static_cast<double>(support);
+        if (confidence >= options.min_confidence) {
+          std::vector<Conjunct> lhs;
+          for (size_t c : lhs_set) lhs.push_back(lhs_candidates[c]);
+          out.push_back(DiscoveredMd{
+              MatchingDependency(std::move(lhs), {rhs_candidates[z]}),
+              confidence, support});
+          emitted[z].push_back(lhs_set);
+        } else {
+          all_rhs_emitted = false;
+        }
+      }
+      // Extend only when some RHS is still open under this LHS.
+      if (!all_rhs_emitted && level < options.max_lhs) {
+        for (size_t c = lhs_set.back() + 1; c < nc; ++c) {
+          // Skip a second operator on an attribute pair already used.
+          bool dup_attr = false;
+          for (size_t prev : lhs_set) {
+            if (lhs_candidates[prev].attrs == lhs_candidates[c].attrs) {
+              dup_attr = true;
+              break;
+            }
+          }
+          if (dup_attr) continue;
+          auto extended = lhs_set;
+          extended.push_back(c);
+          next.push_back(std::move(extended));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DiscoveredMd& a, const DiscoveredMd& b) {
+                     if (a.confidence != b.confidence) {
+                       return a.confidence > b.confidence;
+                     }
+                     return a.support > b.support;
+                   });
+  return out;
+}
+
+}  // namespace mdmatch

@@ -1,0 +1,66 @@
+#ifndef MDMATCH_CORE_DISCOVERY_H_
+#define MDMATCH_CORE_DISCOVERY_H_
+
+#include <vector>
+
+#include "core/md.h"
+#include "schema/instance.h"
+#include "sim/sim_op.h"
+#include "util/random.h"
+
+namespace mdmatch {
+
+/// \brief MD discovery from sample data — the paper's final future-work
+/// item ("develop algorithms for discovering MDs from sample data, along
+/// the same lines as discovery of FDs", Section 8).
+///
+/// A candidate MD "LHS → (A, B)" is *confident* on a pair sample when,
+/// among sampled tuple pairs matching the LHS, the RHS values are equal in
+/// at least `min_confidence` of them. The search is level-wise
+/// (Apriori-style over LHS conjunct sets) with two prunings:
+///   - support: an LHS matched by fewer than `min_support` sampled pairs
+///     is not extended (its supersets match even fewer);
+///   - minimality: once LHS → (A, B) is emitted, no superset of that LHS
+///     is emitted for the same RHS pair (subsumed by augmentation,
+///     Lemma 3.1).
+struct DiscoveryOptions {
+  /// Fraction of LHS-matching pairs whose RHS values must agree exactly.
+  double min_confidence = 0.95;
+  /// Minimum number of LHS-matching pairs in the sample.
+  size_t min_support = 10;
+  /// Maximum LHS conjuncts.
+  size_t max_lhs = 2;
+  /// Pair sample budget. Sampling mixes sort-neighbor pairs (likely
+  /// matches) with uniform pairs, like the EM trainer.
+  size_t max_pairs = 50000;
+  uint64_t seed = 17;
+};
+
+/// One discovered rule with its sample statistics.
+struct DiscoveredMd {
+  MatchingDependency md;    ///< normal form: single RHS pair
+  double confidence = 0;    ///< agree / support
+  size_t support = 0;       ///< LHS-matching sampled pairs
+};
+
+/// \brief Discovers MDs over the candidate conjuncts
+/// `lhs_candidates` (attribute pairs + operators to try on the LHS) with
+/// RHS pairs drawn from `rhs_candidates`.
+///
+/// Returns rules ordered by (confidence, support) descending. The
+/// trivial-reflexive rules "A ≈ B → A ⇌ B" with the *equality* operator
+/// are suppressed (they hold vacuously).
+std::vector<DiscoveredMd> DiscoverMds(const Instance& instance,
+                                      const sim::SimOpRegistry& ops,
+                                      const std::vector<Conjunct>& lhs_candidates,
+                                      const std::vector<AttrPair>& rhs_candidates,
+                                      const DiscoveryOptions& options = {});
+
+/// Convenience: candidate conjuncts from the comparable lists — every
+/// target pair with every operator in `op_ids`.
+std::vector<Conjunct> CandidateConjuncts(
+    const ComparableLists& target, const std::vector<sim::SimOpId>& op_ids);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_DISCOVERY_H_

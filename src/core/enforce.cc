@@ -1,0 +1,313 @@
+#include "core/enforce.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace mdmatch {
+
+namespace {
+
+/// Union-find over value cells with a per-class resolved value.
+class CellUnion {
+ public:
+  CellUnion(size_t n, ValuePolicy policy) : policy_(policy) {
+    parent_.resize(n);
+    size_.assign(n, 1);
+    value_.resize(n);
+    has_left_.assign(n, false);
+    if (policy_ == ValuePolicy::kMostFrequent) counts_.resize(n);
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  void Init(size_t cell, std::string value, bool is_left) {
+    if (policy_ == ValuePolicy::kMostFrequent) counts_[cell][value] = 1;
+    value_[cell] = std::move(value);
+    has_left_[cell] = is_left;
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  const std::string& Value(size_t x) { return value_[Find(x)]; }
+
+  /// Merges the classes of a and b; returns true when they were distinct.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    bool left = has_left_[ra] || has_left_[rb];
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    if (policy_ == ValuePolicy::kMostFrequent) {
+      for (auto& [v, c] : counts_[rb]) counts_[ra][v] += c;
+      counts_[rb].clear();
+      value_[ra] = MajorityValue(counts_[ra]);
+    } else {
+      value_[ra] = Resolve(ra, rb);
+    }
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    has_left_[ra] = left;
+    return true;
+  }
+
+ private:
+  std::string Resolve(size_t ra, size_t rb) const {
+    const std::string& va = value_[ra];
+    const std::string& vb = value_[rb];
+    switch (policy_) {
+      case ValuePolicy::kPreferLeft:
+        if (has_left_[ra] != has_left_[rb]) {
+          return has_left_[ra] ? va : vb;
+        }
+        [[fallthrough]];
+      case ValuePolicy::kPreferLongest:
+      case ValuePolicy::kMostFrequent:  // unreachable (handled in Union)
+        if (va.size() != vb.size()) return va.size() > vb.size() ? va : vb;
+        return va > vb ? va : vb;
+      case ValuePolicy::kLexGreatest:
+        return va > vb ? va : vb;
+    }
+    return va;
+  }
+
+  static std::string MajorityValue(
+      const std::map<std::string, size_t>& counts) {
+    std::string best;
+    size_t best_count = 0;
+    for (const auto& [v, c] : counts) {
+      bool wins = c > best_count ||
+                  (c == best_count &&
+                   (v.size() > best.size() ||
+                    (v.size() == best.size() && v > best)));
+      if (wins) {
+        best = v;
+        best_count = c;
+      }
+    }
+    return best;
+  }
+
+  ValuePolicy policy_;
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  std::vector<std::string> value_;
+  std::vector<bool> has_left_;
+  std::vector<std::map<std::string, size_t>> counts_;  // kMostFrequent only
+};
+
+bool SchemasIdentical(const Schema& a, const Schema& b) {
+  if (a.name() != b.name() || a.arity() != b.arity()) return false;
+  for (int32_t i = 0; i < a.arity(); ++i) {
+    if (a.attribute(i).name != b.attribute(i).name) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Instance> Enforce(const Instance& d, const MdSet& sigma,
+                         const sim::SimOpRegistry& ops,
+                         const EnforceOptions& options, EnforceStats* stats) {
+  MDMATCH_RETURN_NOT_OK(ValidateSet(d.schema_pair(), sigma));
+  const MdSet norm = NormalizeSet(sigma);
+
+  const Relation& il = d.left();
+  const Relation& ir = d.right();
+  const size_t left_arity = static_cast<size_t>(il.schema().arity());
+  const size_t right_arity = static_cast<size_t>(ir.schema().arity());
+
+  // Cell layout: the left relation's cells first, then — unless aliased by
+  // tuple id for self pairs — the right relation's cells.
+  const bool self_pair = SchemasIdentical(il.schema(), ir.schema());
+  std::unordered_map<TupleId, size_t> left_base_by_id;
+  if (self_pair) {
+    for (size_t ti = 0; ti < il.size(); ++ti) {
+      left_base_by_id[il.tuple(ti).id()] = ti * left_arity;
+    }
+  }
+
+  const size_t left_cells = il.size() * left_arity;
+  std::vector<size_t> right_base(ir.size());
+  size_t next = left_cells;
+  for (size_t ti = 0; ti < ir.size(); ++ti) {
+    if (self_pair) {
+      auto it = left_base_by_id.find(ir.tuple(ti).id());
+      if (it != left_base_by_id.end()) {
+        right_base[ti] = it->second;
+        continue;
+      }
+    }
+    right_base[ti] = next;
+    next += right_arity;
+  }
+  const size_t num_cells = next;
+
+  CellUnion cells(num_cells, options.policy);
+  for (size_t ti = 0; ti < il.size(); ++ti) {
+    for (size_t a = 0; a < left_arity; ++a) {
+      cells.Init(ti * left_arity + a, il.tuple(ti).value(static_cast<AttrId>(a)),
+                 true);
+    }
+  }
+  for (size_t ti = 0; ti < ir.size(); ++ti) {
+    if (self_pair && right_base[ti] < left_cells) continue;  // aliased
+    for (size_t a = 0; a < right_arity; ++a) {
+      cells.Init(right_base[ti] + a, ir.tuple(ti).value(static_cast<AttrId>(a)),
+                 false);
+    }
+  }
+
+  auto left_cell = [&](size_t ti, AttrId a) {
+    return ti * left_arity + static_cast<size_t>(a);
+  };
+  auto right_cell = [&](size_t ti, AttrId a) {
+    return right_base[ti] + static_cast<size_t>(a);
+  };
+
+  auto lhs_matches_current = [&](const MatchingDependency& md, size_t i1,
+                                 size_t i2) {
+    for (const auto& c : md.lhs()) {
+      if (!ops.Eval(c.op, cells.Value(left_cell(i1, c.attrs.left)),
+                    cells.Value(right_cell(i2, c.attrs.right)))) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Obligation ledger: (md index, left tuple index, right tuple index).
+  std::set<std::tuple<size_t, size_t, size_t>> obligations;
+
+  // Round 0: record every pair matching in the ORIGINAL D, so the
+  // (D, D') ⊨ Σ conditions are tracked even if early merges disturb a
+  // similarity match before it is scanned.
+  for (size_t mi = 0; mi < norm.size(); ++mi) {
+    for (size_t i1 = 0; i1 < il.size(); ++i1) {
+      for (size_t i2 = 0; i2 < ir.size(); ++i2) {
+        if (MatchesLhs(norm[mi], ops, il.tuple(i1), ir.tuple(i2))) {
+          obligations.emplace(mi, i1, i2);
+        }
+      }
+    }
+  }
+  if (stats) stats->obligations = obligations.size();
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    if (stats) ++stats->rounds;
+    bool changed = false;
+
+    // Discover new matches under the current valuation (stability).
+    for (size_t mi = 0; mi < norm.size(); ++mi) {
+      for (size_t i1 = 0; i1 < il.size(); ++i1) {
+        for (size_t i2 = 0; i2 < ir.size(); ++i2) {
+          if (obligations.count({mi, i1, i2})) continue;
+          if (lhs_matches_current(norm[mi], i1, i2)) {
+            obligations.emplace(mi, i1, i2);
+            if (stats) ++stats->obligations;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // Enforce every obligation: identify the RHS cells and repair any LHS
+    // conjunct broken by value reassignment (merging makes it equal, and
+    // equality subsumes every similarity operator).
+    for (const auto& [mi, i1, i2] : obligations) {
+      const auto& md = norm[mi];
+      const AttrPair rhs = md.rhs()[0];
+      if (cells.Union(left_cell(i1, rhs.left), right_cell(i2, rhs.right))) {
+        changed = true;
+        if (stats) ++stats->merges;
+      }
+      for (const auto& c : md.lhs()) {
+        size_t lc = left_cell(i1, c.attrs.left);
+        size_t rc = right_cell(i2, c.attrs.right);
+        if (!ops.Eval(c.op, cells.Value(lc), cells.Value(rc))) {
+          if (cells.Union(lc, rc)) {
+            changed = true;
+            if (stats) {
+              ++stats->merges;
+              ++stats->repairs;
+            }
+          }
+        }
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  // Materialize D' from the resolved cell values.
+  Relation out_left(il.schema());
+  for (size_t ti = 0; ti < il.size(); ++ti) {
+    Tuple t = il.tuple(ti);
+    for (size_t a = 0; a < left_arity; ++a) {
+      t.set_value(static_cast<AttrId>(a),
+                  cells.Value(left_cell(ti, static_cast<AttrId>(a))));
+    }
+    MDMATCH_RETURN_NOT_OK(out_left.AppendTuple(std::move(t)));
+  }
+  Relation out_right(ir.schema());
+  for (size_t ti = 0; ti < ir.size(); ++ti) {
+    Tuple t = ir.tuple(ti);
+    for (size_t a = 0; a < right_arity; ++a) {
+      t.set_value(static_cast<AttrId>(a),
+                  cells.Value(right_cell(ti, static_cast<AttrId>(a))));
+    }
+    MDMATCH_RETURN_NOT_OK(out_right.AppendTuple(std::move(t)));
+  }
+  return Instance(std::move(out_left), std::move(out_right));
+}
+
+bool Satisfies(const Instance& d, const Instance& d_prime, const MdSet& sigma,
+               const sim::SimOpRegistry& ops,
+               std::vector<Violation>* violations) {
+  const MdSet norm = NormalizeSet(sigma);
+  bool ok = true;
+  auto report = [&](size_t mi, TupleId l, TupleId r, std::string reason) {
+    ok = false;
+    if (violations) violations->push_back(Violation{mi, l, r, std::move(reason)});
+  };
+
+  std::unordered_map<TupleId, const Tuple*> left_prime, right_prime;
+  for (const auto& t : d_prime.left().tuples()) left_prime[t.id()] = &t;
+  for (const auto& t : d_prime.right().tuples()) right_prime[t.id()] = &t;
+
+  for (size_t mi = 0; mi < norm.size(); ++mi) {
+    const auto& md = norm[mi];
+    for (const auto& t1 : d.left().tuples()) {
+      for (const auto& t2 : d.right().tuples()) {
+        if (!MatchesLhs(md, ops, t1, t2)) continue;
+        auto l = left_prime.find(t1.id());
+        auto r = right_prime.find(t2.id());
+        if (l == left_prime.end() || r == right_prime.end()) {
+          report(mi, t1.id(), t2.id(), "tuple missing from D' (D ⋢ D')");
+          continue;
+        }
+        const AttrPair rhs = md.rhs()[0];
+        if (l->second->value(rhs.left) != r->second->value(rhs.right)) {
+          report(mi, t1.id(), t2.id(), "RHS attributes not identified in D'");
+        }
+        if (!MatchesLhs(md, ops, *l->second, *r->second)) {
+          report(mi, t1.id(), t2.id(), "LHS no longer matches in D'");
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+bool IsStable(const Instance& d, const MdSet& sigma,
+              const sim::SimOpRegistry& ops,
+              std::vector<Violation>* violations) {
+  return Satisfies(d, d, sigma, ops, violations);
+}
+
+}  // namespace mdmatch

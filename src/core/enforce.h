@@ -1,0 +1,89 @@
+#ifndef MDMATCH_CORE_ENFORCE_H_
+#define MDMATCH_CORE_ENFORCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/md.h"
+#include "schema/instance.h"
+#include "sim/sim_op.h"
+#include "util/status.h"
+
+namespace mdmatch {
+
+/// How the chase resolves the common value V when identifying cells
+/// (the paper's ⇌ operator "only requires that the values are identified,
+/// but does not specify how they are updated" — Example 2.2). The policy
+/// picks V among the merged cells' original values.
+enum class ValuePolicy {
+  /// Longest value, ties broken lexicographically-greatest. A reasonable
+  /// "most informative value wins" default for dirty data.
+  kPreferLongest,
+  /// Value from the left relation's cell when one participates, else
+  /// longest (master-data flavor: R1 is authoritative).
+  kPreferLeft,
+  /// Lexicographically greatest (fully deterministic and order-free).
+  kLexGreatest,
+  /// Majority vote over the ORIGINAL values of the merged cells, ties
+  /// broken by kPreferLongest. Robust to a single typo'd duplicate
+  /// out-voting the clean records.
+  kMostFrequent,
+};
+
+struct EnforceOptions {
+  ValuePolicy policy = ValuePolicy::kPreferLongest;
+  /// Safety valve; the chase provably terminates well before this.
+  size_t max_rounds = 10000;
+};
+
+struct EnforceStats {
+  size_t rounds = 0;
+  size_t merges = 0;        ///< union operations that joined two classes
+  size_t obligations = 0;   ///< (t1, t2, md) triples that fired
+  size_t repairs = 0;       ///< LHS conjuncts re-equalized to keep (D,D')⊨Σ
+};
+
+/// \brief Enforces Σ on D: computes a stable instance D' ⊒ D such that
+/// (D, D') ⊨ Σ and (D', D') ⊨ Σ (paper Sections 2.1 and 3.1).
+///
+/// The chase maintains a union–find over value cells. Whenever a tuple
+/// pair matches LHS(φ) under the current valuation, the RHS cells are
+/// merged and the obligation is recorded; merged classes take a value by
+/// `policy`. If a later merge changes a value so that a fired obligation's
+/// LHS conjunct no longer holds, that conjunct's cells are merged as well
+/// (equality subsumes every similarity operator, so this repairs the
+/// match). Merges are monotone, so the fixpoint is reached in at most
+/// #cells rounds.
+///
+/// When the two sides of `d` are the same relation (same schema name and
+/// attributes, as built by SelfPair), cells are aliased by tuple id so
+/// updates act on the single underlying relation, as in paper Example 2.3.
+Result<Instance> Enforce(const Instance& d, const MdSet& sigma,
+                         const sim::SimOpRegistry& ops,
+                         const EnforceOptions& options = {},
+                         EnforceStats* stats = nullptr);
+
+/// One violation of (D, D') ⊨ φ, for diagnostics.
+struct Violation {
+  size_t md_index = 0;     ///< index into the normalized Σ
+  TupleId left_id = -1;
+  TupleId right_id = -1;
+  std::string reason;
+};
+
+/// \brief Checks (D, D') ⊨ Σ: for every tuple pair matching LHS(φ) in D,
+/// the RHS attributes are identified in D' and the pair still matches
+/// LHS(φ) in D'. Tuples are aligned across D and D' by tuple id; pairs
+/// whose tuples vanished in D' are violations of D ⊑ D' and are reported.
+bool Satisfies(const Instance& d, const Instance& d_prime, const MdSet& sigma,
+               const sim::SimOpRegistry& ops,
+               std::vector<Violation>* violations = nullptr);
+
+/// \brief Checks stability: (D, D) ⊨ Σ (paper Section 3.1).
+bool IsStable(const Instance& d, const MdSet& sigma,
+              const sim::SimOpRegistry& ops,
+              std::vector<Violation>* violations = nullptr);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_ENFORCE_H_

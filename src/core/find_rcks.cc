@@ -1,0 +1,210 @@
+#include "core/find_rcks.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mdmatch {
+
+namespace {
+
+/// Builds the trivially deducible key (Y1, Y2 ‖ [=, ..., =]) of Fig. 7
+/// line 3.
+RelativeKey IdentityKey(const ComparableLists& target) {
+  std::vector<Conjunct> elems;
+  elems.reserve(target.size());
+  for (size_t i = 0; i < target.size(); ++i) {
+    elems.push_back(Conjunct{target.pair_at(i), sim::SimOpRegistry::kEq});
+  }
+  return RelativeKey(std::move(elems));
+}
+
+bool DeducesKey(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                const MdSet& sigma, const ComparableLists& target,
+                const RelativeKey& key, size_t* closure_calls) {
+  if (closure_calls) ++*closure_calls;
+  return Deduces(pair, ops, sigma, key.ToMd(target));
+}
+
+}  // namespace
+
+std::vector<AttrPair> Pairing(const MdSet& sigma,
+                              const ComparableLists& target) {
+  std::set<AttrPair> pairs;
+  for (size_t i = 0; i < target.size(); ++i) pairs.insert(target.pair_at(i));
+  for (const auto& md : sigma) {
+    for (const auto& c : md.lhs()) pairs.insert(c.attrs);
+    for (const auto& p : md.rhs()) pairs.insert(p);
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+RelativeKey Minimize(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                     const MdSet& sigma, const ComparableLists& target,
+                     const QualityModel& quality, RelativeKey key,
+                     size_t* closure_calls) {
+  // Sort element positions by descending cost, then try removals starting
+  // from the costliest (Fig. 7, procedure minimize). A single pass
+  // suffices: if key \ V is not a key, no subset of it is one either
+  // (LHS augmentation is monotone, Lemma 3.1).
+  std::vector<size_t> order(key.length());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return quality.Cost(key.elements()[a].attrs) >
+           quality.Cost(key.elements()[b].attrs);
+  });
+
+  // Track by element value (positions shift as we erase).
+  std::vector<Conjunct> victims;
+  victims.reserve(order.size());
+  for (size_t pos : order) victims.push_back(key.elements()[pos]);
+
+  for (const auto& victim : victims) {
+    // Locate the victim in the current key.
+    size_t idx = key.length();
+    for (size_t i = 0; i < key.length(); ++i) {
+      if (key.elements()[i] == victim) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == key.length()) continue;
+    RelativeKey candidate = key.WithoutElement(idx);
+    if (DeducesKey(pair, ops, sigma, target, candidate, closure_calls)) {
+      key = std::move(candidate);
+    }
+  }
+  return key;
+}
+
+FindRcksResult FindRcks(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                        const MdSet& sigma, const ComparableLists& target,
+                        const FindRcksOptions& options,
+                        QualityModel* quality) {
+  FindRcksResult result;
+  size_t c = 0;
+
+  // Lines 1-2: collect the pair universe and reset diversity counters.
+  quality->ResetCounts();
+
+  auto increment_counts = [&](const RelativeKey& key) {
+    for (const auto& e : key.elements()) quality->IncrementCount(e.attrs);
+  };
+  auto covered = [&](const RelativeKey& candidate) {
+    for (const auto& g : result.rcks) {
+      if (Covers(g, candidate)) return true;
+    }
+    return false;
+  };
+
+  // Lines 3-4: seed Γ with the minimized identity key.
+  RelativeKey gamma0 = Minimize(pair, ops, sigma, target, *quality,
+                                IdentityKey(target), &result.closure_calls);
+  result.rcks.push_back(gamma0);
+  increment_counts(gamma0);
+
+  // Lines 5-15: worklist over the growing Γ; for each γ, apply every MD in
+  // ascending LHS-cost order (re-ranked after each addition, since the
+  // diversity counters change the costs).
+  for (size_t gi = 0; gi < result.rcks.size(); ++gi) {
+    std::vector<const MatchingDependency*> remaining;
+    remaining.reserve(sigma.size());
+    for (const auto& md : sigma) remaining.push_back(&md);
+
+    while (!remaining.empty()) {
+      // sortMD: pick the cheapest remaining MD under the current costs.
+      size_t best = 0;
+      double best_cost = quality->LhsCost(*remaining[0]);
+      for (size_t i = 1; i < remaining.size(); ++i) {
+        double cost = quality->LhsCost(*remaining[i]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+      const MatchingDependency* phi = remaining[best];
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+
+      RelativeKey candidate = Apply(result.rcks[gi], *phi);
+      if (covered(candidate)) continue;
+
+      RelativeKey minimized =
+          Minimize(pair, ops, sigma, target, *quality, std::move(candidate),
+                   &result.closure_calls);
+      // After minimization only an exact duplicate can coincide with an
+      // existing RCK (no strictly smaller key exists below a minimal one).
+      bool duplicate = false;
+      for (const auto& g : result.rcks) {
+        if (g.SameElements(minimized)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+
+      result.rcks.push_back(minimized);
+      increment_counts(minimized);
+      ++c;
+      if (!options.exhaustive && c == options.m) return result;
+    }
+  }
+  // Worklist exhausted: Γ is complete w.r.t. Σ (Proposition 5.1).
+  result.complete = true;
+  return result;
+}
+
+FindRcksResult FindRcks(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                        const MdSet& sigma, const ComparableLists& target,
+                        size_t m) {
+  QualityModel quality;
+  FindRcksOptions options;
+  options.m = m;
+  return FindRcks(pair, ops, sigma, target, options, &quality);
+}
+
+std::vector<RelativeKey> EnumerateAllRcksBruteForce(
+    const SchemaPair& pair, const sim::SimOpRegistry& ops, const MdSet& sigma,
+    const ComparableLists& target) {
+  // Element universe: (Y-pair, =) for every target position, plus every LHS
+  // conjunct of Σ. This is exactly the space reachable by apply() chains
+  // from the identity key, i.e. the space Proposition 5.1's completeness
+  // speaks about (see find_rcks.h).
+  std::set<Conjunct> universe_set;
+  for (size_t i = 0; i < target.size(); ++i) {
+    universe_set.insert(Conjunct{target.pair_at(i), sim::SimOpRegistry::kEq});
+  }
+  for (const auto& md : sigma) {
+    for (const auto& c : md.lhs()) universe_set.insert(c);
+  }
+  std::vector<Conjunct> universe(universe_set.begin(), universe_set.end());
+  size_t u = universe.size();
+  if (u > 20) return {};  // guard: tests only
+
+  std::vector<uint32_t> keys;  // bitmasks of deducible subsets
+  for (uint32_t mask = 0; mask < (1u << u); ++mask) {
+    std::vector<Conjunct> elems;
+    for (size_t i = 0; i < u; ++i) {
+      if (mask & (1u << i)) elems.push_back(universe[i]);
+    }
+    RelativeKey key(std::move(elems));
+    if (Deduces(pair, ops, sigma, key.ToMd(target))) keys.push_back(mask);
+  }
+  std::vector<RelativeKey> minimal;
+  for (uint32_t mask : keys) {
+    bool is_minimal = true;
+    for (uint32_t other : keys) {
+      if (other != mask && (other & mask) == other) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (!is_minimal) continue;
+    std::vector<Conjunct> elems;
+    for (size_t i = 0; i < u; ++i) {
+      if (mask & (1u << i)) elems.push_back(universe[i]);
+    }
+    minimal.emplace_back(std::move(elems));
+  }
+  return minimal;
+}
+
+}  // namespace mdmatch

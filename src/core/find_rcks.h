@@ -1,0 +1,76 @@
+#ifndef MDMATCH_CORE_FIND_RCKS_H_
+#define MDMATCH_CORE_FIND_RCKS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/closure.h"
+#include "core/md.h"
+#include "core/quality.h"
+#include "core/rck.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+
+namespace mdmatch {
+
+/// Options for findRCKs.
+struct FindRcksOptions {
+  /// The m of the paper: stop once m RCKs have been added by MD
+  /// application. Following the pseudocode of Fig. 7 literally, the initial
+  /// minimized key relative to (Y1, Y2) does not count toward m (see the
+  /// Example 5.1 trace), so Γ contains at most m + 1 keys.
+  size_t m = 20;
+  /// When true, ignore m and run to completeness (Proposition 5.1): Γ then
+  /// consists of *all* RCKs deduced from Σ.
+  bool exhaustive = false;
+};
+
+/// Result: the RCK set Γ plus bookkeeping for the benches.
+struct FindRcksResult {
+  std::vector<RelativeKey> rcks;
+  /// True when the algorithm terminated because Γ is complete w.r.t. Σ
+  /// (no new RCK can be deduced), rather than by hitting m.
+  bool complete = false;
+  size_t closure_calls = 0;  ///< MDClosure invocations performed
+};
+
+/// \brief Procedure minimize (Fig. 7): greedily strips the costliest
+/// elements of `key` while the remainder still deduces the target under Σ,
+/// returning an RCK (no proper sub-key is deducible — this follows from the
+/// LHS-augmentation monotonicity of MDs, Lemma 3.1).
+RelativeKey Minimize(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                     const MdSet& sigma, const ComparableLists& target,
+                     const QualityModel& quality, RelativeKey key,
+                     size_t* closure_calls = nullptr);
+
+/// \brief Algorithm findRCKs (Fig. 7): deduces a set Γ of quality RCKs
+/// relative to `target` from Σ, in O(m(l+n)³) time.
+///
+/// `quality` carries the cost parameters; its diversity counters are reset
+/// and then updated as keys are selected (so the same model object can be
+/// inspected afterwards).
+FindRcksResult FindRcks(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                        const MdSet& sigma, const ComparableLists& target,
+                        const FindRcksOptions& options, QualityModel* quality);
+
+/// Convenience overload with default options and a fresh default
+/// QualityModel (w1 = w2 = w3 = 1, ac ≡ 1, lt ≡ 0).
+FindRcksResult FindRcks(const SchemaPair& pair, const sim::SimOpRegistry& ops,
+                        const MdSet& sigma, const ComparableLists& target,
+                        size_t m = 20);
+
+/// \brief pairing(Σ, Y1, Y2) (Fig. 7 line 1): all attribute pairs occurring
+/// in the target lists or anywhere in Σ.
+std::vector<AttrPair> Pairing(const MdSet& sigma,
+                              const ComparableLists& target);
+
+/// \brief Reference brute-force enumeration of *all* RCKs by subset search
+/// over a candidate element universe. Exponential; only for tests on small
+/// inputs (cross-validates FindRcks completeness, Proposition 5.1).
+std::vector<RelativeKey> EnumerateAllRcksBruteForce(
+    const SchemaPair& pair, const sim::SimOpRegistry& ops, const MdSet& sigma,
+    const ComparableLists& target);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_FIND_RCKS_H_

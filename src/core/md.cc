@@ -1,0 +1,133 @@
+#include "core/md.h"
+
+namespace mdmatch {
+
+Status MatchingDependency::Validate(const SchemaPair& pair) const {
+  if (rhs_.empty()) {
+    return Status::InvalidArgument("MD has an empty RHS");
+  }
+  auto check_pair = [&](AttrPair p, const char* where) -> Status {
+    if (!pair.left().IsValid(p.left) || !pair.right().IsValid(p.right)) {
+      return Status::InvalidArgument(std::string(where) +
+                                     " attribute id out of range");
+    }
+    const auto& da = pair.left().attribute(p.left).domain;
+    const auto& db = pair.right().attribute(p.right).domain;
+    if (da != db) {
+      return Status::InvalidArgument(
+          std::string(where) + " pair (" +
+          pair.left().attribute(p.left).name + ", " +
+          pair.right().attribute(p.right).name + ") not domain-comparable");
+    }
+    return Status::OK();
+  };
+  for (const auto& c : lhs_) {
+    MDMATCH_RETURN_NOT_OK(check_pair(c.attrs, "LHS"));
+    if (c.op < 0) return Status::InvalidArgument("negative operator id");
+  }
+  for (const auto& p : rhs_) {
+    MDMATCH_RETURN_NOT_OK(check_pair(p, "RHS"));
+  }
+  return Status::OK();
+}
+
+std::vector<MatchingDependency> MatchingDependency::Normalize() const {
+  std::vector<MatchingDependency> out;
+  out.reserve(rhs_.size());
+  for (const auto& p : rhs_) {
+    out.emplace_back(lhs_, std::vector<AttrPair>{p});
+  }
+  return out;
+}
+
+std::string MatchingDependency::ToString(const SchemaPair& pair,
+                                         const sim::SimOpRegistry& ops) const {
+  std::string out;
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (i > 0) out += " /\\ ";
+    const auto& c = lhs_[i];
+    out += pair.left().name() + "[" +
+           pair.left().attribute(c.attrs.left).name + "] ";
+    if (c.op == sim::SimOpRegistry::kEq) {
+      out += "=";
+    } else {
+      out += "~" + ops.Name(c.op);
+    }
+    out += " " + pair.right().name() + "[" +
+           pair.right().attribute(c.attrs.right).name + "]";
+  }
+  out += " -> ";
+  for (size_t i = 0; i < rhs_.size(); ++i) {
+    if (i > 0) out += " /\\ ";
+    out += pair.left().name() + "[" +
+           pair.left().attribute(rhs_[i].left).name + "] <=> " +
+           pair.right().name() + "[" +
+           pair.right().attribute(rhs_[i].right).name + "]";
+  }
+  return out;
+}
+
+MdSet NormalizeSet(const MdSet& sigma) {
+  MdSet out;
+  for (const auto& md : sigma) {
+    auto split = md.Normalize();
+    out.insert(out.end(), split.begin(), split.end());
+  }
+  return out;
+}
+
+Status ValidateSet(const SchemaPair& pair, const MdSet& sigma) {
+  for (const auto& md : sigma) {
+    MDMATCH_RETURN_NOT_OK(md.Validate(pair));
+  }
+  return Status::OK();
+}
+
+size_t SetSize(const MdSet& sigma) {
+  size_t n = 0;
+  for (const auto& md : sigma) n += md.lhs().size() + md.rhs().size();
+  return n;
+}
+
+MdBuilder& MdBuilder::Lhs(const std::string& left_attr, const std::string& op,
+                          const std::string& right_attr) {
+  auto l = pair_.left().Find(left_attr);
+  auto r = pair_.right().Find(right_attr);
+  auto o = ops_->Find(op);
+  if (!l.ok() && first_error_.ok()) first_error_ = l.status();
+  if (!r.ok() && first_error_.ok()) first_error_ = r.status();
+  if (!o.ok() && first_error_.ok()) first_error_ = o.status();
+  if (l.ok() && r.ok() && o.ok()) {
+    lhs_.push_back(Conjunct{{*l, *r}, *o});
+  }
+  return *this;
+}
+
+MdBuilder& MdBuilder::Rhs(const std::string& left_attr,
+                          const std::string& right_attr) {
+  auto l = pair_.left().Find(left_attr);
+  auto r = pair_.right().Find(right_attr);
+  if (!l.ok() && first_error_.ok()) first_error_ = l.status();
+  if (!r.ok() && first_error_.ok()) first_error_ = r.status();
+  if (l.ok() && r.ok()) rhs_.push_back(AttrPair{*l, *r});
+  return *this;
+}
+
+Result<MatchingDependency> MdBuilder::Build() {
+  if (!first_error_.ok()) return first_error_;
+  MatchingDependency md(std::move(lhs_), std::move(rhs_));
+  MDMATCH_RETURN_NOT_OK(md.Validate(pair_));
+  return md;
+}
+
+bool MatchesLhs(const MatchingDependency& md, const sim::SimOpRegistry& ops,
+                const Tuple& t1, const Tuple& t2) {
+  for (const auto& c : md.lhs()) {
+    if (!ops.Eval(c.op, t1.value(c.attrs.left), t2.value(c.attrs.right))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mdmatch

@@ -1,0 +1,112 @@
+#ifndef MDMATCH_CORE_MD_H_
+#define MDMATCH_CORE_MD_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/instance.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+#include "util/status.h"
+
+namespace mdmatch {
+
+/// \brief One LHS conjunct of an MD: R1[left] ≈op R2[right].
+struct Conjunct {
+  AttrPair attrs;
+  sim::SimOpId op = sim::SimOpRegistry::kEq;
+
+  bool operator==(const Conjunct&) const = default;
+  bool operator<(const Conjunct& o) const {
+    if (attrs != o.attrs) return attrs < o.attrs;
+    return op < o.op;
+  }
+};
+
+/// \brief A matching dependency (paper Section 2.1):
+///
+///   ⋀_j (R1[X1[j]] ≈j R2[X2[j]])  →  R1[Z1] ⇌ R2[Z2]
+///
+/// LHS conjuncts pair attributes across (R1, R2) under a similarity
+/// operator; the RHS lists the attribute pairs to be *identified* (the
+/// matching operator ⇌ with the dynamic update semantics).
+class MatchingDependency {
+ public:
+  MatchingDependency() = default;
+  MatchingDependency(std::vector<Conjunct> lhs, std::vector<AttrPair> rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  const std::vector<Conjunct>& lhs() const { return lhs_; }
+  const std::vector<AttrPair>& rhs() const { return rhs_; }
+
+  /// Validates against a schema pair: attribute ids in range, LHS and RHS
+  /// pairs domain-comparable, RHS non-empty.
+  Status Validate(const SchemaPair& pair) const;
+
+  /// Splits into the normal form used by the deduction algorithm: one MD
+  /// per RHS pair (justified by Lemmas 3.1 and 3.3).
+  std::vector<MatchingDependency> Normalize() const;
+
+  /// Renders e.g. "credit[LN] = billing[LN] /\ credit[FN] ~dl@0.80
+  /// billing[FN] -> credit[addr] <=> billing[post]".
+  std::string ToString(const SchemaPair& pair,
+                       const sim::SimOpRegistry& ops) const;
+
+  bool operator==(const MatchingDependency&) const = default;
+
+ private:
+  std::vector<Conjunct> lhs_;
+  std::vector<AttrPair> rhs_;
+};
+
+/// A set Σ of MDs.
+using MdSet = std::vector<MatchingDependency>;
+
+/// Normalizes every MD in Σ (one RHS pair each).
+MdSet NormalizeSet(const MdSet& sigma);
+
+/// Validates every MD in Σ against the schema pair.
+Status ValidateSet(const SchemaPair& pair, const MdSet& sigma);
+
+/// Total size of Σ (number of LHS conjuncts + RHS pairs over all MDs);
+/// this is the `n` of the complexity bounds in Sections 4-5.
+size_t SetSize(const MdSet& sigma);
+
+/// \brief Builder with name-based lookups, for tests and examples.
+///
+/// Usage:
+///   MdBuilder b(pair, &reg);
+///   auto md = b.Lhs("LN", "=", "LN").Lhs("FN", "dl@0.80", "FN")
+///              .Rhs("addr", "post").Build();
+class MdBuilder {
+ public:
+  MdBuilder(const SchemaPair& pair, const sim::SimOpRegistry* ops)
+      : pair_(pair), ops_(ops) {}
+
+  /// Adds LHS conjunct left_attr ≈op right_attr; `op` is an operator name
+  /// ("=", "dl@0.80", ...). Errors are deferred to Build().
+  MdBuilder& Lhs(const std::string& left_attr, const std::string& op,
+                 const std::string& right_attr);
+
+  /// Adds RHS pair left_attr ⇌ right_attr.
+  MdBuilder& Rhs(const std::string& left_attr, const std::string& right_attr);
+
+  /// Finalizes; reports the first accumulated error if any.
+  Result<MatchingDependency> Build();
+
+ private:
+  const SchemaPair& pair_;
+  const sim::SimOpRegistry* ops_;
+  std::vector<Conjunct> lhs_;
+  std::vector<AttrPair> rhs_;
+  Status first_error_;
+};
+
+/// \brief LHS matching (paper Section 2.1): true iff for every conjunct j,
+/// t1[X1[j]] ≈j t2[X2[j]].
+bool MatchesLhs(const MatchingDependency& md, const sim::SimOpRegistry& ops,
+                const Tuple& t1, const Tuple& t2);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_MD_H_

@@ -1,0 +1,76 @@
+#include "core/md_generator.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace mdmatch {
+
+MdWorkload GenerateMdWorkload(const MdGeneratorOptions& options,
+                              sim::SimOpRegistry* ops) {
+  Rng rng(options.seed);
+  const size_t arity = options.y_length + options.extra_attrs;
+
+  auto make_schema = [&](const std::string& name, const char* prefix) {
+    std::vector<AttributeDef> attrs;
+    attrs.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      // One shared domain: every cross pair is comparable, as in the
+      // paper's generator (schemas are synthetic).
+      attrs.push_back(AttributeDef{StringPrintf("%s%zu", prefix, i), "d"});
+    }
+    return Schema(name, std::move(attrs));
+  };
+
+  MdWorkload w{SchemaPair(make_schema("R1", "a"), make_schema("R2", "b")),
+               {},
+               {}};
+
+  std::vector<AttrId> y1, y2;
+  for (size_t i = 0; i < options.y_length; ++i) {
+    y1.push_back(static_cast<AttrId>(i));
+    y2.push_back(static_cast<AttrId>(i));
+  }
+  w.target = *ComparableLists::Make(w.pair, y1, y2);
+
+  const sim::SimOpId dl = ops->Dl(0.8);
+
+  auto random_pair = [&]() -> AttrPair {
+    if (rng.Bernoulli(options.aligned_prob)) {
+      AttrId i = static_cast<AttrId>(rng.Index(arity));
+      return AttrPair{i, i};
+    }
+    return AttrPair{static_cast<AttrId>(rng.Index(arity)),
+                    static_cast<AttrId>(rng.Index(arity))};
+  };
+
+  for (size_t k = 0; k < options.num_mds; ++k) {
+    size_t lhs_len = 1 + rng.Index(options.max_lhs);
+    size_t rhs_len = 1 + rng.Index(options.max_rhs);
+
+    std::set<Conjunct> lhs_set;
+    while (lhs_set.size() < lhs_len) {
+      sim::SimOpId op = rng.Bernoulli(options.eq_prob)
+                            ? sim::SimOpRegistry::kEq
+                            : dl;
+      lhs_set.insert(Conjunct{random_pair(), op});
+    }
+
+    std::set<AttrPair> rhs_set;
+    while (rhs_set.size() < rhs_len) {
+      if (rng.Bernoulli(options.rhs_in_target_prob)) {
+        AttrId i = static_cast<AttrId>(rng.Index(options.y_length));
+        rhs_set.insert(AttrPair{i, i});
+      } else {
+        rhs_set.insert(random_pair());
+      }
+    }
+
+    w.sigma.emplace_back(
+        std::vector<Conjunct>(lhs_set.begin(), lhs_set.end()),
+        std::vector<AttrPair>(rhs_set.begin(), rhs_set.end()));
+  }
+  return w;
+}
+
+}  // namespace mdmatch

@@ -1,0 +1,49 @@
+#ifndef MDMATCH_CORE_MD_GENERATOR_H_
+#define MDMATCH_CORE_MD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "core/md.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+#include "util/random.h"
+
+namespace mdmatch {
+
+/// Parameters of the random MD workload generator used by the Section 6.1
+/// scalability experiments ("The MDs used in these experiments were
+/// produced by a generator. Given schemas (R1, R2) and a number l, the
+/// generator randomly produces a set Σ of l MDs over the schemas.").
+struct MdGeneratorOptions {
+  size_t num_mds = 200;      ///< card(Σ)
+  size_t y_length = 8;       ///< |Y1| = |Y2|
+  size_t extra_attrs = 10;   ///< attributes per relation beyond |Y|
+  size_t max_lhs = 3;        ///< LHS conjuncts per MD drawn from [1, max_lhs]
+  size_t max_rhs = 2;        ///< RHS pairs per MD drawn from [1, max_rhs]
+  /// Probability that an LHS conjunct uses a position-aligned pair (a_i,
+  /// b_i) rather than a random cross pair; aligned pairs make apply()
+  /// chains (and hence interesting RCKs) likely.
+  double aligned_prob = 0.8;
+  /// Probability that an RHS pair is drawn from the target positions.
+  double rhs_in_target_prob = 0.7;
+  /// Probability that a conjunct compares with "=" (otherwise a similarity
+  /// operator).
+  double eq_prob = 0.6;
+  uint64_t seed = 42;
+};
+
+/// A generated deduction workload: schemas, the target lists, and Σ.
+struct MdWorkload {
+  SchemaPair pair;
+  ComparableLists target;
+  MdSet sigma;
+};
+
+/// Generates a random workload. Similarity conjuncts use ops->Dl(0.8)
+/// (registered on demand).
+MdWorkload GenerateMdWorkload(const MdGeneratorOptions& options,
+                              sim::SimOpRegistry* ops);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_MD_GENERATOR_H_

@@ -1,0 +1,277 @@
+#include "core/md_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace mdmatch {
+
+namespace {
+
+/// Token kinds of the MD surface syntax.
+enum class TokKind {
+  kIdent,    // relation / attribute / operator names
+  kLBracket, // [
+  kRBracket, // ]
+  kComma,    // ,
+  kEq,       // =
+  kTilde,    // ~
+  kConj,     // /\ or AND
+  kArrow,    // ->
+  kMatchOp,  // <=>
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    auto is_ident_char = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+             c == '#' || c == '@' || c == '.';
+    };
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t start = i;
+      if (c == '[') {
+        out.push_back({TokKind::kLBracket, "[", start});
+        ++i;
+      } else if (c == ']') {
+        out.push_back({TokKind::kRBracket, "]", start});
+        ++i;
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ",", start});
+        ++i;
+      } else if (c == '~') {
+        out.push_back({TokKind::kTilde, "~", start});
+        ++i;
+      } else if (c == '=') {
+        out.push_back({TokKind::kEq, "=", start});
+        ++i;
+      } else if (c == '/' && i + 1 < text_.size() && text_[i + 1] == '\\') {
+        out.push_back({TokKind::kConj, "/\\", start});
+        i += 2;
+      } else if (c == '-' && i + 1 < text_.size() && text_[i + 1] == '>') {
+        out.push_back({TokKind::kArrow, "->", start});
+        i += 2;
+      } else if (c == '<' && i + 2 < text_.size() && text_[i + 1] == '=' &&
+                 text_[i + 2] == '>') {
+        out.push_back({TokKind::kMatchOp, "<=>", start});
+        i += 3;
+      } else if (is_ident_char(c)) {
+        size_t j = i;
+        while (j < text_.size() && is_ident_char(text_[j])) ++j;
+        std::string word(text_.substr(i, j - i));
+        if (word == "AND") {
+          out.push_back({TokKind::kConj, word, start});
+        } else {
+          out.push_back({TokKind::kIdent, word, start});
+        }
+        i = j;
+      } else {
+        return Status::ParseError(
+            StringPrintf("unexpected character '%c' at offset %zu", c, start));
+      }
+    }
+    out.push_back({TokKind::kEnd, "", text_.size()});
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+};
+
+/// One side of a conjunct: relation name plus attribute-name list.
+struct AttrListRef {
+  std::string relation;
+  std::vector<std::string> attrs;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const SchemaPair& pair,
+         const sim::SimOpRegistry& ops)
+      : tokens_(std::move(tokens)), pair_(pair), ops_(ops) {}
+
+  Result<MatchingDependency> Parse() {
+    std::vector<Conjunct> lhs;
+    MDMATCH_RETURN_NOT_OK(ParseConjunctList(&lhs));
+    MDMATCH_RETURN_NOT_OK(Expect(TokKind::kArrow, "'->'"));
+    std::vector<AttrPair> rhs;
+    MDMATCH_RETURN_NOT_OK(ParseRhsList(&rhs));
+    MDMATCH_RETURN_NOT_OK(Expect(TokKind::kEnd, "end of input"));
+    MatchingDependency md(std::move(lhs), std::move(rhs));
+    MDMATCH_RETURN_NOT_OK(md.Validate(pair_));
+    return md;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Status Expect(TokKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Status::ParseError(StringPrintf(
+          "expected %s at offset %zu (found '%s')", what, Peek().pos,
+          Peek().text.c_str()));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseAttrListRef(AttrListRef* out) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError(
+          StringPrintf("expected relation name at offset %zu", Peek().pos));
+    }
+    out->relation = Take().text;
+    MDMATCH_RETURN_NOT_OK(Expect(TokKind::kLBracket, "'['"));
+    while (true) {
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::ParseError(
+            StringPrintf("expected attribute name at offset %zu", Peek().pos));
+      }
+      out->attrs.push_back(Take().text);
+      if (Peek().kind == TokKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Expect(TokKind::kRBracket, "']'");
+  }
+
+  /// Resolves an AttrListRef against one side of the schema pair.
+  Result<std::vector<AttrId>> Resolve(const AttrListRef& ref, int side) {
+    const Schema& schema = pair_.side(side);
+    if (ref.relation != schema.name()) {
+      return Status::ParseError("relation '" + ref.relation +
+                                "' does not match schema '" + schema.name() +
+                                "' on this side");
+    }
+    std::vector<AttrId> ids;
+    for (const auto& a : ref.attrs) {
+      auto id = schema.Find(a);
+      if (!id.ok()) return id.status();
+      ids.push_back(*id);
+    }
+    return ids;
+  }
+
+  Status ParseConjunctList(std::vector<Conjunct>* lhs) {
+    while (true) {
+      AttrListRef left, right;
+      MDMATCH_RETURN_NOT_OK(ParseAttrListRef(&left));
+      sim::SimOpId op = sim::SimOpRegistry::kEq;
+      if (Peek().kind == TokKind::kEq) {
+        ++pos_;
+      } else if (Peek().kind == TokKind::kTilde) {
+        ++pos_;
+        if (Peek().kind != TokKind::kIdent) {
+          return Status::ParseError(StringPrintf(
+              "expected operator name after '~' at offset %zu", Peek().pos));
+        }
+        auto found = ops_.Find(Take().text);
+        if (!found.ok()) return found.status();
+        op = *found;
+      } else {
+        return Status::ParseError(StringPrintf(
+            "expected '=' or '~op' at offset %zu", Peek().pos));
+      }
+      MDMATCH_RETURN_NOT_OK(ParseAttrListRef(&right));
+      auto l = Resolve(left, 0);
+      if (!l.ok()) return l.status();
+      auto r = Resolve(right, 1);
+      if (!r.ok()) return r.status();
+      if (l->size() != r->size()) {
+        return Status::ParseError("attribute lists have different lengths");
+      }
+      for (size_t i = 0; i < l->size(); ++i) {
+        lhs->push_back(Conjunct{{(*l)[i], (*r)[i]}, op});
+      }
+      if (Peek().kind == TokKind::kConj) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseRhsList(std::vector<AttrPair>* rhs) {
+    while (true) {
+      AttrListRef left, right;
+      MDMATCH_RETURN_NOT_OK(ParseAttrListRef(&left));
+      MDMATCH_RETURN_NOT_OK(Expect(TokKind::kMatchOp, "'<=>'"));
+      MDMATCH_RETURN_NOT_OK(ParseAttrListRef(&right));
+      auto l = Resolve(left, 0);
+      if (!l.ok()) return l.status();
+      auto r = Resolve(right, 1);
+      if (!r.ok()) return r.status();
+      if (l->size() != r->size()) {
+        return Status::ParseError("attribute lists have different lengths");
+      }
+      for (size_t i = 0; i < l->size(); ++i) {
+        rhs->push_back(AttrPair{(*l)[i], (*r)[i]});
+      }
+      if (Peek().kind == TokKind::kConj) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const SchemaPair& pair_;
+  const sim::SimOpRegistry& ops_;
+};
+
+}  // namespace
+
+Result<MatchingDependency> ParseMd(std::string_view text,
+                                   const SchemaPair& pair,
+                                   const sim::SimOpRegistry& ops) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens), pair, ops);
+  return parser.Parse();
+}
+
+Result<MdSet> ParseMdSet(std::string_view text, const SchemaPair& pair,
+                         const sim::SimOpRegistry& ops) {
+  MdSet out;
+  size_t line_no = 0;
+  for (const auto& line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto md = ParseMd(trimmed, pair, ops);
+    if (!md.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                md.status().message());
+    }
+    out.push_back(std::move(*md));
+  }
+  return out;
+}
+
+}  // namespace mdmatch

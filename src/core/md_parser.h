@@ -1,0 +1,37 @@
+#ifndef MDMATCH_CORE_MD_PARSER_H_
+#define MDMATCH_CORE_MD_PARSER_H_
+
+#include <string_view>
+
+#include "core/md.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+#include "util/status.h"
+
+namespace mdmatch {
+
+/// \brief Parses the textual MD syntax used throughout the examples:
+///
+///   credit[LN] = billing[LN] /\ credit[FN] ~dl@0.80 billing[FN]
+///       -> credit[addr] <=> billing[post]
+///
+/// Rules:
+///   - a conjunct is `R1[attrs] OP R2[attrs]` with OP either `=` or
+///     `~opname` (an operator registered in the SimOpRegistry);
+///   - `attrs` is one attribute name or a comma-separated list; lists on
+///     the two sides of an operator must have equal length and expand
+///     pairwise (`credit[FN,LN] <=> billing[FN,LN]` is two RHS pairs);
+///   - conjuncts are joined with `/\` (or the word `AND`);
+///   - the arrow is `->`, RHS pairs use `<=>`;
+///   - relation names must match the schema pair (left schema first).
+Result<MatchingDependency> ParseMd(std::string_view text,
+                                   const SchemaPair& pair,
+                                   const sim::SimOpRegistry& ops);
+
+/// Parses one MD per non-empty line; lines starting with '#' are comments.
+Result<MdSet> ParseMdSet(std::string_view text, const SchemaPair& pair,
+                         const sim::SimOpRegistry& ops);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_MD_PARSER_H_

@@ -1,0 +1,78 @@
+#include "core/profile.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace mdmatch {
+
+namespace {
+
+bool IsEmptyValue(const std::string& v) { return v.empty() || v == "null"; }
+
+/// Distinct / total for one attribute of one relation.
+double DistinctRatio(const Relation& rel, AttrId a) {
+  if (rel.empty()) return 0;
+  std::set<std::string> distinct;
+  for (const auto& t : rel.tuples()) distinct.insert(t.value(a));
+  return static_cast<double>(distinct.size()) /
+         static_cast<double>(rel.size());
+}
+
+}  // namespace
+
+DataProfile DataProfile::Analyze(const Instance& instance,
+                                 const std::vector<AttrPair>& pairs) {
+  DataProfile profile;
+  for (const AttrPair& p : pairs) {
+    AttrPairStats stats;
+    double length_total = 0;
+    size_t empty = 0, count = 0;
+    for (const auto& t : instance.left().tuples()) {
+      const std::string& v = t.value(p.left);
+      length_total += static_cast<double>(v.size());
+      empty += IsEmptyValue(v);
+      ++count;
+    }
+    for (const auto& t : instance.right().tuples()) {
+      const std::string& v = t.value(p.right);
+      length_total += static_cast<double>(v.size());
+      empty += IsEmptyValue(v);
+      ++count;
+    }
+    if (count > 0) {
+      stats.avg_length = length_total / static_cast<double>(count);
+      stats.empty_rate =
+          static_cast<double>(empty) / static_cast<double>(count);
+    }
+    stats.distinct_ratio =
+        std::min(DistinctRatio(instance.left(), p.left),
+                 DistinctRatio(instance.right(), p.right));
+    profile.stats_[p] = stats;
+  }
+  return profile;
+}
+
+const AttrPairStats& DataProfile::stats(AttrPair p) const {
+  static const AttrPairStats kEmpty;
+  auto it = stats_.find(p);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+void DataProfile::ApplyTo(QualityModel* quality) const {
+  for (const auto& [pair, stats] : stats_) {
+    quality->SetLength(pair, stats.avg_length);
+    quality->SetAccuracy(pair, std::max(0.05, 1.0 - stats.empty_rate));
+  }
+}
+
+std::vector<AttrPair> DataProfile::LowSelectivityPairs(
+    double min_distinct_ratio) const {
+  std::vector<AttrPair> out;
+  for (const auto& [pair, stats] : stats_) {
+    if (stats.distinct_ratio < min_distinct_ratio) out.push_back(pair);
+  }
+  return out;
+}
+
+}  // namespace mdmatch

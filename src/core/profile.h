@@ -1,0 +1,52 @@
+#ifndef MDMATCH_CORE_PROFILE_H_
+#define MDMATCH_CORE_PROFILE_H_
+
+#include <map>
+#include <vector>
+
+#include "core/md.h"
+#include "core/quality.h"
+#include "schema/instance.h"
+
+namespace mdmatch {
+
+/// Per-attribute-pair statistics over an instance.
+struct AttrPairStats {
+  double avg_length = 0;      ///< mean value length across both sides
+  double empty_rate = 0;      ///< fraction of empty/"null" values
+  double distinct_ratio = 0;  ///< distinct values / rows (selectivity), min
+                              ///< of the two sides
+};
+
+/// \brief Dataset profiling for the Section 5 quality model: computes the
+/// lt statistics from data (as the paper prescribes) plus two practical
+/// signals — emptiness and selectivity — that flag attributes unsuitable
+/// for keys before any matching runs.
+class DataProfile {
+ public:
+  /// Profiles every pair of `pairs` over the instance.
+  static DataProfile Analyze(const Instance& instance,
+                             const std::vector<AttrPair>& pairs);
+
+  const AttrPairStats& stats(AttrPair p) const;
+  bool Has(AttrPair p) const { return stats_.count(p) > 0; }
+  size_t size() const { return stats_.size(); }
+
+  /// Installs lt into the quality model; additionally penalizes the
+  /// accuracy of attributes with many empty values (an empty value can
+  /// spuriously satisfy a reflexive equality, see the census example):
+  /// ac = 1 - empty_rate, floored at 0.05.
+  void ApplyTo(QualityModel* quality) const;
+
+  /// Pairs whose selectivity is below `min_distinct_ratio` — poor blocking
+  /// or sort keys (e.g. gender: two values over thousands of rows).
+  std::vector<AttrPair> LowSelectivityPairs(
+      double min_distinct_ratio = 0.01) const;
+
+ private:
+  std::map<AttrPair, AttrPairStats> stats_;
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_PROFILE_H_

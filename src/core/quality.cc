@@ -1,0 +1,57 @@
+#include "core/quality.h"
+
+#include <set>
+
+namespace mdmatch {
+
+void QualityModel::EstimateLengthsFromData(const Instance& instance,
+                                           const MdSet& sigma,
+                                           const ComparableLists& target) {
+  std::set<AttrPair> pairs;
+  for (size_t i = 0; i < target.size(); ++i) pairs.insert(target.pair_at(i));
+  for (const auto& md : sigma) {
+    for (const auto& c : md.lhs()) pairs.insert(c.attrs);
+    for (const auto& p : md.rhs()) pairs.insert(p);
+  }
+  for (const AttrPair& p : pairs) {
+    double total = 0;
+    size_t count = 0;
+    for (const auto& t : instance.left().tuples()) {
+      total += static_cast<double>(t.value(p.left).size());
+      ++count;
+    }
+    for (const auto& t : instance.right().tuples()) {
+      total += static_cast<double>(t.value(p.right).size());
+      ++count;
+    }
+    lt_[p] = count == 0 ? 0.0 : total / static_cast<double>(count);
+  }
+}
+
+int QualityModel::Count(AttrPair p) const {
+  auto it = ct_.find(p);
+  return it == ct_.end() ? 0 : it->second;
+}
+
+double QualityModel::Cost(AttrPair p) const {
+  double ct = Count(p);
+  auto lt_it = lt_.find(p);
+  double lt = lt_it == lt_.end() ? 0.0 : lt_it->second;
+  auto ac_it = ac_.find(p);
+  double ac = ac_it == ac_.end() ? 1.0 : ac_it->second;
+  return w1_ * ct + w2_ * lt + (ac > 0 ? w3_ / ac : w3_ * 1e9);
+}
+
+double QualityModel::KeyCost(const RelativeKey& key) const {
+  double total = 0;
+  for (const auto& e : key.elements()) total += Cost(e.attrs);
+  return total;
+}
+
+double QualityModel::LhsCost(const MatchingDependency& md) const {
+  double total = 0;
+  for (const auto& c : md.lhs()) total += Cost(c.attrs);
+  return total;
+}
+
+}  // namespace mdmatch

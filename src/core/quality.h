@@ -1,0 +1,68 @@
+#ifndef MDMATCH_CORE_QUALITY_H_
+#define MDMATCH_CORE_QUALITY_H_
+
+#include <map>
+
+#include "core/md.h"
+#include "core/rck.h"
+#include "schema/schema.h"
+
+namespace mdmatch {
+
+/// \brief The quality model of Section 5:
+///
+///   cost(R1[A], R2[B]) = w1·ct + w2·lt + w3/ac
+///
+/// where ct counts how often the pair already appears in chosen RCKs
+/// (diversity pressure), lt is the average value length of the pair (longer
+/// values are more error-prone), and ac is the user's confidence in the
+/// pair's accuracy. Low cost = high quality. The paper's scalability
+/// experiments use w1 = w2 = w3 = 1 and ac ≡ 1; its Example 5.1 uses
+/// w1 = 1, w2 = w3 = 0.
+class QualityModel {
+ public:
+  /// Weights default to the paper's experimental setting (1, 1, 1).
+  explicit QualityModel(double w1 = 1.0, double w2 = 1.0, double w3 = 1.0)
+      : w1_(w1), w2_(w2), w3_(w3) {}
+
+  double w1() const { return w1_; }
+  double w2() const { return w2_; }
+  double w3() const { return w3_; }
+
+  /// Sets the average value length lt(R1[A], R2[B]). Defaults to 0.
+  void SetLength(AttrPair p, double lt) { lt_[p] = lt; }
+
+  /// Sets the accuracy/confidence ac(R1[A], R2[B]) in (0, 1]. Defaults to 1.
+  void SetAccuracy(AttrPair p, double ac) { ac_[p] = ac; }
+
+  /// Estimates lt from instance data: mean of |t1[A]| over I1 and |t2[B]|
+  /// over I2 for every pair used in Σ or the target lists.
+  void EstimateLengthsFromData(const Instance& instance, const MdSet& sigma,
+                               const ComparableLists& target);
+
+  /// Increments the diversity counter of a pair (called by findRCKs when an
+  /// RCK using the pair is added to Γ).
+  void IncrementCount(AttrPair p) { ++ct_[p]; }
+  int Count(AttrPair p) const;
+
+  /// Resets all diversity counters to zero (pairing() step of findRCKs).
+  void ResetCounts() { ct_.clear(); }
+
+  /// The cost of a pair under the current counters.
+  double Cost(AttrPair p) const;
+
+  /// Sum of element costs; used to order candidate removals (minimize) and
+  /// MDs (sortMD).
+  double KeyCost(const RelativeKey& key) const;
+  double LhsCost(const MatchingDependency& md) const;
+
+ private:
+  double w1_, w2_, w3_;
+  std::map<AttrPair, int> ct_;
+  std::map<AttrPair, double> lt_;
+  std::map<AttrPair, double> ac_;
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_QUALITY_H_

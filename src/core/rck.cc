@@ -1,0 +1,94 @@
+#include "core/rck.h"
+
+#include <algorithm>
+
+namespace mdmatch {
+
+bool RelativeKey::Contains(const Conjunct& e) const {
+  return std::find(elements_.begin(), elements_.end(), e) != elements_.end();
+}
+
+RelativeKey RelativeKey::WithoutElement(size_t i) const {
+  std::vector<Conjunct> out;
+  out.reserve(elements_.size() - 1);
+  for (size_t j = 0; j < elements_.size(); ++j) {
+    if (j != i) out.push_back(elements_[j]);
+  }
+  return RelativeKey(std::move(out));
+}
+
+void RelativeKey::AddUnique(const Conjunct& e) {
+  if (!Contains(e)) elements_.push_back(e);
+}
+
+MatchingDependency RelativeKey::ToMd(const ComparableLists& target) const {
+  std::vector<AttrPair> rhs;
+  rhs.reserve(target.size());
+  for (size_t i = 0; i < target.size(); ++i) rhs.push_back(target.pair_at(i));
+  return MatchingDependency(elements_, std::move(rhs));
+}
+
+bool RelativeKey::SameElements(const RelativeKey& other) const {
+  if (elements_.size() != other.elements_.size()) return false;
+  for (const auto& e : elements_) {
+    if (!other.Contains(e)) return false;
+  }
+  return true;
+}
+
+std::string RelativeKey::ToString(const SchemaPair& pair,
+                                  const sim::SimOpRegistry& ops) const {
+  std::string lefts, rights, cmps;
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (i > 0) {
+      lefts += ", ";
+      rights += ", ";
+      cmps += ", ";
+    }
+    lefts += pair.left().attribute(elements_[i].attrs.left).name;
+    rights += pair.right().attribute(elements_[i].attrs.right).name;
+    cmps += ops.Name(elements_[i].op);
+  }
+  return "([" + lefts + "], [" + rights + "] || [" + cmps + "])";
+}
+
+bool Covers(const RelativeKey& smaller, const RelativeKey& larger) {
+  if (smaller.length() > larger.length()) return false;
+  for (const auto& e : smaller.elements()) {
+    if (!larger.Contains(e)) return false;
+  }
+  return true;
+}
+
+bool StrictlyCovers(const RelativeKey& smaller, const RelativeKey& larger) {
+  return Covers(smaller, larger) && !smaller.SameElements(larger);
+}
+
+bool Dominates(const RelativeKey& smaller, const RelativeKey& larger) {
+  for (const auto& e : smaller.elements()) {
+    bool matched = larger.Contains(e);
+    if (!matched && e.op != sim::SimOpRegistry::kEq) {
+      matched = larger.Contains(Conjunct{e.attrs, sim::SimOpRegistry::kEq});
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+RelativeKey Apply(const RelativeKey& gamma, const MatchingDependency& phi) {
+  RelativeKey out;
+  for (const auto& e : gamma.elements()) {
+    bool removed = false;
+    for (const auto& rhs : phi.rhs()) {
+      if (e.attrs == rhs) {
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) out.AddUnique(e);
+  }
+  for (const auto& c : phi.lhs()) out.AddUnique(c);
+  return out;
+}
+
+}  // namespace mdmatch

@@ -1,0 +1,76 @@
+#ifndef MDMATCH_CORE_RCK_H_
+#define MDMATCH_CORE_RCK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/md.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+
+namespace mdmatch {
+
+/// \brief A key relative to comparable lists (Y1, Y2): written
+/// (X1, X2 ‖ C) in the paper (Section 2.2). Each element is one attribute
+/// pair plus the operator used to compare it.
+///
+/// Element order is not semantically meaningful (the LHS is a conjunction);
+/// elements are kept in insertion order and compared as sets.
+class RelativeKey {
+ public:
+  RelativeKey() = default;
+  explicit RelativeKey(std::vector<Conjunct> elements)
+      : elements_(std::move(elements)) {}
+
+  const std::vector<Conjunct>& elements() const { return elements_; }
+  size_t length() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+
+  /// True if the element (pair, op) occurs in this key.
+  bool Contains(const Conjunct& e) const;
+
+  /// Returns a copy without element `i`.
+  RelativeKey WithoutElement(size_t i) const;
+
+  /// Adds an element unless already present.
+  void AddUnique(const Conjunct& e);
+
+  /// The MD "⋀ elements → Y1 ⇌ Y2" this key denotes (paper: an RCK *is*
+  /// an MD whose RHS is the full target lists).
+  MatchingDependency ToMd(const ComparableLists& target) const;
+
+  /// Set equality on elements (order-insensitive).
+  bool SameElements(const RelativeKey& other) const;
+
+  /// Renders "([LN, addr], [LN, post] || [=, dl@0.80])".
+  std::string ToString(const SchemaPair& pair,
+                       const sim::SimOpRegistry& ops) const;
+
+ private:
+  std::vector<Conjunct> elements_;
+};
+
+/// \brief The cover relation γ1 ≼ γ2 (paper Section 2.2): every element of
+/// γ1 occurs in γ2 (hence |γ1| <= |γ2|). A key is a *relative candidate
+/// key* when no other key is strictly below it.
+bool Covers(const RelativeKey& smaller, const RelativeKey& larger);
+
+/// Strict version: Covers and not SameElements.
+bool StrictlyCovers(const RelativeKey& smaller, const RelativeKey& larger);
+
+/// \brief Semantic dominance: `smaller` matches every pair `larger`
+/// matches. Each element (p, op) of `smaller` must occur in `larger`
+/// either with the same operator or with "=" (equality subsumes every
+/// similarity operator, Section 2.1). This is weaker than Covers; e.g.
+/// ([LN, addr, FN] || [=, =, ~dl]) dominates ([LN, addr, FN] || [=, =, =])
+/// although it does not cover it element-for-element.
+bool Dominates(const RelativeKey& smaller, const RelativeKey& larger);
+
+/// \brief apply(γ, φ) (paper Section 5): removes from γ every element whose
+/// attribute pair occurs in RHS(φ) — regardless of its operator — and adds
+/// LHS(φ)'s conjuncts (attribute pair + operator), deduplicated.
+RelativeKey Apply(const RelativeKey& gamma, const MatchingDependency& phi);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_RCK_H_

@@ -1,0 +1,89 @@
+#include "core/rule_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/md_parser.h"
+
+namespace mdmatch {
+
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << text;
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::string SerializeMdSet(const MdSet& sigma, const SchemaPair& pair,
+                           const sim::SimOpRegistry& ops) {
+  std::string out = "# matching dependencies over (" + pair.left().name() +
+                    ", " + pair.right().name() + ")\n";
+  for (const auto& md : sigma) {
+    out += md.ToString(pair, ops);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status SaveMdSetToFile(const std::string& path, const MdSet& sigma,
+                       const SchemaPair& pair,
+                       const sim::SimOpRegistry& ops) {
+  return WriteTextFile(path, SerializeMdSet(sigma, pair, ops));
+}
+
+Result<MdSet> LoadMdSetFromFile(const std::string& path,
+                                const SchemaPair& pair,
+                                const sim::SimOpRegistry& ops) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) return text.status();
+  return ParseMdSet(*text, pair, ops);
+}
+
+Status SaveRcksToFile(const std::string& path,
+                      const std::vector<RelativeKey>& rcks,
+                      const ComparableLists& target, const SchemaPair& pair,
+                      const sim::SimOpRegistry& ops) {
+  MdSet as_mds;
+  as_mds.reserve(rcks.size());
+  for (const auto& key : rcks) as_mds.push_back(key.ToMd(target));
+  std::string out = "# relative candidate keys (RHS = the target lists)\n";
+  out += SerializeMdSet(as_mds, pair, ops);
+  return WriteTextFile(path, out);
+}
+
+Result<std::vector<RelativeKey>> LoadRcksFromFile(
+    const std::string& path, const ComparableLists& target,
+    const SchemaPair& pair, const sim::SimOpRegistry& ops) {
+  auto mds = LoadMdSetFromFile(path, pair, ops);
+  if (!mds.ok()) return mds.status();
+  std::vector<RelativeKey> out;
+  for (const auto& md : *mds) {
+    if (md.rhs().size() != target.size()) {
+      return Status::InvalidArgument(
+          "rule RHS does not match the target lists");
+    }
+    for (size_t i = 0; i < target.size(); ++i) {
+      if (!(md.rhs()[i] == target.pair_at(i))) {
+        return Status::InvalidArgument(
+            "rule RHS pair differs from the target at position " +
+            std::to_string(i));
+      }
+    }
+    out.emplace_back(md.lhs());
+  }
+  return out;
+}
+
+}  // namespace mdmatch

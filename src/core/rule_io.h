@@ -1,0 +1,46 @@
+#ifndef MDMATCH_CORE_RULE_IO_H_
+#define MDMATCH_CORE_RULE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/md.h"
+#include "core/rck.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+#include "util/status.h"
+
+namespace mdmatch {
+
+/// \brief Persistence for rule sets in the textual MD syntax of
+/// core/md_parser — one MD per line, '#' comments. Deployments keep Σ and
+/// the deduced RCKs in version-controlled rule files.
+
+/// Serializes Σ (one MD per line, prefixed by a generated header comment).
+std::string SerializeMdSet(const MdSet& sigma, const SchemaPair& pair,
+                           const sim::SimOpRegistry& ops);
+
+Status SaveMdSetToFile(const std::string& path, const MdSet& sigma,
+                       const SchemaPair& pair, const sim::SimOpRegistry& ops);
+
+/// Loads and parses a rule file; every named operator must already be
+/// registered.
+Result<MdSet> LoadMdSetFromFile(const std::string& path,
+                                const SchemaPair& pair,
+                                const sim::SimOpRegistry& ops);
+
+/// RCKs are persisted as the MDs they denote (LHS -> full target lists);
+/// loading validates that each rule's RHS is exactly the target and strips
+/// it back to a key.
+Status SaveRcksToFile(const std::string& path,
+                      const std::vector<RelativeKey>& rcks,
+                      const ComparableLists& target, const SchemaPair& pair,
+                      const sim::SimOpRegistry& ops);
+
+Result<std::vector<RelativeKey>> LoadRcksFromFile(
+    const std::string& path, const ComparableLists& target,
+    const SchemaPair& pair, const sim::SimOpRegistry& ops);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_CORE_RULE_IO_H_

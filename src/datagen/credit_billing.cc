@@ -1,0 +1,431 @@
+#include "datagen/credit_billing.h"
+
+#include <cassert>
+
+#include "datagen/pools.h"
+#include "util/string_util.h"
+
+namespace mdmatch::datagen {
+
+namespace {
+
+/// One synthetic card holder; credit and billing tuples are rendered from
+/// this shared identity, so cross-relation matches exist by construction.
+struct Entity {
+  std::string card, ssn, fn, mn, ln, street, city, state, zip, county, tel,
+      email, gender;
+};
+
+Entity MakeEntity(Rng* rng) {
+  Entity e;
+  e.card = RandomCardNumber(rng);
+  e.ssn = RandomSsn(rng);
+  e.fn = RandomFirstName(rng);
+  e.mn = rng->Bernoulli(0.6)
+             ? std::string(RandomFirstName(rng))
+             : std::string(1, static_cast<char>('A' + rng->Index(26))) + ".";
+  e.ln = RandomLastName(rng);
+  e.street = RandomStreetAddress(rng);
+  const CityRecord& c = RandomCity(rng);
+  e.city = c.city;
+  e.state = c.state;
+  e.zip = RandomZip(c, rng);
+  e.county = c.county;
+  e.tel = RandomPhone(rng);
+  e.email = MakeEmail(e.fn, e.ln, rng);
+  e.gender = rng->Bernoulli(0.5) ? "M" : "F";
+  return e;
+}
+
+std::vector<std::string> CreditValues(const Entity& e) {
+  return {e.card, e.ssn,   e.fn,  e.mn,     e.ln,  e.street, e.city,
+          e.state, e.zip,  e.county, e.tel, e.email, e.gender};
+}
+
+std::vector<std::string> BillingValues(const Entity& e, Rng* rng) {
+  return {e.card,
+          e.fn,
+          e.mn,
+          e.ln,
+          e.street,
+          e.city,
+          e.state,
+          e.zip,
+          e.county,
+          e.tel,
+          e.email,
+          e.gender,
+          std::string(RandomItem(rng)),
+          RandomPrice(rng),
+          std::to_string(1 + rng->Index(5)),
+          RandomDate(rng),
+          e.city,                    // ship_city
+          e.zip,                     // ship_zip
+          StringPrintf("%02d/%02d", static_cast<int>(1 + rng->Index(12)),
+                       static_cast<int>(9 + rng->Index(6))),
+          "USD",
+          rng->Bernoulli(0.7) ? "web" : "store"};
+}
+
+/// A fresh in-domain replacement value for "complete change" noise on the
+/// given Y attribute (identified by its credit-side name).
+std::string ReplacementFor(const std::string& attr, Rng* rng) {
+  if (attr == "FN" || attr == "MN") return std::string(RandomFirstName(rng));
+  if (attr == "LN") return std::string(RandomLastName(rng));
+  if (attr == "street") return RandomStreetAddress(rng);
+  if (attr == "tel") return RandomPhone(rng);
+  if (attr == "email") {
+    return MakeEmail(RandomFirstName(rng), RandomLastName(rng), rng);
+  }
+  if (attr == "gender") return rng->Bernoulli(0.5) ? "M" : "F";
+  const CityRecord& c = RandomCity(rng);
+  if (attr == "city") return std::string(c.city);
+  if (attr == "state") return std::string(c.state);
+  if (attr == "zip") return RandomZip(c, rng);
+  if (attr == "county") return std::string(c.county);
+  return std::string(RandomLastName(rng));
+}
+
+}  // namespace
+
+SchemaPair MakeCreditBillingSchemas() {
+  Schema credit(
+      "credit",
+      {
+          {"c#", "cardno"},
+          {"SSN", "ssn"},
+          {"FN", "fname"},
+          {"MN", "mname"},
+          {"LN", "lname"},
+          {"street", "street"},
+          {"city", "city"},
+          {"state", "state"},
+          {"zip", "zip"},
+          {"county", "county"},
+          {"tel", "phone"},
+          {"email", "email"},
+          {"gender", "gender"},
+      });
+  Schema billing(
+      "billing",
+      {
+          {"c#", "cardno"},
+          {"FN", "fname"},
+          {"MN", "mname"},
+          {"LN", "lname"},
+          {"street", "street"},
+          {"city", "city"},
+          {"state", "state"},
+          {"zip", "zip"},
+          {"county", "county"},
+          {"phn", "phone"},
+          {"email", "email"},
+          {"gender", "gender"},
+          {"item", "item"},
+          {"price", "price"},
+          {"qty", "qty"},
+          {"order_date", "date"},
+          {"ship_city", "city"},
+          {"ship_zip", "zip"},
+          {"card_exp", "exp"},
+          {"currency", "currency"},
+          {"channel", "channel"},
+      });
+  assert(credit.arity() == 13 && billing.arity() == 21);
+  return SchemaPair(std::move(credit), std::move(billing));
+}
+
+ComparableLists MakeCreditBillingTarget(const SchemaPair& pair) {
+  auto lists = ComparableLists::MakeByName(
+      pair,
+      {"FN", "MN", "LN", "street", "city", "state", "zip", "county", "tel",
+       "email", "gender"},
+      {"FN", "MN", "LN", "street", "city", "state", "zip", "county", "phn",
+       "email", "gender"});
+  assert(lists.ok());
+  return *lists;
+}
+
+MdSet MakeCreditBillingMds(const SchemaPair& pair, sim::SimOpRegistry* ops) {
+  const std::string dl = ops->Name(ops->Dl(0.8));
+  MdSet mds;
+  auto add = [&](MdBuilder& b) {
+    auto md = b.Build();
+    assert(md.ok());
+    mds.push_back(std::move(*md));
+  };
+
+  // ϕ1: same phone => identify the full postal address.
+  MdBuilder b1(pair, ops);
+  b1.Lhs("tel", "=", "phn")
+      .Rhs("street", "street")
+      .Rhs("city", "city")
+      .Rhs("state", "state")
+      .Rhs("zip", "zip")
+      .Rhs("county", "county");
+  add(b1);
+
+  // ϕ2: same email => identify the name.
+  MdBuilder b2(pair, ops);
+  b2.Lhs("email", "=", "email").Rhs("FN", "FN").Rhs("MN", "MN").Rhs("LN", "LN");
+  add(b2);
+
+  // ϕ3: same zip => identify the locality attributes.
+  MdBuilder b3(pair, ops);
+  b3.Lhs("zip", "=", "zip").Rhs("city", "city").Rhs("state", "state").Rhs(
+      "county", "county");
+  add(b3);
+
+  // ϕ4: the domain-expert matching key (paper Example 1.1 flavor):
+  // same last name + street + zip and similar first name => same holder.
+  MdBuilder b4(pair, ops);
+  b4.Lhs("LN", "=", "LN")
+      .Lhs("street", "=", "street")
+      .Lhs("zip", "=", "zip")
+      .Lhs("FN", dl, "FN")
+      .Rhs("FN", "FN")
+      .Rhs("MN", "MN")
+      .Rhs("LN", "LN")
+      .Rhs("street", "street")
+      .Rhs("city", "city")
+      .Rhs("state", "state")
+      .Rhs("zip", "zip")
+      .Rhs("county", "county")
+      .Rhs("tel", "phn")
+      .Rhs("email", "email")
+      .Rhs("gender", "gender");
+  add(b4);
+
+  // ϕ5: same card number + similar last name => same holder.
+  MdBuilder b5(pair, ops);
+  b5.Lhs("c#", "=", "c#")
+      .Lhs("LN", dl, "LN")
+      .Rhs("FN", "FN")
+      .Rhs("MN", "MN")
+      .Rhs("LN", "LN")
+      .Rhs("street", "street")
+      .Rhs("city", "city")
+      .Rhs("state", "state")
+      .Rhs("zip", "zip")
+      .Rhs("county", "county")
+      .Rhs("tel", "phn")
+      .Rhs("email", "email")
+      .Rhs("gender", "gender");
+  add(b5);
+
+  // ϕ6: same email + zip => identify the phone.
+  MdBuilder b6(pair, ops);
+  b6.Lhs("email", "=", "email").Lhs("zip", "=", "zip").Rhs("tel", "phn");
+  add(b6);
+
+  // ϕ7: same phone + last name, similar first name => identify the email.
+  MdBuilder b7(pair, ops);
+  b7.Lhs("tel", "=", "phn")
+      .Lhs("LN", "=", "LN")
+      .Lhs("FN", dl, "FN")
+      .Rhs("email", "email");
+  add(b7);
+
+  return mds;
+}
+
+CreditBillingData GenerateCreditBilling(const CreditBillingOptions& options,
+                                        sim::SimOpRegistry* ops) {
+  Rng rng(options.seed);
+  CreditBillingData data{MakeCreditBillingSchemas(), {}, {}, {}, 0};
+  data.target = MakeCreditBillingTarget(data.pair);
+  data.mds = MakeCreditBillingMds(data.pair, ops);
+
+  Relation credit(data.pair.left());
+  Relation billing(data.pair.right());
+
+  std::vector<Entity> entities;
+  entities.reserve(options.num_base);
+  for (size_t i = 0; i < options.num_base; ++i) {
+    entities.push_back(MakeEntity(&rng));
+  }
+  data.num_entities = entities.size();
+
+  // Base tuples: one credit and one billing tuple per entity.
+  for (size_t i = 0; i < entities.size(); ++i) {
+    auto c = credit.Append(CreditValues(entities[i]),
+                           static_cast<EntityId>(i));
+    auto b = billing.Append(BillingValues(entities[i], &rng),
+                            static_cast<EntityId>(i));
+    assert(c.ok() && b.ok());
+    (void)c;
+    (void)b;
+  }
+
+  // Duplicates: copy an existing tuple, change non-Y attributes, then
+  // corrupt each Y attribute with probability attr_error_prob.
+  const size_t num_dups = static_cast<size_t>(
+      static_cast<double>(options.num_base) * options.duplicate_fraction);
+
+  auto corrupt_y = [&](Relation* rel, std::vector<std::string>* values,
+                       const ComparableLists& target, int side) {
+    if (!rng.Bernoulli(options.dirty_dup_prob)) return;  // clean duplicate
+    for (size_t yi = 0; yi < target.size(); ++yi) {
+      AttrId a = side == 0 ? target.left()[yi] : target.right()[yi];
+      const std::string& credit_name =
+          data.pair.left().attribute(target.left()[yi]).name;
+      double prob = options.attr_error_prob * AttrErrorWeight(credit_name);
+      if (!rng.Bernoulli(prob)) continue;
+      std::string replacement = ReplacementFor(credit_name, &rng);
+      (*values)[static_cast<size_t>(a)] =
+          ApplyNoise(&rng, (*values)[static_cast<size_t>(a)], options.mix,
+                     std::move(replacement));
+    }
+    (void)rel;
+  };
+
+  for (size_t k = 0; k < num_dups; ++k) {
+    // credit duplicate
+    {
+      size_t src = rng.Index(options.num_base);
+      const Tuple& t = credit.tuple(src);
+      std::vector<std::string> values = t.values();
+      // non-Y attributes: occasionally mistyped card number / SSN
+      if (rng.Bernoulli(options.card_error_prob)) {
+        values[0] = MakeTypo(&rng, values[0]);
+      }
+      if (rng.Bernoulli(options.card_error_prob)) {
+        values[1] = MakeTypo(&rng, values[1]);
+      }
+      corrupt_y(&credit, &values, data.target, 0);
+      auto st = credit.Append(std::move(values), t.entity());
+      assert(st.ok());
+      (void)st;
+    }
+    // billing duplicate (a further purchase by the same person, with dirty
+    // identity attributes)
+    {
+      size_t src = rng.Index(options.num_base);
+      const Tuple& t = billing.tuple(src);
+      std::vector<std::string> values = t.values();
+      if (rng.Bernoulli(options.card_error_prob)) {
+        values[0] = MakeTypo(&rng, values[0]);
+      }
+      // fresh purchase attributes
+      values[12] = std::string(RandomItem(&rng));
+      values[13] = RandomPrice(&rng);
+      values[14] = std::to_string(1 + rng.Index(5));
+      values[15] = RandomDate(&rng);
+      corrupt_y(&billing, &values, data.target, 1);
+      auto st = billing.Append(std::move(values), t.entity());
+      assert(st.ok());
+      (void)st;
+    }
+  }
+
+  data.instance = Instance(std::move(credit), std::move(billing));
+  return data;
+}
+
+double AttrErrorWeight(const std::string& credit_attr_name) {
+  // Hand-keyed free text suffers the most errors; machine-entered contact
+  // data the fewest. Multipliers are relative to attr_error_prob.
+  if (credit_attr_name == "FN" || credit_attr_name == "MN" ||
+      credit_attr_name == "LN" || credit_attr_name == "street") {
+    return 1.4;
+  }
+  if (credit_attr_name == "city" || credit_attr_name == "county") return 1.0;
+  if (credit_attr_name == "state" || credit_attr_name == "gender" ||
+      credit_attr_name == "zip") {
+    return 0.7;
+  }
+  if (credit_attr_name == "tel" || credit_attr_name == "email") return 0.4;
+  return 1.0;
+}
+
+void ApplyDefaultAccuracies(const SchemaPair& pair,
+                            const ComparableLists& target,
+                            QualityModel* quality) {
+  for (size_t i = 0; i < target.size(); ++i) {
+    const std::string& name =
+        pair.left().attribute(target.left()[i]).name;
+    // Invert the error weight into a confidence in (0, 1]: weight 0.4
+    // (reliable) -> ac ~ 0.71; weight 1.4 (error-prone) -> ac ~ 0.42.
+    double ac = 1.0 / (1.0 + AttrErrorWeight(name));
+    quality->SetAccuracy(target.pair_at(i), ac);
+  }
+}
+
+Example11Data MakeExample11(sim::SimOpRegistry* ops) {
+  Schema credit("credit", {
+                              {"c#", "cardno"},
+                              {"SSN", "ssn"},
+                              {"FN", "fname"},
+                              {"LN", "lname"},
+                              {"addr", "address"},
+                              {"tel", "phone"},
+                              {"email", "email"},
+                              {"gender", "gender"},
+                              {"type", "cardtype"},
+                          });
+  Schema billing("billing", {
+                                {"c#", "cardno"},
+                                {"FN", "fname"},
+                                {"LN", "lname"},
+                                {"post", "address"},
+                                {"phn", "phone"},
+                                {"email", "email"},
+                                {"gender", "gender"},
+                                {"item", "item"},
+                                {"price", "price"},
+                            });
+  Example11Data data;
+  data.pair = SchemaPair(std::move(credit), std::move(billing));
+  data.target = *ComparableLists::MakeByName(
+      data.pair, {"FN", "LN", "addr", "tel", "gender"},
+      {"FN", "LN", "post", "phn", "gender"});
+
+  const std::string dl = ops->Name(ops->Dl(0.8));
+  // ϕ1, ϕ2, ϕ3 of Example 2.1.
+  MdBuilder b1(data.pair, ops);
+  b1.Lhs("LN", "=", "LN")
+      .Lhs("addr", "=", "post")
+      .Lhs("FN", dl, "FN")
+      .Rhs("FN", "FN")
+      .Rhs("LN", "LN")
+      .Rhs("addr", "post")
+      .Rhs("tel", "phn")
+      .Rhs("gender", "gender");
+  MdBuilder b2(data.pair, ops);
+  b2.Lhs("tel", "=", "phn").Rhs("addr", "post");
+  MdBuilder b3(data.pair, ops);
+  b3.Lhs("email", "=", "email").Rhs("FN", "FN").Rhs("LN", "LN");
+  for (auto* b : {&b1, &b2, &b3}) {
+    auto md = b->Build();
+    assert(md.ok());
+    data.mds.push_back(std::move(*md));
+  }
+
+  Relation ic(data.pair.left());
+  Relation ib(data.pair.right());
+  // Figure 1 of the paper (entity 1 = the card holder of t1 and t3..t6).
+  (void)ic.Append({"111", "079172485", "Mark", "Clifford",
+                   "10 Oak Street, MH, NJ 07974", "908-1111111", "mc@gm.com",
+                   "M", "master"},
+                  1);
+  (void)ic.Append({"222", "191843658", "David", "Smith",
+                   "620 Elm Street, MH, NJ 07976", "908-2222222",
+                   "dsmith@hm.com", "M", "visa"},
+                  2);
+  (void)ib.Append({"111", "Marx", "Clifford", "10 Oak Street, MH, NJ 07974",
+                   "908", "mc", "null", "iPod", "169.99"},
+                  1);
+  (void)ib.Append({"111", "Marx", "Clifford", "NJ", "908-1111111", "mc",
+                   "null", "book", "19.99"},
+                  1);
+  (void)ib.Append({"111", "M.", "Clivord", "10 Oak Street, MH, NJ 07974",
+                   "1111111", "mc@gm.com", "null", "PSP", "269.99"},
+                  1);
+  (void)ib.Append({"111", "M.", "Clivord", "NJ", "908-1111111", "mc@gm.com",
+                   "null", "CD", "14.99"},
+                  1);
+  data.instance = Instance(std::move(ic), std::move(ib));
+  return data;
+}
+
+}  // namespace mdmatch::datagen

@@ -1,0 +1,109 @@
+#include "datagen/noise.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace mdmatch::datagen {
+
+namespace {
+
+// A replacement character of the same class as `like`, so noise keeps
+// values in-domain (digits stay digits, letters stay letters).
+char SameClassChar(Rng* rng, char like) {
+  if (std::isdigit(static_cast<unsigned char>(like))) return rng->Digit();
+  if (std::isupper(static_cast<unsigned char>(like))) {
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(rng->Letter())));
+  }
+  if (std::isalpha(static_cast<unsigned char>(like))) return rng->Letter();
+  return like;
+}
+
+}  // namespace
+
+std::string InsertRandomChar(Rng* rng, std::string_view s) {
+  std::string out(s);
+  size_t pos = rng->Index(out.size() + 1);
+  char like = out.empty() ? 'a' : out[pos == out.size() ? pos - 1 : pos];
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+             SameClassChar(rng, like));
+  return out;
+}
+
+std::string DeleteRandomChar(Rng* rng, std::string_view s) {
+  if (s.size() <= 1) return std::string(s);
+  std::string out(s);
+  out.erase(out.begin() + static_cast<std::ptrdiff_t>(rng->Index(out.size())));
+  return out;
+}
+
+std::string SubstituteRandomChar(Rng* rng, std::string_view s) {
+  if (s.empty()) return std::string(s);
+  std::string out(s);
+  size_t pos = rng->Index(out.size());
+  char replacement = SameClassChar(rng, out[pos]);
+  // Guarantee an actual change for alphanumerics.
+  int guard = 0;
+  while (replacement == out[pos] && guard++ < 8) {
+    replacement = SameClassChar(rng, out[pos]);
+  }
+  out[pos] = replacement;
+  return out;
+}
+
+std::string TransposeRandomChars(Rng* rng, std::string_view s) {
+  if (s.size() < 2) return std::string(s);
+  std::string out(s);
+  size_t pos = rng->Index(out.size() - 1);
+  std::swap(out[pos], out[pos + 1]);
+  return out;
+}
+
+std::string MakeTypo(Rng* rng, std::string_view s) {
+  switch (rng->Index(4)) {
+    case 0:
+      return InsertRandomChar(rng, s);
+    case 1:
+      return DeleteRandomChar(rng, s);
+    case 2:
+      return SubstituteRandomChar(rng, s);
+    default:
+      return TransposeRandomChars(rng, s);
+  }
+}
+
+std::string TokenDamage(Rng* rng, std::string_view s) {
+  auto tokens = Split(s, ' ');
+  if (tokens.size() >= 2 && rng->Bernoulli(0.5)) {
+    // Drop one token.
+    size_t victim = rng->Index(tokens.size());
+    std::vector<std::string> kept;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i != victim) kept.push_back(tokens[i]);
+    }
+    return Join(kept, " ");
+  }
+  // Abbreviate the first alphabetic token to its initial.
+  for (auto& tok : tokens) {
+    if (!tok.empty() && std::isalpha(static_cast<unsigned char>(tok[0]))) {
+      tok = std::string(1, tok[0]) + ".";
+      break;
+    }
+  }
+  return Join(tokens, " ");
+}
+
+std::string ApplyNoise(Rng* rng, std::string_view s, const NoiseMix& mix,
+                       std::string replacement) {
+  double total = mix.typo + mix.double_typo + mix.token + mix.replace;
+  if (total <= 0) return std::string(s);
+  double roll = rng->NextDouble() * total;
+  if (roll < mix.typo) return MakeTypo(rng, s);
+  roll -= mix.typo;
+  if (roll < mix.double_typo) return MakeTypo(rng, MakeTypo(rng, s));
+  roll -= mix.double_typo;
+  if (roll < mix.token) return TokenDamage(rng, s);
+  return replacement;
+}
+
+}  // namespace mdmatch::datagen

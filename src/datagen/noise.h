@@ -1,0 +1,47 @@
+#ifndef MDMATCH_DATAGEN_NOISE_H_
+#define MDMATCH_DATAGEN_NOISE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace mdmatch::datagen {
+
+/// Severity mix for injected attribute errors: the paper introduces errors
+/// "ranging from small typographical changes to complete change of the
+/// attribute" (Section 6.2). Probabilities are renormalized if they do not
+/// sum to 1.
+struct NoiseMix {
+  double typo = 0.60;        ///< one random character edit
+  double double_typo = 0.15; ///< two random character edits
+  double token = 0.15;       ///< token-level damage (abbreviate / drop)
+  double replace = 0.10;     ///< complete change of the attribute
+};
+
+/// Single-character edits (each returns a new string; empty input is
+/// returned unchanged where the edit is impossible).
+std::string InsertRandomChar(Rng* rng, std::string_view s);
+std::string DeleteRandomChar(Rng* rng, std::string_view s);
+std::string SubstituteRandomChar(Rng* rng, std::string_view s);
+std::string TransposeRandomChars(Rng* rng, std::string_view s);
+
+/// One uniformly chosen single-character edit (insert / delete /
+/// substitute / transpose). Edits preserve the character class at the
+/// chosen position (digits stay digits), so noisy phone numbers still look
+/// like phone numbers.
+std::string MakeTypo(Rng* rng, std::string_view s);
+
+/// Token-level damage: abbreviates the first word to its initial ("Mark" ->
+/// "M.") or drops a word from a multi-word value ("10 Oak Street" -> "10
+/// Street"), whichever is applicable.
+std::string TokenDamage(Rng* rng, std::string_view s);
+
+/// Applies one error of severity drawn from `mix`. `replacement` supplies a
+/// complete-change value (a fresh draw from the attribute's pool).
+std::string ApplyNoise(Rng* rng, std::string_view s, const NoiseMix& mix,
+                       std::string replacement);
+
+}  // namespace mdmatch::datagen
+
+#endif  // MDMATCH_DATAGEN_NOISE_H_

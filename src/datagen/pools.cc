@@ -1,0 +1,311 @@
+#include "datagen/pools.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace mdmatch::datagen {
+
+namespace {
+
+constexpr std::string_view kFirstNames[] = {
+    "James",   "Mary",      "John",     "Patricia", "Robert",  "Jennifer",
+    "Michael", "Linda",     "William",  "Elizabeth", "David",  "Barbara",
+    "Richard", "Susan",     "Joseph",   "Jessica",  "Thomas",  "Sarah",
+    "Charles", "Karen",     "Mark",     "Nancy",    "Donald",  "Lisa",
+    "Steven",  "Margaret",  "Paul",     "Betty",    "Andrew",  "Sandra",
+    "Joshua",  "Ashley",    "Kenneth",  "Dorothy",  "Kevin",   "Kimberly",
+    "Brian",   "Emily",     "George",   "Donna",    "Edward",  "Michelle",
+    "Ronald",  "Carol",     "Timothy",  "Amanda",   "Jason",   "Melissa",
+    "Jeffrey", "Deborah",   "Ryan",     "Stephanie", "Jacob",  "Rebecca",
+    "Gary",    "Laura",     "Nicholas", "Sharon",   "Eric",    "Cynthia",
+    "Jonathan", "Kathleen", "Stephen",  "Amy",      "Larry",   "Shirley",
+    "Justin",  "Angela",    "Scott",    "Helen",    "Brandon", "Anna",
+    "Benjamin", "Brenda",   "Samuel",   "Pamela",   "Gregory", "Nicole",
+    "Frank",   "Emma",      "Alexander", "Samantha", "Raymond", "Katherine",
+    "Patrick", "Christine", "Jack",     "Debra",    "Dennis",  "Rachel",
+    "Jerry",   "Catherine", "Tyler",    "Carolyn",  "Aaron",   "Janet",
+    "Jose",    "Ruth",      "Adam",     "Maria",    "Nathan",  "Heather",
+    "Henry",   "Diane",     "Douglas",  "Virginia", "Zachary", "Julie",
+    "Peter",   "Joyce",     "Kyle",     "Victoria", "Walter",  "Olivia",
+    "Ethan",   "Kelly",     "Jeremy",   "Christina", "Harold", "Lauren",
+    "Keith",   "Joan",      "Christian", "Evelyn",  "Roger",   "Judith",
+    "Noah",    "Megan",     "Gerald",   "Cheryl",   "Carl",    "Andrea",
+};
+
+constexpr std::string_view kLastNames[] = {
+    "Smith",     "Johnson",   "Williams",  "Brown",     "Jones",
+    "Garcia",    "Miller",    "Davis",     "Rodriguez", "Martinez",
+    "Hernandez", "Lopez",     "Gonzalez",  "Wilson",    "Anderson",
+    "Thomas",    "Taylor",    "Moore",     "Jackson",   "Martin",
+    "Lee",       "Perez",     "Thompson",  "White",     "Harris",
+    "Sanchez",   "Clark",     "Ramirez",   "Lewis",     "Robinson",
+    "Walker",    "Young",     "Allen",     "King",      "Wright",
+    "Scott",     "Torres",    "Nguyen",    "Hill",      "Flores",
+    "Green",     "Adams",     "Nelson",    "Baker",     "Hall",
+    "Rivera",    "Campbell",  "Mitchell",  "Carter",    "Roberts",
+    "Gomez",     "Phillips",  "Evans",     "Turner",    "Diaz",
+    "Parker",    "Cruz",      "Edwards",   "Collins",   "Reyes",
+    "Stewart",   "Morris",    "Morales",   "Murphy",    "Cook",
+    "Rogers",    "Gutierrez", "Ortiz",     "Morgan",    "Cooper",
+    "Peterson",  "Bailey",    "Reed",      "Kelly",     "Howard",
+    "Ramos",     "Kim",       "Cox",       "Ward",      "Richardson",
+    "Watson",    "Brooks",    "Chavez",    "Wood",      "James",
+    "Bennett",   "Gray",      "Mendoza",   "Ruiz",      "Hughes",
+    "Price",     "Alvarez",   "Castillo",  "Sanders",   "Patel",
+    "Myers",     "Long",      "Ross",      "Foster",    "Jimenez",
+    "Clifford",  "Sutton",    "Whitfield", "Mcallister", "Barrington",
+};
+
+constexpr std::string_view kStreetNames[] = {
+    "Oak Street",      "Elm Street",      "Maple Avenue",   "Cedar Lane",
+    "Pine Street",     "Washington Ave",  "Lake Drive",     "Hill Road",
+    "Main Street",     "Park Avenue",     "Second Street",  "Third Street",
+    "Fourth Street",   "Fifth Avenue",    "Church Street",  "High Street",
+    "Walnut Street",   "Chestnut Street", "Spruce Street",  "Sunset Blvd",
+    "Ridge Road",      "River Road",      "Spring Street",  "Franklin Ave",
+    "Highland Avenue", "Jefferson Street", "Lincoln Avenue", "Madison Court",
+    "Monroe Drive",    "Adams Street",    "Jackson Blvd",   "Harrison Lane",
+    "Willow Way",      "Birch Court",     "Aspen Circle",   "Magnolia Drive",
+    "Dogwood Lane",    "Hickory Street",  "Sycamore Road",  "Juniper Way",
+    "Laurel Street",   "Poplar Avenue",   "Cherry Lane",    "Peachtree Street",
+    "Valley Road",     "Meadow Lane",     "Forest Drive",   "Garden Street",
+    "Prospect Avenue", "Broadway",        "Grove Street",   "Mill Road",
+    "Canal Street",    "Bridge Street",   "Station Road",   "Union Street",
+    "Summit Avenue",   "Fairview Drive",  "Orchard Lane",   "Pleasant Street",
+};
+
+// city, state, zip3 prefix, county — consistent triples so that zip/state/
+// county dependencies in the generated data are realistic.
+constexpr CityRecord kCities[] = {
+    {"Murray Hill", "NJ", "079", "Union"},
+    {"Newark", "NJ", "071", "Essex"},
+    {"Jersey City", "NJ", "073", "Hudson"},
+    {"Princeton", "NJ", "085", "Mercer"},
+    {"Trenton", "NJ", "086", "Mercer"},
+    {"New York", "NY", "100", "New York"},
+    {"Brooklyn", "NY", "112", "Kings"},
+    {"Albany", "NY", "122", "Albany"},
+    {"Buffalo", "NY", "142", "Erie"},
+    {"Rochester", "NY", "146", "Monroe"},
+    {"Philadelphia", "PA", "191", "Philadelphia"},
+    {"Pittsburgh", "PA", "152", "Allegheny"},
+    {"Harrisburg", "PA", "171", "Dauphin"},
+    {"Boston", "MA", "021", "Suffolk"},
+    {"Cambridge", "MA", "021", "Middlesex"},
+    {"Worcester", "MA", "016", "Worcester"},
+    {"Hartford", "CT", "061", "Hartford"},
+    {"New Haven", "CT", "065", "New Haven"},
+    {"Providence", "RI", "029", "Providence"},
+    {"Baltimore", "MD", "212", "Baltimore"},
+    {"Annapolis", "MD", "214", "Anne Arundel"},
+    {"Washington", "DC", "200", "District of Columbia"},
+    {"Richmond", "VA", "232", "Richmond"},
+    {"Norfolk", "VA", "235", "Norfolk"},
+    {"Raleigh", "NC", "276", "Wake"},
+    {"Charlotte", "NC", "282", "Mecklenburg"},
+    {"Atlanta", "GA", "303", "Fulton"},
+    {"Savannah", "GA", "314", "Chatham"},
+    {"Miami", "FL", "331", "Miami-Dade"},
+    {"Orlando", "FL", "328", "Orange"},
+    {"Tampa", "FL", "336", "Hillsborough"},
+    {"Nashville", "TN", "372", "Davidson"},
+    {"Memphis", "TN", "381", "Shelby"},
+    {"Columbus", "OH", "432", "Franklin"},
+    {"Cleveland", "OH", "441", "Cuyahoga"},
+    {"Cincinnati", "OH", "452", "Hamilton"},
+    {"Detroit", "MI", "482", "Wayne"},
+    {"Ann Arbor", "MI", "481", "Washtenaw"},
+    {"Chicago", "IL", "606", "Cook"},
+    {"Springfield", "IL", "627", "Sangamon"},
+    {"Milwaukee", "WI", "532", "Milwaukee"},
+    {"Madison", "WI", "537", "Dane"},
+    {"Minneapolis", "MN", "554", "Hennepin"},
+    {"St Paul", "MN", "551", "Ramsey"},
+    {"St Louis", "MO", "631", "St Louis"},
+    {"Kansas City", "MO", "641", "Jackson"},
+    {"Denver", "CO", "802", "Denver"},
+    {"Boulder", "CO", "803", "Boulder"},
+    {"Austin", "TX", "787", "Travis"},
+    {"Houston", "TX", "770", "Harris"},
+    {"Dallas", "TX", "752", "Dallas"},
+    {"San Antonio", "TX", "782", "Bexar"},
+    {"Phoenix", "AZ", "850", "Maricopa"},
+    {"Tucson", "AZ", "857", "Pima"},
+    {"Seattle", "WA", "981", "King"},
+    {"Spokane", "WA", "992", "Spokane"},
+    {"Portland", "OR", "972", "Multnomah"},
+    {"San Francisco", "CA", "941", "San Francisco"},
+    {"Los Angeles", "CA", "900", "Los Angeles"},
+    {"San Diego", "CA", "921", "San Diego"},
+};
+
+constexpr std::string_view kEmailDomains[] = {
+    "gm.com",   "hm.com",     "mail.com",  "inbox.net", "post.org",
+    "web.net",  "fastmail.us", "corp.com", "uni.edu",   "isp.net",
+    "mx.org",   "box.com",
+};
+
+constexpr std::string_view kItems[] = {
+    "iPod",
+    "PSP",
+    "CD Player",
+    "DVD: The Matrix",
+    "DVD: Casablanca",
+    "DVD: The Godfather",
+    "DVD: Vertigo",
+    "DVD: Blade Runner",
+    "DVD: Metropolis",
+    "DVD: North by Northwest",
+    "DVD: Seven Samurai",
+    "DVD: Twelve Angry Men",
+    "Book: War and Peace",
+    "Book: Moby Dick",
+    "Book: Ulysses",
+    "Book: The Great Gatsby",
+    "Book: Crime and Punishment",
+    "Book: Pride and Prejudice",
+    "Book: Jane Eyre",
+    "Book: Wuthering Heights",
+    "Book: Great Expectations",
+    "Book: David Copperfield",
+    "Book: Middlemarch",
+    "Book: The Odyssey",
+    "Book: The Iliad",
+    "Book: Don Quixote",
+    "Book: Anna Karenina",
+    "Book: Madame Bovary",
+    "Book: The Trial",
+    "Book: The Stranger",
+    "Book: Brave New World",
+    "Book: Animal Farm",
+    "Book: Lord of the Flies",
+    "Book: Catch-22",
+    "Book: Slaughterhouse Five",
+    "Book: The Catcher in the Rye",
+    "Book: To Kill a Mockingbird",
+    "Book: Of Mice and Men",
+    "Book: The Grapes of Wrath",
+    "Book: East of Eden",
+    "Book: Invisible Man",
+    "Book: Beloved",
+    "Book: Song of Solomon",
+    "Book: One Hundred Years of Solitude",
+    "Book: Love in the Time of Cholera",
+    "Book: The Sound and the Fury",
+    "Book: As I Lay Dying",
+    "Book: Absalom Absalom",
+    "Book: A Farewell to Arms",
+    "Book: The Sun Also Rises",
+    "Book: For Whom the Bell Tolls",
+    "Book: The Old Man and the Sea",
+    "Book: Lolita",
+    "Book: Pale Fire",
+    "Book: Heart of Darkness",
+    "Book: Lord Jim",
+    "Book: Nostromo",
+    "Book: Dracula",
+    "Book: Frankenstein",
+    "Book: The Picture of Dorian Gray",
+};
+
+}  // namespace
+
+size_t NumFirstNames() { return std::size(kFirstNames); }
+std::string_view FirstName(size_t i) { return kFirstNames[i]; }
+size_t NumLastNames() { return std::size(kLastNames); }
+std::string_view LastName(size_t i) { return kLastNames[i]; }
+size_t NumStreetNames() { return std::size(kStreetNames); }
+std::string_view StreetName(size_t i) { return kStreetNames[i]; }
+size_t NumCities() { return std::size(kCities); }
+const CityRecord& City(size_t i) { return kCities[i]; }
+size_t NumEmailDomains() { return std::size(kEmailDomains); }
+std::string_view EmailDomain(size_t i) { return kEmailDomains[i]; }
+size_t NumItems() { return std::size(kItems); }
+std::string_view Item(size_t i) { return kItems[i]; }
+
+std::string_view RandomFirstName(Rng* rng) {
+  return kFirstNames[rng->Index(std::size(kFirstNames))];
+}
+std::string_view RandomLastName(Rng* rng) {
+  return kLastNames[rng->Index(std::size(kLastNames))];
+}
+std::string_view RandomStreetName(Rng* rng) {
+  return kStreetNames[rng->Index(std::size(kStreetNames))];
+}
+const CityRecord& RandomCity(Rng* rng) {
+  return kCities[rng->Index(std::size(kCities))];
+}
+std::string_view RandomEmailDomain(Rng* rng) {
+  return kEmailDomains[rng->Index(std::size(kEmailDomains))];
+}
+std::string_view RandomItem(Rng* rng) {
+  return kItems[rng->Index(std::size(kItems))];
+}
+
+std::string RandomPhone(Rng* rng) {
+  std::string out;
+  out.reserve(12);
+  // Area codes avoid a leading 0/1 like real NANP numbers.
+  out.push_back(static_cast<char>('2' + rng->Index(8)));
+  out.push_back(rng->Digit());
+  out.push_back(rng->Digit());
+  out.push_back('-');
+  out.push_back(static_cast<char>('2' + rng->Index(8)));
+  out.push_back(rng->Digit());
+  out.push_back(rng->Digit());
+  out.push_back('-');
+  for (int i = 0; i < 4; ++i) out.push_back(rng->Digit());
+  return out;
+}
+
+std::string RandomSsn(Rng* rng) {
+  std::string out;
+  out.reserve(11);
+  for (int i = 0; i < 3; ++i) out.push_back(rng->Digit());
+  out.push_back('-');
+  for (int i = 0; i < 2; ++i) out.push_back(rng->Digit());
+  out.push_back('-');
+  for (int i = 0; i < 4; ++i) out.push_back(rng->Digit());
+  return out;
+}
+
+std::string RandomCardNumber(Rng* rng) {
+  std::string out;
+  out.reserve(12);
+  out.push_back(static_cast<char>('1' + rng->Index(9)));
+  for (int i = 0; i < 11; ++i) out.push_back(rng->Digit());
+  return out;
+}
+
+std::string RandomZip(const CityRecord& c, Rng* rng) {
+  std::string out(c.zip3);
+  out.push_back(rng->Digit());
+  out.push_back(rng->Digit());
+  return out;
+}
+
+std::string RandomStreetAddress(Rng* rng) {
+  return StringPrintf("%d %s", static_cast<int>(1 + rng->Index(999)),
+                      std::string(RandomStreetName(rng)).c_str());
+}
+
+std::string MakeEmail(std::string_view first, std::string_view last,
+                      Rng* rng) {
+  std::string user = ToLower(first.substr(0, 1)) + "." + ToLower(last);
+  if (rng->Bernoulli(0.5)) user += std::to_string(rng->Index(100));
+  return user + "@" + std::string(RandomEmailDomain(rng));
+}
+
+std::string RandomPrice(Rng* rng) {
+  return StringPrintf("%d.%02d", static_cast<int>(5 + rng->Index(495)),
+                      static_cast<int>(rng->Index(100)));
+}
+
+std::string RandomDate(Rng* rng) {
+  return StringPrintf("200%d-%02d-%02d", static_cast<int>(5 + rng->Index(4)),
+                      static_cast<int>(1 + rng->Index(12)),
+                      static_cast<int>(1 + rng->Index(28)));
+}
+
+}  // namespace mdmatch::datagen

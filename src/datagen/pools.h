@@ -1,0 +1,60 @@
+#ifndef MDMATCH_DATAGEN_POOLS_H_
+#define MDMATCH_DATAGEN_POOLS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace mdmatch::datagen {
+
+/// \brief Static value pools backing the synthetic credit/billing data.
+///
+/// The paper populated its instances with "real-life data scraped from the
+/// Web" (US addresses; books and DVDs from online stores). We substitute
+/// deterministic pools of realistic US-style values; the evaluation only
+/// depends on the duplicate/noise process, not on data provenance (see
+/// DESIGN.md, substitutions).
+struct CityRecord {
+  std::string_view city;
+  std::string_view state;    // two-letter code
+  std::string_view zip3;     // leading zip digits for this locality
+  std::string_view county;
+};
+
+size_t NumFirstNames();
+std::string_view FirstName(size_t i);
+size_t NumLastNames();
+std::string_view LastName(size_t i);
+size_t NumStreetNames();
+std::string_view StreetName(size_t i);
+size_t NumCities();
+const CityRecord& City(size_t i);
+size_t NumEmailDomains();
+std::string_view EmailDomain(size_t i);
+size_t NumItems();
+std::string_view Item(size_t i);  // book / DVD titles
+
+/// Uniform random draws from the pools.
+std::string_view RandomFirstName(Rng* rng);
+std::string_view RandomLastName(Rng* rng);
+std::string_view RandomStreetName(Rng* rng);
+const CityRecord& RandomCity(Rng* rng);
+std::string_view RandomEmailDomain(Rng* rng);
+std::string_view RandomItem(Rng* rng);
+
+/// Composite value builders.
+std::string RandomPhone(Rng* rng);                 // "908-555-0142"
+std::string RandomSsn(Rng* rng);                   // "123-45-6789"
+std::string RandomCardNumber(Rng* rng);            // 12 digits
+std::string RandomZip(const CityRecord& c, Rng* rng);  // zip3 + 2 digits
+std::string RandomStreetAddress(Rng* rng);         // "620 Elm Street"
+std::string MakeEmail(std::string_view first, std::string_view last,
+                      Rng* rng);                   // "m.clifford7@gm.com"
+std::string RandomPrice(Rng* rng);                 // "169.99"
+std::string RandomDate(Rng* rng);                  // "2008-11-23"
+
+}  // namespace mdmatch::datagen
+
+#endif  // MDMATCH_DATAGEN_POOLS_H_

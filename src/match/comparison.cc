@@ -1,0 +1,102 @@
+#include "match/comparison.h"
+
+namespace mdmatch::match {
+
+ComparisonVector ComparisonVector::FromKey(const RelativeKey& key) {
+  return ComparisonVector(key.elements());
+}
+
+ComparisonVector ComparisonVector::UnionOfKeys(
+    const std::vector<RelativeKey>& keys, size_t top_k) {
+  RelativeKey merged;
+  for (size_t i = 0; i < keys.size() && i < top_k; ++i) {
+    for (const auto& e : keys[i].elements()) merged.AddUnique(e);
+  }
+  return ComparisonVector(merged.elements());
+}
+
+ComparisonVector ComparisonVector::AllWithOp(const ComparableLists& target,
+                                             sim::SimOpId op) {
+  std::vector<Conjunct> elems;
+  elems.reserve(target.size());
+  for (size_t i = 0; i < target.size(); ++i) {
+    elems.push_back(Conjunct{target.pair_at(i), op});
+  }
+  return ComparisonVector(std::move(elems));
+}
+
+uint32_t ComparisonVector::ComparePattern(const sim::SimOpRegistry& ops,
+                                          const Tuple& left,
+                                          const Tuple& right) const {
+  uint32_t pattern = 0;
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    const auto& e = elements_[i];
+    if (ops.Eval(e.op, left.value(e.attrs.left), right.value(e.attrs.right))) {
+      pattern |= (1u << i);
+    }
+  }
+  return pattern;
+}
+
+bool ComparisonVector::AllAgree(const sim::SimOpRegistry& ops,
+                                const Tuple& left, const Tuple& right) const {
+  for (const auto& e : elements_) {
+    if (!ops.Eval(e.op, left.value(e.attrs.left),
+                  right.value(e.attrs.right))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RelativeKey RelaxKeyForMatching(const RelativeKey& key,
+                                sim::SimOpId relaxed_op) {
+  RelativeKey out;
+  for (const auto& e : key.elements()) {
+    Conjunct relaxed = e;
+    if (relaxed.op == sim::SimOpRegistry::kEq) relaxed.op = relaxed_op;
+    out.AddUnique(relaxed);
+  }
+  return out;
+}
+
+std::vector<MatchRule> RelaxRulesForMatching(
+    const std::vector<MatchRule>& rules, sim::SimOpId relaxed_op) {
+  std::vector<MatchRule> out;
+  out.reserve(rules.size());
+  for (const auto& rule : rules) {
+    out.push_back(RelaxKeyForMatching(rule, relaxed_op));
+  }
+  return out;
+}
+
+ComparisonVector RelaxVectorForMatching(const ComparisonVector& vector,
+                                        sim::SimOpId relaxed_op) {
+  std::vector<Conjunct> elems = vector.elements();
+  for (auto& e : elems) {
+    if (e.op == sim::SimOpRegistry::kEq) e.op = relaxed_op;
+  }
+  return ComparisonVector(std::move(elems));
+}
+
+bool RuleMatches(const MatchRule& rule, const sim::SimOpRegistry& ops,
+                 const Tuple& left, const Tuple& right) {
+  for (const auto& e : rule.elements()) {
+    if (!ops.Eval(e.op, left.value(e.attrs.left),
+                  right.value(e.attrs.right))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AnyRuleMatches(const std::vector<MatchRule>& rules,
+                    const sim::SimOpRegistry& ops, const Tuple& left,
+                    const Tuple& right) {
+  for (const auto& rule : rules) {
+    if (RuleMatches(rule, ops, left, right)) return true;
+  }
+  return false;
+}
+
+}  // namespace mdmatch::match

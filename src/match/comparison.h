@@ -1,0 +1,90 @@
+#ifndef MDMATCH_MATCH_COMPARISON_H_
+#define MDMATCH_MATCH_COMPARISON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rck.h"
+#include "schema/schema.h"
+#include "schema/tuple.h"
+#include "sim/sim_op.h"
+
+namespace mdmatch::match {
+
+/// \brief A comparison vector: which attribute pairs to compare and with
+/// which operator — exactly the information an RCK carries (paper
+/// Section 1, "RCKs provide matching keys: they tell us what attributes to
+/// compare and how to compare them").
+class ComparisonVector {
+ public:
+  ComparisonVector() = default;
+  explicit ComparisonVector(std::vector<Conjunct> elements)
+      : elements_(std::move(elements)) {}
+
+  /// The elements of one relative key.
+  static ComparisonVector FromKey(const RelativeKey& key);
+
+  /// The union of the elements of the first `top_k` keys (the paper's
+  /// Exp-2/3 use "the union of top five RCKs" as the comparison vector).
+  static ComparisonVector UnionOfKeys(const std::vector<RelativeKey>& keys,
+                                      size_t top_k);
+
+  /// All target pairs compared with one operator (equality by default) —
+  /// the naive full-Y vector.
+  static ComparisonVector AllWithOp(
+      const ComparableLists& target,
+      sim::SimOpId op = sim::SimOpRegistry::kEq);
+
+  const std::vector<Conjunct>& elements() const { return elements_; }
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+
+  /// Agreement pattern of a tuple pair as a bitmask (bit i set = element i
+  /// agrees). Requires size() <= 32.
+  uint32_t ComparePattern(const sim::SimOpRegistry& ops, const Tuple& left,
+                          const Tuple& right) const;
+
+  /// True if every element agrees.
+  bool AllAgree(const sim::SimOpRegistry& ops, const Tuple& left,
+                const Tuple& right) const;
+
+ private:
+  std::vector<Conjunct> elements_;
+};
+
+/// \brief A matching rule: "if every conjunct holds, declare the pair a
+/// match". RCKs are used directly as rules; the Hernández-Stolfo baseline
+/// rule set has the same shape.
+using MatchRule = RelativeKey;
+
+/// Evaluates a rule on a tuple pair.
+bool RuleMatches(const MatchRule& rule, const sim::SimOpRegistry& ops,
+                 const Tuple& left, const Tuple& right);
+
+/// \brief Match-time relaxation: replaces every "=" element of a key/rule
+/// with `relaxed_op`.
+///
+/// The paper's experimental protocol applies the θ = 0.8 DL *similarity
+/// test* to attribute comparisons on the (dirty) data (Section 6.2: "we
+/// used the DL metric for similarity test ... in all the experiments we
+/// fixed θ = 0.8"); deduction keeps "=" strict at the schema level, but a
+/// deployed matching rule compares values up to the similarity threshold.
+RelativeKey RelaxKeyForMatching(const RelativeKey& key,
+                                sim::SimOpId relaxed_op);
+
+/// Relaxes a whole rule set.
+std::vector<MatchRule> RelaxRulesForMatching(
+    const std::vector<MatchRule>& rules, sim::SimOpId relaxed_op);
+
+/// Relaxes the "=" elements of a comparison vector the same way.
+ComparisonVector RelaxVectorForMatching(const ComparisonVector& vector,
+                                        sim::SimOpId relaxed_op);
+
+/// True if any rule matches.
+bool AnyRuleMatches(const std::vector<MatchRule>& rules,
+                    const sim::SimOpRegistry& ops, const Tuple& left,
+                    const Tuple& right);
+
+}  // namespace mdmatch::match
+
+#endif  // MDMATCH_MATCH_COMPARISON_H_

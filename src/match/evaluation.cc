@@ -1,0 +1,69 @@
+#include "match/evaluation.h"
+
+#include <unordered_map>
+
+namespace mdmatch::match {
+
+size_t CountTruePairs(const Instance& instance) {
+  std::unordered_map<EntityId, size_t> left_counts;
+  for (const auto& t : instance.left().tuples()) {
+    if (t.entity() != kEntityUnknown) ++left_counts[t.entity()];
+  }
+  size_t total = 0;
+  for (const auto& t : instance.right().tuples()) {
+    if (t.entity() == kEntityUnknown) continue;
+    auto it = left_counts.find(t.entity());
+    if (it != left_counts.end()) total += it->second;
+  }
+  return total;
+}
+
+bool IsTruePair(const Instance& instance, uint32_t left_index,
+                uint32_t right_index) {
+  const Tuple& l = instance.left().tuple(left_index);
+  const Tuple& r = instance.right().tuple(right_index);
+  return l.entity() != kEntityUnknown && l.entity() == r.entity();
+}
+
+MatchQuality Evaluate(const MatchResult& result, const Instance& instance) {
+  MatchQuality q;
+  q.found = result.size();
+  q.truth = CountTruePairs(instance);
+  for (const auto& [l, r] : result.pairs()) {
+    if (IsTruePair(instance, l, r)) ++q.true_positives;
+  }
+  q.precision = q.found == 0
+                    ? 0.0
+                    : static_cast<double>(q.true_positives) /
+                          static_cast<double>(q.found);
+  q.recall = q.truth == 0 ? 0.0
+                          : static_cast<double>(q.true_positives) /
+                                static_cast<double>(q.truth);
+  q.f1 = (q.precision + q.recall) == 0
+             ? 0.0
+             : 2 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+CandidateQuality EvaluateCandidates(const CandidateSet& candidates,
+                                    const Instance& instance) {
+  CandidateQuality q;
+  q.candidates = candidates.size();
+  q.truth = CountTruePairs(instance);
+  for (const auto& [l, r] : candidates.pairs()) {
+    if (IsTruePair(instance, l, r)) ++q.true_in_candidates;
+  }
+  q.pairs_completeness =
+      q.truth == 0 ? 0.0
+                   : static_cast<double>(q.true_in_candidates) /
+                         static_cast<double>(q.truth);
+  double total_pairs = static_cast<double>(instance.left().size()) *
+                       static_cast<double>(instance.right().size());
+  q.reduction_ratio =
+      total_pairs == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(q.candidates) / total_pairs;
+  return q;
+}
+
+}  // namespace mdmatch::match

@@ -1,0 +1,53 @@
+#ifndef MDMATCH_MATCH_EVALUATION_H_
+#define MDMATCH_MATCH_EVALUATION_H_
+
+#include <cstddef>
+
+#include "match/match_result.h"
+#include "schema/instance.h"
+
+namespace mdmatch::match {
+
+/// Match-quality metrics of the paper (Section 1 / 6.2):
+/// precision = true matches found / all matches returned,
+/// recall    = true matches found / all true matches in the data.
+struct MatchQuality {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  size_t true_positives = 0;
+  size_t found = 0;   ///< |result|
+  size_t truth = 0;   ///< nM: all true cross-relation matches
+};
+
+/// Blocking/windowing metrics (Section 6.2, Exp-4):
+/// pairs completeness PC = sM / nM,
+/// reduction ratio    RR = 1 - (sM + sU) / (nM + nU).
+struct CandidateQuality {
+  double pairs_completeness = 0;
+  double reduction_ratio = 0;
+  size_t candidates = 0;          ///< sM + sU: distinct candidate pairs
+  size_t true_in_candidates = 0;  ///< sM
+  size_t truth = 0;               ///< nM
+};
+
+/// Number of true cross-relation match pairs nM: pairs (t1, t2) in
+/// I1 × I2 with equal (known) entity ids. Computed from per-entity counts,
+/// not by pair enumeration.
+size_t CountTruePairs(const Instance& instance);
+
+/// True iff the pair at these positions is a true match.
+bool IsTruePair(const Instance& instance, uint32_t left_index,
+                uint32_t right_index);
+
+/// Precision/recall/F1 of a match result against the instance's ground
+/// truth.
+MatchQuality Evaluate(const MatchResult& result, const Instance& instance);
+
+/// PC and RR of a candidate set against the instance's ground truth.
+CandidateQuality EvaluateCandidates(const CandidateSet& candidates,
+                                    const Instance& instance);
+
+}  // namespace mdmatch::match
+
+#endif  // MDMATCH_MATCH_EVALUATION_H_

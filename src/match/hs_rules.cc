@@ -1,0 +1,197 @@
+#include "match/hs_rules.h"
+
+#include <cassert>
+
+namespace mdmatch::match {
+
+namespace {
+
+/// Small helper building rule conjuncts by attribute name.
+class RuleBuilder {
+ public:
+  RuleBuilder(const SchemaPair& pair, const sim::SimOpRegistry& ops)
+      : pair_(pair), ops_(ops) {}
+
+  RuleBuilder& On(const char* left, const char* op, const char* right) {
+    auto l = pair_.left().Find(left);
+    auto r = pair_.right().Find(right);
+    auto o = ops_.Find(op);
+    assert(l.ok() && r.ok() && o.ok());
+    elems_.push_back(Conjunct{{*l, *r}, *o});
+    return *this;
+  }
+
+  MatchRule Take() {
+    MatchRule rule{std::move(elems_)};
+    elems_.clear();
+    return rule;
+  }
+
+ private:
+  const SchemaPair& pair_;
+  const sim::SimOpRegistry& ops_;
+  std::vector<Conjunct> elems_;
+};
+
+}  // namespace
+
+std::vector<MatchRule> HernandezStolfoRules(const SchemaPair& pair,
+                                            sim::SimOpRegistry* ops) {
+  // Ensure the operators the rules use are registered.
+  ops->Dl(0.8);
+  ops->SoundexEq();
+  ops->PrefixEq(4);
+
+  RuleBuilder b(pair, *ops);
+  std::vector<MatchRule> rules;
+
+  // --- name + address evidence ---
+  rules.push_back(
+      b.On("LN", "=", "LN").On("FN", "=", "FN").On("street", "=", "street")
+          .Take());
+  rules.push_back(b.On("LN", "=", "LN")
+                      .On("FN", "dl@0.80", "FN")
+                      .On("street", "=", "street")
+                      .On("zip", "=", "zip")
+                      .Take());
+  rules.push_back(b.On("LN", "dl@0.80", "LN")
+                      .On("FN", "=", "FN")
+                      .On("zip", "=", "zip")
+                      .On("city", "=", "city")
+                      .Take());
+  rules.push_back(b.On("LN", "soundex", "LN")
+                      .On("FN", "dl@0.80", "FN")
+                      .On("street", "dl@0.80", "street")
+                      .On("zip", "=", "zip")
+                      .Take());
+  rules.push_back(b.On("LN", "=", "LN")
+                      .On("FN", "=", "FN")
+                      .On("zip", "=", "zip")
+                      .Take());
+  rules.push_back(b.On("LN", "=", "LN")
+                      .On("MN", "=", "MN")
+                      .On("FN", "=", "FN")
+                      .On("city", "=", "city")
+                      .Take());
+  rules.push_back(b.On("LN", "=", "LN")
+                      .On("FN", "prefix4", "FN")
+                      .On("street", "=", "street")
+                      .On("city", "=", "city")
+                      .Take());
+  rules.push_back(b.On("LN", "soundex", "LN")
+                      .On("FN", "soundex", "FN")
+                      .On("street", "=", "street")
+                      .On("city", "=", "city")
+                      .Take());
+  rules.push_back(b.On("LN", "=", "LN")
+                      .On("street", "dl@0.80", "street")
+                      .On("city", "=", "city")
+                      .On("state", "=", "state")
+                      .Take());
+  rules.push_back(b.On("LN", "dl@0.80", "LN")
+                      .On("FN", "dl@0.80", "FN")
+                      .On("street", "dl@0.80", "street")
+                      .On("zip", "=", "zip")
+                      .On("city", "=", "city")
+                      .Take());
+
+  // --- further name + locality evidence (the [20] rule set reasons about
+  // names, addresses and a person identifier only; the contact channels
+  // email/phone are deliberately absent — discovering their value is what
+  // MD deduction contributes) ---
+  rules.push_back(b.On("LN", "dl@0.80", "LN")
+                      .On("FN", "dl@0.80", "FN")
+                      .On("MN", "dl@0.80", "MN")
+                      .On("city", "=", "city")
+                      .On("state", "=", "state")
+                      .Take());
+  rules.push_back(b.On("LN", "=", "LN")
+                      .On("FN", "soundex", "FN")
+                      .On("county", "=", "county")
+                      .On("city", "=", "city")
+                      .Take());
+  rules.push_back(b.On("LN", "soundex", "LN")
+                      .On("FN", "prefix4", "FN")
+                      .On("street", "dl@0.80", "street")
+                      .On("city", "dl@0.80", "city")
+                      .Take());
+  rules.push_back(b.On("LN", "=", "LN")
+                      .On("MN", "dl@0.80", "MN")
+                      .On("street", "=", "street")
+                      .On("state", "=", "state")
+                      .Take());
+  rules.push_back(b.On("LN", "prefix4", "LN")
+                      .On("FN", "=", "FN")
+                      .On("street", "=", "street")
+                      .On("gender", "=", "gender")
+                      .Take());
+  rules.push_back(b.On("LN", "dl@0.80", "LN")
+                      .On("FN", "dl@0.80", "FN")
+                      .On("zip", "=", "zip")
+                      .On("gender", "=", "gender")
+                      .Take());
+  rules.push_back(b.On("LN", "soundex", "LN")
+                      .On("MN", "=", "MN")
+                      .On("FN", "soundex", "FN")
+                      .On("zip", "=", "zip")
+                      .Take());
+
+  // --- card-number evidence (the SSN-style identifier rules of [20]) ---
+  rules.push_back(b.On("c#", "=", "c#").On("LN", "dl@0.80", "LN").Take());
+  rules.push_back(b.On("c#", "=", "c#").On("FN", "dl@0.80", "FN").Take());
+  rules.push_back(b.On("c#", "=", "c#").On("zip", "=", "zip").Take());
+  rules.push_back(b.On("c#", "=", "c#").On("email", "=", "email").Take());
+
+  // --- address-centric evidence ---
+  rules.push_back(b.On("zip", "=", "zip")
+                      .On("street", "=", "street")
+                      .On("FN", "dl@0.80", "FN")
+                      .Take());
+  rules.push_back(b.On("zip", "=", "zip")
+                      .On("street", "=", "street")
+                      .On("LN", "dl@0.80", "LN")
+                      .Take());
+  rules.push_back(b.On("zip", "=", "zip")
+                      .On("street", "dl@0.80", "street")
+                      .On("MN", "dl@0.80", "MN")
+                      .On("gender", "=", "gender")
+                      .Take());
+  rules.push_back(b.On("county", "=", "county")
+                      .On("street", "=", "street")
+                      .On("LN", "soundex", "LN")
+                      .On("FN", "soundex", "FN")
+                      .Take());
+
+  assert(rules.size() == 25);
+  return rules;
+}
+
+std::vector<KeyFunction> StandardWindowKeys(const SchemaPair& pair) {
+  auto find = [&](const char* l, const char* r) {
+    auto li = pair.left().Find(l);
+    auto ri = pair.right().Find(r);
+    assert(li.ok() && ri.ok());
+    return AttrPair{*li, *ri};
+  };
+  std::vector<KeyFunction> keys;
+  keys.push_back(KeyFunction({{find("LN", "LN"), /*soundex=*/true, 0},
+                              {find("FN", "FN"), false, 4}}));
+  keys.push_back(KeyFunction({{find("zip", "zip"), false, 0},
+                              {find("street", "street"), false, 6}}));
+  keys.push_back(KeyFunction({{find("tel", "phn"), false, 0}}));
+  return keys;
+}
+
+KeyFunction ManualBlockingKey(const SchemaPair& pair) {
+  auto find = [&](const char* l, const char* r) {
+    auto li = pair.left().Find(l);
+    auto ri = pair.right().Find(r);
+    assert(li.ok() && ri.ok());
+    return AttrPair{*li, *ri};
+  };
+  return KeyFunction({{find("LN", "LN"), /*soundex=*/true, 0},
+                      {find("state", "state"), false, 0},
+                      {find("zip", "zip"), false, 3}});
+}
+
+}  // namespace mdmatch::match

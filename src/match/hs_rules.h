@@ -1,0 +1,34 @@
+#ifndef MDMATCH_MATCH_HS_RULES_H_
+#define MDMATCH_MATCH_HS_RULES_H_
+
+#include <vector>
+
+#include "match/comparison.h"
+#include "match/key_function.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+
+namespace mdmatch::match {
+
+/// \brief The 25 hand-written equational-theory rules used as the SN
+/// baseline (paper Exp-3 runs SN with "the 25 rules used in [20]";
+/// Hernández-Stolfo's rules are OPS5 productions over names/addresses/SSNs
+/// — we express the same kind of domain knowledge over the extended
+/// credit/billing schema; see DESIGN.md, substitutions).
+///
+/// Requires the schema pair of MakeCreditBillingSchemas().
+std::vector<MatchRule> HernandezStolfoRules(const SchemaPair& pair,
+                                            sim::SimOpRegistry* ops);
+
+/// The fixed windowing keys shared by the Exp-2/3 matchers ("The same set
+/// of windowing keys were used in these experiments to make the evaluation
+/// fair"): last name (Soundex) + first name, zip + street, phone.
+std::vector<KeyFunction> StandardWindowKeys(const SchemaPair& pair);
+
+/// The manually chosen blocking key of Exp-4: three attributes, with the
+/// name attribute Soundex-encoded (last name Soundex, state, zip prefix).
+KeyFunction ManualBlockingKey(const SchemaPair& pair);
+
+}  // namespace mdmatch::match
+
+#endif  // MDMATCH_MATCH_HS_RULES_H_

@@ -1,0 +1,49 @@
+#ifndef MDMATCH_MATCH_MATCH_RESULT_H_
+#define MDMATCH_MATCH_MATCH_RESULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace mdmatch::match {
+
+/// \brief A deduplicated set of cross-relation tuple pairs, addressed by
+/// tuple *positions* (index into instance.left() / instance.right()).
+///
+/// Used both for declared matches and for candidate pairs produced by
+/// blocking / windowing (whose PC and RR metrics count distinct pairs).
+class PairSet {
+ public:
+  /// Adds (left_index, right_index); returns true if newly inserted.
+  bool Add(uint32_t left_index, uint32_t right_index);
+
+  bool Contains(uint32_t left_index, uint32_t right_index) const;
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  const std::vector<std::pair<uint32_t, uint32_t>>& pairs() const {
+    return pairs_;
+  }
+
+  /// Inserts every pair of `other`.
+  void Merge(const PairSet& other);
+
+ private:
+  static uint64_t Key(uint32_t l, uint32_t r) {
+    return (static_cast<uint64_t>(l) << 32) | r;
+  }
+  std::unordered_set<uint64_t> index_;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs_;
+};
+
+/// Matches declared by a matcher.
+using MatchResult = PairSet;
+/// Candidate pairs selected for comparison by blocking / windowing.
+using CandidateSet = PairSet;
+
+}  // namespace mdmatch::match
+
+#endif  // MDMATCH_MATCH_MATCH_RESULT_H_

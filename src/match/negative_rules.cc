@@ -1,0 +1,50 @@
+#include "match/negative_rules.h"
+
+namespace mdmatch::match {
+
+bool NegativeRule::Fires(const sim::SimOpRegistry& ops, const Tuple& left,
+                         const Tuple& right) const {
+  if (elements_.empty()) return false;
+  for (const auto& e : elements_) {
+    const std::string& lv = left.value(e.base.attrs.left);
+    const std::string& rv = right.value(e.base.attrs.right);
+    bool holds;
+    if (e.negated) {
+      holds = !lv.empty() && !rv.empty() && lv != "null" && rv != "null" &&
+              !ops.Eval(e.base.op, lv, rv);
+    } else {
+      holds = ops.Eval(e.base.op, lv, rv);
+    }
+    if (!holds) return false;
+  }
+  return true;
+}
+
+MatchResult FilterWithNegativeRules(const MatchResult& result,
+                                    const std::vector<NegativeRule>& rules,
+                                    const Instance& instance,
+                                    const sim::SimOpRegistry& ops,
+                                    size_t* vetoed) {
+  MatchResult out;
+  size_t removed = 0;
+  for (const auto& [l, r] : result.pairs()) {
+    const Tuple& left = instance.left().tuple(l);
+    const Tuple& right = instance.right().tuple(r);
+    bool veto = false;
+    for (const auto& rule : rules) {
+      if (rule.Fires(ops, left, right)) {
+        veto = true;
+        break;
+      }
+    }
+    if (veto) {
+      ++removed;
+    } else {
+      out.Add(l, r);
+    }
+  }
+  if (vetoed != nullptr) *vetoed = removed;
+  return out;
+}
+
+}  // namespace mdmatch::match

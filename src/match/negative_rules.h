@@ -1,0 +1,57 @@
+#ifndef MDMATCH_MATCH_NEGATIVE_RULES_H_
+#define MDMATCH_MATCH_NEGATIVE_RULES_H_
+
+#include <vector>
+
+#include "core/md.h"
+#include "match/match_result.h"
+#include "schema/instance.h"
+#include "sim/sim_op.h"
+
+namespace mdmatch::match {
+
+/// \brief Negation rules — the paper's first future-work item ("an
+/// extension of MDs is to support 'negation', to specify when records
+/// cannot be matched", Section 8).
+///
+/// A negative rule is a conjunction of (possibly negated) comparisons; if
+/// it fires on a tuple pair, the pair can NOT refer to the same entity and
+/// is removed from (or never added to) a match result. A negated conjunct
+/// holds only when BOTH values are non-empty and the comparison fails —
+/// missing values never veto a match.
+struct NegConjunct {
+  Conjunct base;
+  /// false: the conjunct holds when base holds (e.g. "same SSN format but
+  /// different owner field"). true: holds when base FAILS on two non-empty
+  /// values (e.g. "genders differ").
+  bool negated = true;
+};
+
+class NegativeRule {
+ public:
+  NegativeRule() = default;
+  explicit NegativeRule(std::vector<NegConjunct> elements)
+      : elements_(std::move(elements)) {}
+
+  const std::vector<NegConjunct>& elements() const { return elements_; }
+  bool empty() const { return elements_.empty(); }
+
+  /// True when every conjunct holds — the pair is vetoed.
+  bool Fires(const sim::SimOpRegistry& ops, const Tuple& left,
+             const Tuple& right) const;
+
+ private:
+  std::vector<NegConjunct> elements_;
+};
+
+/// Removes every pair on which some negative rule fires; returns the
+/// filtered result and reports how many pairs were vetoed.
+MatchResult FilterWithNegativeRules(const MatchResult& result,
+                                    const std::vector<NegativeRule>& rules,
+                                    const Instance& instance,
+                                    const sim::SimOpRegistry& ops,
+                                    size_t* vetoed = nullptr);
+
+}  // namespace mdmatch::match
+
+#endif  // MDMATCH_MATCH_NEGATIVE_RULES_H_

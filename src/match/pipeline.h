@@ -1,0 +1,75 @@
+#ifndef MDMATCH_MATCH_PIPELINE_H_
+#define MDMATCH_MATCH_PIPELINE_H_
+
+#include <vector>
+
+#include "core/find_rcks.h"
+#include "core/md.h"
+#include "match/clustering.h"
+#include "match/evaluation.h"
+#include "match/fellegi_sunter.h"
+#include "match/match_result.h"
+#include "schema/instance.h"
+#include "sim/sim_op.h"
+#include "util/status.h"
+
+namespace mdmatch::match {
+
+/// \brief One-call configuration of the workflow the paper advocates
+/// (Section 1, "Applications"): deduce RCKs from Σ at compile time, derive
+/// blocking/windowing keys and the comparison basis from them, run a
+/// matcher over the candidates, optionally close matches transitively.
+struct PipelineOptions {
+  enum class Matcher {
+    kRuleBased,       ///< RCKs as equational-theory rules (SN style)
+    kFellegiSunter,   ///< FS over the RCK-union comparison vector
+  };
+  enum class Candidates {
+    kWindowing,  ///< multi-pass sorted window over RCK-derived sort keys
+    kBlocking,   ///< blocks keyed by the top-RCK attributes
+  };
+
+  Matcher matcher = Matcher::kRuleBased;
+  Candidates candidates = Candidates::kWindowing;
+  size_t window_size = 10;
+  size_t num_rcks = 10;       ///< m for findRCKs
+  size_t top_k = 5;           ///< RCKs used for rules / comparison vector
+  size_t key_attrs = 3;       ///< attributes per derived blocking/sort key
+  /// Apply the θ-DL similarity test to "=" comparisons at match time
+  /// (the Section 6.2 protocol); 0 disables relaxation.
+  double relax_theta = 0.8;
+  /// Close the match result transitively into entity clusters.
+  bool transitive_closure = false;
+  /// Left-schema domains to Soundex-encode inside derived keys.
+  std::vector<std::string> soundex_domains = {"fname", "mname", "lname",
+                                              "name"};
+  FsOptions fs_options;
+};
+
+/// Everything the pipeline produced, plus ground-truth metrics when the
+/// instance carries entity ids.
+struct PipelineReport {
+  std::vector<RelativeKey> rcks;
+  CandidateSet candidates;
+  MatchResult matches;
+  MatchQuality match_quality;
+  CandidateQuality candidate_quality;
+  double deduce_seconds = 0;
+  double candidate_seconds = 0;
+  double match_seconds = 0;
+};
+
+/// Runs the pipeline. `quality` parameterizes RCK selection (pass a model
+/// with accuracies installed to prefer reliable attributes); it is updated
+/// in place by findRCKs. Fails when Σ is invalid for the schema pair or no
+/// RCK can be deduced.
+Result<PipelineReport> RunPipeline(const Instance& instance,
+                                   const ComparableLists& target,
+                                   const MdSet& sigma,
+                                   sim::SimOpRegistry* ops,
+                                   QualityModel* quality,
+                                   const PipelineOptions& options = {});
+
+}  // namespace mdmatch::match
+
+#endif  // MDMATCH_MATCH_PIPELINE_H_

@@ -1,0 +1,42 @@
+#include "match/sorted_neighborhood.h"
+
+#include "match/windowing.h"
+
+namespace mdmatch::match {
+
+SnResult SortedNeighborhood(const Instance& instance,
+                            const sim::SimOpRegistry& ops,
+                            const std::vector<KeyFunction>& passes,
+                            const std::vector<MatchRule>& rules,
+                            const SnOptions& options) {
+  SnResult result;
+  for (const auto& pass : passes) {
+    CandidateSet pass_candidates =
+        WindowCandidates(instance, pass, options.window_size);
+    for (const auto& [l, r] : pass_candidates.pairs()) {
+      if (!result.candidates.Add(l, r)) continue;  // compared in a prior pass
+      ++result.comparisons;
+      if (AnyRuleMatches(rules, ops, instance.left().tuple(l),
+                         instance.right().tuple(r))) {
+        result.matches.Add(l, r);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<KeyFunction> SortKeysFromRules(const std::vector<MatchRule>& rules,
+                                           const SchemaPair& pair,
+                                           size_t max_passes,
+                                           size_t max_elems) {
+  std::vector<KeyFunction> keys;
+  for (const auto& rule : rules) {
+    if (keys.size() >= max_passes) break;
+    if (rule.empty()) continue;
+    keys.push_back(KeyFunction::FromKeyElements(rule, pair, max_elems,
+                                                {"fname", "lname", "name"}));
+  }
+  return keys;
+}
+
+}  // namespace mdmatch::match

@@ -1,0 +1,67 @@
+#include "match/windowing.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mdmatch::match {
+
+namespace {
+
+struct SortEntry {
+  std::string key;
+  uint32_t index;   // position within its relation
+  uint8_t side;     // 0 = left, 1 = right
+};
+
+std::vector<SortEntry> SortedEntries(const Instance& instance,
+                                     const KeyFunction& key) {
+  std::vector<SortEntry> entries;
+  entries.reserve(instance.left().size() + instance.right().size());
+  for (uint32_t i = 0; i < instance.left().size(); ++i) {
+    entries.push_back({key.Render(instance.left().tuple(i), 0), i, 0});
+  }
+  for (uint32_t i = 0; i < instance.right().size(); ++i) {
+    entries.push_back({key.Render(instance.right().tuple(i), 1), i, 1});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const SortEntry& a, const SortEntry& b) {
+                     return a.key < b.key;
+                   });
+  return entries;
+}
+
+}  // namespace
+
+CandidateSet WindowCandidates(const Instance& instance, const KeyFunction& key,
+                              size_t window_size) {
+  CandidateSet out;
+  if (window_size < 2) return out;
+  std::vector<SortEntry> entries = SortedEntries(instance, key);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    size_t hi = std::min(entries.size(), i + window_size);
+    for (size_t j = i + 1; j < hi; ++j) {
+      const SortEntry& a = entries[i];
+      const SortEntry& b = entries[j];
+      if (a.side == b.side) continue;  // only cross-relation pairs
+      if (a.side == 0) {
+        out.Add(a.index, b.index);
+      } else {
+        out.Add(b.index, a.index);
+      }
+    }
+  }
+  return out;
+}
+
+CandidateSet WindowCandidatesMultiPass(const Instance& instance,
+                                       const std::vector<KeyFunction>& keys,
+                                       size_t window_size) {
+  CandidateSet out;
+  for (const auto& key : keys) {
+    out.Merge(WindowCandidates(instance, key, window_size));
+  }
+  return out;
+}
+
+}  // namespace mdmatch::match

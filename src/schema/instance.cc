@@ -1,0 +1,23 @@
+#include "schema/instance.h"
+
+#include <unordered_set>
+
+namespace mdmatch {
+
+bool Instance::ExtendedBy(const Instance& other) const {
+  for (int s = 0; s < 2; ++s) {
+    std::unordered_set<TupleId> ids;
+    ids.reserve(other.side(s).size());
+    for (const auto& t : other.side(s).tuples()) ids.insert(t.id());
+    for (const auto& t : side(s).tuples()) {
+      if (!ids.count(t.id())) return false;
+    }
+  }
+  return true;
+}
+
+Instance SelfPair(const Relation& relation) {
+  return Instance(relation, relation);
+}
+
+}  // namespace mdmatch

@@ -1,0 +1,50 @@
+#ifndef MDMATCH_SCHEMA_INSTANCE_H_
+#define MDMATCH_SCHEMA_INSTANCE_H_
+
+#include <utility>
+
+#include "schema/relation.h"
+#include "schema/schema.h"
+
+namespace mdmatch {
+
+/// \brief An instance D = (I1, I2) of a schema pair (R1, R2).
+///
+/// The dynamic semantics of MDs (paper Section 2.1) relates two instances
+/// D ⊑ D' that contain the same tuple ids; `Extends` checks that order.
+class Instance {
+ public:
+  Instance() = default;
+  Instance(Relation left, Relation right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  const Relation& left() const { return left_; }
+  const Relation& right() const { return right_; }
+  Relation& left() { return left_; }
+  Relation& right() { return right_; }
+  const Relation& side(int s) const { return s == 0 ? left_ : right_; }
+  Relation& side(int s) { return s == 0 ? left_ : right_; }
+
+  SchemaPair schema_pair() const {
+    return SchemaPair(left_.schema(), right_.schema());
+  }
+
+  /// Total number of (t1, t2) pairs with t1 ∈ I1, t2 ∈ I2.
+  size_t NumPairs() const { return left_.size() * right_.size(); }
+
+  /// True if `other` ⊒ *this: every tuple id on each side also appears in
+  /// `other` (values may differ — they are updated versions).
+  bool ExtendedBy(const Instance& other) const;
+
+ private:
+  Relation left_;
+  Relation right_;
+};
+
+/// Builds the "self pair" (I, I) used for single-relation deduplication
+/// (paper Example 2.3 treats (R, R)).
+Instance SelfPair(const Relation& relation);
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_SCHEMA_INSTANCE_H_

@@ -1,0 +1,68 @@
+#include "schema/relation.h"
+
+#include <algorithm>
+
+namespace mdmatch {
+
+Result<TupleId> Relation::Append(std::vector<std::string> values,
+                                 EntityId entity) {
+  if (static_cast<int32_t>(values.size()) != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity does not match schema " + schema_.name());
+  }
+  TupleId id = next_id_++;
+  tuples_.emplace_back(id, std::move(values), entity);
+  return id;
+}
+
+Status Relation::AppendTuple(Tuple tuple) {
+  if (static_cast<int32_t>(tuple.arity()) != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity does not match schema " + schema_.name());
+  }
+  next_id_ = std::max(next_id_, tuple.id() + 1);
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Result<size_t> Relation::FindById(TupleId id) const {
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (tuples_[i].id() == id) return i;
+  }
+  return Status::NotFound("tuple id not present");
+}
+
+std::vector<std::vector<std::string>> Relation::ToCsvRows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(tuples_.size() + 1);
+  std::vector<std::string> header;
+  for (const auto& attr : schema_.attributes()) header.push_back(attr.name);
+  rows.push_back(std::move(header));
+  for (const auto& t : tuples_) rows.push_back(t.values());
+  return rows;
+}
+
+Result<Relation> Relation::FromCsvRows(
+    const Schema& schema, const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV rows empty: missing header");
+  }
+  const auto& header = rows[0];
+  if (static_cast<int32_t>(header.size()) != schema.arity()) {
+    return Status::InvalidArgument("CSV header arity mismatch");
+  }
+  for (int32_t i = 0; i < schema.arity(); ++i) {
+    if (header[static_cast<size_t>(i)] != schema.attribute(i).name) {
+      return Status::InvalidArgument("CSV header name mismatch at column " +
+                                     std::to_string(i));
+    }
+  }
+  Relation rel(schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    auto st = rel.Append(rows[r]);
+    if (!st.ok()) return st.status();
+  }
+  return rel;
+}
+
+}  // namespace mdmatch

@@ -1,0 +1,56 @@
+#ifndef MDMATCH_SCHEMA_RELATION_H_
+#define MDMATCH_SCHEMA_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "schema/tuple.h"
+#include "util/status.h"
+
+namespace mdmatch {
+
+/// \brief An instance of one relation schema: a bag of tuples with unique
+/// tuple ids.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a tuple, assigning the next tuple id; returns the id.
+  /// InvalidArgument when the value count does not match the schema arity.
+  Result<TupleId> Append(std::vector<std::string> values,
+                         EntityId entity = kEntityUnknown);
+
+  /// Appends a pre-identified tuple (used when cloning instances for the
+  /// dynamic semantics: D ⊑ D' shares tuple ids).
+  Status AppendTuple(Tuple tuple);
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  Tuple& tuple(size_t i) { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Finds the position of the tuple with the given id; NotFound otherwise.
+  Result<size_t> FindById(TupleId id) const;
+
+  /// Serializes to CSV rows (header + data); entity ids are not exported.
+  std::vector<std::vector<std::string>> ToCsvRows() const;
+
+  /// Loads rows (header + data) into a relation; the header must match the
+  /// schema's attribute names in order.
+  static Result<Relation> FromCsvRows(
+      const Schema& schema, const std::vector<std::vector<std::string>>& rows);
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  TupleId next_id_ = 0;
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_SCHEMA_RELATION_H_

@@ -1,0 +1,70 @@
+#include "schema/schema.h"
+
+namespace mdmatch {
+
+Schema::Schema(std::string name, std::vector<AttributeDef> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+Result<AttrId> Schema::Find(std::string_view attr_name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attr_name) return static_cast<AttrId>(i);
+  }
+  return Status::NotFound("attribute '" + std::string(attr_name) +
+                          "' not in schema " + name_);
+}
+
+std::string QualifiedAttr::ToString(const SchemaPair& pair) const {
+  const Schema& schema = pair.side(rel);
+  return schema.name() + "[" + schema.attribute(attr).name + "]";
+}
+
+Result<ComparableLists> ComparableLists::Make(const SchemaPair& pair,
+                                              std::vector<AttrId> left,
+                                              std::vector<AttrId> right) {
+  if (left.size() != right.size()) {
+    return Status::InvalidArgument("comparable lists must have equal length");
+  }
+  for (size_t i = 0; i < left.size(); ++i) {
+    if (!pair.left().IsValid(left[i]) || !pair.right().IsValid(right[i])) {
+      return Status::InvalidArgument("attribute id out of range");
+    }
+    const auto& da = pair.left().attribute(left[i]).domain;
+    const auto& db = pair.right().attribute(right[i]).domain;
+    if (da != db) {
+      return Status::InvalidArgument(
+          "attributes " + pair.left().attribute(left[i]).name + " and " +
+          pair.right().attribute(right[i]).name +
+          " have incompatible domains (" + da + " vs " + db + ")");
+    }
+  }
+  ComparableLists lists;
+  lists.left_ = std::move(left);
+  lists.right_ = std::move(right);
+  return lists;
+}
+
+Result<ComparableLists> ComparableLists::MakeByName(
+    const SchemaPair& pair, const std::vector<std::string>& left,
+    const std::vector<std::string>& right) {
+  std::vector<AttrId> l, r;
+  for (const auto& name : left) {
+    auto id = pair.left().Find(name);
+    if (!id.ok()) return id.status();
+    l.push_back(*id);
+  }
+  for (const auto& name : right) {
+    auto id = pair.right().Find(name);
+    if (!id.ok()) return id.status();
+    r.push_back(*id);
+  }
+  return Make(pair, std::move(l), std::move(r));
+}
+
+bool ComparableLists::Contains(AttrPair p) const {
+  for (size_t i = 0; i < left_.size(); ++i) {
+    if (left_[i] == p.left && right_[i] == p.right) return true;
+  }
+  return false;
+}
+
+}  // namespace mdmatch

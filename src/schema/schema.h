@@ -1,0 +1,138 @@
+#ifndef MDMATCH_SCHEMA_SCHEMA_H_
+#define MDMATCH_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdmatch {
+
+/// Index of an attribute within its relation schema.
+using AttrId = int32_t;
+
+/// \brief One attribute of a relation schema.
+///
+/// `domain` is a semantic-domain label ("name", "phone", "zip", ...): two
+/// attributes are comparable in an MD only when their domains coincide
+/// (paper Section 2.1, "comparable lists"). The paper assumes data
+/// standardization has aligned representations; all values are strings.
+struct AttributeDef {
+  std::string name;
+  std::string domain = "string";
+};
+
+/// \brief A relation schema: an ordered list of named attributes.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<AttributeDef> attributes);
+
+  const std::string& name() const { return name_; }
+  int32_t arity() const { return static_cast<int32_t>(attributes_.size()); }
+  const AttributeDef& attribute(AttrId id) const {
+    return attributes_[static_cast<size_t>(id)];
+  }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Looks up an attribute by name; NotFound if absent.
+  Result<AttrId> Find(std::string_view attr_name) const;
+
+  /// True if `id` indexes an attribute of this schema.
+  bool IsValid(AttrId id) const { return id >= 0 && id < arity(); }
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+/// \brief The pair of (possibly different, possibly identical) schemas
+/// (R1, R2) that MDs are defined over.
+///
+/// For single-relation deduplication both sides are the same schema; the
+/// machinery is unchanged (paper Example 2.3 uses (R, R)).
+class SchemaPair {
+ public:
+  SchemaPair() = default;
+  SchemaPair(Schema left, Schema right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  const Schema& left() const { return left_; }
+  const Schema& right() const { return right_; }
+  const Schema& side(int s) const { return s == 0 ? left_ : right_; }
+
+  /// Total number of qualified attributes R1[A] / R2[B]; this is the `h`
+  /// of Theorem 4.1.
+  int32_t total_attrs() const { return left_.arity() + right_.arity(); }
+
+ private:
+  Schema left_;
+  Schema right_;
+};
+
+/// \brief A qualified attribute: R1[A] (rel == 0) or R2[B] (rel == 1).
+struct QualifiedAttr {
+  int32_t rel = 0;
+  AttrId attr = 0;
+
+  bool operator==(const QualifiedAttr&) const = default;
+  bool operator<(const QualifiedAttr& o) const {
+    return rel != o.rel ? rel < o.rel : attr < o.attr;
+  }
+
+  /// Dense index in [0, pair.total_attrs()).
+  int32_t Index(const SchemaPair& pair) const {
+    return rel == 0 ? attr : pair.left().arity() + attr;
+  }
+
+  /// Renders "R[name]" for diagnostics.
+  std::string ToString(const SchemaPair& pair) const;
+};
+
+/// \brief A comparable pair of attributes (R1[A], R2[B]) — one element of
+/// a comparable-list pair or of an MD's RHS.
+struct AttrPair {
+  AttrId left = 0;
+  AttrId right = 0;
+
+  bool operator==(const AttrPair&) const = default;
+  bool operator<(const AttrPair& o) const {
+    return left != o.left ? left < o.left : right < o.right;
+  }
+};
+
+/// \brief Comparable lists (Y1, Y2) over (R1, R2): same length and
+/// pairwise-compatible domains (paper Section 2.1).
+class ComparableLists {
+ public:
+  ComparableLists() = default;
+
+  /// Builds from parallel attribute-id lists; validates lengths, attribute
+  /// validity and pairwise domain equality.
+  static Result<ComparableLists> Make(const SchemaPair& pair,
+                                      std::vector<AttrId> left,
+                                      std::vector<AttrId> right);
+
+  /// Builds from attribute names (convenience for tests/examples).
+  static Result<ComparableLists> MakeByName(
+      const SchemaPair& pair, const std::vector<std::string>& left,
+      const std::vector<std::string>& right);
+
+  size_t size() const { return left_.size(); }
+  AttrPair pair_at(size_t i) const { return {left_[i], right_[i]}; }
+  const std::vector<AttrId>& left() const { return left_; }
+  const std::vector<AttrId>& right() const { return right_; }
+
+  /// True if (a, b) occurs at some position.
+  bool Contains(AttrPair p) const;
+
+ private:
+  std::vector<AttrId> left_;
+  std::vector<AttrId> right_;
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_SCHEMA_SCHEMA_H_

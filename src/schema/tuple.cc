@@ -1,0 +1,4 @@
+#include "schema/tuple.h"
+
+// Tuple is header-only today; this TU anchors the target and reserves the
+// place for out-of-line members if the class grows.

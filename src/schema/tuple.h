@@ -1,0 +1,54 @@
+#ifndef MDMATCH_SCHEMA_TUPLE_H_
+#define MDMATCH_SCHEMA_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace mdmatch {
+
+/// Persistent tuple identifier. The paper's dynamic semantics tracks tuples
+/// across updates via "temporary unique tuple ids" (Section 2.1); instances
+/// D ⊑ D' are aligned by these ids.
+using TupleId = int64_t;
+
+/// Ground-truth entity identifier, held by the data generator; kEntityUnknown
+/// when no truth is available.
+using EntityId = int64_t;
+inline constexpr EntityId kEntityUnknown = -1;
+
+/// \brief One record: a flat vector of string attribute values plus its
+/// tuple id and (optional) ground-truth entity id.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(TupleId id, std::vector<std::string> values,
+        EntityId entity = kEntityUnknown)
+      : id_(id), entity_(entity), values_(std::move(values)) {}
+
+  TupleId id() const { return id_; }
+  EntityId entity() const { return entity_; }
+  void set_entity(EntityId e) { entity_ = e; }
+
+  const std::string& value(AttrId a) const {
+    return values_[static_cast<size_t>(a)];
+  }
+  void set_value(AttrId a, std::string v) {
+    values_[static_cast<size_t>(a)] = std::move(v);
+  }
+  size_t arity() const { return values_.size(); }
+  const std::vector<std::string>& values() const { return values_; }
+
+  bool operator==(const Tuple&) const = default;
+
+ private:
+  TupleId id_ = -1;
+  EntityId entity_ = kEntityUnknown;
+  std::vector<std::string> values_;
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_SCHEMA_TUPLE_H_

@@ -1,0 +1,162 @@
+#include "sim/edit_distance.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <vector>
+
+namespace mdmatch::sim {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({up + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t max_dist) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > max_dist) return max_dist + 1;
+  if (b.empty()) return a.size();
+
+  const size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  std::vector<size_t> row(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), max_dist); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    // Only cells within the band |i - j| <= max_dist can be <= max_dist.
+    size_t lo = (i > max_dist) ? i - max_dist : 1;
+    size_t hi = std::min(b.size(), i + max_dist);
+    size_t diag = (lo > 1) ? row[lo - 1] : row[0];
+    if (lo == 1) row[0] = i <= max_dist ? i : kInf;
+    size_t row_min = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      size_t up = row[j];
+      size_t left = (j == lo && lo > 1) ? kInf : row[j - 1];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({up + 1, left + 1, diag + cost});
+      diag = up;
+      row_min = std::min(row_min, row[j]);
+    }
+    if (hi < b.size()) row[hi + 1] = kInf;
+    if (row_min > max_dist) return max_dist + 1;
+  }
+  return std::min(row[b.size()], max_dist + 1);
+}
+
+size_t OsaDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Three rolling rows: i-2, i-1, i.
+  std::vector<size_t> prev2(m + 1), prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t kInf = n + m;
+
+  // Lowrance-Wagner algorithm with an alphabet map of last occurrences.
+  std::array<size_t, 256> da;
+  da.fill(0);
+
+  // (n+2) x (m+2) matrix with a sentinel border of kInf.
+  std::vector<size_t> h((n + 2) * (m + 2));
+  auto at = [&](size_t i, size_t j) -> size_t& { return h[i * (m + 2) + j]; };
+  at(0, 0) = kInf;
+  for (size_t i = 0; i <= n; ++i) {
+    at(i + 1, 0) = kInf;
+    at(i + 1, 1) = i;
+  }
+  for (size_t j = 0; j <= m; ++j) {
+    at(0, j + 1) = kInf;
+    at(1, j + 1) = j;
+  }
+
+  for (size_t i = 1; i <= n; ++i) {
+    size_t db = 0;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t i1 = da[static_cast<unsigned char>(b[j - 1])];
+      size_t j1 = db;
+      size_t cost = 1;
+      if (a[i - 1] == b[j - 1]) {
+        cost = 0;
+        db = j;
+      }
+      size_t transpose =
+          (i1 > 0 && j1 > 0)
+              ? at(i1, j1) + (i - i1 - 1) + 1 + (j - j1 - 1)
+              : kInf;
+      at(i + 1, j + 1) = std::min({at(i, j) + cost,      // substitution
+                                   at(i + 1, j) + 1,     // insertion
+                                   at(i, j + 1) + 1,     // deletion
+                                   transpose});          // transposition
+    }
+    da[static_cast<unsigned char>(a[i - 1])] = i;
+  }
+  return at(n + 1, m + 1);
+}
+
+double NormalizedDamerauLevenshtein(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  size_t dist = DamerauLevenshteinDistance(a, b);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+bool DlSimilar(std::string_view a, std::string_view b, double theta) {
+  if (a == b) return true;  // similarity subsumes equality by axiom
+  double longest = static_cast<double>(std::max(a.size(), b.size()));
+  // The epsilon absorbs binary-representation error in (1 - theta): at
+  // theta = 0.8 and length 5 the allowance must be exactly 1.0 edit, not
+  // 0.9999999999999998.
+  double allowed = (1.0 - theta) * longest + 1e-9;
+  size_t budget = static_cast<size_t>(allowed);  // floor: dist is integral
+
+  // Cheap rejections first: the length gap lower-bounds every edit
+  // distance.
+  size_t gap = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  if (static_cast<double>(gap) > allowed) return false;
+
+  // Banded Levenshtein upper-bounds DL (DL only removes cost), so
+  // lev <= allowed proves similarity. Conversely each transposition can
+  // save at most one edit versus Levenshtein across two positions, so
+  // dl >= lev / 2: lev > 2*allowed proves dissimilarity. Only the gap in
+  // between needs the full (quadratic) DL computation.
+  size_t lev = LevenshteinDistanceBounded(a, b, 2 * budget + 1);
+  if (static_cast<double>(lev) <= allowed) return true;
+  if (lev > 2 * budget + 1) return false;
+  size_t dist = DamerauLevenshteinDistance(a, b);
+  return static_cast<double>(dist) <= allowed;
+}
+
+}  // namespace mdmatch::sim

@@ -1,0 +1,38 @@
+#ifndef MDMATCH_SIM_EDIT_DISTANCE_H_
+#define MDMATCH_SIM_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace mdmatch::sim {
+
+/// Classic Levenshtein distance: minimum number of single-character
+/// insertions, deletions and substitutions transforming `a` into `b`.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: returns the exact distance if it is <= `max_dist`,
+/// otherwise returns `max_dist + 1`. Runs in O(max_dist * min(|a|,|b|)).
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t max_dist);
+
+/// Optimal-string-alignment distance (the "restricted" Damerau-Levenshtein):
+/// Levenshtein plus transposition of two adjacent characters, where no
+/// substring is edited more than once.
+size_t OsaDistance(std::string_view a, std::string_view b);
+
+/// Full Damerau-Levenshtein distance (unrestricted; transpositions may be
+/// interleaved with other edits). This is the "DL metric" of the paper's
+/// Section 6 experimental setup [18].
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized DL similarity in [0,1]: 1 - dist / max(|a|,|b|); both empty
+/// strings have similarity 1.
+double NormalizedDamerauLevenshtein(std::string_view a, std::string_view b);
+
+/// The paper's thresholded DL predicate: v ~theta v' iff
+/// DL(v, v') <= (1 - theta) * max(|v|, |v'|). Section 6 fixes theta = 0.8.
+bool DlSimilar(std::string_view a, std::string_view b, double theta);
+
+}  // namespace mdmatch::sim
+
+#endif  // MDMATCH_SIM_EDIT_DISTANCE_H_

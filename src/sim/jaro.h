@@ -1,0 +1,20 @@
+#ifndef MDMATCH_SIM_JARO_H_
+#define MDMATCH_SIM_JARO_H_
+
+#include <string_view>
+
+namespace mdmatch::sim {
+
+/// Jaro similarity in [0,1]: based on the number of matching characters
+/// within the sliding match window and the number of transpositions
+/// (Jaro 1989, used for census record linkage).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by the length of the common prefix
+/// (up to 4 characters) scaled by `prefix_scale` (Winkler's 0.1 default).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace mdmatch::sim
+
+#endif  // MDMATCH_SIM_JARO_H_

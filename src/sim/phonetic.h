@@ -1,0 +1,21 @@
+#ifndef MDMATCH_SIM_PHONETIC_H_
+#define MDMATCH_SIM_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace mdmatch::sim {
+
+/// American Soundex code ("Robert" -> "R163"). Non-alphabetic characters
+/// are ignored; an empty or all-symbol input encodes to "".
+/// The paper's blocking experiment (Section 6, Exp-4) Soundex-encodes the
+/// name attribute before building blocking keys.
+std::string Soundex(std::string_view name);
+
+/// NYSIIS phonetic code, a more precise alternative encoder often used for
+/// blocking keys in record linkage toolkits.
+std::string Nysiis(std::string_view name);
+
+}  // namespace mdmatch::sim
+
+#endif  // MDMATCH_SIM_PHONETIC_H_

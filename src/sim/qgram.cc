@@ -1,0 +1,79 @@
+#include "sim/qgram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mdmatch::sim {
+
+std::vector<std::string> QGrams(std::string_view s, size_t q) {
+  std::vector<std::string> grams;
+  if (s.empty() || q == 0) return grams;
+  std::string padded;
+  padded.reserve(s.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  padded.append(s);
+  padded.append(q - 1, '#');
+  if (padded.size() < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+namespace {
+
+std::map<std::string, size_t> GramCounts(std::string_view s, size_t q) {
+  std::map<std::string, size_t> counts;
+  for (auto& g : QGrams(s, q)) ++counts[g];
+  return counts;
+}
+
+}  // namespace
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto ca = GramCounts(a, q);
+  auto cb = GramCounts(b, q);
+  if (ca.empty() && cb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& [gram, _] : ca) {
+    if (cb.count(gram)) ++inter;
+  }
+  size_t uni = ca.size() + cb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double QGramCosine(std::string_view a, std::string_view b, size_t q) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto ca = GramCounts(a, q);
+  auto cb = GramCounts(b, q);
+  if (ca.empty() || cb.empty()) return ca.empty() == cb.empty() ? 1.0 : 0.0;
+  double dot = 0, na = 0, nb = 0;
+  for (const auto& [gram, cnt] : ca) {
+    na += static_cast<double>(cnt) * static_cast<double>(cnt);
+    auto it = cb.find(gram);
+    if (it != cb.end()) dot += static_cast<double>(cnt) * static_cast<double>(it->second);
+  }
+  for (const auto& [gram, cnt] : cb) {
+    nb += static_cast<double>(cnt) * static_cast<double>(cnt);
+  }
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double QGramOverlap(std::string_view a, std::string_view b, size_t q) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto ca = GramCounts(a, q);
+  auto cb = GramCounts(b, q);
+  if (ca.empty() || cb.empty()) return ca.empty() == cb.empty() ? 1.0 : 0.0;
+  size_t inter = 0;
+  for (const auto& [gram, _] : ca) {
+    if (cb.count(gram)) ++inter;
+  }
+  size_t smaller = std::min(ca.size(), cb.size());
+  return static_cast<double>(inter) / static_cast<double>(smaller);
+}
+
+}  // namespace mdmatch::sim

@@ -1,0 +1,28 @@
+#ifndef MDMATCH_SIM_QGRAM_H_
+#define MDMATCH_SIM_QGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdmatch::sim {
+
+/// Returns the multiset of q-grams of `s`, padded with (q-1) '#' characters
+/// on each side (the usual record-linkage convention so that prefixes and
+/// suffixes contribute). An empty string yields no q-grams.
+std::vector<std::string> QGrams(std::string_view s, size_t q);
+
+/// Jaccard similarity of the q-gram *sets* of a and b, in [0,1].
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 2);
+
+/// Cosine similarity of the q-gram *multisets* (bag-of-grams vectors).
+double QGramCosine(std::string_view a, std::string_view b, size_t q = 2);
+
+/// Overlap (Szymkiewicz-Simpson) coefficient of the q-gram sets:
+/// |A ∩ B| / min(|A|, |B|).
+double QGramOverlap(std::string_view a, std::string_view b, size_t q = 2);
+
+}  // namespace mdmatch::sim
+
+#endif  // MDMATCH_SIM_QGRAM_H_

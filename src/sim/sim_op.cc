@@ -1,0 +1,133 @@
+#include "sim/sim_op.h"
+
+#include "sim/edit_distance.h"
+#include "sim/jaro.h"
+#include "sim/phonetic.h"
+#include "sim/qgram.h"
+#include "util/string_util.h"
+
+namespace mdmatch::sim {
+
+SimOpRegistry::SimOpRegistry() {
+  ops_.push_back(Op{"=", [](std::string_view a, std::string_view b) {
+                    return a == b;
+                  }});
+}
+
+Result<SimOpId> SimOpRegistry::Register(std::string name, Predicate pred) {
+  for (const auto& op : ops_) {
+    if (op.name == name) {
+      return Status::InvalidArgument("similarity operator '" + name +
+                                     "' already registered");
+    }
+  }
+  // Wrap so equality always short-circuits: this makes reflexivity and
+  // equality-subsumption hold for any user predicate.
+  Predicate wrapped = [inner = std::move(pred)](std::string_view a,
+                                                std::string_view b) {
+    return a == b || inner(a, b);
+  };
+  ops_.push_back(Op{std::move(name), std::move(wrapped)});
+  return static_cast<SimOpId>(ops_.size() - 1);
+}
+
+SimOpId SimOpRegistry::FindOrRegister(std::string name, Predicate pred) {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].name == name) return static_cast<SimOpId>(i);
+  }
+  auto r = Register(std::move(name), std::move(pred));
+  return *r;
+}
+
+SimOpId SimOpRegistry::Dl(double theta) {
+  return FindOrRegister(
+      StringPrintf("dl@%.2f", theta),
+      [theta](std::string_view a, std::string_view b) {
+        return DlSimilar(a, b, theta);
+      });
+}
+
+SimOpId SimOpRegistry::Levenshtein(size_t max_dist) {
+  return FindOrRegister(
+      StringPrintf("lev%zu", max_dist),
+      [max_dist](std::string_view a, std::string_view b) {
+        return LevenshteinDistanceBounded(a, b, max_dist) <= max_dist;
+      });
+}
+
+SimOpId SimOpRegistry::Jaro(double threshold) {
+  return FindOrRegister(
+      StringPrintf("jaro@%.2f", threshold),
+      [threshold](std::string_view a, std::string_view b) {
+        return JaroSimilarity(a, b) >= threshold;
+      });
+}
+
+SimOpId SimOpRegistry::JaroWinkler(double threshold) {
+  return FindOrRegister(
+      StringPrintf("jw@%.2f", threshold),
+      [threshold](std::string_view a, std::string_view b) {
+        return JaroWinklerSimilarity(a, b) >= threshold;
+      });
+}
+
+SimOpId SimOpRegistry::QGramJaccard2(double threshold) {
+  return FindOrRegister(
+      StringPrintf("qgram2@%.2f", threshold),
+      [threshold](std::string_view a, std::string_view b) {
+        return QGramJaccard(a, b, 2) >= threshold;
+      });
+}
+
+SimOpId SimOpRegistry::SoundexEq() {
+  return FindOrRegister("soundex",
+                        [](std::string_view a, std::string_view b) {
+                          return Soundex(a) == Soundex(b);
+                        });
+}
+
+SimOpId SimOpRegistry::NysiisEq() {
+  return FindOrRegister("nysiis",
+                        [](std::string_view a, std::string_view b) {
+                          return Nysiis(a) == Nysiis(b);
+                        });
+}
+
+SimOpId SimOpRegistry::PrefixEq(size_t k) {
+  return FindOrRegister(
+      StringPrintf("prefix%zu", k),
+      [k](std::string_view a, std::string_view b) {
+        return a.substr(0, std::min(k, a.size())) ==
+               b.substr(0, std::min(k, b.size()));
+      });
+}
+
+bool SimOpRegistry::Eval(SimOpId id, std::string_view a,
+                         std::string_view b) const {
+  return ops_[static_cast<size_t>(id)].pred(a, b);
+}
+
+Result<SimOpId> SimOpRegistry::Find(std::string_view name) const {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].name == name) return static_cast<SimOpId>(i);
+  }
+  return Status::NotFound("unknown similarity operator '" +
+                          std::string(name) + "'");
+}
+
+const std::string& SimOpRegistry::Name(SimOpId id) const {
+  return ops_[static_cast<size_t>(id)].name;
+}
+
+SimOpRegistry SimOpRegistry::Default() {
+  SimOpRegistry reg;
+  reg.Dl(0.8);
+  reg.Jaro(0.85);
+  reg.JaroWinkler(0.9);
+  reg.QGramJaccard2(0.7);
+  reg.SoundexEq();
+  reg.PrefixEq(4);
+  return reg;
+}
+
+}  // namespace mdmatch::sim

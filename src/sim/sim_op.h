@@ -1,0 +1,88 @@
+#ifndef MDMATCH_SIM_SIM_OP_H_
+#define MDMATCH_SIM_SIM_OP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdmatch::sim {
+
+/// Identifier of a similarity operator within a SimOpRegistry.
+/// Id 0 is always the equality operator "=".
+using SimOpId = int32_t;
+
+/// \brief The fixed set Θ of domain-specific similarity operators
+/// (paper Section 2.1).
+///
+/// Every registered predicate must obey the paper's generic axioms:
+///   - reflexive:          x ≈ x
+///   - symmetric:          x ≈ y implies y ≈ x
+///   - subsumes equality:  x = y implies x ≈ y
+/// Registered predicates are wrapped so that x == y short-circuits to true,
+/// which enforces reflexivity/subsumption mechanically; symmetry is the
+/// predicate author's obligation (all built-ins are symmetric metrics) and
+/// is validated by the property tests.
+///
+/// Transitivity is deliberately NOT assumed (except for "="): the
+/// deduction machinery in core/ never exploits it.
+class SimOpRegistry {
+ public:
+  using Predicate =
+      std::function<bool(std::string_view, std::string_view)>;
+
+  static constexpr SimOpId kEq = 0;
+
+  /// Creates a registry that contains only "=".
+  SimOpRegistry();
+
+  /// Registers a predicate under a unique name; InvalidArgument on a
+  /// duplicate name.
+  Result<SimOpId> Register(std::string name, Predicate pred);
+
+  /// Convenience registrations for the standard metrics. Names encode the
+  /// parameters, e.g. "dl@0.80", "jaro@0.90", "jw@0.90", "qgram2@0.70",
+  /// "soundex", "prefix4". Re-registering the same name returns the
+  /// existing id (these are idempotent).
+  SimOpId Dl(double theta);
+  SimOpId Levenshtein(size_t max_dist);
+  SimOpId Jaro(double threshold);
+  SimOpId JaroWinkler(double threshold);
+  SimOpId QGramJaccard2(double threshold);
+  SimOpId SoundexEq();
+  SimOpId NysiisEq();
+  SimOpId PrefixEq(size_t k);
+
+  /// Evaluates operator `id` on (a, b); id must be valid.
+  bool Eval(SimOpId id, std::string_view a, std::string_view b) const;
+
+  /// Name lookup; NotFound when the name is unknown.
+  Result<SimOpId> Find(std::string_view name) const;
+
+  const std::string& Name(SimOpId id) const;
+  bool IsValid(SimOpId id) const {
+    return id >= 0 && static_cast<size_t>(id) < ops_.size();
+  }
+  /// Number of registered operators, including "=".
+  size_t size() const { return ops_.size(); }
+
+  /// Registry with the default operator suite installed (dl@0.80 and
+  /// friends); the experimental sections of the paper use dl@0.80.
+  static SimOpRegistry Default();
+
+ private:
+  struct Op {
+    std::string name;
+    Predicate pred;
+  };
+  SimOpId FindOrRegister(std::string name, Predicate pred);
+
+  std::vector<Op> ops_;
+};
+
+}  // namespace mdmatch::sim
+
+#endif  // MDMATCH_SIM_SIM_OP_H_

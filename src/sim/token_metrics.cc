@@ -1,0 +1,122 @@
+#include "sim/token_metrics.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/edit_distance.h"
+#include "util/string_util.h"
+
+namespace mdmatch::sim {
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> out;
+  for (const auto& raw : Split(s, ' ')) {
+    std::string token;
+    for (char c : raw) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        token.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      }
+    }
+    if (!token.empty()) out.push_back(std::move(token));
+  }
+  return out;
+}
+
+namespace {
+
+double DirectedMongeElkan(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty()) return b.empty() ? 1.0 : 0.0;
+  if (b.empty()) return 0.0;
+  double total = 0;
+  for (const auto& ta : a) {
+    double best = 0;
+    for (const auto& tb : b) {
+      best = std::max(best, NormalizedDamerauLevenshtein(ta, tb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  auto ta = Tokenize(a);
+  auto tb = Tokenize(b);
+  return std::max(DirectedMongeElkan(ta, tb), DirectedMongeElkan(tb, ta));
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  auto ta = Tokenize(a);
+  auto tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  std::set<std::string> sa(ta.begin(), ta.end());
+  std::set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+size_t LongestCommonSubstring(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  // Rolling row of "length of common suffix ending at (i, j)".
+  std::vector<size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  size_t best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : 0;
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+double NormalizedLcs(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t smaller = std::min(a.size(), b.size());
+  if (smaller == 0) return 0.0;
+  return static_cast<double>(LongestCommonSubstring(a, b)) /
+         static_cast<double>(smaller);
+}
+
+namespace {
+
+SimOpId FindOrRegisterThresholded(SimOpRegistry* reg, std::string name,
+                                  double threshold,
+                                  double (*metric)(std::string_view,
+                                                   std::string_view)) {
+  auto existing = reg->Find(name);
+  if (existing.ok()) return *existing;
+  auto id = reg->Register(std::move(name),
+                          [metric, threshold](std::string_view a,
+                                              std::string_view b) {
+                            return metric(a, b) >= threshold;
+                          });
+  return *id;
+}
+
+}  // namespace
+
+SimOpId RegisterMongeElkan(SimOpRegistry* reg, double threshold) {
+  return FindOrRegisterThresholded(reg, StringPrintf("me@%.2f", threshold),
+                                   threshold, &MongeElkanSimilarity);
+}
+
+SimOpId RegisterTokenJaccard(SimOpRegistry* reg, double threshold) {
+  return FindOrRegisterThresholded(
+      reg, StringPrintf("tokjac@%.2f", threshold), threshold, &TokenJaccard);
+}
+
+SimOpId RegisterLcs(SimOpRegistry* reg, double threshold) {
+  return FindOrRegisterThresholded(reg, StringPrintf("lcs@%.2f", threshold),
+                                   threshold, &NormalizedLcs);
+}
+
+}  // namespace mdmatch::sim

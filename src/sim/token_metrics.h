@@ -1,0 +1,36 @@
+#ifndef MDMATCH_SIM_TOKEN_METRICS_H_
+#define MDMATCH_SIM_TOKEN_METRICS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sim/sim_op.h"
+
+namespace mdmatch::sim {
+
+/// Whitespace tokenization with case folding; empty tokens dropped.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// \brief Monge-Elkan similarity: the mean, over tokens of `a`, of the best
+/// inner similarity against any token of `b`, symmetrized by taking the
+/// maximum of both directions. The inner similarity is normalized DL.
+/// Robust to token reordering ("John A Smith" vs "Smith, John").
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the token *sets* ("10 Oak Street" vs
+/// "Oak Street 10" scores 1).
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Length of the longest common substring (contiguous), and the
+/// normalized variant lcs / min(|a|, |b|).
+size_t LongestCommonSubstring(std::string_view a, std::string_view b);
+double NormalizedLcs(std::string_view a, std::string_view b);
+
+/// Registry helpers (idempotent): "me@<t>", "tokjac@<t>", "lcs@<t>".
+SimOpId RegisterMongeElkan(SimOpRegistry* reg, double threshold);
+SimOpId RegisterTokenJaccard(SimOpRegistry* reg, double threshold);
+SimOpId RegisterLcs(SimOpRegistry* reg, double threshold);
+
+}  // namespace mdmatch::sim
+
+#endif  // MDMATCH_SIM_TOKEN_METRICS_H_

@@ -1,0 +1,115 @@
+#include "sim/transform.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/edit_distance.h"
+#include "util/string_util.h"
+
+namespace mdmatch::sim {
+
+void TransformTable::AddSynonym(std::string_view from, std::string_view to) {
+  std::string key = ToUpper(from);
+  std::string value = ToUpper(to);
+  if (key.find(' ') == std::string::npos) {
+    token_rules_[key] = value;
+  } else {
+    phrase_rules_[key] = value;
+  }
+}
+
+std::string TransformTable::Apply(std::string_view value) const {
+  std::string upper = ToUpper(value);
+
+  // Multi-word synonyms first (longest key first so overlapping phrases
+  // resolve deterministically).
+  std::vector<const std::pair<const std::string, std::string>*> phrases;
+  for (const auto& rule : phrase_rules_) phrases.push_back(&rule);
+  std::sort(phrases.begin(), phrases.end(), [](const auto* a, const auto* b) {
+    return a->first.size() > b->first.size();
+  });
+  for (const auto* rule : phrases) {
+    size_t pos = 0;
+    while ((pos = upper.find(rule->first, pos)) != std::string::npos) {
+      upper.replace(pos, rule->first.size(), rule->second);
+      pos += rule->second.size();
+    }
+  }
+
+  // Tokenize, strip trailing '.', apply token synonyms, collapse spaces.
+  std::string out;
+  for (const auto& raw : Split(upper, ' ')) {
+    std::string token = raw;
+    while (!token.empty() && (token.back() == '.' || token.back() == ',')) {
+      token.pop_back();
+    }
+    if (token.empty()) continue;
+    auto it = token_rules_.find(token);
+    if (it != token_rules_.end()) token = it->second;
+    if (!out.empty()) out.push_back(' ');
+    out += token;
+  }
+  return out;
+}
+
+TransformTable TransformTable::UsAddressDefaults() {
+  TransformTable t;
+  // Street suffixes (USPS-style).
+  t.AddSynonym("STREET", "ST");
+  t.AddSynonym("AVENUE", "AVE");
+  t.AddSynonym("ROAD", "RD");
+  t.AddSynonym("DRIVE", "DR");
+  t.AddSynonym("LANE", "LN");
+  t.AddSynonym("COURT", "CT");
+  t.AddSynonym("BOULEVARD", "BLVD");
+  t.AddSynonym("CIRCLE", "CIR");
+  t.AddSynonym("PLACE", "PL");
+  t.AddSynonym("TERRACE", "TER");
+  t.AddSynonym("HIGHWAY", "HWY");
+  t.AddSynonym("PARKWAY", "PKWY");
+  t.AddSynonym("SQUARE", "SQ");
+  t.AddSynonym("APARTMENT", "APT");
+  t.AddSynonym("SUITE", "STE");
+  t.AddSynonym("NORTH", "N");
+  t.AddSynonym("SOUTH", "S");
+  t.AddSynonym("EAST", "E");
+  t.AddSynonym("WEST", "W");
+  // States seen in the data pools.
+  t.AddSynonym("NEW JERSEY", "NJ");
+  t.AddSynonym("NEW YORK", "NY");
+  t.AddSynonym("PENNSYLVANIA", "PA");
+  t.AddSynonym("MASSACHUSETTS", "MA");
+  t.AddSynonym("CONNECTICUT", "CT");
+  t.AddSynonym("CALIFORNIA", "CA");
+  t.AddSynonym("TEXAS", "TX");
+  t.AddSynonym("FLORIDA", "FL");
+  t.AddSynonym("ILLINOIS", "IL");
+  t.AddSynonym("WASHINGTON", "WA");
+  // Countries.
+  t.AddSynonym("UNITED STATES OF AMERICA", "USA");
+  t.AddSynonym("UNITED STATES", "USA");
+  t.AddSynonym("U.S.A", "USA");
+  t.AddSynonym("US", "USA");
+  return t;
+}
+
+SimOpId RegisterTransformedEq(SimOpRegistry* reg, std::string name,
+                              const TransformTable& table) {
+  auto result = reg->Register(
+      std::move(name), [table](std::string_view a, std::string_view b) {
+        return table.Apply(a) == table.Apply(b);
+      });
+  return result.ok() ? *result : -1;
+}
+
+SimOpId RegisterTransformedDl(SimOpRegistry* reg, std::string name,
+                              const TransformTable& table, double theta) {
+  auto result = reg->Register(
+      std::move(name),
+      [table, theta](std::string_view a, std::string_view b) {
+        return DlSimilar(table.Apply(a), table.Apply(b), theta);
+      });
+  return result.ok() ? *result : -1;
+}
+
+}  // namespace mdmatch::sim

@@ -1,0 +1,58 @@
+#ifndef MDMATCH_SIM_TRANSFORM_H_
+#define MDMATCH_SIM_TRANSFORM_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/sim_op.h"
+
+namespace mdmatch::sim {
+
+/// \brief Constant transformation / synonym table — the paper's second
+/// future-work item ("augment similarity relations with constants, to
+/// capture domain-specific synonym rules along the same lines as
+/// [3, 5, 23]", Section 8).
+///
+/// Values are canonicalized token-by-token (case-insensitive) before
+/// comparison: "620 Elm Street" and "620 Elm St." both normalize to
+/// "620 ELM ST". Multi-word synonyms ("United States" -> "USA") are
+/// applied before tokenization, longest first.
+class TransformTable {
+ public:
+  /// Adds a synonym rule: occurrences of `from` (case-insensitive) become
+  /// `to`. Multi-word `from` values are supported.
+  void AddSynonym(std::string_view from, std::string_view to);
+
+  /// Canonicalizes a value: upper-cases, strips '.' after abbreviations,
+  /// applies multi-word synonyms, then per-token synonyms, and collapses
+  /// whitespace.
+  std::string Apply(std::string_view value) const;
+
+  size_t size() const { return token_rules_.size() + phrase_rules_.size(); }
+
+  /// A table pre-loaded with common US address and state abbreviations
+  /// (Street/St, Avenue/Ave, Road/Rd, ..., New Jersey/NJ, ...) and country
+  /// synonyms (United States/USA).
+  static TransformTable UsAddressDefaults();
+
+ private:
+  std::map<std::string, std::string> token_rules_;   // single tokens
+  std::map<std::string, std::string> phrase_rules_;  // multi-word, by upper
+};
+
+/// Registers "teq:<name>" — equality after canonicalization by `table` —
+/// in the registry. The operator satisfies the generic axioms (equality
+/// short-circuit plus a deterministic canonical form makes it reflexive
+/// and symmetric). The table is copied into the operator.
+SimOpId RegisterTransformedEq(SimOpRegistry* reg, std::string name,
+                              const TransformTable& table);
+
+/// Registers "tdl:<name>@theta" — the thresholded DL similarity applied to
+/// canonicalized values.
+SimOpId RegisterTransformedDl(SimOpRegistry* reg, std::string name,
+                              const TransformTable& table, double theta);
+
+}  // namespace mdmatch::sim
+
+#endif  // MDMATCH_SIM_TRANSFORM_H_

@@ -1,0 +1,122 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mdmatch {
+
+Result<std::vector<std::vector<std::string>>> Csv::Parse(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  size_t i = 0;
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else {
+      switch (c) {
+        case '"':
+          if (!field_started && field.empty()) {
+            in_quotes = true;
+            field_started = true;
+          } else {
+            field.push_back(c);  // Stray quote mid-field: keep it literal.
+          }
+          ++i;
+          break;
+        case ',':
+          end_field();
+          ++i;
+          break;
+        case '\r':
+          if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+          [[fallthrough]];
+        case '\n':
+          end_row();
+          ++i;
+          break;
+        default:
+          field.push_back(c);
+          field_started = true;
+          ++i;
+          break;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  // Flush a final row without a trailing newline.
+  if (!field.empty() || !row.empty() || field_started) end_row();
+  return rows;
+}
+
+std::string Csv::EscapeField(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string Csv::Serialize(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += EscapeField(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> Csv::ReadFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+Status Csv::WriteFile(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << Serialize(rows);
+  return Status::OK();
+}
+
+}  // namespace mdmatch

@@ -1,0 +1,43 @@
+#ifndef MDMATCH_UTIL_CSV_H_
+#define MDMATCH_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mdmatch {
+
+/// \brief Minimal RFC-4180-style CSV support: quoted fields, embedded
+/// commas, embedded quotes ("" escaping) and embedded newlines.
+///
+/// Used to export generated datasets and to load external data into
+/// relations; not a general streaming parser (files at our scale fit in
+/// memory comfortably).
+class Csv {
+ public:
+  /// Parses one CSV document into rows of fields.
+  /// Fails with ParseError on an unterminated quoted field.
+  static Result<std::vector<std::vector<std::string>>> Parse(
+      std::string_view text);
+
+  /// Serializes rows, quoting fields only when needed.
+  static std::string Serialize(
+      const std::vector<std::vector<std::string>>& rows);
+
+  /// Quotes a single field if it contains a comma, quote or newline.
+  static std::string EscapeField(std::string_view field);
+
+  /// Reads and parses a file. NotFound if unreadable.
+  static Result<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path);
+
+  /// Serializes and writes rows to a file.
+  static Status WriteFile(const std::string& path,
+                          const std::vector<std::vector<std::string>>& rows);
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_UTIL_CSV_H_

@@ -1,0 +1,68 @@
+#ifndef MDMATCH_UTIL_RANDOM_H_
+#define MDMATCH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdmatch {
+
+/// \brief Deterministic PRNG (xoshiro256**) with convenience helpers.
+///
+/// All randomized components of the library (data generator, noise
+/// injection, MD generator, EM sampling) take an explicit Rng so that every
+/// experiment is reproducible from a seed. Not thread-safe; use one Rng per
+/// thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Picks a uniformly random element index of a container of size n.
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(n)); }
+
+  /// Picks a uniformly random element of a vector. Requires non-empty v.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[Index(v.size())];
+  }
+
+  /// Random lowercase ASCII letter / digit / alphanumeric character.
+  char Letter();
+  char Digit();
+  char AlphaNum();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Index(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices out of [0, n) (k capped at n).
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_UTIL_RANDOM_H_

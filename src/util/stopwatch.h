@@ -1,0 +1,29 @@
+#ifndef MDMATCH_UTIL_STOPWATCH_H_
+#define MDMATCH_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mdmatch {
+
+/// \brief Wall-clock stopwatch used by the figure benches (the paper
+/// reports wall time for findRCKs and the matching methods).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_UTIL_STOPWATCH_H_

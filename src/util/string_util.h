@@ -1,0 +1,44 @@
+#ifndef MDMATCH_UTIL_STRING_UTIL_H_
+#define MDMATCH_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdmatch {
+
+/// ASCII-only case conversion (data values in this library are ASCII; the
+/// generator and parsers never emit multi-byte characters).
+std::string ToUpper(std::string_view s);
+std::string ToLower(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Returns true if every character is an ASCII digit (and s is non-empty).
+bool IsDigits(std::string_view s);
+
+/// Removes every character for which `drop` contains it.
+std::string RemoveChars(std::string_view s, std::string_view drop);
+
+/// Keeps only alphanumeric characters (used to canonicalize phone numbers
+/// and zip codes before comparison).
+std::string AlphaNumOnly(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_UTIL_STRING_UTIL_H_

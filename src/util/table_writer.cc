@@ -1,0 +1,54 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mdmatch {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::Num(double v, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << "| " << row[i] << std::string(widths[i] - row[i].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  print_row(header_);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    os << "|" << std::string(widths[i] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TableWriter::ToString() const {
+  std::ostringstream ss;
+  Print(ss);
+  return ss.str();
+}
+
+}  // namespace mdmatch

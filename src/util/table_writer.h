@@ -1,0 +1,37 @@
+#ifndef MDMATCH_UTIL_TABLE_WRITER_H_
+#define MDMATCH_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mdmatch {
+
+/// \brief Renders aligned plain-text tables; the figure benches use it to
+/// print each paper figure as one series table.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  /// Writes the table with column alignment and a separator rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdmatch
+
+#endif  // MDMATCH_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,340 @@
+// Tests for algorithm MDClosure and the deduction relation Σ ⊨m φ
+// (paper Sections 3-4): the worked examples, the inference lemmas, and
+// structural properties of the closure.
+
+#include "core/closure.h"
+
+#include <gtest/gtest.h>
+
+#include "core/md_parser.h"
+#include "datagen/credit_billing.h"
+
+namespace mdmatch {
+namespace {
+
+// (R, R) self pair for the single-relation examples (Example 2.3 / 3.1).
+SchemaPair AbcPair() {
+  Schema r("R", {{"A", "d"}, {"B", "d"}, {"C", "d"}});
+  return SchemaPair(r, r);
+}
+
+class ClosureExampleTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ops_ = sim::SimOpRegistry::Default();
+    ex_ = datagen::MakeExample11(&ops_);
+  }
+
+  // Builds the MD "lhs -> target identified" for a key candidate.
+  MatchingDependency KeyMd(std::vector<Conjunct> lhs) {
+    std::vector<AttrPair> rhs;
+    for (size_t i = 0; i < ex_.target.size(); ++i) {
+      rhs.push_back(ex_.target.pair_at(i));
+    }
+    return MatchingDependency(std::move(lhs), std::move(rhs));
+  }
+
+  Conjunct C(const char* l, const char* op, const char* r) {
+    auto li = ex_.pair.left().Find(l);
+    auto ri = ex_.pair.right().Find(r);
+    auto oi = ops_.Find(op);
+    EXPECT_TRUE(li.ok() && ri.ok() && oi.ok());
+    return Conjunct{{*li, *ri}, *oi};
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::Example11Data ex_;
+};
+
+// ------------------------------------------------- paper worked examples
+
+TEST_F(ClosureExampleTest, Example35DeducesRck4) {
+  // Σc ⊨m rck4 where rck4 = ([email, tel], [email, phn] || [=, =]).
+  auto rck4 = KeyMd({C("email", "=", "email"), C("tel", "=", "phn")});
+  EXPECT_TRUE(Deduces(ex_.pair, ops_, ex_.mds, rck4));
+}
+
+TEST_F(ClosureExampleTest, Example35DeducesRck1To3) {
+  auto rck1 = KeyMd({C("LN", "=", "LN"), C("addr", "=", "post"),
+                     C("FN", "dl@0.80", "FN")});
+  auto rck2 = KeyMd({C("LN", "=", "LN"), C("tel", "=", "phn"),
+                     C("FN", "dl@0.80", "FN")});
+  auto rck3 = KeyMd({C("email", "=", "email"), C("addr", "=", "post")});
+  EXPECT_TRUE(Deduces(ex_.pair, ops_, ex_.mds, rck1));
+  EXPECT_TRUE(Deduces(ex_.pair, ops_, ex_.mds, rck2));
+  EXPECT_TRUE(Deduces(ex_.pair, ops_, ex_.mds, rck3));
+}
+
+TEST_F(ClosureExampleTest, Example41ClosureTrace) {
+  // The table of Example 4.1: seeding M with LHS(rck4) must identify
+  // addr/post, FN/FN, LN/LN and finally all of (Yc, Yb).
+  ClosureMatrix m = ComputeClosure(
+      ex_.pair, ops_, ex_.mds,
+      {C("email", "=", "email"), C("tel", "=", "phn")});
+
+  auto qa = [&](int rel, const char* name) {
+    const Schema& s = ex_.pair.side(rel);
+    return QualifiedAttr{rel, *s.Find(name)};
+  };
+  // Seeds.
+  EXPECT_TRUE(m.Holds(qa(0, "email"), qa(1, "email"), sim::SimOpRegistry::kEq));
+  EXPECT_TRUE(m.Holds(qa(0, "tel"), qa(1, "phn"), sim::SimOpRegistry::kEq));
+  // ϕ2 fires: addr <=> post.
+  EXPECT_TRUE(m.Holds(qa(0, "addr"), qa(1, "post"), sim::SimOpRegistry::kEq));
+  // ϕ3 fires: FN, LN.
+  EXPECT_TRUE(m.Holds(qa(0, "FN"), qa(1, "FN"), sim::SimOpRegistry::kEq));
+  EXPECT_TRUE(m.Holds(qa(0, "LN"), qa(1, "LN"), sim::SimOpRegistry::kEq));
+  // ϕ1 fires: the full target, including gender.
+  EXPECT_TRUE(
+      m.Holds(qa(0, "gender"), qa(1, "gender"), sim::SimOpRegistry::kEq));
+  // Entries are symmetric.
+  EXPECT_TRUE(m.Holds(qa(1, "post"), qa(0, "addr"), sim::SimOpRegistry::kEq));
+  // Nothing relates c# to anything.
+  EXPECT_FALSE(m.Holds(qa(0, "c#"), qa(1, "c#"), sim::SimOpRegistry::kEq));
+}
+
+TEST_F(ClosureExampleTest, SingletonLhsDeducesNothingExtra) {
+  // email alone does not identify the target (it is not a key by itself):
+  auto weak = KeyMd({C("email", "=", "email")});
+  EXPECT_FALSE(Deduces(ex_.pair, ops_, ex_.mds, weak));
+  // and neither does tel alone.
+  auto weak2 = KeyMd({C("tel", "=", "phn")});
+  EXPECT_FALSE(Deduces(ex_.pair, ops_, ex_.mds, weak2));
+}
+
+TEST_F(ClosureExampleTest, SimilarityConjunctDoesNotIdentify) {
+  // LHS pairs joined by a similarity operator are similar, not identified:
+  // a key of FN ~dl FN alone cannot identify FN.
+  ClosureMatrix m =
+      ComputeClosure(ex_.pair, ops_, {}, {C("FN", "dl@0.80", "FN")});
+  auto fn_c = QualifiedAttr{0, *ex_.pair.left().Find("FN")};
+  auto fn_b = QualifiedAttr{1, *ex_.pair.right().Find("FN")};
+  EXPECT_TRUE(m.Holds(fn_c, fn_b, *ops_.Find("dl@0.80")));
+  EXPECT_FALSE(m.Holds(fn_c, fn_b, sim::SimOpRegistry::kEq));
+}
+
+// ----------------------------------------- Example 3.1: dynamic semantics
+
+TEST(ClosureAbcTest, Example31TransitivityHoldsUnderDeduction) {
+  // Σ0 = {ψ1: A=A -> B<=>B, ψ2: B=B -> C<=>C}; ψ3: A=A -> C<=>C.
+  // Traditional implication fails (Example 3.1) but Σ0 ⊨m ψ3 (Lemma 3.3).
+  SchemaPair pair = AbcPair();
+  sim::SimOpRegistry ops;
+  auto parse = [&](const char* text) {
+    auto md = ParseMd(text, pair, ops);
+    EXPECT_TRUE(md.ok()) << md.status();
+    return *md;
+  };
+  MdSet sigma0 = {parse("R[A] = R[A] -> R[B] <=> R[B]"),
+                  parse("R[B] = R[B] -> R[C] <=> R[C]")};
+  auto psi3 = parse("R[A] = R[A] -> R[C] <=> R[C]");
+  EXPECT_TRUE(Deduces(pair, ops, sigma0, psi3));
+}
+
+TEST(ClosureAbcTest, NoDeductionWithoutChain) {
+  SchemaPair pair = AbcPair();
+  sim::SimOpRegistry ops;
+  auto parse = [&](const char* text) { return *ParseMd(text, pair, ops); };
+  MdSet sigma = {parse("R[A] = R[A] -> R[B] <=> R[B]")};
+  EXPECT_FALSE(Deduces(pair, ops, sigma, parse("R[A] = R[A] -> R[C] <=> R[C]")));
+  EXPECT_FALSE(Deduces(pair, ops, sigma, parse("R[C] = R[C] -> R[B] <=> R[B]")));
+}
+
+// ------------------------------------------------------ inference lemmas
+
+class LemmaTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Schema r1("R1", {{"A", "d"}, {"B", "d"}, {"C", "d"}, {"D", "d"},
+                     {"E", "d"}});
+    Schema r2("R2", {{"A", "d"}, {"B", "d"}, {"C", "d"}, {"D", "d"},
+                     {"E", "d"}});
+    pair_ = SchemaPair(std::move(r1), std::move(r2));
+    dl_ = ops_.Dl(0.8);
+  }
+
+  Conjunct C(AttrId l, sim::SimOpId op, AttrId r) { return {{l, r}, op}; }
+
+  SchemaPair pair_;
+  sim::SimOpRegistry ops_;
+  sim::SimOpId dl_;
+  static constexpr AttrId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4;
+  static constexpr sim::SimOpId kEq = sim::SimOpRegistry::kEq;
+};
+
+TEST_F(LemmaTest, Lemma31AugmentationWithSimilarity) {
+  // From ϕ: A=A -> B<=>B deduce (A=A ∧ C~C) -> B<=>B.
+  MdSet sigma = {MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}})};
+  MatchingDependency augmented({C(kA, kEq, kA), C(kC, dl_, kC)}, {{kB, kB}});
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, augmented));
+}
+
+TEST_F(LemmaTest, Lemma31AugmentationWithEqualityExtendsRhs) {
+  // From ϕ: A=A -> B<=>B deduce (A=A ∧ C=C) -> (B<=>B ∧ C<=>C).
+  MdSet sigma = {MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}})};
+  MatchingDependency augmented({C(kA, kEq, kA), C(kC, kEq, kC)},
+                               {{kB, kB}, {kC, kC}});
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, augmented));
+}
+
+TEST_F(LemmaTest, Lemma32StrengtheningSimilarityToEquality) {
+  // From (L ∧ A~B) -> Z deduce (L ∧ A=B) -> Z (equality subsumes ≈).
+  MdSet sigma = {
+      MatchingDependency({C(kA, kEq, kA), C(kB, dl_, kB)}, {{kC, kC}})};
+  MatchingDependency strengthened({C(kA, kEq, kA), C(kB, kEq, kB)},
+                                  {{kC, kC}});
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, strengthened));
+}
+
+TEST_F(LemmaTest, WeakeningEqualityToSimilarityFails) {
+  // The converse of Lemma 3.2(2) must NOT hold: an MD requiring equality
+  // cannot be deduced from a similarity-only LHS.
+  MdSet sigma = {MatchingDependency({C(kA, kEq, kA)}, {{kC, kC}})};
+  MatchingDependency weakened({C(kA, dl_, kA)}, {{kC, kC}});
+  EXPECT_FALSE(Deduces(pair_, ops_, sigma, weakened));
+}
+
+TEST_F(LemmaTest, Lemma33Transitivity) {
+  // ϕ1: X -> W, ϕ2: W -> Z  ⊢  ϕ3: X -> Z, with similarity on the chain.
+  MdSet sigma = {
+      MatchingDependency({C(kA, dl_, kA)}, {{kB, kB}, {kC, kC}}),
+      MatchingDependency({C(kB, kEq, kB), C(kC, kEq, kC)}, {{kD, kD}}),
+  };
+  MatchingDependency phi3({C(kA, dl_, kA)}, {{kD, kD}});
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, phi3));
+}
+
+TEST_F(LemmaTest, Lemma34Part1MatchingInteractsWithEquality) {
+  // ϕ: L -> R1[A1,A2] <=> R2[B,B]: enforcing makes t[A1] = t[A2] (a
+  // same-relation consequence), and with ϕ': L -> R1[A1] <=> R2[C] also
+  // t[A2] = t'[C].
+  MdSet sigma = {
+      MatchingDependency({C(kE, kEq, kE)}, {{kA, kB}, {kC, kB}}),  // A1=A,A2=C
+      MatchingDependency({C(kE, kEq, kE)}, {{kA, kD}}),            // ϕ'
+  };
+  ClosureMatrix m =
+      ComputeClosure(pair_, ops_, sigma, {C(kE, kEq, kE)});
+  // Same-relation: R1[A] = R1[C] (both matched R2[B]).
+  EXPECT_TRUE(m.Holds(QualifiedAttr{0, kA}, QualifiedAttr{0, kC}, kEq));
+  // Cross consequence: R1[C] = R2[D] via R1[A].
+  EXPECT_TRUE(m.Holds(QualifiedAttr{0, kC}, QualifiedAttr{1, kD}, kEq));
+}
+
+TEST_F(LemmaTest, Lemma34Part2MatchingInteractsWithSimilarity) {
+  // ϕ: (L ∧ R1[A1] ~ R2[B]) -> R1[A2] <=> R2[B]: then t[A2] ~ t[A1].
+  MdSet sigma = {MatchingDependency({C(kE, kEq, kE), C(kA, dl_, kB)},
+                                    {{kC, kB}})};  // A1=A, A2=C, B=B
+  ClosureMatrix m = ComputeClosure(pair_, ops_, sigma,
+                                   {C(kE, kEq, kE), C(kA, dl_, kB)});
+  // Same-relation similarity: R1[C] ~ R1[A].
+  EXPECT_TRUE(m.Holds(QualifiedAttr{0, kC}, QualifiedAttr{0, kA}, dl_));
+  // But not equality.
+  EXPECT_FALSE(m.Holds(QualifiedAttr{0, kC}, QualifiedAttr{0, kA}, kEq));
+}
+
+TEST_F(LemmaTest, LhsFiresThroughEqualitySubsumption) {
+  // An MD whose conjunct requires A ~dl A fires when A = A is deduced.
+  MdSet sigma = {
+      MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}}),
+      MatchingDependency({C(kB, dl_, kB)}, {{kC, kC}}),  // needs B ~ B
+  };
+  MatchingDependency goal({C(kA, kEq, kA)}, {{kC, kC}});
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, goal));
+}
+
+TEST_F(LemmaTest, SimilaritySeedFiresSameOperatorConjunct) {
+  // A ~dl A in the candidate LHS fires an MD with the identical conjunct.
+  MdSet sigma = {MatchingDependency({C(kA, dl_, kA)}, {{kB, kB}})};
+  MatchingDependency goal({C(kA, dl_, kA)}, {{kB, kB}});
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, goal));
+}
+
+TEST_F(LemmaTest, SimilaritySeedDoesNotFireDifferentOperator) {
+  // A ~jaro A does not satisfy a conjunct requiring A ~dl A (operators are
+  // uninterpreted; only = subsumes).
+  sim::SimOpId jaro = ops_.Jaro(0.9);
+  MdSet sigma = {MatchingDependency({C(kA, dl_, kA)}, {{kB, kB}})};
+  MatchingDependency goal({C(kA, jaro, kA)}, {{kB, kB}});
+  EXPECT_FALSE(Deduces(pair_, ops_, sigma, goal));
+}
+
+// --------------------------------------------------- structural properties
+
+TEST_F(LemmaTest, ReflexivityOfDeduction) {
+  // Σ ⊨m φ for every φ ∈ Σ (with equality LHS ops this is immediate).
+  MdSet sigma = {
+      MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}}),
+      MatchingDependency({C(kB, dl_, kC)}, {{kD, kD}, {kE, kE}}),
+  };
+  for (const auto& md : sigma) {
+    EXPECT_TRUE(Deduces(pair_, ops_, sigma, md));
+  }
+}
+
+TEST_F(LemmaTest, MonotonicityInSigma) {
+  MdSet small = {MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}})};
+  MdSet big = small;
+  big.push_back(MatchingDependency({C(kB, kEq, kB)}, {{kC, kC}}));
+
+  MatchingDependency goal({C(kA, kEq, kA)}, {{kB, kB}});
+  EXPECT_TRUE(Deduces(pair_, ops_, small, goal));
+  EXPECT_TRUE(Deduces(pair_, ops_, big, goal));
+
+  MatchingDependency chain({C(kA, kEq, kA)}, {{kC, kC}});
+  EXPECT_FALSE(Deduces(pair_, ops_, small, chain));
+  EXPECT_TRUE(Deduces(pair_, ops_, big, chain));
+}
+
+TEST_F(LemmaTest, MonotonicityInLhs) {
+  // Augmenting the candidate LHS never loses deductions.
+  MdSet sigma = {MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}})};
+  MatchingDependency base({C(kA, kEq, kA)}, {{kB, kB}});
+  MatchingDependency wider({C(kA, kEq, kA), C(kD, dl_, kE)}, {{kB, kB}});
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, base));
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, wider));
+}
+
+TEST_F(LemmaTest, MultiRhsRequiresAllPairsIdentified) {
+  MdSet sigma = {MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}})};
+  MatchingDependency both({C(kA, kEq, kA)}, {{kB, kB}, {kC, kC}});
+  EXPECT_FALSE(Deduces(pair_, ops_, sigma, both));
+}
+
+TEST_F(LemmaTest, EmptySigmaOnlySelfDeductions) {
+  // With Σ empty, only the seeds themselves hold: equality seeds identify
+  // their own pair, nothing else.
+  MatchingDependency self({C(kA, kEq, kA)}, {{kA, kA}});
+  EXPECT_TRUE(Deduces(pair_, ops_, {}, self));
+  MatchingDependency other({C(kA, kEq, kA)}, {{kB, kB}});
+  EXPECT_FALSE(Deduces(pair_, ops_, {}, other));
+}
+
+TEST_F(LemmaTest, StatsAndPopCountBounds) {
+  MdSet sigma = {
+      MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}}),
+      MatchingDependency({C(kB, kEq, kB)}, {{kC, kC}}),
+      MatchingDependency({C(kC, kEq, kC)}, {{kD, kD}}),
+  };
+  ClosureStats stats;
+  MatchingDependency goal({C(kA, kEq, kA)}, {{kD, kD}});
+  EXPECT_TRUE(Deduces(pair_, ops_, sigma, goal, &stats));
+  EXPECT_EQ(stats.mds_applied, 3u);
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_GT(stats.entries_set, 0u);
+
+  ClosureMatrix m = ComputeClosure(pair_, ops_, sigma, goal.lhs());
+  size_t h = static_cast<size_t>(pair_.total_attrs());
+  EXPECT_LE(m.PopCount(), h * h * ops_.size());
+}
+
+TEST_F(LemmaTest, HoldsOrEqCombinesEntries) {
+  MdSet sigma = {MatchingDependency({C(kA, kEq, kA)}, {{kB, kB}})};
+  ClosureMatrix m = ComputeClosure(pair_, ops_, sigma, {C(kA, kEq, kA)});
+  QualifiedAttr b1{0, kB}, b2{1, kB};
+  // B pair identified => HoldsOrEq is true for any operator.
+  EXPECT_TRUE(m.HoldsOrEq(b1, b2, dl_));
+  EXPECT_FALSE(m.Holds(b1, b2, dl_));
+}
+
+}  // namespace
+}  // namespace mdmatch

@@ -1,0 +1,340 @@
+// Tests for the synthetic data substrate: pools, noise injection, and the
+// credit/billing generator implementing the Section 6.2 protocol.
+
+#include "datagen/credit_billing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/find_rcks.h"
+#include "datagen/noise.h"
+#include "datagen/pools.h"
+#include "match/evaluation.h"
+#include "sim/edit_distance.h"
+
+namespace mdmatch::datagen {
+namespace {
+
+// ------------------------------------------------------------------ pools
+
+TEST(PoolsTest, PoolsAreNonTrivial) {
+  EXPECT_GE(NumFirstNames(), 100u);
+  EXPECT_GE(NumLastNames(), 100u);
+  EXPECT_GE(NumStreetNames(), 50u);
+  EXPECT_GE(NumCities(), 50u);
+  EXPECT_GE(NumItems(), 50u);
+  EXPECT_GE(NumEmailDomains(), 10u);
+}
+
+TEST(PoolsTest, CityRecordsConsistent) {
+  for (size_t i = 0; i < NumCities(); ++i) {
+    const CityRecord& c = City(i);
+    EXPECT_FALSE(c.city.empty());
+    EXPECT_EQ(c.state.size(), 2u);
+    EXPECT_EQ(c.zip3.size(), 3u);
+    EXPECT_FALSE(c.county.empty());
+  }
+}
+
+TEST(PoolsTest, PhoneAndSsnShapes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::string phone = RandomPhone(&rng);
+    ASSERT_EQ(phone.size(), 12u);
+    EXPECT_EQ(phone[3], '-');
+    EXPECT_EQ(phone[7], '-');
+    EXPECT_NE(phone[0], '0');
+    EXPECT_NE(phone[0], '1');
+
+    std::string ssn = RandomSsn(&rng);
+    ASSERT_EQ(ssn.size(), 11u);
+    EXPECT_EQ(ssn[3], '-');
+    EXPECT_EQ(ssn[6], '-');
+  }
+}
+
+TEST(PoolsTest, ZipExtendsCityPrefix) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const CityRecord& c = RandomCity(&rng);
+    std::string zip = RandomZip(c, &rng);
+    ASSERT_EQ(zip.size(), 5u);
+    EXPECT_EQ(zip.substr(0, 3), c.zip3);
+  }
+}
+
+TEST(PoolsTest, EmailLooksLikeEmail) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::string email = MakeEmail("Mark", "Clifford", &rng);
+    EXPECT_NE(email.find('@'), std::string::npos);
+    EXPECT_EQ(email.substr(0, 2), "m.");
+  }
+}
+
+TEST(PoolsTest, PriceAndDateShapes) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    std::string price = RandomPrice(&rng);
+    EXPECT_NE(price.find('.'), std::string::npos);
+    std::string date = RandomDate(&rng);
+    ASSERT_EQ(date.size(), 10u);
+    EXPECT_EQ(date[4], '-');
+    EXPECT_EQ(date[7], '-');
+  }
+}
+
+// ------------------------------------------------------------------ noise
+
+TEST(NoiseTest, SingleEditsChangeLengthAsExpected) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = "abcdef";
+    EXPECT_EQ(InsertRandomChar(&rng, s).size(), 7u);
+    EXPECT_EQ(DeleteRandomChar(&rng, s).size(), 5u);
+    EXPECT_EQ(SubstituteRandomChar(&rng, s).size(), 6u);
+    EXPECT_EQ(TransposeRandomChars(&rng, s).size(), 6u);
+  }
+}
+
+TEST(NoiseTest, EditsOnDegenerateInputs) {
+  Rng rng(6);
+  EXPECT_EQ(DeleteRandomChar(&rng, "x"), "x");   // refuses to empty out
+  EXPECT_EQ(TransposeRandomChars(&rng, "x"), "x");
+  EXPECT_EQ(SubstituteRandomChar(&rng, ""), "");
+  EXPECT_EQ(InsertRandomChar(&rng, "").size(), 1u);
+}
+
+TEST(NoiseTest, SubstituteActuallyChanges) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(SubstituteRandomChar(&rng, "abcdef"), "abcdef");
+  }
+}
+
+TEST(NoiseTest, TypoIsWithinOneDlEdit) {
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    std::string s = "Clifford";
+    std::string t = MakeTypo(&rng, s);
+    EXPECT_LE(sim::DamerauLevenshteinDistance(s, t), 1u);
+  }
+}
+
+TEST(NoiseTest, TypoPreservesDigitClass) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    std::string t = MakeTypo(&rng, "908-555-0142");
+    for (char c : t) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)) || c == '-')
+          << t;
+    }
+  }
+}
+
+TEST(NoiseTest, TokenDamageAbbreviatesOrDrops) {
+  Rng rng(10);
+  bool saw_abbrev = false, saw_drop = false;
+  for (int i = 0; i < 200; ++i) {
+    std::string t = TokenDamage(&rng, "10 Oak Street");
+    if (t == "Oak Street" || t == "10 Street" || t == "10 Oak") {
+      saw_drop = true;
+    }
+    if (t.find('.') != std::string::npos) saw_abbrev = true;
+  }
+  EXPECT_TRUE(saw_drop);
+  EXPECT_TRUE(saw_abbrev);
+}
+
+TEST(NoiseTest, ApplyNoiseSeverityMixRespected) {
+  Rng rng(11);
+  NoiseMix only_replace{0, 0, 0, 1.0};
+  EXPECT_EQ(ApplyNoise(&rng, "original", only_replace, "replacement"),
+            "replacement");
+  NoiseMix only_typo{1.0, 0, 0, 0};
+  std::string t = ApplyNoise(&rng, "original", only_typo, "replacement");
+  EXPECT_NE(t, "replacement");
+  EXPECT_LE(sim::DamerauLevenshteinDistance("original", t), 1u);
+}
+
+TEST(NoiseTest, ZeroMixLeavesValue) {
+  Rng rng(12);
+  NoiseMix zero{0, 0, 0, 0};
+  EXPECT_EQ(ApplyNoise(&rng, "same", zero, "r"), "same");
+}
+
+// -------------------------------------------------------------- schemas
+
+TEST(CreditBillingTest, SchemasMatchPaperArities) {
+  SchemaPair pair = MakeCreditBillingSchemas();
+  EXPECT_EQ(pair.left().arity(), 13);    // credit: 13 attributes
+  EXPECT_EQ(pair.right().arity(), 21);   // billing: 21 attributes
+  EXPECT_EQ(pair.left().name(), "credit");
+  EXPECT_EQ(pair.right().name(), "billing");
+}
+
+TEST(CreditBillingTest, TargetHasElevenComparableAttributes) {
+  SchemaPair pair = MakeCreditBillingSchemas();
+  ComparableLists target = MakeCreditBillingTarget(pair);
+  EXPECT_EQ(target.size(), 11u);  // paper: lists of 11 attributes
+}
+
+TEST(CreditBillingTest, SevenMdsValidate) {
+  sim::SimOpRegistry ops;
+  SchemaPair pair = MakeCreditBillingSchemas();
+  MdSet mds = MakeCreditBillingMds(pair, &ops);
+  EXPECT_EQ(mds.size(), 7u);  // paper: "7 simple MDs"
+  EXPECT_TRUE(ValidateSet(pair, mds).ok());
+}
+
+// -------------------------------------------------------------- generator
+
+class GeneratorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    options_.num_base = 500;
+    options_.seed = 99;
+    data_ = GenerateCreditBilling(options_, &ops_);
+  }
+  sim::SimOpRegistry ops_;
+  CreditBillingOptions options_;
+  CreditBillingData data_;
+};
+
+TEST_F(GeneratorTest, SizesFollowDuplicateFraction) {
+  // K base + 0.8K duplicates per relation.
+  EXPECT_EQ(data_.instance.left().size(), 900u);
+  EXPECT_EQ(data_.instance.right().size(), 900u);
+  EXPECT_EQ(data_.num_entities, 500u);
+}
+
+TEST_F(GeneratorTest, EveryTupleHasEntityGroundTruth) {
+  for (const auto& t : data_.instance.left().tuples()) {
+    EXPECT_NE(t.entity(), kEntityUnknown);
+    EXPECT_LT(t.entity(), static_cast<EntityId>(data_.num_entities));
+  }
+  for (const auto& t : data_.instance.right().tuples()) {
+    EXPECT_NE(t.entity(), kEntityUnknown);
+  }
+}
+
+TEST_F(GeneratorTest, TruePairCountMatchesEntityProducts) {
+  // Every entity has >= 1 credit and >= 1 billing tuple; duplicates add
+  // more. Cross product per entity sums to CountTruePairs.
+  size_t truth = match::CountTruePairs(data_.instance);
+  EXPECT_GE(truth, 900u);  // at least base-base pairs... (500) + dup pairs
+  std::map<EntityId, std::pair<size_t, size_t>> counts;
+  for (const auto& t : data_.instance.left().tuples()) {
+    counts[t.entity()].first++;
+  }
+  for (const auto& t : data_.instance.right().tuples()) {
+    counts[t.entity()].second++;
+  }
+  size_t expected = 0;
+  for (const auto& [e, c] : counts) expected += c.first * c.second;
+  EXPECT_EQ(truth, expected);
+}
+
+TEST_F(GeneratorTest, DuplicatesAreNoisyButRecognizable) {
+  // Duplicates (indices >= num_base) share the entity of some base tuple;
+  // Y attributes differ from the base at roughly
+  // dirty_dup_prob * attr_error_prob (some injected errors are no-ops on
+  // degenerate values, hence the slack below).
+  const auto& credit = data_.instance.left();
+  size_t changed = 0, total = 0;
+  size_t dirty_dups = 0, dups = 0;
+  for (size_t i = options_.num_base; i < credit.size(); ++i) {
+    const Tuple& dup = credit.tuple(i);
+    const Tuple& base = credit.tuple(static_cast<size_t>(dup.entity()));
+    ASSERT_EQ(base.entity(), dup.entity());
+    ++dups;
+    bool any = false;
+    for (size_t yi = 0; yi < data_.target.size(); ++yi) {
+      AttrId a = data_.target.left()[yi];
+      ++total;
+      if (base.value(a) != dup.value(a)) {
+        ++changed;
+        any = true;
+      }
+    }
+    if (any) ++dirty_dups;
+  }
+  double expected =
+      options_.dirty_dup_prob * options_.attr_error_prob;  // 0.24 default
+  double rate = static_cast<double>(changed) / static_cast<double>(total);
+  EXPECT_GT(rate, expected - 0.12);
+  EXPECT_LT(rate, expected + 0.12);
+  // Around dirty_dup_prob of the duplicates carry at least one error.
+  double dirty_rate =
+      static_cast<double>(dirty_dups) / static_cast<double>(dups);
+  EXPECT_GT(dirty_rate, 0.55);
+  EXPECT_LT(dirty_rate, 0.92);
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  sim::SimOpRegistry ops2;
+  CreditBillingData again = GenerateCreditBilling(options_, &ops2);
+  ASSERT_EQ(again.instance.left().size(), data_.instance.left().size());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(again.instance.left().tuple(i).values(),
+              data_.instance.left().tuple(i).values());
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  sim::SimOpRegistry ops2;
+  CreditBillingOptions other = options_;
+  other.seed = 1234;
+  CreditBillingData again = GenerateCreditBilling(other, &ops2);
+  bool any_diff = false;
+  for (size_t i = 0; i < 50 && !any_diff; ++i) {
+    any_diff = again.instance.left().tuple(i).values() !=
+               data_.instance.left().tuple(i).values();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(GeneratorTest, BaseTuplesShareIdentityAcrossRelations) {
+  // Base billing tuple i belongs to entity i and carries the entity's
+  // contact data verbatim.
+  const auto& credit = data_.instance.left();
+  const auto& billing = data_.instance.right();
+  AttrId c_tel = *data_.pair.left().Find("tel");
+  AttrId b_phn = *data_.pair.right().Find("phn");
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(credit.tuple(i).value(c_tel), billing.tuple(i).value(b_phn));
+  }
+}
+
+TEST_F(GeneratorTest, RcksAreDeduciblefromTheSevenMds) {
+  FindRcksResult rcks =
+      FindRcks(data_.pair, ops_, data_.mds, data_.target, 10);
+  EXPECT_GE(rcks.rcks.size(), 4u);
+  for (const auto& key : rcks.rcks) {
+    EXPECT_TRUE(
+        Deduces(data_.pair, ops_, data_.mds, key.ToMd(data_.target)));
+  }
+}
+
+// ---------------------------------------------------------- Example 1.1
+
+TEST(Example11Test, ReproducesFigureOne) {
+  sim::SimOpRegistry ops;
+  Example11Data ex = MakeExample11(&ops);
+  EXPECT_EQ(ex.instance.left().size(), 2u);
+  EXPECT_EQ(ex.instance.right().size(), 4u);
+  EXPECT_EQ(ex.target.size(), 5u);
+  EXPECT_EQ(ex.mds.size(), 3u);
+  EXPECT_EQ(ex.instance.left().tuple(0).value(2), "Mark");
+  EXPECT_EQ(ex.instance.right().tuple(0).value(1), "Marx");
+  // t3..t6 share the card holder entity with t1.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ex.instance.right().tuple(i).entity(),
+              ex.instance.left().tuple(0).entity());
+  }
+}
+
+}  // namespace
+}  // namespace mdmatch::datagen

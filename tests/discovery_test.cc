@@ -1,0 +1,162 @@
+// Tests for MD discovery from sample data (the paper's Section 8 future
+// work, implemented in core/discovery).
+
+#include "core/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "core/closure.h"
+#include "datagen/credit_billing.h"
+
+namespace mdmatch {
+namespace {
+
+class DiscoveryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CreditBillingOptions options;
+    options.num_base = 300;
+    // Clean duplicates: the functional structure (email -> name, phone ->
+    // address) holds exactly, so discovery must find it.
+    options.dirty_dup_prob = 0.0;
+    options.seed = 3;
+    data_ = datagen::GenerateCreditBilling(options, &ops_);
+  }
+
+  AttrPair P(const char* l, const char* r) {
+    return {*data_.pair.left().Find(l), *data_.pair.right().Find(r)};
+  }
+
+  bool ContainsRule(const std::vector<DiscoveredMd>& rules,
+                    const std::vector<Conjunct>& lhs, AttrPair rhs) {
+    for (const auto& rule : rules) {
+      if (rule.md.rhs()[0] == rhs && rule.md.lhs() == lhs) return true;
+    }
+    return false;
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::CreditBillingData data_;
+  static constexpr sim::SimOpId kEq = sim::SimOpRegistry::kEq;
+};
+
+TEST_F(DiscoveryTest, CandidateConjunctsCrossProduct) {
+  auto candidates = CandidateConjuncts(data_.target, {kEq, ops_.Dl(0.8)});
+  EXPECT_EQ(candidates.size(), data_.target.size() * 2);
+}
+
+TEST_F(DiscoveryTest, RecoversEmailToNameRule) {
+  std::vector<Conjunct> lhs_candidates = {
+      Conjunct{P("email", "email"), kEq},
+      Conjunct{P("tel", "phn"), kEq},
+      Conjunct{P("zip", "zip"), kEq},
+  };
+  std::vector<AttrPair> rhs_candidates = {P("FN", "FN"), P("LN", "LN"),
+                                          P("street", "street")};
+  DiscoveryOptions options;
+  options.min_confidence = 0.98;
+  options.min_support = 20;
+  auto rules = DiscoverMds(data_.instance, ops_, lhs_candidates,
+                           rhs_candidates, options);
+  ASSERT_FALSE(rules.empty());
+  // email = email -> LN identified (clean data: holds exactly).
+  EXPECT_TRUE(ContainsRule(rules, {Conjunct{P("email", "email"), kEq}},
+                           P("LN", "LN")));
+  // phone -> street.
+  EXPECT_TRUE(ContainsRule(rules, {Conjunct{P("tel", "phn"), kEq}},
+                           P("street", "street")));
+  // zip does NOT determine the street (many people share a zip).
+  EXPECT_FALSE(ContainsRule(rules, {Conjunct{P("zip", "zip"), kEq}},
+                            P("street", "street")));
+}
+
+TEST_F(DiscoveryTest, DiscoveredRulesCarryStatistics) {
+  std::vector<Conjunct> lhs = {Conjunct{P("email", "email"), kEq}};
+  std::vector<AttrPair> rhs = {P("LN", "LN")};
+  auto rules = DiscoverMds(data_.instance, ops_, lhs, rhs);
+  ASSERT_FALSE(rules.empty());
+  EXPECT_GE(rules[0].confidence, 0.95);
+  EXPECT_GE(rules[0].support, 10u);
+  EXPECT_TRUE(rules[0].md.Validate(data_.pair).ok());
+}
+
+TEST_F(DiscoveryTest, TrivialReflexiveRulesSuppressed) {
+  // "LN = LN -> LN <=> LN" must not be reported.
+  std::vector<Conjunct> lhs = {Conjunct{P("LN", "LN"), kEq}};
+  std::vector<AttrPair> rhs = {P("LN", "LN")};
+  auto rules = DiscoverMds(data_.instance, ops_, lhs, rhs);
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST_F(DiscoveryTest, MinimalityPruning) {
+  // If "email -> LN" holds, "email AND zip -> LN" must not be emitted.
+  std::vector<Conjunct> lhs = {Conjunct{P("email", "email"), kEq},
+                               Conjunct{P("zip", "zip"), kEq}};
+  std::vector<AttrPair> rhs = {P("LN", "LN")};
+  DiscoveryOptions options;
+  options.max_lhs = 2;
+  auto rules = DiscoverMds(data_.instance, ops_, lhs, rhs, options);
+  for (const auto& rule : rules) {
+    EXPECT_EQ(rule.md.lhs().size(), 1u)
+        << "non-minimal LHS emitted: "
+        << rule.md.ToString(data_.pair, ops_);
+  }
+}
+
+TEST_F(DiscoveryTest, SupportPruningRespectsThreshold) {
+  std::vector<Conjunct> lhs = {Conjunct{P("email", "email"), kEq}};
+  std::vector<AttrPair> rhs = {P("LN", "LN")};
+  DiscoveryOptions options;
+  options.min_support = 1000000;  // unattainable
+  auto rules = DiscoverMds(data_.instance, ops_, lhs, rhs, options);
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST_F(DiscoveryTest, NoisyDataLowersConfidenceNotCorrectness) {
+  // With dirty duplicates, the same rules surface with lower confidence
+  // (or a relaxed threshold is needed).
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions options;
+  options.num_base = 300;
+  options.seed = 3;
+  options.dirty_dup_prob = 0.8;
+  auto noisy = datagen::GenerateCreditBilling(options, &ops);
+
+  std::vector<Conjunct> lhs = {
+      Conjunct{{*noisy.pair.left().Find("email"),
+                *noisy.pair.right().Find("email")},
+               sim::SimOpRegistry::kEq}};
+  std::vector<AttrPair> rhs = {
+      {*noisy.pair.left().Find("LN"), *noisy.pair.right().Find("LN")}};
+  DiscoveryOptions dopt;
+  dopt.min_confidence = 0.7;
+  auto rules = DiscoverMds(noisy.instance, ops, lhs, rhs, dopt);
+  ASSERT_FALSE(rules.empty());
+  EXPECT_LT(rules[0].confidence, 1.0);
+  EXPECT_GE(rules[0].confidence, 0.7);
+}
+
+TEST_F(DiscoveryTest, DiscoveredRulesFeedDeduction) {
+  // The discover -> reason pipeline of the paper's Section 7 discussion:
+  // deduce RCK-style consequences from discovered MDs.
+  std::vector<Conjunct> lhs_candidates = {
+      Conjunct{P("email", "email"), kEq},
+      Conjunct{P("tel", "phn"), kEq},
+  };
+  std::vector<AttrPair> rhs_candidates = {P("FN", "FN"), P("LN", "LN"),
+                                          P("street", "street"),
+                                          P("city", "city")};
+  auto rules = DiscoverMds(data_.instance, ops_, lhs_candidates,
+                           rhs_candidates);
+  MdSet sigma;
+  for (const auto& rule : rules) sigma.push_back(rule.md);
+  ASSERT_FALSE(sigma.empty());
+  // email + tel identify name and address attributes jointly.
+  MatchingDependency goal(
+      {Conjunct{P("email", "email"), kEq}, Conjunct{P("tel", "phn"), kEq}},
+      {P("LN", "LN"), P("street", "street")});
+  EXPECT_TRUE(Deduces(data_.pair, ops_, sigma, goal));
+}
+
+}  // namespace
+}  // namespace mdmatch

@@ -1,0 +1,251 @@
+#include "sim/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/random.h"
+
+namespace mdmatch::sim {
+namespace {
+
+// ------------------------------------------------------------ Levenshtein
+
+TEST(LevenshteinTest, IdenticalStrings) {
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+}
+
+TEST(LevenshteinTest, EmptyVersusNonEmpty) {
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("Mark", "Marx"), 1u);
+  EXPECT_EQ(LevenshteinDistance("Clifford", "Clivord"), 2u);
+}
+
+TEST(LevenshteinTest, SymmetricOnRandomInputs) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(12); j > 0; --j) a.push_back(rng.Letter());
+    for (size_t j = rng.Index(12); j > 0; --j) b.push_back(rng.Letter());
+    EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+  }
+}
+
+TEST(LevenshteinTest, TriangleInequalityOnRandomInputs) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    std::string s[3];
+    for (auto& str : s) {
+      for (size_t j = 1 + rng.Index(10); j > 0; --j) {
+        str.push_back(static_cast<char>('a' + rng.Index(4)));
+      }
+    }
+    size_t ab = LevenshteinDistance(s[0], s[1]);
+    size_t bc = LevenshteinDistance(s[1], s[2]);
+    size_t ac = LevenshteinDistance(s[0], s[2]);
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+TEST(LevenshteinTest, BoundedMatchesExactWhenWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(10); j > 0; --j) {
+      a.push_back(static_cast<char>('a' + rng.Index(5)));
+    }
+    for (size_t j = rng.Index(10); j > 0; --j) {
+      b.push_back(static_cast<char>('a' + rng.Index(5)));
+    }
+    size_t exact = LevenshteinDistance(a, b);
+    for (size_t bound : {size_t{0}, size_t{1}, size_t{2}, size_t{5}}) {
+      size_t bounded = LevenshteinDistanceBounded(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " vs " << b;
+      } else {
+        EXPECT_EQ(bounded, bound + 1) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(LevenshteinTest, BoundedShortCircuitsOnLengthGap) {
+  EXPECT_EQ(LevenshteinDistanceBounded("a", "abcdefgh", 3), 4u);
+}
+
+// -------------------------------------------------------------------- OSA
+
+TEST(OsaTest, CountsAdjacentTranspositionAsOne) {
+  EXPECT_EQ(OsaDistance("ab", "ba"), 1u);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2u);
+}
+
+TEST(OsaTest, KnownValues) {
+  EXPECT_EQ(OsaDistance("ca", "abc"), 3u);  // famous OSA vs DL difference
+  EXPECT_EQ(OsaDistance("Mark", "Marx"), 1u);
+  EXPECT_EQ(OsaDistance("Makr", "Mark"), 1u);
+  EXPECT_EQ(OsaDistance("", "xyz"), 3u);
+}
+
+TEST(OsaTest, NeverExceedsLevenshtein) {
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(10); j > 0; --j) {
+      a.push_back(static_cast<char>('a' + rng.Index(4)));
+    }
+    for (size_t j = rng.Index(10); j > 0; --j) {
+      b.push_back(static_cast<char>('a' + rng.Index(4)));
+    }
+    EXPECT_LE(OsaDistance(a, b), LevenshteinDistance(a, b));
+  }
+}
+
+// ----------------------------------------------------- Damerau-Levenshtein
+
+TEST(DamerauTest, UnrestrictedBeatsOsaOnInterleavedEdits) {
+  // "ca" -> "ac" (transpose) -> "abc" (insert) = 2 moves; OSA needs 3.
+  EXPECT_EQ(DamerauLevenshteinDistance("ca", "abc"), 2u);
+  EXPECT_EQ(OsaDistance("ca", "abc"), 3u);
+}
+
+TEST(DamerauTest, BasicCases) {
+  EXPECT_EQ(DamerauLevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(DamerauLevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(DamerauLevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(DamerauLevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba"), 1u);
+  EXPECT_EQ(DamerauLevenshteinDistance("Mark", "Marx"), 1u);
+}
+
+TEST(DamerauTest, NeverExceedsOsa) {
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(9); j > 0; --j) {
+      a.push_back(static_cast<char>('a' + rng.Index(4)));
+    }
+    for (size_t j = rng.Index(9); j > 0; --j) {
+      b.push_back(static_cast<char>('a' + rng.Index(4)));
+    }
+    EXPECT_LE(DamerauLevenshteinDistance(a, b), OsaDistance(a, b))
+        << a << " vs " << b;
+  }
+}
+
+TEST(DamerauTest, SymmetricOnRandomInputs) {
+  Rng rng(10);
+  for (int i = 0; i < 300; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(9); j > 0; --j) {
+      a.push_back(static_cast<char>('a' + rng.Index(5)));
+    }
+    for (size_t j = rng.Index(9); j > 0; --j) {
+      b.push_back(static_cast<char>('a' + rng.Index(5)));
+    }
+    EXPECT_EQ(DamerauLevenshteinDistance(a, b),
+              DamerauLevenshteinDistance(b, a));
+  }
+}
+
+TEST(DamerauTest, SingleEditAlwaysDistanceOne) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    std::string a = "abcdefgh";
+    std::string b = a;
+    switch (rng.Index(3)) {
+      case 0:
+        b.erase(rng.Index(b.size()), 1);
+        break;
+      case 1:
+        b.insert(rng.Index(b.size()), 1, 'z');
+        break;
+      default:
+        b[rng.Index(b.size())] = 'z';
+        break;
+    }
+    EXPECT_EQ(DamerauLevenshteinDistance(a, b), 1u);
+  }
+}
+
+// --------------------------------------------------- normalized / threshold
+
+TEST(NormalizedDlTest, RangeAndEndpoints) {
+  EXPECT_DOUBLE_EQ(NormalizedDamerauLevenshtein("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedDamerauLevenshtein("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedDamerauLevenshtein("abc", "xyz"), 0.0);
+  double v = NormalizedDamerauLevenshtein("Mark", "Marx");
+  EXPECT_DOUBLE_EQ(v, 0.75);
+}
+
+// The paper's predicate: DL(v,v') <= (1 - θ)·max(|v|,|v'|), θ = 0.8.
+TEST(DlSimilarTest, PaperThresholdSemantics) {
+  // max len 8, allowance = 1.6 -> distance 1 passes, 2 fails.
+  EXPECT_TRUE(DlSimilar("Clifford", "Cliffork", 0.8));
+  EXPECT_FALSE(DlSimilar("Clifford", "Cliffxyz", 0.8));
+}
+
+TEST(DlSimilarTest, EqualityAlwaysSimilar) {
+  EXPECT_TRUE(DlSimilar("", "", 0.8));
+  EXPECT_TRUE(DlSimilar("x", "x", 1.0));  // even at θ = 1
+}
+
+TEST(DlSimilarTest, PaperExampleNames) {
+  // "Mark" ≈d "Marx" at θ = 0.75: allowance 1.0, distance 1.
+  EXPECT_TRUE(DlSimilar("Mark", "Marx", 0.75));
+  // At θ = 0.8 the allowance is 0.8 < 1: not similar.
+  EXPECT_FALSE(DlSimilar("Mark", "Marx", 0.8));
+}
+
+TEST(DlSimilarTest, SymmetricPredicate) {
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(8); j > 0; --j) a.push_back(rng.Letter());
+    for (size_t j = rng.Index(8); j > 0; --j) b.push_back(rng.Letter());
+    EXPECT_EQ(DlSimilar(a, b, 0.8), DlSimilar(b, a, 0.8));
+  }
+}
+
+// Parameterized sweep: distances against a brute-force reference on short
+// strings over a tiny alphabet.
+class EditDistanceSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(EditDistanceSweep, LevenshteinUpperBoundsAndConsistency) {
+  Rng rng(GetParam());
+  std::string a, b;
+  for (size_t j = rng.Index(7); j > 0; --j) {
+    a.push_back(static_cast<char>('a' + rng.Index(3)));
+  }
+  for (size_t j = rng.Index(7); j > 0; --j) {
+    b.push_back(static_cast<char>('a' + rng.Index(3)));
+  }
+  size_t lev = LevenshteinDistance(a, b);
+  size_t osa = OsaDistance(a, b);
+  size_t dl = DamerauLevenshteinDistance(a, b);
+  // Chain of refinements: DL <= OSA <= Lev <= max(|a|,|b|).
+  EXPECT_LE(dl, osa);
+  EXPECT_LE(osa, lev);
+  EXPECT_LE(lev, std::max(a.size(), b.size()));
+  // All are zero iff the strings are equal.
+  EXPECT_EQ(lev == 0, a == b);
+  EXPECT_EQ(dl == 0, a == b);
+  // Distances differ by at least the length gap.
+  size_t gap = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  EXPECT_GE(dl, gap);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, EditDistanceSweep,
+                         testing::Range(uint64_t{100}, uint64_t{140}));
+
+}  // namespace
+}  // namespace mdmatch::sim

@@ -1,0 +1,266 @@
+// Tests for the dynamic semantics: enforcement to stable instances,
+// (D, D') ⊨ Σ checking, and the paper's Examples 2.2, 2.3, 3.2
+// (Sections 2.1 and 3.1).
+
+#include "core/enforce.h"
+
+#include <gtest/gtest.h>
+
+#include "core/md_parser.h"
+#include "datagen/credit_billing.h"
+
+namespace mdmatch {
+namespace {
+
+SchemaPair AbcPair() {
+  Schema r("R", {{"A", "d"}, {"B", "d"}, {"C", "d"}});
+  return SchemaPair(r, r);
+}
+
+// The instance I0 of Example 2.3: s1 = (a, b1, c1), s2 = (a, b2, c2).
+Relation AbcI0() {
+  Relation rel(AbcPair().left());
+  (void)rel.Append({"a", "b1", "c1"});
+  (void)rel.Append({"a", "b2", "c2"});
+  return rel;
+}
+
+class EnforceAbcTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    pair_ = AbcPair();
+    auto parse = [&](const char* text) {
+      auto md = ParseMd(text, pair_, ops_);
+      EXPECT_TRUE(md.ok()) << md.status();
+      return *md;
+    };
+    psi1_ = parse("R[A] = R[A] -> R[B] <=> R[B]");
+    psi2_ = parse("R[B] = R[B] -> R[C] <=> R[C]");
+    psi3_ = parse("R[A] = R[A] -> R[C] <=> R[C]");
+  }
+
+  SchemaPair pair_;
+  sim::SimOpRegistry ops_;
+  MatchingDependency psi1_, psi2_, psi3_;
+};
+
+TEST_F(EnforceAbcTest, Example23EnforcementEqualizesChain) {
+  // Enforcing {ψ1, ψ2} on (I0, I0) must reach the I2 of Fig. 3: B and C
+  // equalized across s1 and s2.
+  Instance d0 = SelfPair(AbcI0());
+  auto d2 = Enforce(d0, {psi1_, psi2_}, ops_);
+  ASSERT_TRUE(d2.ok()) << d2.status();
+  const Relation& out = d2->left();
+  EXPECT_EQ(out.tuple(0).value(1), out.tuple(1).value(1));  // B identified
+  EXPECT_EQ(out.tuple(0).value(2), out.tuple(1).value(2));  // C identified
+  EXPECT_EQ(out.tuple(0).value(0), "a");                    // A untouched
+}
+
+TEST_F(EnforceAbcTest, StableInstanceSatisfiesSigma) {
+  Instance d0 = SelfPair(AbcI0());
+  auto d2 = Enforce(d0, {psi1_, psi2_}, ops_);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(IsStable(*d2, {psi1_, psi2_}, ops_));
+  EXPECT_TRUE(Satisfies(d0, *d2, {psi1_, psi2_}, ops_));
+  EXPECT_TRUE(d0.ExtendedBy(*d2));
+}
+
+TEST_F(EnforceAbcTest, Example31DeducedMdHoldsOnStableInstance) {
+  // (D0, D2) ⊨ ψ3 (Example 3.3): the deduced MD holds on the enforced
+  // stable instance although D0 itself "violates" it statically.
+  Instance d0 = SelfPair(AbcI0());
+  auto d2 = Enforce(d0, {psi1_, psi2_}, ops_);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(Satisfies(d0, *d2, {psi3_}, ops_));
+}
+
+TEST_F(EnforceAbcTest, PartialEnforcementIsNotStable) {
+  // The intermediate instance D1 of Fig. 3 (only ψ1 enforced) satisfies
+  // {ψ1} but is not stable for {ψ1, ψ2}.
+  Instance d0 = SelfPair(AbcI0());
+  auto d1 = Enforce(d0, {psi1_}, ops_);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_TRUE(IsStable(*d1, {psi1_}, ops_));
+  std::vector<Violation> violations;
+  EXPECT_FALSE(IsStable(*d1, {psi1_, psi2_}, ops_, &violations));
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].reason.find("not identified"), std::string::npos);
+}
+
+TEST_F(EnforceAbcTest, UnsatisfiedInstanceReported) {
+  // (D0, D0) does not satisfy ψ1: s1[A] = s2[A] but B not identified.
+  Instance d0 = SelfPair(AbcI0());
+  std::vector<Violation> violations;
+  EXPECT_FALSE(Satisfies(d0, d0, {psi1_}, ops_, &violations));
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST_F(EnforceAbcTest, SatisfiesDetectsMissingTuple) {
+  // D' dropping a tuple id violates D ⊑ D'.
+  Instance d0 = SelfPair(AbcI0());
+  Relation one(pair_.left());
+  ASSERT_TRUE(one.AppendTuple(d0.left().tuple(0)).ok());
+  Instance d_prime = SelfPair(one);
+  std::vector<Violation> violations;
+  EXPECT_FALSE(Satisfies(d0, d_prime, {psi1_}, ops_, &violations));
+}
+
+TEST_F(EnforceAbcTest, EnforceStatsAccounting) {
+  Instance d0 = SelfPair(AbcI0());
+  EnforceStats stats;
+  auto d2 = Enforce(d0, {psi1_, psi2_}, ops_, {}, &stats);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_GT(stats.obligations, 0u);
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_GE(stats.rounds, 2u);  // chain needs at least two rounds
+}
+
+TEST_F(EnforceAbcTest, NoMatchingPairsNoChanges) {
+  Relation rel(pair_.left());
+  (void)rel.Append({"a1", "b1", "c1"});
+  (void)rel.Append({"a2", "b2", "c2"});
+  Instance d = SelfPair(rel);
+  auto out = Enforce(d, {psi1_, psi2_}, ops_);
+  ASSERT_TRUE(out.ok());
+  // Different A values: nothing fires beyond the reflexive self pairs,
+  // which are already equal. Values unchanged.
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(out->left().tuple(i).values(), d.left().tuple(i).values());
+  }
+  EXPECT_TRUE(IsStable(d, {psi1_, psi2_}, ops_));
+}
+
+// ------------------------------------------------- value policies & cross
+
+class EnforceCrossTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ops_ = sim::SimOpRegistry::Default();
+    ex_ = datagen::MakeExample11(&ops_);
+  }
+  sim::SimOpRegistry ops_;
+  datagen::Example11Data ex_;
+};
+
+TEST_F(EnforceCrossTest, Example22IdentifiesAddrOfT1AndT4) {
+  // Enforcing ϕ2 on Dc identifies t1[addr] and t4[post] (Fig. 2). With the
+  // kPreferLongest policy the shared value is the informative full address.
+  auto d_prime = Enforce(ex_.instance, {ex_.mds[1]}, ops_);
+  ASSERT_TRUE(d_prime.ok()) << d_prime.status();
+  const Tuple& t1 = d_prime->left().tuple(0);
+  const Tuple& t4 = d_prime->right().tuple(1);
+  AttrId addr = *ex_.pair.left().Find("addr");
+  AttrId post = *ex_.pair.right().Find("post");
+  EXPECT_EQ(t1.value(addr), t4.value(post));
+  EXPECT_EQ(t1.value(addr), "10 Oak Street, MH, NJ 07974");
+}
+
+TEST_F(EnforceCrossTest, FullSigmaReachesStableInstanceSatisfyingAll) {
+  auto d_prime = Enforce(ex_.instance, ex_.mds, ops_);
+  ASSERT_TRUE(d_prime.ok());
+  EXPECT_TRUE(Satisfies(ex_.instance, *d_prime, ex_.mds, ops_));
+  EXPECT_TRUE(IsStable(*d_prime, ex_.mds, ops_));
+}
+
+TEST_F(EnforceCrossTest, DeducedRck4HoldsOnStableInstance) {
+  // The added value of deduced MDs (Example 3.4): rck4 holds on every
+  // enforced stable instance, matching t1 with t6.
+  MdBuilder b(ex_.pair, &ops_);
+  b.Lhs("email", "=", "email").Lhs("tel", "=", "phn");
+  for (size_t i = 0; i < ex_.target.size(); ++i) {
+    b.Rhs(ex_.pair.left().attribute(ex_.target.left()[i]).name,
+          ex_.pair.right().attribute(ex_.target.right()[i]).name);
+  }
+  auto rck4 = b.Build();
+  ASSERT_TRUE(rck4.ok());
+  auto d_prime = Enforce(ex_.instance, ex_.mds, ops_);
+  ASSERT_TRUE(d_prime.ok());
+  EXPECT_TRUE(Satisfies(ex_.instance, *d_prime, {*rck4}, ops_));
+}
+
+TEST_F(EnforceCrossTest, PreferLeftPolicyTakesCreditValue) {
+  EnforceOptions options;
+  options.policy = ValuePolicy::kPreferLeft;
+  auto d_prime = Enforce(ex_.instance, {ex_.mds[1]}, ops_, options);
+  ASSERT_TRUE(d_prime.ok());
+  AttrId post = *ex_.pair.right().Find("post");
+  // t4's post takes the credit-side (t1) address.
+  EXPECT_EQ(d_prime->right().tuple(1).value(post),
+            "10 Oak Street, MH, NJ 07974");
+}
+
+TEST_F(EnforceCrossTest, LexGreatestPolicyIsDeterministic) {
+  EnforceOptions options;
+  options.policy = ValuePolicy::kLexGreatest;
+  auto a = Enforce(ex_.instance, ex_.mds, ops_, options);
+  auto b = Enforce(ex_.instance, ex_.mds, ops_, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->right().size(); ++i) {
+    EXPECT_EQ(a->right().tuple(i).values(), b->right().tuple(i).values());
+  }
+}
+
+TEST_F(EnforceAbcTest, MostFrequentPolicyTakesMajorityValue) {
+  // Three tuples share A; two carry the clean B value, one a typo. The
+  // majority-vote policy restores the clean value everywhere.
+  Relation rel(pair_.left());
+  (void)rel.Append({"a", "clean", "c1"});
+  (void)rel.Append({"a", "clean", "c2"});
+  (void)rel.Append({"a", "typo!", "c3"});
+  Instance d = SelfPair(rel);
+  EnforceOptions options;
+  options.policy = ValuePolicy::kMostFrequent;
+  auto out = Enforce(d, {psi1_}, ops_, options);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out->left().tuple(i).value(1), "clean");
+  }
+}
+
+TEST_F(EnforceAbcTest, MostFrequentTieBreaksByLength) {
+  Relation rel(pair_.left());
+  (void)rel.Append({"a", "bb", "c1"});
+  (void)rel.Append({"a", "ccc", "c2"});
+  Instance d = SelfPair(rel);
+  EnforceOptions options;
+  options.policy = ValuePolicy::kMostFrequent;
+  auto out = Enforce(d, {psi1_}, ops_, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->left().tuple(0).value(1), "ccc");  // 1-1 tie -> longest
+}
+
+TEST_F(EnforceCrossTest, EnforceRejectsInvalidMd) {
+  MatchingDependency bad({Conjunct{{99, 0}, 0}}, {{0, 0}});
+  auto r = Enforce(ex_.instance, {bad}, ops_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EnforceCrossTest, RepairKeepsFiredSimilarityConjuncts) {
+  // Construct a scenario where a value reassignment would break a fired
+  // similarity conjunct: the repair pass must merge it so (D, D') ⊨ Σ
+  // still holds (checked by the independent verifier).
+  Schema s1("S1", {{"k", "d"}, {"x", "d"}, {"y", "d"}});
+  Schema s2("S2", {{"k", "d"}, {"x", "d"}, {"y", "d"}});
+  SchemaPair pair(s1, s2);
+  sim::SimOpRegistry ops;
+  sim::SimOpId dl = ops.Dl(0.8);
+
+  // md1: x ~dl x -> y <=> y ; md2: k = k -> x <=> x.
+  MdSet sigma = {
+      MatchingDependency({Conjunct{{1, 1}, dl}}, {{{2, 2}}}),
+      MatchingDependency({Conjunct{{0, 0}, sim::SimOpRegistry::kEq}},
+                         {{{1, 1}}}),
+  };
+  Relation l(s1);
+  (void)l.Append({"key", "abcdefghij", "y1"});
+  Relation r(s2);
+  (void)r.Append({"key", "abcdefghiX", "y2"});  // ~dl to the left x
+  Instance d(l, r);
+  auto d_prime = Enforce(d, sigma, ops);
+  ASSERT_TRUE(d_prime.ok());
+  EXPECT_TRUE(Satisfies(d, *d_prime, sigma, ops));
+  EXPECT_TRUE(IsStable(*d_prime, sigma, ops));
+}
+
+}  // namespace
+}  // namespace mdmatch

@@ -1,0 +1,127 @@
+// Tests for the random MD workload generator backing the Fig. 8
+// scalability experiments.
+
+#include "core/md_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mdmatch {
+namespace {
+
+TEST(MdGeneratorTest, ProducesRequestedShape) {
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions options;
+  options.num_mds = 50;
+  options.y_length = 6;
+  options.extra_attrs = 4;
+  MdWorkload w = GenerateMdWorkload(options, &ops);
+  EXPECT_EQ(w.sigma.size(), 50u);
+  EXPECT_EQ(w.target.size(), 6u);
+  EXPECT_EQ(w.pair.left().arity(), 10);
+  EXPECT_EQ(w.pair.right().arity(), 10);
+  EXPECT_TRUE(ValidateSet(w.pair, w.sigma).ok());
+}
+
+TEST(MdGeneratorTest, RespectsLhsAndRhsBounds) {
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions options;
+  options.num_mds = 200;
+  options.max_lhs = 3;
+  options.max_rhs = 2;
+  MdWorkload w = GenerateMdWorkload(options, &ops);
+  for (const auto& md : w.sigma) {
+    EXPECT_GE(md.lhs().size(), 1u);
+    EXPECT_LE(md.lhs().size(), 3u);
+    EXPECT_GE(md.rhs().size(), 1u);
+    EXPECT_LE(md.rhs().size(), 2u);
+  }
+}
+
+TEST(MdGeneratorTest, EqProbOneMakesAllConjunctsEquality) {
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions options;
+  options.num_mds = 100;
+  options.eq_prob = 1.0;
+  MdWorkload w = GenerateMdWorkload(options, &ops);
+  for (const auto& md : w.sigma) {
+    for (const auto& c : md.lhs()) {
+      EXPECT_EQ(c.op, sim::SimOpRegistry::kEq);
+    }
+  }
+}
+
+TEST(MdGeneratorTest, AlignedProbOneAlignsAllPairs) {
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions options;
+  options.num_mds = 100;
+  options.aligned_prob = 1.0;
+  options.rhs_in_target_prob = 0.0;  // RHS still drawn via random_pair
+  MdWorkload w = GenerateMdWorkload(options, &ops);
+  for (const auto& md : w.sigma) {
+    for (const auto& c : md.lhs()) {
+      EXPECT_EQ(c.attrs.left, c.attrs.right);
+    }
+    for (const auto& p : md.rhs()) {
+      EXPECT_EQ(p.left, p.right);
+    }
+  }
+}
+
+TEST(MdGeneratorTest, RhsInTargetProbOneStaysWithinY) {
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions options;
+  options.num_mds = 100;
+  options.y_length = 5;
+  options.rhs_in_target_prob = 1.0;
+  MdWorkload w = GenerateMdWorkload(options, &ops);
+  for (const auto& md : w.sigma) {
+    for (const auto& p : md.rhs()) {
+      EXPECT_LT(p.left, 5);
+      EXPECT_EQ(p.left, p.right);
+    }
+  }
+}
+
+TEST(MdGeneratorTest, DeterministicPerSeed) {
+  sim::SimOpRegistry ops1, ops2;
+  MdGeneratorOptions options;
+  options.num_mds = 30;
+  options.seed = 777;
+  MdWorkload a = GenerateMdWorkload(options, &ops1);
+  MdWorkload b = GenerateMdWorkload(options, &ops2);
+  EXPECT_EQ(a.sigma, b.sigma);
+
+  options.seed = 778;
+  MdWorkload c = GenerateMdWorkload(options, &ops1);
+  EXPECT_NE(a.sigma, c.sigma);
+}
+
+TEST(MdGeneratorTest, NoDuplicateConjunctsWithinAnMd) {
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions options;
+  options.num_mds = 300;
+  MdWorkload w = GenerateMdWorkload(options, &ops);
+  for (const auto& md : w.sigma) {
+    std::set<Conjunct> lhs(md.lhs().begin(), md.lhs().end());
+    EXPECT_EQ(lhs.size(), md.lhs().size());
+    std::set<AttrPair> rhs(md.rhs().begin(), md.rhs().end());
+    EXPECT_EQ(rhs.size(), md.rhs().size());
+  }
+}
+
+TEST(MdGeneratorTest, SharedDomainMakesAllPairsComparable) {
+  sim::SimOpRegistry ops;
+  MdGeneratorOptions options;
+  MdWorkload w = GenerateMdWorkload(options, &ops);
+  for (const auto& attr : w.pair.left().attributes()) {
+    EXPECT_EQ(attr.domain, "d");
+  }
+  for (const auto& attr : w.pair.right().attributes()) {
+    EXPECT_EQ(attr.domain, "d");
+  }
+}
+
+}  // namespace
+}  // namespace mdmatch

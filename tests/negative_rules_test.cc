@@ -1,0 +1,123 @@
+// Tests for negation rules (match/negative_rules; the paper's Section 8
+// future-work item on specifying when records can NOT be matched).
+
+#include "match/negative_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/credit_billing.h"
+#include "match/evaluation.h"
+
+namespace mdmatch::match {
+namespace {
+
+class NegativeRulesTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ops_ = sim::SimOpRegistry::Default();
+    ex_ = datagen::MakeExample11(&ops_);
+  }
+
+  Conjunct C(const char* l, const char* op, const char* r) {
+    return Conjunct{
+        {*ex_.pair.left().Find(l), *ex_.pair.right().Find(r)},
+        *ops_.Find(op)};
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::Example11Data ex_;
+};
+
+TEST_F(NegativeRulesTest, NegatedConjunctRequiresBothValuesPresent) {
+  // "genders differ" must not fire when one side is null/empty.
+  NegativeRule genders_differ({{C("gender", "=", "gender"), true}});
+  const Tuple& t1 = ex_.instance.left().tuple(0);   // gender M
+  const Tuple& t3 = ex_.instance.right().tuple(0);  // gender null
+  EXPECT_FALSE(genders_differ.Fires(ops_, t1, t3));
+}
+
+TEST_F(NegativeRulesTest, NegatedConjunctFiresOnConflict) {
+  Schema s("p", {{"g", "gender"}});
+  SchemaPair pair(s, s);
+  Relation l(s), r(s);
+  (void)l.Append({"M"});
+  (void)r.Append({"F"});
+  NegativeRule rule(
+      {{Conjunct{{0, 0}, sim::SimOpRegistry::kEq}, /*negated=*/true}});
+  EXPECT_TRUE(rule.Fires(ops_, l.tuple(0), r.tuple(0)));
+}
+
+TEST_F(NegativeRulesTest, PositiveConjunctSemantics) {
+  // A non-negated conjunct inside a negative rule: "same card number but
+  // genders differ" — both conditions must hold for the veto.
+  NegativeRule rule({{C("c#", "=", "c#"), false},
+                     {C("gender", "=", "gender"), true}});
+  const Tuple& t1 = ex_.instance.left().tuple(0);
+  const Tuple& t3 = ex_.instance.right().tuple(0);  // gender null: no veto
+  EXPECT_FALSE(rule.Fires(ops_, t1, t3));
+}
+
+TEST_F(NegativeRulesTest, EmptyRuleNeverFires) {
+  NegativeRule rule;
+  EXPECT_FALSE(rule.Fires(ops_, ex_.instance.left().tuple(0),
+                          ex_.instance.right().tuple(0)));
+}
+
+TEST_F(NegativeRulesTest, FilterRemovesVetoedPairs) {
+  Schema s("p", {{"name", "name"}, {"g", "gender"}});
+  SchemaPair pair(s, s);
+  Relation l(s), r(s);
+  (void)l.Append({"Ann", "F"}, 1);
+  (void)r.Append({"Ann", "F"}, 1);   // true pair, consistent
+  (void)r.Append({"Ann", "M"}, 2);   // impostor with conflicting gender
+  Instance instance(l, r);
+
+  MatchResult raw;
+  raw.Add(0, 0);
+  raw.Add(0, 1);
+  NegativeRule genders_differ(
+      {{Conjunct{{1, 1}, sim::SimOpRegistry::kEq}, true}});
+  size_t vetoed = 0;
+  MatchResult filtered = FilterWithNegativeRules(raw, {genders_differ},
+                                                 instance, ops_, &vetoed);
+  EXPECT_EQ(vetoed, 1u);
+  EXPECT_EQ(filtered.size(), 1u);
+  EXPECT_TRUE(filtered.Contains(0, 0));
+  EXPECT_FALSE(filtered.Contains(0, 1));
+}
+
+TEST_F(NegativeRulesTest, FilterImprovesPrecisionOnGeneratedData) {
+  // Inject obvious false positives, then veto them with a gender-conflict
+  // rule: precision rises, recall untouched.
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = 200;
+  gen.seed = 77;
+  auto data = datagen::GenerateCreditBilling(gen, &ops);
+
+  AttrPair gender{*data.pair.left().Find("gender"),
+                  *data.pair.right().Find("gender")};
+  MatchResult noisy;
+  size_t added = 0;
+  // True pairs plus systematic wrong pairs (offset by one entity).
+  for (uint32_t i = 0; i < 150; ++i) {
+    noisy.Add(i, i);
+    noisy.Add(i, i + 1);
+    ++added;
+  }
+  NegativeRule genders_differ(
+      {{Conjunct{gender, sim::SimOpRegistry::kEq}, true}});
+  size_t vetoed = 0;
+  MatchResult filtered = FilterWithNegativeRules(noisy, {genders_differ},
+                                                 data.instance, ops, &vetoed);
+  MatchQuality before = Evaluate(noisy, data.instance);
+  MatchQuality after = Evaluate(filtered, data.instance);
+  EXPECT_GT(vetoed, 0u);
+  EXPECT_GT(after.precision, before.precision);
+  // Vetoes only removed genuinely conflicting pairs: recall of true pairs
+  // with consistent gender is preserved (clean base pairs all survive).
+  EXPECT_EQ(after.true_positives, before.true_positives);
+}
+
+}  // namespace
+}  // namespace mdmatch::match

@@ -1,0 +1,95 @@
+// Tests for dataset profiling (core/profile).
+
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/find_rcks.h"
+#include "datagen/credit_billing.h"
+
+namespace mdmatch {
+namespace {
+
+class ProfileTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CreditBillingOptions gen;
+    gen.num_base = 300;
+    gen.seed = 12;
+    data_ = datagen::GenerateCreditBilling(gen, &ops_);
+  }
+
+  AttrPair P(const char* l, const char* r) {
+    return {*data_.pair.left().Find(l), *data_.pair.right().Find(r)};
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::CreditBillingData data_;
+};
+
+TEST_F(ProfileTest, AverageLengthsReflectData) {
+  auto pairs = Pairing(data_.mds, data_.target);
+  DataProfile profile = DataProfile::Analyze(data_.instance, pairs);
+  EXPECT_EQ(profile.size(), pairs.size());
+  // Street addresses are much longer than genders.
+  EXPECT_GT(profile.stats(P("street", "street")).avg_length,
+            profile.stats(P("gender", "gender")).avg_length + 5);
+  EXPECT_NEAR(profile.stats(P("gender", "gender")).avg_length, 1.0, 0.2);
+}
+
+TEST_F(ProfileTest, SelectivityFlagsGenderAndState) {
+  auto pairs = Pairing(data_.mds, data_.target);
+  DataProfile profile = DataProfile::Analyze(data_.instance, pairs);
+  // gender has 2 distinct values over 540 rows.
+  EXPECT_LT(profile.stats(P("gender", "gender")).distinct_ratio, 0.05);
+  // phone numbers are near-unique.
+  EXPECT_GT(profile.stats(P("tel", "phn")).distinct_ratio, 0.4);
+  auto low = profile.LowSelectivityPairs(0.05);
+  EXPECT_TRUE(std::find(low.begin(), low.end(), P("gender", "gender")) !=
+              low.end());
+  EXPECT_TRUE(std::find(low.begin(), low.end(), P("tel", "phn")) ==
+              low.end());
+}
+
+TEST_F(ProfileTest, EmptyRateAndAccuracyPenalty) {
+  Schema s("p", {{"a", "d"}, {"b", "d"}});
+  Relation l(s), r(s);
+  (void)l.Append({"x", ""});
+  (void)l.Append({"y", "null"});
+  (void)r.Append({"z", "filled"});
+  Instance d(l, r);
+  DataProfile profile = DataProfile::Analyze(d, {{0, 0}, {1, 1}});
+  EXPECT_DOUBLE_EQ(profile.stats({0, 0}).empty_rate, 0.0);
+  EXPECT_NEAR(profile.stats({1, 1}).empty_rate, 2.0 / 3.0, 1e-9);
+
+  QualityModel quality(0.0, 0.0, 1.0);  // cost = 1/ac only
+  profile.ApplyTo(&quality);
+  // The empty-prone pair costs more (lower accuracy).
+  EXPECT_GT(quality.Cost({1, 1}), quality.Cost({0, 0}));
+}
+
+TEST_F(ProfileTest, UnknownPairYieldsZeroStats) {
+  DataProfile profile = DataProfile::Analyze(data_.instance, {});
+  EXPECT_FALSE(profile.Has(P("FN", "FN")));
+  EXPECT_DOUBLE_EQ(profile.stats(P("FN", "FN")).avg_length, 0.0);
+}
+
+TEST_F(ProfileTest, ApplyToMatchesEstimateLengthsFromData) {
+  // DataProfile::ApplyTo sets the same lt values that
+  // QualityModel::EstimateLengthsFromData computes.
+  auto pairs = Pairing(data_.mds, data_.target);
+  DataProfile profile = DataProfile::Analyze(data_.instance, pairs);
+  QualityModel via_profile(0.0, 1.0, 0.0);
+  profile.ApplyTo(&via_profile);
+  QualityModel via_estimate(0.0, 1.0, 0.0);
+  via_estimate.EstimateLengthsFromData(data_.instance, data_.mds,
+                                       data_.target);
+  for (const auto& p : pairs) {
+    EXPECT_NEAR(via_profile.Cost(p), via_estimate.Cost(p), 1e-9) << p.left;
+  }
+}
+
+}  // namespace
+}  // namespace mdmatch

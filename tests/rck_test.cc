@@ -1,0 +1,148 @@
+// Tests for relative keys, the cover relation ≼ and apply(γ, φ)
+// (paper Sections 2.2 and 5).
+
+#include "core/rck.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/credit_billing.h"
+
+namespace mdmatch {
+namespace {
+
+class RckTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ops_ = sim::SimOpRegistry::Default();
+    ex_ = datagen::MakeExample11(&ops_);
+    dl_ = *ops_.Find("dl@0.80");
+  }
+
+  Conjunct C(const char* l, sim::SimOpId op, const char* r) {
+    return Conjunct{{*ex_.pair.left().Find(l), *ex_.pair.right().Find(r)}, op};
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::Example11Data ex_;
+  sim::SimOpId dl_;
+  static constexpr sim::SimOpId kEq = sim::SimOpRegistry::kEq;
+};
+
+TEST_F(RckTest, ContainsAndAddUnique) {
+  RelativeKey key({C("LN", kEq, "LN")});
+  EXPECT_TRUE(key.Contains(C("LN", kEq, "LN")));
+  EXPECT_FALSE(key.Contains(C("LN", dl_, "LN")));  // operator matters
+  key.AddUnique(C("LN", kEq, "LN"));
+  EXPECT_EQ(key.length(), 1u);  // no duplicate
+  key.AddUnique(C("FN", dl_, "FN"));
+  EXPECT_EQ(key.length(), 2u);
+}
+
+TEST_F(RckTest, WithoutElement) {
+  RelativeKey key({C("LN", kEq, "LN"), C("FN", dl_, "FN")});
+  RelativeKey smaller = key.WithoutElement(0);
+  EXPECT_EQ(smaller.length(), 1u);
+  EXPECT_TRUE(smaller.Contains(C("FN", dl_, "FN")));
+  EXPECT_FALSE(smaller.Contains(C("LN", kEq, "LN")));
+}
+
+TEST_F(RckTest, SameElementsIsOrderInsensitive) {
+  RelativeKey a({C("LN", kEq, "LN"), C("FN", dl_, "FN")});
+  RelativeKey b({C("FN", dl_, "FN"), C("LN", kEq, "LN")});
+  EXPECT_TRUE(a.SameElements(b));
+  RelativeKey c({C("LN", kEq, "LN")});
+  EXPECT_FALSE(a.SameElements(c));
+}
+
+TEST_F(RckTest, CoversIsSubsetOfElements) {
+  RelativeKey big({C("LN", kEq, "LN"), C("FN", dl_, "FN"),
+                   C("addr", kEq, "post")});
+  RelativeKey sub({C("FN", dl_, "FN"), C("LN", kEq, "LN")});
+  RelativeKey other({C("tel", kEq, "phn")});
+  EXPECT_TRUE(Covers(sub, big));
+  EXPECT_FALSE(Covers(big, sub));
+  EXPECT_FALSE(Covers(other, big));
+  EXPECT_TRUE(Covers(big, big));
+  EXPECT_TRUE(StrictlyCovers(sub, big));
+  EXPECT_FALSE(StrictlyCovers(big, big));
+}
+
+TEST_F(RckTest, CoversDistinguishesOperators) {
+  RelativeKey with_eq({C("FN", kEq, "FN"), C("LN", kEq, "LN")});
+  RelativeKey with_dl({C("FN", dl_, "FN"), C("LN", kEq, "LN")});
+  EXPECT_FALSE(Covers(with_eq, with_dl));
+  EXPECT_FALSE(Covers(with_dl, with_eq));
+}
+
+TEST_F(RckTest, EmptyKeyCoversEverything) {
+  RelativeKey empty;
+  RelativeKey any({C("LN", kEq, "LN")});
+  EXPECT_TRUE(Covers(empty, any));
+  EXPECT_TRUE(Covers(empty, empty));
+}
+
+TEST_F(RckTest, ToMdUsesTargetAsRhs) {
+  RelativeKey key({C("email", kEq, "email"), C("tel", kEq, "phn")});
+  MatchingDependency md = key.ToMd(ex_.target);
+  EXPECT_EQ(md.lhs().size(), 2u);
+  EXPECT_EQ(md.rhs().size(), ex_.target.size());
+  EXPECT_TRUE(md.Validate(ex_.pair).ok());
+}
+
+TEST_F(RckTest, ToStringMatchesPaperNotation) {
+  RelativeKey key({C("email", kEq, "email"), C("tel", kEq, "phn")});
+  EXPECT_EQ(key.ToString(ex_.pair, ops_),
+            "([email, tel], [email, phn] || [=, =])");
+}
+
+// ----------------------------------------------------------------- apply
+
+TEST_F(RckTest, ApplyReplacesRhsPairsWithLhs) {
+  // γ = ([tel, email] || [=, =]); ϕ2: tel=phn -> addr<=>post does not touch
+  // γ (no overlap), so apply adds ϕ2's LHS only if absent.
+  RelativeKey gamma({C("tel", kEq, "phn"), C("email", kEq, "email")});
+  RelativeKey applied = Apply(gamma, ex_.mds[1]);  // ϕ2
+  // RHS(ϕ2) = (addr, post) not in γ; LHS(ϕ2) = tel=phn already present.
+  EXPECT_TRUE(applied.SameElements(gamma));
+}
+
+TEST_F(RckTest, ApplyRemovesCoveredPairRegardlessOfOperator) {
+  // γ contains (addr, post) with equality; ϕ2's RHS is (addr, post):
+  // apply removes it and adds tel=phn.
+  RelativeKey gamma({C("addr", kEq, "post"), C("email", kEq, "email")});
+  RelativeKey applied = Apply(gamma, ex_.mds[1]);
+  EXPECT_FALSE(applied.Contains(C("addr", kEq, "post")));
+  EXPECT_TRUE(applied.Contains(C("tel", kEq, "phn")));
+  EXPECT_TRUE(applied.Contains(C("email", kEq, "email")));
+  EXPECT_EQ(applied.length(), 2u);
+}
+
+TEST_F(RckTest, ApplyOnPaperExampleChain) {
+  // Example 5.1 flavor: applying ϕ1 to the identity key yields the rck1
+  // shape ([LN, addr, FN] || [=, =, ~dl]) plus the untouched Y elements.
+  std::vector<Conjunct> identity;
+  for (size_t i = 0; i < ex_.target.size(); ++i) {
+    identity.push_back(Conjunct{ex_.target.pair_at(i), kEq});
+  }
+  RelativeKey gamma(identity);
+  RelativeKey applied = Apply(gamma, ex_.mds[0]);  // ϕ1 (RHS = all of Y)
+  // All Y pairs are in RHS(ϕ1): removed; LHS(ϕ1) added.
+  EXPECT_EQ(applied.length(), 3u);
+  EXPECT_TRUE(applied.Contains(C("LN", kEq, "LN")));
+  EXPECT_TRUE(applied.Contains(C("addr", kEq, "post")));
+  EXPECT_TRUE(applied.Contains(C("FN", dl_, "FN")));
+}
+
+TEST_F(RckTest, ApplyDeduplicatesAddedConjuncts) {
+  RelativeKey gamma({C("LN", kEq, "LN"), C("tel", kEq, "phn")});
+  // ϕ3: email=email -> FN,LN identified. (LN, LN) is in RHS(ϕ3)? No —
+  // RHS(ϕ3) = {(FN,FN), (LN,LN)}: LN removed, email added.
+  RelativeKey applied = Apply(gamma, ex_.mds[2]);
+  EXPECT_FALSE(applied.Contains(C("LN", kEq, "LN")));
+  EXPECT_TRUE(applied.Contains(C("email", kEq, "email")));
+  EXPECT_TRUE(applied.Contains(C("tel", kEq, "phn")));
+  EXPECT_EQ(applied.length(), 2u);
+}
+
+}  // namespace
+}  // namespace mdmatch

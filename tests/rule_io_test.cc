@@ -1,0 +1,95 @@
+// Tests for rule-file persistence (core/rule_io).
+
+#include "core/rule_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/find_rcks.h"
+#include "core/md_parser.h"
+#include "datagen/credit_billing.h"
+
+namespace mdmatch {
+namespace {
+
+class RuleIoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ops_ = sim::SimOpRegistry::Default();
+    ex_ = datagen::MakeExample11(&ops_);
+  }
+  std::string TempPath(const char* name) {
+    return testing::TempDir() + "/" + name;
+  }
+  sim::SimOpRegistry ops_;
+  datagen::Example11Data ex_;
+};
+
+TEST_F(RuleIoTest, MdSetRoundTripsThroughText) {
+  std::string text = SerializeMdSet(ex_.mds, ex_.pair, ops_);
+  EXPECT_NE(text.find("credit[tel] = billing[phn]"), std::string::npos);
+  auto parsed = ParseMdSet(text, ex_.pair, ops_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, ex_.mds);
+}
+
+TEST_F(RuleIoTest, MdSetRoundTripsThroughFile) {
+  std::string path = TempPath("sigma.mds");
+  ASSERT_TRUE(SaveMdSetToFile(path, ex_.mds, ex_.pair, ops_).ok());
+  auto loaded = LoadMdSetFromFile(path, ex_.pair, ops_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, ex_.mds);
+}
+
+TEST_F(RuleIoTest, LoadMissingFileIsNotFound) {
+  auto loaded = LoadMdSetFromFile("/no/such/file.mds", ex_.pair, ops_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RuleIoTest, RcksRoundTripThroughFile) {
+  FindRcksResult found = FindRcks(ex_.pair, ops_, ex_.mds, ex_.target, 10);
+  ASSERT_GE(found.rcks.size(), 4u);
+  std::string path = TempPath("keys.mds");
+  ASSERT_TRUE(
+      SaveRcksToFile(path, found.rcks, ex_.target, ex_.pair, ops_).ok());
+  auto loaded = LoadRcksFromFile(path, ex_.target, ex_.pair, ops_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), found.rcks.size());
+  for (size_t i = 0; i < found.rcks.size(); ++i) {
+    EXPECT_TRUE((*loaded)[i].SameElements(found.rcks[i]));
+  }
+}
+
+TEST_F(RuleIoTest, LoadRcksRejectsWrongTarget) {
+  FindRcksResult found = FindRcks(ex_.pair, ops_, ex_.mds, ex_.target, 10);
+  std::string path = TempPath("keys2.mds");
+  ASSERT_TRUE(
+      SaveRcksToFile(path, found.rcks, ex_.target, ex_.pair, ops_).ok());
+  // A different (shorter) target: rejected.
+  auto narrow = ComparableLists::MakeByName(ex_.pair, {"FN", "LN"},
+                                            {"FN", "LN"});
+  ASSERT_TRUE(narrow.ok());
+  auto loaded = LoadRcksFromFile(path, *narrow, ex_.pair, ops_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RuleIoTest, LoadedRulesStillDeduce) {
+  std::string path = TempPath("sigma3.mds");
+  ASSERT_TRUE(SaveMdSetToFile(path, ex_.mds, ex_.pair, ops_).ok());
+  auto sigma = LoadMdSetFromFile(path, ex_.pair, ops_);
+  ASSERT_TRUE(sigma.ok());
+  // Σ ⊨m rck4 survives the round trip.
+  MdBuilder b(ex_.pair, &ops_);
+  b.Lhs("email", "=", "email").Lhs("tel", "=", "phn");
+  for (size_t i = 0; i < ex_.target.size(); ++i) {
+    b.Rhs(ex_.pair.left().attribute(ex_.target.left()[i]).name,
+          ex_.pair.right().attribute(ex_.target.right()[i]).name);
+  }
+  auto rck4 = b.Build();
+  ASSERT_TRUE(rck4.ok());
+  EXPECT_TRUE(Deduces(ex_.pair, ops_, *sigma, *rck4));
+}
+
+}  // namespace
+}  // namespace mdmatch

@@ -1,0 +1,238 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/instance.h"
+#include "schema/relation.h"
+#include "schema/tuple.h"
+#include "util/csv.h"
+
+namespace mdmatch {
+namespace {
+
+Schema PersonSchema() {
+  return Schema("person", {{"name", "name"},
+                           {"addr", "address"},
+                           {"phone", "phone"}});
+}
+
+Schema AccountSchema() {
+  return Schema("account", {{"holder", "name"},
+                            {"location", "address"},
+                            {"tel", "phone"},
+                            {"balance", "money"}});
+}
+
+// ----------------------------------------------------------------- Schema
+
+TEST(SchemaTest, ArityAndAttributeAccess) {
+  Schema s = PersonSchema();
+  EXPECT_EQ(s.name(), "person");
+  EXPECT_EQ(s.arity(), 3);
+  EXPECT_EQ(s.attribute(0).name, "name");
+  EXPECT_EQ(s.attribute(2).domain, "phone");
+}
+
+TEST(SchemaTest, FindByName) {
+  Schema s = PersonSchema();
+  auto id = s.Find("addr");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1);
+  EXPECT_FALSE(s.Find("missing").ok());
+  EXPECT_EQ(s.Find("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, IsValidRange) {
+  Schema s = PersonSchema();
+  EXPECT_TRUE(s.IsValid(0));
+  EXPECT_TRUE(s.IsValid(2));
+  EXPECT_FALSE(s.IsValid(3));
+  EXPECT_FALSE(s.IsValid(-1));
+}
+
+TEST(SchemaPairTest, TotalAttrsIsTheoremH) {
+  SchemaPair pair(PersonSchema(), AccountSchema());
+  EXPECT_EQ(pair.total_attrs(), 7);
+  EXPECT_EQ(pair.side(0).name(), "person");
+  EXPECT_EQ(pair.side(1).name(), "account");
+}
+
+TEST(QualifiedAttrTest, DenseIndexAndToString) {
+  SchemaPair pair(PersonSchema(), AccountSchema());
+  QualifiedAttr left{0, 2};
+  QualifiedAttr right{1, 0};
+  EXPECT_EQ(left.Index(pair), 2);
+  EXPECT_EQ(right.Index(pair), 3);  // offset by left arity
+  EXPECT_EQ(left.ToString(pair), "person[phone]");
+  EXPECT_EQ(right.ToString(pair), "account[holder]");
+}
+
+TEST(QualifiedAttrTest, OrderingAndEquality) {
+  QualifiedAttr a{0, 1}, b{0, 2}, c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (QualifiedAttr{0, 1}));
+}
+
+// -------------------------------------------------------- ComparableLists
+
+TEST(ComparableListsTest, MakeValidatesDomains) {
+  SchemaPair pair(PersonSchema(), AccountSchema());
+  auto ok = ComparableLists::Make(pair, {0, 1}, {0, 1});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+  // name-domain vs money-domain: rejected.
+  auto bad = ComparableLists::Make(pair, {0}, {3});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ComparableListsTest, MakeRejectsLengthMismatch) {
+  SchemaPair pair(PersonSchema(), AccountSchema());
+  EXPECT_FALSE(ComparableLists::Make(pair, {0, 1}, {0}).ok());
+}
+
+TEST(ComparableListsTest, MakeRejectsOutOfRangeIds) {
+  SchemaPair pair(PersonSchema(), AccountSchema());
+  EXPECT_FALSE(ComparableLists::Make(pair, {5}, {0}).ok());
+  EXPECT_FALSE(ComparableLists::Make(pair, {0}, {9}).ok());
+}
+
+TEST(ComparableListsTest, MakeByNameResolves) {
+  SchemaPair pair(PersonSchema(), AccountSchema());
+  auto lists =
+      ComparableLists::MakeByName(pair, {"name", "phone"}, {"holder", "tel"});
+  ASSERT_TRUE(lists.ok());
+  EXPECT_EQ(lists->pair_at(0), (AttrPair{0, 0}));
+  EXPECT_EQ(lists->pair_at(1), (AttrPair{2, 2}));
+  EXPECT_TRUE(lists->Contains({0, 0}));
+  EXPECT_FALSE(lists->Contains({0, 2}));
+}
+
+TEST(ComparableListsTest, MakeByNameUnknownAttribute) {
+  SchemaPair pair(PersonSchema(), AccountSchema());
+  EXPECT_FALSE(ComparableLists::MakeByName(pair, {"nope"}, {"holder"}).ok());
+}
+
+// ------------------------------------------------------------------ Tuple
+
+TEST(TupleTest, ValueAccessAndEntity) {
+  Tuple t(7, {"Ann", "1 Elm", "555"}, 42);
+  EXPECT_EQ(t.id(), 7);
+  EXPECT_EQ(t.entity(), 42);
+  EXPECT_EQ(t.value(0), "Ann");
+  t.set_value(0, "Anne");
+  EXPECT_EQ(t.value(0), "Anne");
+  EXPECT_EQ(t.arity(), 3u);
+}
+
+TEST(TupleTest, DefaultEntityUnknown) {
+  Tuple t(1, {"x"});
+  EXPECT_EQ(t.entity(), kEntityUnknown);
+}
+
+// --------------------------------------------------------------- Relation
+
+TEST(RelationTest, AppendAssignsSequentialIds) {
+  Relation r(PersonSchema());
+  auto id0 = r.Append({"Ann", "1 Elm", "555"});
+  auto id1 = r.Append({"Bob", "2 Oak", "777"});
+  ASSERT_TRUE(id0.ok() && id1.ok());
+  EXPECT_EQ(*id0, 0);
+  EXPECT_EQ(*id1, 1);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuple(1).value(0), "Bob");
+}
+
+TEST(RelationTest, AppendRejectsWrongArity) {
+  Relation r(PersonSchema());
+  auto bad = r.Append({"only-one"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationTest, AppendTuplePreservesIdAndAdvancesCounter) {
+  Relation r(PersonSchema());
+  ASSERT_TRUE(r.AppendTuple(Tuple(10, {"Ann", "1 Elm", "555"})).ok());
+  auto next = r.Append({"Bob", "2 Oak", "777"});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 11);  // ids never collide with pre-identified tuples
+}
+
+TEST(RelationTest, FindById) {
+  Relation r(PersonSchema());
+  (void)r.Append({"Ann", "1 Elm", "555"});
+  (void)r.Append({"Bob", "2 Oak", "777"});
+  auto pos = r.FindById(1);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 1u);
+  EXPECT_FALSE(r.FindById(99).ok());
+}
+
+TEST(RelationTest, CsvRoundTrip) {
+  Relation r(PersonSchema());
+  (void)r.Append({"Ann, A.", "1 Elm", "555"});
+  (void)r.Append({"Bob", "2 \"Oak\"", "777"});
+  auto rows = r.ToCsvRows();
+  ASSERT_EQ(rows.size(), 3u);
+  auto back = Relation::FromCsvRows(PersonSchema(), rows);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->tuple(0).value(0), "Ann, A.");
+  EXPECT_EQ(back->tuple(1).value(1), "2 \"Oak\"");
+}
+
+TEST(RelationTest, FromCsvRejectsBadHeader) {
+  auto bad = Relation::FromCsvRows(
+      PersonSchema(), {{"name", "addr", "WRONG"}, {"a", "b", "c"}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(Relation::FromCsvRows(PersonSchema(), {}).ok());
+  EXPECT_FALSE(
+      Relation::FromCsvRows(PersonSchema(), {{"name", "addr"}}).ok());
+}
+
+// --------------------------------------------------------------- Instance
+
+TEST(InstanceTest, SidesAndPairCount) {
+  Relation l(PersonSchema());
+  (void)l.Append({"Ann", "1 Elm", "555"});
+  (void)l.Append({"Bob", "2 Oak", "777"});
+  Relation r(AccountSchema());
+  (void)r.Append({"Ann", "1 Elm", "555", "100"});
+  Instance d(l, r);
+  EXPECT_EQ(d.NumPairs(), 2u);
+  EXPECT_EQ(d.left().size(), 2u);
+  EXPECT_EQ(d.right().size(), 1u);
+  EXPECT_EQ(d.schema_pair().total_attrs(), 7);
+}
+
+TEST(InstanceTest, ExtendedByRequiresSameIds) {
+  Relation l(PersonSchema());
+  (void)l.Append({"Ann", "1 Elm", "555"});
+  Relation r(AccountSchema());
+  (void)r.Append({"Ann", "1 Elm", "555", "100"});
+  Instance d(l, r);
+
+  // An updated version of the same tuples: extends.
+  Relation l2(PersonSchema());
+  ASSERT_TRUE(l2.AppendTuple(Tuple(0, {"Anne", "1 Elm", "555"})).ok());
+  Instance d2(l2, r);
+  EXPECT_TRUE(d.ExtendedBy(d2));
+
+  // An instance missing the tuple id: does not extend.
+  Relation l3(PersonSchema());
+  ASSERT_TRUE(l3.AppendTuple(Tuple(9, {"Zed", "9 Elm", "000"})).ok());
+  Instance d3(l3, r);
+  EXPECT_FALSE(d.ExtendedBy(d3));
+}
+
+TEST(InstanceTest, SelfPairSharesTuples) {
+  Relation l(PersonSchema());
+  (void)l.Append({"Ann", "1 Elm", "555"});
+  Instance d = SelfPair(l);
+  EXPECT_EQ(d.left().size(), d.right().size());
+  EXPECT_EQ(d.left().tuple(0).id(), d.right().tuple(0).id());
+}
+
+}  // namespace
+}  // namespace mdmatch

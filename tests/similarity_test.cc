@@ -1,0 +1,275 @@
+// Tests for Jaro / Jaro-Winkler, q-grams, phonetic encoders and the
+// SimOpRegistry (the paper's operator set Θ with its generic axioms).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/jaro.h"
+#include "sim/phonetic.h"
+#include "sim/qgram.h"
+#include "sim/sim_op.h"
+#include "util/random.h"
+
+namespace mdmatch::sim {
+namespace {
+
+// -------------------------------------------------------------------- Jaro
+
+TEST(JaroTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+}
+
+TEST(JaroTest, CompletelyDifferent) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+}
+
+TEST(JaroTest, ClassicTextbookValues) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("JELLYFISH", "SMELLYFISH"), 0.896296, 1e-5);
+}
+
+TEST(JaroTest, SymmetricAndBounded) {
+  Rng rng(21);
+  for (int i = 0; i < 300; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(10); j > 0; --j) a.push_back(rng.Letter());
+    for (size_t j = rng.Index(10); j > 0; --j) b.push_back(rng.Letter());
+    double ab = JaroSimilarity(a, b);
+    EXPECT_DOUBLE_EQ(ab, JaroSimilarity(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST(JaroWinklerTest, BoostsCommonPrefix) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  // JW >= Jaro always (prefix boost is non-negative).
+  Rng rng(22);
+  for (int i = 0; i < 300; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(10); j > 0; --j) a.push_back(rng.Letter());
+    for (size_t j = rng.Index(10); j > 0; --j) b.push_back(rng.Letter());
+    EXPECT_GE(JaroWinklerSimilarity(a, b) + 1e-12, JaroSimilarity(a, b));
+    EXPECT_LE(JaroWinklerSimilarity(a, b), 1.0 + 1e-12);
+  }
+}
+
+TEST(JaroWinklerTest, PrefixCapAtFour) {
+  // Identical 4-char prefixes and identical 8-char prefixes get the same
+  // boost factor relative to their jaro values.
+  double jw = JaroWinklerSimilarity("abcdxyz", "abcdpqr");
+  double j = JaroSimilarity("abcdxyz", "abcdpqr");
+  EXPECT_NEAR(jw, j + 4 * 0.1 * (1 - j), 1e-12);
+}
+
+// ----------------------------------------------------------------- QGrams
+
+TEST(QGramTest, PaddedGramsOfShortString) {
+  auto grams = QGrams("ab", 2);
+  // "#ab#" -> {"#a", "ab", "b#"}
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "#a");
+  EXPECT_EQ(grams[1], "ab");
+  EXPECT_EQ(grams[2], "b#");
+}
+
+TEST(QGramTest, EmptyStringHasNoGrams) {
+  EXPECT_TRUE(QGrams("", 2).empty());
+  EXPECT_TRUE(QGrams("ab", 0).empty());
+}
+
+TEST(QGramTest, GramCountFormula) {
+  // |s| + q - 1 grams with padding.
+  EXPECT_EQ(QGrams("hello", 2).size(), 6u);
+  EXPECT_EQ(QGrams("hello", 3).size(), 7u);
+}
+
+TEST(QGramJaccardTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("night", "night"), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("", ""), 1.0);
+  EXPECT_EQ(QGramJaccard("aa", "zz"), 0.0);
+}
+
+TEST(QGramJaccardTest, SymmetricBounded) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(8); j > 0; --j) a.push_back(rng.Letter());
+    for (size_t j = rng.Index(8); j > 0; --j) b.push_back(rng.Letter());
+    double ab = QGramJaccard(a, b);
+    EXPECT_DOUBLE_EQ(ab, QGramJaccard(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST(QGramCosineTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(QGramCosine("night", "night"), 1.0);
+  EXPECT_DOUBLE_EQ(QGramCosine("", ""), 1.0);
+  EXPECT_EQ(QGramCosine("aa", "zz"), 0.0);
+  double v = QGramCosine("night", "nacht");
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(QGramOverlapTest, SubstringScoresHigh) {
+  // Overlap uses min-size denominator: a contained string scores higher
+  // than under Jaccard.
+  double overlap = QGramOverlap("martha", "marthas");
+  double jaccard = QGramJaccard("martha", "marthas");
+  EXPECT_GT(overlap, jaccard);
+  EXPECT_LE(overlap, 1.0);
+}
+
+// --------------------------------------------------------------- Phonetic
+
+TEST(SoundexTest, TextbookCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, PaperNameVariants) {
+  // The motivating dirty names of Example 1.1.
+  EXPECT_EQ(Soundex("Clifford"), Soundex("Clivord"));
+  EXPECT_EQ(Soundex("Mark"), Soundex("Marx"));
+}
+
+TEST(SoundexTest, CaseAndSymbolsIgnored) {
+  EXPECT_EQ(Soundex("robert"), "R163");
+  EXPECT_EQ(Soundex("  Ro-bert! "), "R163");
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+}
+
+TEST(SoundexTest, PadsToFourCharacters) {
+  EXPECT_EQ(Soundex("Lee"), "L000");
+  EXPECT_EQ(Soundex("A"), "A000");
+}
+
+TEST(NysiisTest, StableKnownCodes) {
+  // NYSIIS has several published variants; we assert self-consistency and
+  // the properties blocking keys need.
+  EXPECT_EQ(Nysiis("KNIGHT"), Nysiis("knight"));
+  EXPECT_FALSE(Nysiis("Smith").empty());
+  EXPECT_EQ(Nysiis(""), "");
+  // Phonetically close names collapse.
+  EXPECT_EQ(Nysiis("Brian"), Nysiis("Brean"));
+  EXPECT_EQ(Nysiis("Philip"), Nysiis("Filip"));
+  EXPECT_EQ(Nysiis("Knight"), Nysiis("Night"));
+}
+
+TEST(NysiisTest, DistinctNamesStayDistinct) {
+  EXPECT_NE(Nysiis("Washington"), Nysiis("Lee"));
+  EXPECT_NE(Nysiis("Garcia"), Nysiis("Kowalski"));
+}
+
+// ------------------------------------------------------------ SimOpRegistry
+
+TEST(SimOpRegistryTest, EqualityIsOpZero) {
+  SimOpRegistry reg;
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.Name(SimOpRegistry::kEq), "=");
+  EXPECT_TRUE(reg.Eval(SimOpRegistry::kEq, "a", "a"));
+  EXPECT_FALSE(reg.Eval(SimOpRegistry::kEq, "a", "b"));
+}
+
+TEST(SimOpRegistryTest, RegisterAndFind) {
+  SimOpRegistry reg;
+  auto id = reg.Register("always", [](auto, auto) { return true; });
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(reg.Eval(*id, "x", "y"));
+  auto found = reg.Find("always");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id);
+}
+
+TEST(SimOpRegistryTest, DuplicateNameRejected) {
+  SimOpRegistry reg;
+  ASSERT_TRUE(reg.Register("op", [](auto, auto) { return true; }).ok());
+  EXPECT_FALSE(reg.Register("op", [](auto, auto) { return false; }).ok());
+}
+
+TEST(SimOpRegistryTest, FindUnknownIsNotFound) {
+  SimOpRegistry reg;
+  auto r = reg.Find("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SimOpRegistryTest, ConvenienceRegistrationsIdempotent) {
+  SimOpRegistry reg;
+  SimOpId a = reg.Dl(0.8);
+  SimOpId b = reg.Dl(0.8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.Dl(0.9), a);
+  EXPECT_EQ(reg.Name(a), "dl@0.80");
+}
+
+TEST(SimOpRegistryTest, DefaultRegistryHasStandardSuite) {
+  SimOpRegistry reg = SimOpRegistry::Default();
+  EXPECT_TRUE(reg.Find("dl@0.80").ok());
+  EXPECT_TRUE(reg.Find("soundex").ok());
+  EXPECT_TRUE(reg.Find("jw@0.90").ok());
+  EXPECT_TRUE(reg.Find("prefix4").ok());
+  EXPECT_GE(reg.size(), 5u);
+}
+
+// The generic axioms of Section 2.1 must hold for every registered
+// operator: reflexive, symmetric, subsumes equality.
+class SimOpAxioms : public testing::TestWithParam<std::string> {};
+
+TEST_P(SimOpAxioms, ReflexiveSymmetricSubsumesEquality) {
+  SimOpRegistry reg = SimOpRegistry::Default();
+  auto id = reg.Find(GetParam());
+  ASSERT_TRUE(id.ok());
+  Rng rng(31);
+  for (int i = 0; i < 150; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(10); j > 0; --j) a.push_back(rng.Letter());
+    for (size_t j = rng.Index(10); j > 0; --j) b.push_back(rng.Letter());
+    EXPECT_TRUE(reg.Eval(*id, a, a)) << GetParam() << " not reflexive on " << a;
+    EXPECT_EQ(reg.Eval(*id, a, b), reg.Eval(*id, b, a))
+        << GetParam() << " not symmetric on " << a << "," << b;
+    if (a == b) EXPECT_TRUE(reg.Eval(*id, a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DefaultOps, SimOpAxioms,
+                         testing::Values("=", "dl@0.80", "jaro@0.85",
+                                         "jw@0.90", "qgram2@0.70", "soundex",
+                                         "prefix4"));
+
+TEST(SimOpRegistryTest, ThresholdedDlIsNotTransitive) {
+  // The paper stresses that similarity (unlike equality) is NOT transitive;
+  // exhibit a witness under dl@0.80.
+  SimOpRegistry reg;
+  SimOpId dl = reg.Dl(0.8);
+  // Length 10 at θ = 0.8 allows 2 edits.
+  std::string a = "aaaaaaaaaa";   // 10 a's
+  std::string b = "aaaaaaaabb";   // 2 edits from a
+  std::string c = "aaaaaabbbb";   // 2 edits from b, 4 edits from a
+  ASSERT_TRUE(reg.Eval(dl, a, b));
+  ASSERT_TRUE(reg.Eval(dl, b, c));
+  EXPECT_FALSE(reg.Eval(dl, a, c));
+}
+
+TEST(SimOpRegistryTest, UserPredicateWrappedForEquality) {
+  // Even a pathological "never" predicate satisfies x ≈ x after wrapping.
+  SimOpRegistry reg;
+  auto id = reg.Register("never", [](auto, auto) { return false; });
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(reg.Eval(*id, "same", "same"));
+  EXPECT_FALSE(reg.Eval(*id, "a", "b"));
+}
+
+}  // namespace
+}  // namespace mdmatch::sim

@@ -1,0 +1,102 @@
+// Tests for the token-level similarity metrics (Monge-Elkan, token
+// Jaccard, longest common substring).
+
+#include "sim/token_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mdmatch::sim {
+namespace {
+
+TEST(TokenizeTest, FoldsCaseAndStripsPunctuation) {
+  auto tokens = Tokenize("Smith, John  A.");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "smith");
+  EXPECT_EQ(tokens[1], "john");
+  EXPECT_EQ(tokens[2], "a");
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize(" ,. ").empty());
+}
+
+TEST(MongeElkanTest, TokenReorderInvariantOnExactTokens) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("John A Smith", "Smith, John A"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("x", ""), 0.0);
+}
+
+TEST(MongeElkanTest, ToleratesPerTokenTypos) {
+  double v = MongeElkanSimilarity("John Smith", "Jhon Smith");
+  EXPECT_GT(v, 0.85);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(MongeElkanTest, SymmetricAndBounded) {
+  Rng rng(3);
+  auto random_phrase = [&] {
+    std::string s;
+    for (size_t t = 1 + rng.Index(3); t > 0; --t) {
+      for (size_t c = 1 + rng.Index(6); c > 0; --c) s.push_back(rng.Letter());
+      s.push_back(' ');
+    }
+    return s;
+  };
+  for (int i = 0; i < 150; ++i) {
+    std::string a = random_phrase(), b = random_phrase();
+    double ab = MongeElkanSimilarity(a, b);
+    EXPECT_DOUBLE_EQ(ab, MongeElkanSimilarity(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST(TokenJaccardTest, SetSemantics) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("10 Oak Street", "Oak Street 10"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "a c"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a a a", "a"), 1.0);  // multiset collapsed
+}
+
+TEST(LcsTest, KnownValues) {
+  EXPECT_EQ(LongestCommonSubstring("clifford", "clivord"), 3u);  // "cli"
+  EXPECT_EQ(LongestCommonSubstring("abc", "abc"), 3u);
+  EXPECT_EQ(LongestCommonSubstring("abc", "xyz"), 0u);
+  EXPECT_EQ(LongestCommonSubstring("", "abc"), 0u);
+  EXPECT_EQ(LongestCommonSubstring("xabcy", "zabcw"), 3u);
+}
+
+TEST(LcsTest, NormalizedRange) {
+  EXPECT_DOUBLE_EQ(NormalizedLcs("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLcs("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedLcs("abc", "zabcw"), 1.0);  // contained
+}
+
+TEST(TokenOpsTest, RegistryIntegrationAndAxioms) {
+  SimOpRegistry reg;
+  SimOpId me = RegisterMongeElkan(&reg, 0.9);
+  SimOpId tj = RegisterTokenJaccard(&reg, 0.5);
+  SimOpId lcs = RegisterLcs(&reg, 0.8);
+  EXPECT_EQ(RegisterMongeElkan(&reg, 0.9), me);  // idempotent
+
+  EXPECT_TRUE(reg.Eval(me, "John Smith", "Smith John"));
+  EXPECT_FALSE(reg.Eval(me, "John Smith", "Mary Garcia"));
+  EXPECT_TRUE(reg.Eval(tj, "10 Oak St", "Oak St"));
+  EXPECT_TRUE(reg.Eval(lcs, "main street 5", "main street"));
+
+  // Generic axioms hold for the wrapped predicates.
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string a, b;
+    for (size_t j = rng.Index(10); j > 0; --j) a.push_back(rng.Letter());
+    for (size_t j = rng.Index(10); j > 0; --j) b.push_back(rng.Letter());
+    for (SimOpId op : {me, tj, lcs}) {
+      EXPECT_TRUE(reg.Eval(op, a, a));
+      EXPECT_EQ(reg.Eval(op, a, b), reg.Eval(op, b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdmatch::sim

@@ -1,0 +1,93 @@
+// Tests for the constant-transformation / synonym extension
+// (sim/transform; the paper's Section 8 future-work item on augmenting
+// similarity with constants, following [3, 5, 23]).
+
+#include "sim/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace mdmatch::sim {
+namespace {
+
+TEST(TransformTableTest, TokenSynonymAndCase) {
+  TransformTable t;
+  t.AddSynonym("Street", "St");
+  EXPECT_EQ(t.Apply("620 Elm Street"), "620 ELM ST");
+  EXPECT_EQ(t.Apply("620 elm street"), "620 ELM ST");
+  EXPECT_EQ(t.Apply("620 Elm St"), "620 ELM ST");
+}
+
+TEST(TransformTableTest, StripsAbbreviationDots) {
+  TransformTable t;
+  t.AddSynonym("Street", "St");
+  EXPECT_EQ(t.Apply("620 Elm St."), "620 ELM ST");
+  EXPECT_EQ(t.Apply("620 Elm St.,"), "620 ELM ST");
+}
+
+TEST(TransformTableTest, MultiWordSynonym) {
+  TransformTable t;
+  t.AddSynonym("United States", "USA");
+  EXPECT_EQ(t.Apply("the United States of old"), "THE USA OF OLD");
+}
+
+TEST(TransformTableTest, LongestPhraseWins) {
+  TransformTable t;
+  t.AddSynonym("United States", "USA");
+  t.AddSynonym("United States of America", "USA");
+  EXPECT_EQ(t.Apply("United States of America"), "USA");
+}
+
+TEST(TransformTableTest, CollapsesWhitespace) {
+  TransformTable t;
+  EXPECT_EQ(t.Apply("  a   b  "), "A B");
+}
+
+TEST(TransformTableTest, UsAddressDefaultsCanonicalize) {
+  TransformTable t = TransformTable::UsAddressDefaults();
+  EXPECT_EQ(t.Apply("10 Oak Street"), t.Apply("10 Oak St."));
+  EXPECT_EQ(t.Apply("9 Summit Avenue"), t.Apply("9 Summit Ave"));
+  EXPECT_EQ(t.Apply("New Jersey"), "NJ");
+  EXPECT_EQ(t.Apply("United States"), t.Apply("USA"));
+  EXPECT_GT(t.size(), 20u);
+}
+
+TEST(TransformTableTest, IdempotentOnCanonicalForm) {
+  TransformTable t = TransformTable::UsAddressDefaults();
+  std::string once = t.Apply("620 Elm Street, Trenton, New Jersey");
+  EXPECT_EQ(t.Apply(once), once);
+}
+
+TEST(TransformOpTest, TransformedEqOperator) {
+  SimOpRegistry reg;
+  SimOpId op = RegisterTransformedEq(
+      &reg, "teq:us", TransformTable::UsAddressDefaults());
+  ASSERT_GE(op, 0);
+  EXPECT_TRUE(reg.Eval(op, "10 Oak Street", "10 OAK ST"));
+  EXPECT_TRUE(reg.Eval(op, "New Jersey", "NJ"));
+  EXPECT_FALSE(reg.Eval(op, "10 Oak St", "11 Oak St"));
+  // Generic axioms: reflexive, symmetric.
+  EXPECT_TRUE(reg.Eval(op, "anything", "anything"));
+  EXPECT_EQ(reg.Eval(op, "Elm Ave", "Elm Avenue"),
+            reg.Eval(op, "Elm Avenue", "Elm Ave"));
+}
+
+TEST(TransformOpTest, TransformedDlOperator) {
+  SimOpRegistry reg;
+  SimOpId op = RegisterTransformedDl(
+      &reg, "tdl:us", TransformTable::UsAddressDefaults(), 0.8);
+  ASSERT_GE(op, 0);
+  // Canonicalization + one typo still within the threshold.
+  EXPECT_TRUE(reg.Eval(op, "10 Oak Street Murray Hill",
+                       "10 Oka St Murray Hill"));
+  EXPECT_FALSE(reg.Eval(op, "10 Oak St", "99 Pine Rd"));
+}
+
+TEST(TransformOpTest, DuplicateRegistrationReturnsNegative) {
+  SimOpRegistry reg;
+  TransformTable t;
+  EXPECT_GE(RegisterTransformedEq(&reg, "teq:x", t), 0);
+  EXPECT_LT(RegisterTransformedEq(&reg, "teq:x", t), 0);
+}
+
+}  // namespace
+}  // namespace mdmatch::sim

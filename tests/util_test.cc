@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+namespace mdmatch {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("missing").message(), "missing");
+  EXPECT_EQ(Status::ParseError("p").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::OutOfRange("r").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("f").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("i").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailsThenPropagates() {
+  MDMATCH_RETURN_NOT_OK(Status::NotFound("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("abc"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "abc");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+// ------------------------------------------------------------ StringUtil
+
+TEST(StringUtilTest, ToUpperLower) {
+  EXPECT_EQ(ToUpper("aBc-1"), "ABC-1");
+  EXPECT_EQ(ToLower("AbC-1"), "abc-1");
+  EXPECT_EQ(ToUpper(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "el"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilTest, IsDigits) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-12"));
+}
+
+TEST(StringUtilTest, RemoveAndFilterChars) {
+  EXPECT_EQ(RemoveChars("a-b-c", "-"), "abc");
+  EXPECT_EQ(AlphaNumOnly("90 8-11x"), "90811x");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+// ---------------------------------------------------------------- Random
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, CharacterHelpers) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    char l = rng.Letter();
+    EXPECT_GE(l, 'a');
+    EXPECT_LE(l, 'z');
+    char d = rng.Digit();
+    EXPECT_GE(d, '0');
+    EXPECT_LE(d, '9');
+    char a = rng.AlphaNum();
+    EXPECT_TRUE((a >= 'a' && a <= 'z') || (a >= '0' && a <= '9'));
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(23);
+  auto idx = rng.SampleIndices(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 30u);
+  for (size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesCapsAtN) {
+  Rng rng(29);
+  auto idx = rng.SampleIndices(5, 50);
+  EXPECT_EQ(idx.size(), 5u);
+}
+
+TEST(RngTest, ChoiceReturnsMember) {
+  Rng rng(31);
+  std::vector<std::string> pool = {"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& c = rng.Choice(pool);
+    EXPECT_TRUE(c == "a" || c == "b" || c == "c");
+  }
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParseSimple) {
+  auto rows = Csv::Parse("a,b\n1,2\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ParseQuotedFieldWithComma) {
+  auto rows = Csv::Parse("\"a,b\",c\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "c");
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  auto rows = Csv::Parse("\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseEmbeddedNewline) {
+  auto rows = Csv::Parse("\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, ParseCrLf) {
+  auto rows = Csv::Parse("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][0], "c");
+}
+
+TEST(CsvTest, ParseMissingTrailingNewline) {
+  auto rows = Csv::Parse("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "d");
+}
+
+TEST(CsvTest, ParseUnterminatedQuoteFails) {
+  auto rows = Csv::Parse("\"abc\n");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, EscapeFieldOnlyWhenNeeded) {
+  EXPECT_EQ(Csv::EscapeField("plain"), "plain");
+  EXPECT_EQ(Csv::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(Csv::EscapeField("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvTest, SerializeParseRoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"name", "note"},
+      {"Ann, A.", "said \"ok\""},
+      {"Bob", "line1\nline2"},
+  };
+  auto parsed = Csv::Parse(Csv::Serialize(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::vector<std::vector<std::string>> rows = {{"a", "b"}, {"1", "2,3"}};
+  std::string path = testing::TempDir() + "/mdmatch_csv_test.csv";
+  ASSERT_TRUE(Csv::WriteFile(path, rows).ok());
+  auto readback = Csv::ReadFile(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(*readback, rows);
+}
+
+TEST(CsvTest, ReadMissingFileIsNotFound) {
+  auto r = Csv::ReadFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------- TableWriter
+
+TEST(TableWriterTest, AlignsColumns) {
+  TableWriter t({"k", "value"});
+  t.AddRow({"1", "short"});
+  t.AddRow({"200", "x"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| k   "), std::string::npos);
+  EXPECT_NE(out.find("| 200 "), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriterTest, PadsShortRows) {
+  TableWriter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(TableWriterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::Num(2.0, 0), "2");
+  EXPECT_EQ(TableWriter::Num(0.5, 3), "0.500");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double t0 = sw.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sw.ElapsedSeconds(), t0);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace mdmatch

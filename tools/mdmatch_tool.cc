@@ -1,0 +1,199 @@
+// mdmatch_tool — command-line front end for the library.
+//
+//   mdmatch_tool gen  <K> <out_dir> [seed]
+//       Generate a credit/billing dataset (Section 6.2 protocol): writes
+//       credit.csv, billing.csv, truth.csv (entity ids) and sigma.mds
+//       (the 7 matching rules) into <out_dir>.
+//
+//   mdmatch_tool keys <dir> [m]
+//       Load <dir>/sigma.mds, deduce up to m RCKs (default 10) for the
+//       card-holder target lists, print them and write <dir>/keys.mds.
+//
+//   mdmatch_tool match <dir>
+//       Load the dataset and <dir>/keys.mds (or deduce keys when absent),
+//       run the rule-based pipeline (windowing, θ = 0.8 similarity test),
+//       write <dir>/matches.csv and report quality against truth.csv when
+//       present.
+//
+// The tool only drives public library APIs; see README.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/find_rcks.h"
+#include "core/rule_io.h"
+#include "datagen/credit_billing.h"
+#include "match/pipeline.h"
+#include "util/csv.h"
+
+using namespace mdmatch;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mdmatch_tool gen   <K> <dir> [seed]\n"
+               "  mdmatch_tool keys  <dir> [m]\n"
+               "  mdmatch_tool match <dir>\n");
+  return 2;
+}
+
+Status WriteTruth(const std::string& path, const Instance& instance) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"relation", "row", "entity"});
+  for (size_t i = 0; i < instance.left().size(); ++i) {
+    rows.push_back({"credit", std::to_string(i),
+                    std::to_string(instance.left().tuple(i).entity())});
+  }
+  for (size_t i = 0; i < instance.right().size(); ++i) {
+    rows.push_back({"billing", std::to_string(i),
+                    std::to_string(instance.right().tuple(i).entity())});
+  }
+  return Csv::WriteFile(path, rows);
+}
+
+Status LoadTruth(const std::string& path, Instance* instance) {
+  auto rows = Csv::ReadFile(path);
+  if (!rows.ok()) return rows.status();
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    if (row.size() != 3) return Status::ParseError("bad truth row");
+    size_t index = static_cast<size_t>(std::stoull(row[1]));
+    EntityId entity = static_cast<EntityId>(std::stoll(row[2]));
+    Relation& rel = row[0] == "credit" ? instance->left() : instance->right();
+    if (index >= rel.size()) return Status::ParseError("truth row range");
+    rel.tuple(index).set_entity(entity);
+  }
+  return Status::OK();
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions options;
+  options.num_base = static_cast<size_t>(std::stoull(argv[2]));
+  std::string dir = argv[3];
+  if (argc > 4) options.seed = static_cast<uint64_t>(std::stoull(argv[4]));
+  datagen::CreditBillingData data =
+      datagen::GenerateCreditBilling(options, &ops);
+
+  for (const Status& st :
+       {Csv::WriteFile(dir + "/credit.csv", data.instance.left().ToCsvRows()),
+        Csv::WriteFile(dir + "/billing.csv",
+                       data.instance.right().ToCsvRows()),
+        WriteTruth(dir + "/truth.csv", data.instance),
+        SaveMdSetToFile(dir + "/sigma.mds", data.mds, data.pair, ops)}) {
+    if (!st.ok()) return Fail(st);
+  }
+  std::printf("wrote %s/{credit,billing,truth}.csv and sigma.mds (%zu + %zu "
+              "tuples)\n",
+              dir.c_str(), data.instance.left().size(),
+              data.instance.right().size());
+  return 0;
+}
+
+Result<Instance> LoadInstance(const std::string& dir,
+                              const SchemaPair& pair) {
+  auto credit_rows = Csv::ReadFile(dir + "/credit.csv");
+  if (!credit_rows.ok()) return credit_rows.status();
+  auto billing_rows = Csv::ReadFile(dir + "/billing.csv");
+  if (!billing_rows.ok()) return billing_rows.status();
+  auto credit = Relation::FromCsvRows(pair.left(), *credit_rows);
+  if (!credit.ok()) return credit.status();
+  auto billing = Relation::FromCsvRows(pair.right(), *billing_rows);
+  if (!billing.ok()) return billing.status();
+  return Instance(std::move(*credit), std::move(*billing));
+}
+
+int CmdKeys(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string dir = argv[2];
+  size_t m = argc > 3 ? static_cast<size_t>(std::stoull(argv[3])) : 10;
+
+  sim::SimOpRegistry ops = sim::SimOpRegistry::Default();
+  SchemaPair pair = datagen::MakeCreditBillingSchemas();
+  ComparableLists target = datagen::MakeCreditBillingTarget(pair);
+  auto sigma = LoadMdSetFromFile(dir + "/sigma.mds", pair, ops);
+  if (!sigma.ok()) return Fail(sigma.status());
+
+  QualityModel quality(1.0, 0.05, 3.0);
+  auto instance = LoadInstance(dir, pair);
+  if (instance.ok()) {
+    quality.EstimateLengthsFromData(*instance, *sigma, target);
+  }
+  datagen::ApplyDefaultAccuracies(pair, target, &quality);
+
+  FindRcksOptions options;
+  options.m = m;
+  FindRcksResult result =
+      FindRcks(pair, ops, *sigma, target, options, &quality);
+  for (const auto& key : result.rcks) {
+    std::printf("%s\n", key.ToString(pair, ops).c_str());
+  }
+  auto st = SaveRcksToFile(dir + "/keys.mds", result.rcks, target, pair, ops);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu keys to %s/keys.mds\n", result.rcks.size(),
+              dir.c_str());
+  return 0;
+}
+
+int CmdMatch(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string dir = argv[2];
+
+  sim::SimOpRegistry ops = sim::SimOpRegistry::Default();
+  SchemaPair pair = datagen::MakeCreditBillingSchemas();
+  ComparableLists target = datagen::MakeCreditBillingTarget(pair);
+  auto instance = LoadInstance(dir, pair);
+  if (!instance.ok()) return Fail(instance.status());
+  (void)LoadTruth(dir + "/truth.csv", &*instance);  // optional
+
+  auto sigma = LoadMdSetFromFile(dir + "/sigma.mds", pair, ops);
+  if (!sigma.ok()) return Fail(sigma.status());
+
+  QualityModel quality(1.0, 0.05, 3.0);
+  quality.EstimateLengthsFromData(*instance, *sigma, target);
+  datagen::ApplyDefaultAccuracies(pair, target, &quality);
+
+  match::PipelineOptions options;
+  auto report = match::RunPipeline(*instance, target, *sigma, &ops, &quality,
+                                   options);
+  if (!report.ok()) return Fail(report.status());
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"credit_row", "billing_row"});
+  for (const auto& [l, r] : report->matches.pairs()) {
+    rows.push_back({std::to_string(l), std::to_string(r)});
+  }
+  auto st = Csv::WriteFile(dir + "/matches.csv", rows);
+  if (!st.ok()) return Fail(st);
+
+  std::printf("%zu matches written to %s/matches.csv\n",
+              report->matches.size(), dir.c_str());
+  if (report->match_quality.truth > 0) {
+    std::printf("precision %.1f%%  recall %.1f%%  (deduce %.2fs, "
+                "candidates %.2fs, match %.2fs)\n",
+                100 * report->match_quality.precision,
+                100 * report->match_quality.recall, report->deduce_seconds,
+                report->candidate_seconds, report->match_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc, argv);
+  if (cmd == "keys") return CmdKeys(argc, argv);
+  if (cmd == "match") return CmdMatch(argc, argv);
+  return Usage();
+}
