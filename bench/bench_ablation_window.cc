@@ -1,13 +1,18 @@
 // Ablation: the sliding-window size the paper fixes at 10 (Exp-2/3).
 // Sweeps the window and reports the PC / RR / runtime trade-off of SNrck.
+//
+// The sweep is the compile-once / execute-many pattern in miniature: the
+// RCK deduction and rule derivation happen once; each window size is a
+// cheap plan variant sharing the precompiled RCKs, executed over the same
+// instance.
 
 #include <cstdio>
 #include <iostream>
 
+#include "api/executor.h"
 #include "bench_common.h"
 #include "match/evaluation.h"
 #include "match/hs_rules.h"
-#include "match/sorted_neighborhood.h"
 
 using namespace mdmatch;
 using namespace mdmatch::match;
@@ -19,22 +24,40 @@ int main() {
   gen.seed = 6200;
   datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
 
-  auto window_keys = StandardWindowKeys(data.pair);
-  auto deduction = bench::DeduceRcks(data, &ops);
+  // One deduction for the whole sweep.
+  bench::RckDeduction deduction = bench::DeduceRcks(data, &ops);
   auto rules = bench::TopRckRules(deduction.rcks, &ops, deduction.quality);
+  auto window_keys = StandardWindowKeys(data.pair);
 
   std::printf("== Ablation: window size (K = %zu, SNrck) ==\n", gen.num_base);
   TableWriter table({"window", "precision", "recall", "candidates",
                      "RR (%)", "time (s)"});
   for (size_t window : {2, 5, 10, 20, 40}) {
-    Stopwatch sw;
-    SnOptions options;
+    api::PlanOptions options;
     options.window_size = window;
-    SnResult result =
-        SortedNeighborhood(data.instance, ops, window_keys, rules, options);
-    double seconds = sw.ElapsedSeconds();
-    MatchQuality q = Evaluate(result.matches, data.instance);
-    CandidateQuality cq = EvaluateCandidates(result.candidates, data.instance);
+    auto plan = api::PlanBuilder(data.pair, data.target, &ops)
+                    .WithSigma(data.mds)
+                    .WithOptions(options)
+                    .WithPrecompiledRcks(deduction.rcks)
+                    .WithQuality(deduction.quality)
+                    .WithSortKeys(window_keys)
+                    .WithRules(rules)
+                    .Build();
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    auto run = api::Executor(*plan).Run(data.instance);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    double seconds =
+        run->timings.candidate_seconds + run->timings.match_seconds;
+    const MatchQuality& q = run->match_quality;
+    const CandidateQuality& cq = run->candidate_quality;
     table.AddRow({std::to_string(window),
                   TableWriter::Num(100 * q.precision, 1),
                   TableWriter::Num(100 * q.recall, 1),

@@ -10,13 +10,16 @@
 // few minutes on one core.
 
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "api/plan.h"
 #include "core/find_rcks.h"
 #include "core/quality.h"
 #include "datagen/credit_billing.h"
 #include "match/comparison.h"
+#include "match/hs_rules.h"
 #include "util/stopwatch.h"
 #include "util/table_writer.h"
 
@@ -90,6 +93,42 @@ inline std::vector<match::MatchRule> TopRckRules(
     rules.push_back(RelativeKey(std::move(elems)));
   }
   return match::RelaxRulesForMatching(rules, ops->Dl(0.8));
+}
+
+/// Wall time of one call, on the monotonic clock (util/stopwatch.h) — the
+/// single timing helper the figure benches share.
+inline double TimedSeconds(const std::function<void()>& body) {
+  double seconds = 0;
+  {
+    ScopedTimer timer(&seconds);
+    body();
+  }
+  return seconds;
+}
+
+/// Compiles the FSrck / SNrck experiment plan of Exp-2/3: RCKs deduced via
+/// DeduceRcks (options.num_rcks is the m of findRCKs), the *shared*
+/// standard windowing keys injected ("the same set of windowing keys were
+/// used in these experiments to make the evaluation fair"), and — for
+/// rule plans — the cheapest-first relaxed top-k rules of TopRckRules.
+/// The deduction runs here, once; executing the returned plan re-deduces
+/// nothing.
+inline Result<api::PlanPtr> CompileExperimentPlan(
+    const datagen::CreditBillingData& data, sim::SimOpRegistry* ops,
+    api::PlanOptions options) {
+  RckDeduction deduction = DeduceRcks(data, ops, options.num_rcks);
+  api::PlanBuilder builder(data.pair, data.target, ops);
+  builder.WithSigma(data.mds)
+      .WithPrecompiledRcks(deduction.rcks)
+      .WithQuality(deduction.quality)
+      .WithSortKeys(match::StandardWindowKeys(data.pair))
+      .WithTrainingInstance(&data.instance, /*estimate_lengths=*/false);
+  if (options.matcher == api::PlanOptions::Matcher::kRuleBased) {
+    builder.WithRules(
+        TopRckRules(deduction.rcks, ops, deduction.quality, options.top_k));
+  }
+  builder.WithOptions(std::move(options));
+  return builder.Build();
 }
 
 }  // namespace mdmatch::bench

@@ -2,10 +2,16 @@
 // hand-written equational-theory rules (SN) versus the union of the top
 // five deduced RCKs (SNrck). Shared windowing keys, window size 10
 // (paper Exp-3).
+//
+// SNrck goes through the Plan/Executor API: one compiled plan per
+// dataset, executed over the instance; its reported time is the
+// executor's candidate + match stages — the same span the SN baseline's
+// SortedNeighborhood call covers.
 
 #include <cstdio>
 #include <iostream>
 
+#include "api/executor.h"
 #include "bench_common.h"
 #include "match/evaluation.h"
 #include "match/hs_rules.h"
@@ -29,20 +35,32 @@ int main() {
 
     auto window_keys = StandardWindowKeys(data.pair);
     auto hs_rules = HernandezStolfoRules(data.pair, &ops);
-    auto deduction = bench::DeduceRcks(data, &ops);
-    const auto& rcks = deduction.rcks;
-    auto rck_rules = bench::TopRckRules(rcks, &ops, deduction.quality);
 
-    Stopwatch sw_rck;
-    SnResult rck_result =
-        SortedNeighborhood(data.instance, ops, window_keys, rck_rules);
-    double t_rck = sw_rck.ElapsedSeconds();
-    MatchQuality q_rck = Evaluate(rck_result.matches, data.instance);
+    // SNrck: compile once, execute; the plan carries the shared windowing
+    // keys and the top-5 relaxed RCK rules.
+    auto plan =
+        bench::CompileExperimentPlan(data, &ops, api::PlanOptions{});
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    api::Executor executor(*plan);
+    auto run = executor.Run(data.instance);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    MatchQuality q_rck = run->match_quality;
+    double t_rck =
+        run->timings.candidate_seconds + run->timings.match_seconds;
 
-    Stopwatch sw_sn;
-    SnResult sn_result =
-        SortedNeighborhood(data.instance, ops, window_keys, hs_rules);
-    double t_sn = sw_sn.ElapsedSeconds();
+    SnResult sn_result;
+    double t_sn = bench::TimedSeconds([&] {
+      sn_result =
+          SortedNeighborhood(data.instance, ops, window_keys, hs_rules);
+    });
     MatchQuality q_sn = Evaluate(sn_result.matches, data.instance);
 
     table.AddRow({std::to_string(k / 1000) + "k",

@@ -1,16 +1,17 @@
 // Blocking and windowing with RCK-derived keys (the paper's Exp-4 use
-// case, at example scale): generate a dirty credit/billing dataset, deduce
-// RCKs, build blocking and sort keys from them, and compare pairs
-// completeness / reduction ratio against a manually chosen key.
+// case, at example scale): generate a dirty credit/billing dataset,
+// compile one plan per candidate-generation strategy — sharing a single
+// RCK deduction — execute them, and compare pairs completeness /
+// reduction ratio against manually chosen keys.
 
 #include <cstdio>
 
-#include "core/find_rcks.h"
+#include "api/executor.h"
+#include "api/plan.h"
 #include "datagen/credit_billing.h"
 #include "match/blocking.h"
 #include "match/evaluation.h"
 #include "match/hs_rules.h"
-#include "match/sorted_neighborhood.h"
 #include "match/windowing.h"
 
 using namespace mdmatch;
@@ -27,27 +28,41 @@ int main() {
               data.instance.left().size(), data.instance.right().size(),
               CountTruePairs(data.instance));
 
-  // Deduce RCKs and derive a blocking key from the top two.
-  QualityModel quality;
-  quality.EstimateLengthsFromData(data.instance, data.mds, data.target);
-  FindRcksOptions options;
-  options.m = 10;
-  auto rcks =
-      FindRcks(data.pair, ops, data.mds, data.target, options, &quality).rcks;
-  std::printf("\n== deduced RCKs ==\n");
-  for (const auto& key : rcks) {
+  // Compile the blocking plan: this Build runs the one findRCKs deduction
+  // of the example.
+  api::PlanOptions block_opt;
+  block_opt.candidates = api::PlanOptions::Candidates::kBlocking;
+  block_opt.soundex_domains = {"fname", "mname", "lname"};
+  auto block_plan = api::PlanBuilder(data.pair, data.target, &ops)
+                        .WithSigma(data.mds)
+                        .WithOptions(block_opt)
+                        .WithTrainingInstance(&data.instance)
+                        .Build();
+  if (!block_plan.ok()) {
+    std::printf("plan error: %s\n", block_plan.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n== deduced RCKs (deduced once, shared by both plans) ==\n");
+  for (const auto& key : (*block_plan)->rcks()) {
     std::printf("  %s\n", key.ToString(data.pair, ops).c_str());
   }
 
-  RelativeKey merged;
-  for (size_t i = 0; i < rcks.size() && i < 2; ++i) {
-    for (const auto& e : rcks[i].elements()) merged.AddUnique(e);
+  // The windowing plan reuses the deduction — WithPrecompiledRcks skips
+  // findRCKs entirely (compile_stats().deduced stays false).
+  api::PlanOptions window_opt = block_opt;
+  window_opt.candidates = api::PlanOptions::Candidates::kWindowing;
+  auto window_plan = api::PlanBuilder(data.pair, data.target, &ops)
+                         .WithSigma(data.mds)
+                         .WithOptions(window_opt)
+                         .WithPrecompiledRcks((*block_plan)->rcks())
+                         .WithQuality((*block_plan)->quality())
+                         .Build();
+  if (!window_plan.ok()) {
+    std::printf("plan error: %s\n", window_plan.status().ToString().c_str());
+    return 1;
   }
-  KeyFunction rck_key = KeyFunction::FromKeyElements(
-      merged, data.pair, 3, {"fname", "mname", "lname"});
-  KeyFunction manual_key = ManualBlockingKey(data.pair);
 
-  // --- blocking ---
   auto report = [&](const char* title, const CandidateQuality& q,
                     const BlockingStats* stats) {
     std::printf("  %-12s PC = %5.1f%%   RR = %7.3f%%   candidates = %zu",
@@ -57,29 +72,38 @@ int main() {
     std::printf("\n");
   };
 
+  KeyFunction manual_key = ManualBlockingKey(data.pair);
+
+  // --- blocking: executor-run plan vs the manual key ---
   std::printf("\n== blocking ==\n");
-  auto rck_blocks = BlockCandidates(data.instance, rck_key);
+  api::Executor block_exec(*block_plan);
+  auto block_run = block_exec.Run(data.instance);
+  if (!block_run.ok()) {
+    std::printf("run error: %s\n", block_run.status().ToString().c_str());
+    return 1;
+  }
   auto man_blocks = BlockCandidates(data.instance, manual_key);
-  BlockingStats rck_stats = AnalyzeBlocks(data.instance, rck_key);
+  BlockingStats rck_stats =
+      AnalyzeBlocks(data.instance, (*block_plan)->block_key());
   BlockingStats man_stats = AnalyzeBlocks(data.instance, manual_key);
-  report("rck key:", EvaluateCandidates(rck_blocks, data.instance),
-         &rck_stats);
+  report("rck key:", block_run->candidate_quality, &rck_stats);
   report("manual key:", EvaluateCandidates(man_blocks, data.instance),
          &man_stats);
 
   // --- windowing ---
-  std::printf("\n== windowing (window = 10) ==\n");
-  auto rck_keys = SortKeysFromRules(
-      std::vector<MatchRule>(rcks.begin(), rcks.end()), data.pair, 3);
+  std::printf("\n== windowing (window = %zu) ==\n", window_opt.window_size);
+  api::Executor window_exec(*window_plan);
+  auto window_run = window_exec.Run(data.instance);
+  if (!window_run.ok()) {
+    std::printf("run error: %s\n", window_run.status().ToString().c_str());
+    return 1;
+  }
   auto manual_keys = StandardWindowKeys(data.pair);
-  report("rck keys:",
-         EvaluateCandidates(
-             WindowCandidatesMultiPass(data.instance, rck_keys, 10),
-             data.instance),
-         nullptr);
+  report("rck keys:", window_run->candidate_quality, nullptr);
   report("manual keys:",
          EvaluateCandidates(
-             WindowCandidatesMultiPass(data.instance, manual_keys, 10),
+             WindowCandidatesMultiPass(data.instance, manual_keys,
+                                       window_opt.window_size),
              data.instance),
          nullptr);
 

@@ -7,12 +7,12 @@
 
 #include <cstdio>
 
+#include "api/executor.h"
+#include "api/plan.h"
 #include "core/enforce.h"
-#include "core/find_rcks.h"
 #include "core/md_parser.h"
 #include "match/comparison.h"
 #include "match/evaluation.h"
-#include "match/sorted_neighborhood.h"
 
 using namespace mdmatch;
 
@@ -54,12 +54,23 @@ int main() {
     std::printf("  %s\n", md.ToString(pair, ops).c_str());
   }
 
-  QualityModel quality;
-  FindRcksOptions options;
-  options.m = 8;
-  FindRcksResult rcks = FindRcks(pair, ops, sigma, target, options, &quality);
+  // Compile the dedup plan once: deduction, key derivation and operator
+  // resolution happen here, not per matching run. The schemas are tiny and
+  // clean, so match strictly and keep the windows narrow.
+  api::PlanOptions popt;
+  popt.num_rcks = 8;
+  popt.relax_theta = 0;
+  popt.soundex_domains = {"fname", "lname"};
+  auto plan = api::PlanBuilder(pair, target, &ops)
+                  .WithSigma(sigma)
+                  .WithOptions(popt)
+                  .Build();
+  if (!plan.ok()) {
+    std::printf("plan error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\n== deduced dedup keys ==\n");
-  for (const auto& key : rcks.rcks) {
+  for (const auto& key : (*plan)->rcks()) {
     std::printf("  %s\n", key.ToString(pair, ops).c_str());
   }
 
@@ -91,9 +102,15 @@ int main() {
 
   Instance instance = SelfPair(people);
 
-  // Dedup with the deduced keys (window over a name sort).
+  // Dedup with the compiled plan's rules. On a five-record slice we can
+  // afford the exhaustive i < j loop; at scale, hand the same plan to an
+  // api::Executor and let its windowing stage prune the pair space:
+  //
+  //   api::Executor executor(*plan);
+  //   auto report = executor.Run(instance);   // reuses the plan, no
+  //                                           // re-deduction
   std::printf("\n== duplicate pairs found ==\n");
-  std::vector<match::MatchRule> rules(rcks.rcks.begin(), rcks.rcks.end());
+  const std::vector<match::MatchRule>& rules = (*plan)->rules();
   for (size_t i = 0; i < people.size(); ++i) {
     for (size_t j = i + 1; j < people.size(); ++j) {
       if (match::AnyRuleMatches(rules, ops, people.tuple(i),

@@ -10,13 +10,13 @@
 
 #include <cstdio>
 
+#include "api/executor.h"
+#include "api/plan.h"
 #include "core/discovery.h"
-#include "core/find_rcks.h"
 #include "datagen/credit_billing.h"
 #include "match/comparison.h"
 #include "match/evaluation.h"
 #include "match/hs_rules.h"
-#include "match/sorted_neighborhood.h"
 
 using namespace mdmatch;
 using namespace mdmatch::match;
@@ -66,28 +66,37 @@ int main() {
     sigma.push_back(mined[i].md);
   }
 
-  // 3. Deduce matching keys from the MINED rules (not the hand-written
-  // ones).
+  // 3. Compile a MatchPlan from the MINED rules (not the hand-written
+  // ones): findRCKs runs once, inside Build. The standard windowing keys
+  // are injected so the comparison with the paper's protocol stays fair.
   QualityModel quality(1.0, 0.05, 3.0);
-  quality.EstimateLengthsFromData(data.instance, sigma, data.target);
   datagen::ApplyDefaultAccuracies(data.pair, data.target, &quality);
-  FindRcksOptions fopt;
-  fopt.m = 8;
-  FindRcksResult rcks =
-      FindRcks(data.pair, ops, sigma, data.target, fopt, &quality);
+  api::PlanOptions popt;
+  popt.num_rcks = 8;
+  auto plan = api::PlanBuilder(data.pair, data.target, &ops)
+                  .WithSigma(sigma)
+                  .WithOptions(popt)
+                  .WithQuality(std::move(quality))
+                  .WithTrainingInstance(&data.instance)
+                  .WithSortKeys(StandardWindowKeys(data.pair))
+                  .Build();
+  if (!plan.ok()) {
+    std::printf("plan error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\n== RCKs deduced from the mined MDs ==\n");
-  for (const auto& key : rcks.rcks) {
+  for (const auto& key : (*plan)->rcks()) {
     std::printf("  %s\n", key.ToString(data.pair, ops).c_str());
   }
 
-  // 4. Match with the deduced keys.
-  std::vector<MatchRule> rules(
-      rcks.rcks.begin(),
-      rcks.rcks.begin() + std::min<size_t>(rcks.rcks.size(), 5));
-  rules = RelaxRulesForMatching(rules, ops.Dl(0.8));
-  SnResult result = SortedNeighborhood(
-      data.instance, ops, StandardWindowKeys(data.pair), rules);
-  MatchQuality q = Evaluate(result.matches, data.instance);
+  // 4. Match by executing the compiled plan over the instance.
+  api::Executor executor(*plan);
+  auto report = executor.Run(data.instance);
+  if (!report.ok()) {
+    std::printf("run error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const MatchQuality& q = report->match_quality;
   std::printf(
       "\nmatching with keys deduced from mined rules: precision %.1f%%, "
       "recall %.1f%% (%zu matches)\n",

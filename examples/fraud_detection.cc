@@ -12,8 +12,8 @@
 
 #include <cstdio>
 
+#include "api/plan.h"
 #include "core/enforce.h"
-#include "core/find_rcks.h"
 #include "datagen/credit_billing.h"
 #include "match/comparison.h"
 
@@ -64,15 +64,20 @@ int main() {
     std::printf("  %s\n", md.ToString(ex.pair, ops).c_str());
   }
 
-  // Deduce RCKs relative to (Yc, Yb) at "compile time".
-  QualityModel quality;
-  quality.EstimateLengthsFromData(ex.instance, sigma, ex.target);
-  FindRcksOptions options;
-  options.m = 10;
-  FindRcksResult rcks =
-      FindRcks(ex.pair, ops, sigma, ex.target, options, &quality);
+  // Deduce RCKs relative to (Yc, Yb) at "compile time": the bank compiles
+  // a MatchPlan once when Σ changes; the verification loop below then runs
+  // it on every incoming billing batch without re-reasoning.
+  auto plan = api::PlanBuilder(ex.pair, ex.target, &ops)
+                  .WithSigma(sigma)
+                  .WithTrainingInstance(&ex.instance)
+                  .Build();
+  if (!plan.ok()) {
+    std::printf("plan error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<RelativeKey>& rcks = (*plan)->rcks();
   std::printf("\n== deduced RCKs ==\n");
-  for (const auto& key : rcks.rcks) {
+  for (const auto& key : rcks) {
     std::printf("  %s\n", key.ToString(ex.pair, ops).c_str());
   }
 
@@ -85,7 +90,7 @@ int main() {
     for (size_t ci = 0; ci < ex.instance.left().size(); ++ci) {
       const Tuple& card = ex.instance.left().tuple(ci);
       if (card.value(0) != bill.value(0)) continue;  // different card number
-      for (const auto& key : rcks.rcks) {
+      for (const auto& key : rcks) {
         if (match::RuleMatches(key, ops, card, bill)) {
           verified = true;
           via = key.ToString(ex.pair, ops);

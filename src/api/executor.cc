@@ -1,0 +1,198 @@
+#include "api/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+#include <utility>
+
+#include "match/blocking.h"
+#include "match/clustering.h"
+#include "match/comparison.h"
+#include "match/windowing.h"
+#include "util/stopwatch.h"
+
+namespace mdmatch::api {
+
+namespace {
+
+bool SameShape(const Schema& a, const Schema& b) {
+  if (a.arity() != b.arity()) return false;
+  for (AttrId i = 0; i < a.arity(); ++i) {
+    if (a.attribute(i).name != b.attribute(i).name) return false;
+  }
+  return true;
+}
+
+/// Runs `body(begin, end)` over [0, n) split into contiguous chunks, one
+/// per worker. Chunk boundaries depend only on (n, workers), so the
+/// concatenated per-chunk outputs are identical for every worker count.
+void ParallelChunks(size_t n, size_t workers,
+                    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (workers <= 1 || n == 0) {
+    body(0, 0, n);
+    return;
+  }
+  workers = std::min(workers, n);
+  const size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&body, w, begin, end] { body(w, begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+Executor::Executor(PlanPtr plan, ExecutorOptions options)
+    : plan_(std::move(plan)), options_(options) {
+  assert(plan_ != nullptr && "Executor requires a compiled plan");
+  if (options_.num_threads == 0) options_.num_threads = 1;
+}
+
+Status Executor::CheckBatch(const Instance& batch) const {
+  if (!SameShape(batch.left().schema(), plan_->pair().left()) ||
+      !SameShape(batch.right().schema(), plan_->pair().right())) {
+    return Status::InvalidArgument(
+        "batch schema does not match the plan's schema pair");
+  }
+  return Status::OK();
+}
+
+ExecutionReport Executor::RunChecked(const Instance& batch,
+                                     size_t match_threads,
+                                     const MatchSink* sink) const {
+  const MatchPlan& plan = *plan_;
+  const sim::SimOpRegistry& ops = plan.ops();
+  ExecutionReport report;
+
+  // --- candidate generation from the precompiled keys ---
+  {
+    ScopedTimer timer(&report.timings.candidate_seconds);
+    if (plan.options().candidates == PlanOptions::Candidates::kWindowing) {
+      report.candidates = match::WindowCandidatesMultiPass(
+          batch, plan.sort_keys(), plan.options().window_size);
+    } else {
+      report.candidates = match::BlockCandidates(batch, plan.block_key());
+    }
+  }
+
+  // --- matching over the candidates ---
+  {
+    ScopedTimer timer(&report.timings.match_seconds);
+    const auto& pairs = report.candidates.pairs();
+    report.pairs_compared = pairs.size();
+
+    auto matches_pair = [&](uint32_t l, uint32_t r) {
+      const Tuple& left = batch.left().tuple(l);
+      const Tuple& right = batch.right().tuple(r);
+      if (plan.options().matcher == PlanOptions::Matcher::kRuleBased) {
+        return match::AnyRuleMatches(plan.rules(), ops, left, right);
+      }
+      return plan.fs()->IsMatch(ops, left, right);
+    };
+
+    // Scale workers so each gets at least min_pairs_per_thread pairs;
+    // below that the stage stays sequential.
+    size_t workers = match_threads;
+    if (options_.min_pairs_per_thread > 0) {
+      workers = std::min(workers,
+                         pairs.size() / options_.min_pairs_per_thread);
+    }
+    if (workers == 0) workers = 1;
+
+    if (workers <= 1) {
+      for (const auto& [l, r] : pairs) {
+        if (matches_pair(l, r)) report.matches.Add(l, r);
+      }
+    } else {
+      // Each worker fills its own chunk-local list; chunks are merged in
+      // index order, so the result is identical to the sequential run.
+      std::vector<std::vector<std::pair<uint32_t, uint32_t>>> local(workers);
+      ParallelChunks(pairs.size(), workers,
+                     [&](size_t w, size_t begin, size_t end) {
+                       auto& out = local[w];
+                       for (size_t i = begin; i < end; ++i) {
+                         const auto& [l, r] = pairs[i];
+                         if (matches_pair(l, r)) out.emplace_back(l, r);
+                       }
+                     });
+      for (const auto& chunk : local) {
+        for (const auto& [l, r] : chunk) report.matches.Add(l, r);
+      }
+    }
+  }
+
+  // --- optional transitive closure into entity clusters ---
+  if (plan.options().transitive_closure) {
+    ScopedTimer timer(&report.timings.closure_seconds);
+    report.matches =
+        match::ClusterMatches(report.matches, batch).ImpliedMatches();
+  }
+
+  // --- ground-truth metrics ---
+  if (options_.evaluate_quality) {
+    ScopedTimer timer(&report.timings.evaluate_seconds);
+    report.match_quality = match::Evaluate(report.matches, batch);
+    report.candidate_quality =
+        match::EvaluateCandidates(report.candidates, batch);
+  }
+
+  if (sink != nullptr) {
+    for (const auto& [l, r] : report.matches.pairs()) (*sink)(l, r);
+  }
+  return report;
+}
+
+Result<ExecutionReport> Executor::Run(const Instance& batch) const {
+  MDMATCH_RETURN_NOT_OK(CheckBatch(batch));
+  return RunChecked(batch, options_.num_threads, nullptr);
+}
+
+Result<ExecutionReport> Executor::Run(const Instance& batch,
+                                      const MatchSink& sink) const {
+  MDMATCH_RETURN_NOT_OK(CheckBatch(batch));
+  return RunChecked(batch, options_.num_threads, &sink);
+}
+
+Result<std::vector<ExecutionReport>> Executor::RunBatches(
+    const std::vector<const Instance*>& batches) const {
+  for (const Instance* batch : batches) {
+    if (batch == nullptr) {
+      return Status::InvalidArgument("RunBatches: null batch");
+    }
+    MDMATCH_RETURN_NOT_OK(CheckBatch(*batch));
+  }
+
+  std::vector<ExecutionReport> reports(batches.size());
+  if (options_.num_threads <= 1 || batches.size() <= 1) {
+    for (size_t i = 0; i < batches.size(); ++i) {
+      // Sequential mode still honors in-batch parallelism.
+      reports[i] = RunChecked(*batches[i], options_.num_threads, nullptr);
+    }
+    return reports;
+  }
+
+  // Whole batches are the unit of parallelism; workers pull the next
+  // unprocessed index so skewed batch sizes balance out.
+  std::atomic<size_t> next{0};
+  const size_t workers = std::min(options_.num_threads, batches.size());
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < batches.size();
+           i = next.fetch_add(1)) {
+        reports[i] = RunChecked(*batches[i], /*match_threads=*/1, nullptr);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return reports;
+}
+
+}  // namespace mdmatch::api

@@ -1,0 +1,47 @@
+#ifndef MDMATCH_API_PLAN_IO_H_
+#define MDMATCH_API_PLAN_IO_H_
+
+#include <string>
+
+#include "api/plan.h"
+#include "schema/schema.h"
+#include "sim/sim_op.h"
+#include "util/status.h"
+
+namespace mdmatch::api {
+
+/// \brief Persistence for compiled MatchPlans.
+///
+/// A plan file is a line-oriented text artifact ('#' starts a comment
+/// line) that extends the rule-file syntax of core/rule_io: options as
+/// `key value` lines, the RCK set and match rules in the textual MD
+/// syntax, the derived key functions and (for FS plans) the trained model
+/// parameters. Deployments compile a plan once, check the file into
+/// version control next to Σ, and ship it to the matching fleet — loading
+/// a plan performs *no* RCK deduction and no EM training.
+///
+/// Attribute names are written verbatim; names containing ',' or ';' are
+/// not supported by the key-function lines.
+
+/// Serializes a compiled plan.
+std::string SerializePlan(const MatchPlan& plan);
+
+Status SavePlanToFile(const std::string& path, const MatchPlan& plan);
+
+/// Parses a serialized plan against the schema pair and target it was
+/// compiled for. Every similarity operator named in the file must be
+/// registrable in `ops` (the standard names — "dl@0.80" etc. — are
+/// auto-registered). The registry must outlive the returned plan.
+Result<PlanPtr> DeserializePlan(const std::string& text,
+                                const SchemaPair& pair,
+                                const ComparableLists& target,
+                                sim::SimOpRegistry* ops);
+
+Result<PlanPtr> LoadPlanFromFile(const std::string& path,
+                                 const SchemaPair& pair,
+                                 const ComparableLists& target,
+                                 sim::SimOpRegistry* ops);
+
+}  // namespace mdmatch::api
+
+#endif  // MDMATCH_API_PLAN_IO_H_

@@ -1,6 +1,7 @@
 #include "core/find_rcks.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 namespace mdmatch {
@@ -76,10 +77,19 @@ RelativeKey Minimize(const SchemaPair& pair, const sim::SimOpRegistry& ops,
   return key;
 }
 
+namespace {
+std::atomic<size_t> g_find_rcks_invocations{0};
+}  // namespace
+
+size_t FindRcksInvocationCount() {
+  return g_find_rcks_invocations.load(std::memory_order_relaxed);
+}
+
 FindRcksResult FindRcks(const SchemaPair& pair, const sim::SimOpRegistry& ops,
                         const MdSet& sigma, const ComparableLists& target,
                         const FindRcksOptions& options,
                         QualityModel* quality) {
+  g_find_rcks_invocations.fetch_add(1, std::memory_order_relaxed);
   FindRcksResult result;
   size_t c = 0;
 

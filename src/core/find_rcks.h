@@ -59,6 +59,12 @@ FindRcksResult FindRcks(const SchemaPair& pair, const sim::SimOpRegistry& ops,
                         const MdSet& sigma, const ComparableLists& target,
                         size_t m = 20);
 
+/// Process-wide count of FindRcks invocations (monotonically increasing,
+/// thread-safe). Deduction is the expensive compile-time step of the
+/// Plan/Executor API; tests use this counter to prove a compiled MatchPlan
+/// is reused across executions without re-deducing.
+size_t FindRcksInvocationCount();
+
 /// \brief pairing(Σ, Y1, Y2) (Fig. 7 line 1): all attribute pairs occurring
 /// in the target lists or anywhere in Σ.
 std::vector<AttrPair> Pairing(const MdSet& sigma,

@@ -1,15 +1,35 @@
 #include "match/pipeline.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "match/blocking.h"
-#include "match/comparison.h"
-#include "match/key_function.h"
-#include "match/sorted_neighborhood.h"
-#include "match/windowing.h"
-#include "util/stopwatch.h"
+#include "api/executor.h"
+#include "api/plan.h"
 
 namespace mdmatch::match {
+
+namespace {
+
+api::PlanOptions TranslateOptions(const PipelineOptions& options) {
+  api::PlanOptions plan;
+  plan.matcher = options.matcher == PipelineOptions::Matcher::kRuleBased
+                     ? api::PlanOptions::Matcher::kRuleBased
+                     : api::PlanOptions::Matcher::kFellegiSunter;
+  plan.candidates =
+      options.candidates == PipelineOptions::Candidates::kWindowing
+          ? api::PlanOptions::Candidates::kWindowing
+          : api::PlanOptions::Candidates::kBlocking;
+  plan.window_size = options.window_size;
+  plan.num_rcks = options.num_rcks;
+  plan.top_k = options.top_k;
+  plan.key_attrs = options.key_attrs;
+  plan.relax_theta = options.relax_theta;
+  plan.transitive_closure = options.transitive_closure;
+  plan.soundex_domains = options.soundex_domains;
+  plan.fs_options = options.fs_options;
+  return plan;
+}
+
+}  // namespace
 
 Result<PipelineReport> RunPipeline(const Instance& instance,
                                    const ComparableLists& target,
@@ -17,79 +37,37 @@ Result<PipelineReport> RunPipeline(const Instance& instance,
                                    sim::SimOpRegistry* ops,
                                    QualityModel* quality,
                                    const PipelineOptions& options) {
-  SchemaPair pair = instance.schema_pair();
-  MDMATCH_RETURN_NOT_OK(ValidateSet(pair, sigma));
-  if (target.size() == 0) {
-    return Status::InvalidArgument("empty target lists (Y1, Y2)");
-  }
+  // Compile a single-use plan. Length estimation is the caller's business
+  // (the historical contract: `quality` arrives pre-seeded), so the
+  // training instance is only used for Fellegi-Sunter EM.
+  api::PlanBuilder builder(instance.schema_pair(), target, ops);
+  builder.WithSigma(sigma)
+      .WithOptions(TranslateOptions(options))
+      .WithTrainingInstance(&instance, /*estimate_lengths=*/false)
+      .UpdateQuality(quality);
+  auto plan = builder.Build();
+  if (!plan.ok()) return plan.status();
+
+  api::Executor executor(*plan);
+  auto run = executor.Run(instance);
+  if (!run.ok()) return run.status();
 
   PipelineReport report;
-
-  // --- compile time: deduce the RCKs ---
-  Stopwatch sw;
-  FindRcksOptions fopt;
-  fopt.m = options.num_rcks;
-  report.rcks = FindRcks(pair, *ops, sigma, target, fopt, quality).rcks;
-  report.deduce_seconds = sw.ElapsedSeconds();
-  if (report.rcks.empty()) {
-    return Status::FailedPrecondition("no RCK deducible from Σ");
-  }
-
-  const size_t top_k = std::min(options.top_k, report.rcks.size());
-  std::vector<RelativeKey> top(report.rcks.begin(),
-                               report.rcks.begin() + top_k);
-
-  // --- candidate generation from (part of) the RCKs ---
-  sw.Reset();
-  if (options.candidates == PipelineOptions::Candidates::kWindowing) {
-    std::vector<KeyFunction> keys;
-    for (const auto& key : top) {
-      keys.push_back(KeyFunction::FromKeyElementsByCost(
-          key, pair, *quality, options.key_attrs, options.soundex_domains));
-    }
-    report.candidates =
-        WindowCandidatesMultiPass(instance, keys, options.window_size);
-  } else {
-    RelativeKey merged;
-    for (size_t i = 0; i < top.size() && i < 2; ++i) {
-      for (const auto& e : top[i].elements()) merged.AddUnique(e);
-    }
-    KeyFunction key = KeyFunction::FromKeyElementsByCost(
-        merged, pair, *quality, options.key_attrs, options.soundex_domains);
-    report.candidates = BlockCandidates(instance, key);
-  }
-  report.candidate_seconds = sw.ElapsedSeconds();
-
-  // --- matching over the candidates ---
-  sw.Reset();
-  if (options.matcher == PipelineOptions::Matcher::kRuleBased) {
-    std::vector<MatchRule> rules(top.begin(), top.end());
-    if (options.relax_theta > 0) {
-      rules = RelaxRulesForMatching(rules, ops->Dl(options.relax_theta));
-    }
-    for (const auto& [l, r] : report.candidates.pairs()) {
-      if (AnyRuleMatches(rules, *ops, instance.left().tuple(l),
-                         instance.right().tuple(r))) {
-        report.matches.Add(l, r);
-      }
-    }
-  } else {
-    ComparisonVector vector = ComparisonVector::UnionOfKeys(top, top_k);
-    if (options.relax_theta > 0) {
-      vector = RelaxVectorForMatching(vector, ops->Dl(options.relax_theta));
-    }
-    FellegiSunter fs(std::move(vector), options.fs_options);
-    MDMATCH_RETURN_NOT_OK(fs.Train(instance, *ops));
-    report.matches = fs.Match(instance, *ops, report.candidates);
-  }
-  if (options.transitive_closure) {
-    report.matches =
-        ClusterMatches(report.matches, instance).ImpliedMatches();
-  }
-  report.match_seconds = sw.ElapsedSeconds();
-
-  report.match_quality = Evaluate(report.matches, instance);
-  report.candidate_quality = EvaluateCandidates(report.candidates, instance);
+  report.rcks = (*plan)->rcks();
+  report.candidates = std::move(run->candidates);
+  report.matches = std::move(run->matches);
+  report.match_quality = run->match_quality;
+  report.candidate_quality = run->candidate_quality;
+  // Historical accounting: key derivation ran inside the candidate
+  // stopwatch and FS training inside the match stopwatch, so fold the
+  // compile-time shares back into those fields.
+  const api::CompileStats& compile = (*plan)->compile_stats();
+  report.deduce_seconds = compile.deduce_seconds;
+  report.candidate_seconds =
+      run->timings.candidate_seconds + compile.derive_seconds;
+  report.match_seconds = run->timings.match_seconds +
+                         run->timings.closure_seconds +
+                         compile.train_seconds;
   return report;
 }
 

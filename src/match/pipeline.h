@@ -19,6 +19,13 @@ namespace mdmatch::match {
 /// (Section 1, "Applications"): deduce RCKs from Σ at compile time, derive
 /// blocking/windowing keys and the comparison basis from them, run a
 /// matcher over the candidates, optionally close matches transitively.
+///
+/// DEPRECATED in favor of the compile-once / execute-many API in
+/// api/plan.h + api/executor.h (api::PlanBuilder, api::Executor):
+/// RunPipeline re-runs the whole compile phase on every call, which the
+/// paper's own framing argues against. This facade is kept as a thin shim
+/// over the new API for one-shot scripts and existing callers; new code
+/// should build a MatchPlan once and execute it per batch.
 struct PipelineOptions {
   enum class Matcher {
     kRuleBased,       ///< RCKs as equational-theory rules (SN style)
@@ -47,7 +54,8 @@ struct PipelineOptions {
 };
 
 /// Everything the pipeline produced, plus ground-truth metrics when the
-/// instance carries entity ids.
+/// instance carries entity ids. Timing fields come from the monotonic
+/// clock helper in util/stopwatch.h (via the api::Executor stage timers).
 struct PipelineReport {
   std::vector<RelativeKey> rcks;
   CandidateSet candidates;
@@ -59,10 +67,12 @@ struct PipelineReport {
   double match_seconds = 0;
 };
 
-/// Runs the pipeline. `quality` parameterizes RCK selection (pass a model
-/// with accuracies installed to prefer reliable attributes); it is updated
-/// in place by findRCKs. Fails when Σ is invalid for the schema pair or no
-/// RCK can be deduced.
+/// Runs the pipeline: compiles a single-use api::MatchPlan and executes it
+/// over `instance` (see the deprecation note on PipelineOptions).
+/// `quality` parameterizes RCK selection (pass a model with accuracies
+/// installed to prefer reliable attributes); it is updated in place by
+/// findRCKs. Fails when Σ is invalid for the schema pair or no RCK can be
+/// deduced.
 Result<PipelineReport> RunPipeline(const Instance& instance,
                                    const ComparableLists& target,
                                    const MdSet& sigma,

@@ -5,23 +5,50 @@
 
 namespace mdmatch {
 
-/// \brief Wall-clock stopwatch used by the figure benches (the paper
+/// Seconds on the process-wide monotonic clock. Every timing figure the
+/// library reports (plan compile stats, executor stage timings, bench
+/// tables) goes through this single helper so numbers are comparable and
+/// immune to wall-clock adjustments.
+inline double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief Monotonic stopwatch used by the figure benches (the paper
 /// reports wall time for findRCKs and the matching methods).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(MonotonicSeconds()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = MonotonicSeconds(); }
 
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double ElapsedSeconds() const { return MonotonicSeconds() - start_; }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  double start_;
+};
+
+/// \brief Scope guard that *adds* its lifetime (in seconds) to a sink —
+/// the idiom for per-stage timing fields:
+///
+///   { ScopedTimer t(&report.timings.match_seconds); ... match ... }
+///
+/// Accumulating (rather than overwriting) lets one field aggregate several
+/// disjoint scopes, e.g. a stage that is re-entered per batch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += sw_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Stopwatch sw_;
 };
 
 }  // namespace mdmatch

@@ -1,0 +1,330 @@
+// Tests for the compile-once / execute-many API (api/plan, api/executor):
+// plan compilation, the no-re-deduction contract, multi-threaded matching,
+// concurrent plan reuse across threads, batch execution and streaming.
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/executor.h"
+#include "api/plan.h"
+#include "core/find_rcks.h"
+#include "datagen/credit_billing.h"
+#include "match/hs_rules.h"
+
+namespace mdmatch::api {
+namespace {
+
+std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
+    const match::PairSet& set) {
+  auto pairs = set.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+class ApiPlanTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CreditBillingOptions gen;
+    gen.num_base = 400;
+    gen.seed = 55;
+    data_ = datagen::GenerateCreditBilling(gen, &ops_);
+  }
+
+  Result<PlanPtr> BuildPlan(PlanOptions options = {}) {
+    return PlanBuilder(data_.pair, data_.target, &ops_)
+        .WithSigma(data_.mds)
+        .WithOptions(options)
+        .WithTrainingInstance(&data_.instance)
+        .Build();
+  }
+
+  /// Splits the generated instance into `parts` disjoint batches by row
+  /// ranges (both sides split alike).
+  std::vector<Instance> SplitBatches(size_t parts) const {
+    std::vector<Instance> batches;
+    const Relation& left = data_.instance.left();
+    const Relation& right = data_.instance.right();
+    const size_t lchunk = (left.size() + parts - 1) / parts;
+    const size_t rchunk = (right.size() + parts - 1) / parts;
+    for (size_t p = 0; p < parts; ++p) {
+      Relation l(left.schema());
+      Relation r(right.schema());
+      for (size_t i = p * lchunk;
+           i < std::min(left.size(), (p + 1) * lchunk); ++i) {
+        EXPECT_TRUE(l.AppendTuple(left.tuple(i)).ok());
+      }
+      for (size_t i = p * rchunk;
+           i < std::min(right.size(), (p + 1) * rchunk); ++i) {
+        EXPECT_TRUE(r.AppendTuple(right.tuple(i)).ok());
+      }
+      batches.emplace_back(std::move(l), std::move(r));
+    }
+    return batches;
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::CreditBillingData data_;
+};
+
+TEST_F(ApiPlanTest, BuildCompilesTheFullPlan) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE((*plan)->rcks().empty());
+  EXPECT_FALSE((*plan)->rules().empty());
+  EXPECT_FALSE((*plan)->sort_keys().empty());
+  EXPECT_EQ((*plan)->fs(), nullptr);
+  EXPECT_TRUE((*plan)->compile_stats().deduced);
+  EXPECT_GT((*plan)->compile_stats().closure_calls, 0u);
+  EXPECT_FALSE((*plan)->Describe().empty());
+}
+
+// The core contract of the redesign: compilation happens exactly once per
+// configuration. Executing a compiled plan — any number of times — performs
+// zero additional RCK deduction work.
+TEST_F(ApiPlanTest, ExecuteManyNeverRededuces) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  const size_t deductions_after_compile = FindRcksInvocationCount();
+  Executor executor(*plan);
+
+  auto first = executor.Run(data_.instance);
+  auto second = executor.Run(data_.instance);
+  ASSERT_TRUE(first.ok() && second.ok());
+
+  EXPECT_EQ(FindRcksInvocationCount(), deductions_after_compile)
+      << "Executor::Run must not re-run findRCKs";
+  EXPECT_EQ(SortedPairs(first->matches), SortedPairs(second->matches));
+  EXPECT_GT(first->matches.size(), 0u);
+  EXPECT_GT(first->match_quality.precision, 0.9);
+  EXPECT_GT(first->match_quality.recall, 0.8);
+}
+
+TEST_F(ApiPlanTest, MultiThreadedMatchingEqualsSingleThreaded) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  ExecutorOptions sequential;
+  sequential.num_threads = 1;
+  auto baseline = Executor(*plan, sequential).Run(data_.instance);
+  ASSERT_TRUE(baseline.ok());
+
+  ExecutorOptions parallel;
+  parallel.num_threads = 4;
+  parallel.min_pairs_per_thread = 1;  // force the parallel path
+  auto threaded = Executor(*plan, parallel).Run(data_.instance);
+  ASSERT_TRUE(threaded.ok());
+
+  EXPECT_EQ(SortedPairs(baseline->matches), SortedPairs(threaded->matches));
+  EXPECT_EQ(baseline->candidates.size(), threaded->candidates.size());
+}
+
+// Plan reuse under concurrency: one compiled plan, executed from four
+// threads over disjoint batches, must produce exactly the matches the
+// single-threaded executions produce — and no deduction may run.
+TEST_F(ApiPlanTest, ConcurrentExecutionOverDisjointBatches) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const size_t deductions_after_compile = FindRcksInvocationCount();
+
+  constexpr size_t kThreads = 4;
+  std::vector<Instance> batches = SplitBatches(kThreads);
+  ASSERT_EQ(batches.size(), kThreads);
+
+  // Baseline: each batch sequentially, through its own executor.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> expected;
+  for (const Instance& batch : batches) {
+    auto run = Executor(*plan).Run(batch);
+    ASSERT_TRUE(run.ok()) << run.status();
+    expected.push_back(SortedPairs(run->matches));
+  }
+
+  // Concurrent: four threads share the one plan.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> actual(kThreads);
+  std::vector<Status> statuses(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto run = Executor(*plan).Run(batches[t]);
+        statuses[t] = run.status();
+        if (run.ok()) actual[t] = SortedPairs(run->matches);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[t].ok()) << statuses[t];
+    EXPECT_EQ(actual[t], expected[t]) << "batch " << t;
+  }
+  EXPECT_EQ(FindRcksInvocationCount(), deductions_after_compile);
+}
+
+TEST_F(ApiPlanTest, RunBatchesMatchesPerBatchRuns) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  std::vector<Instance> batches = SplitBatches(3);
+  std::vector<const Instance*> pointers;
+  for (const Instance& b : batches) pointers.push_back(&b);
+
+  ExecutorOptions options;
+  options.num_threads = 4;
+  auto reports = Executor(*plan, options).RunBatches(pointers);
+  ASSERT_TRUE(reports.ok()) << reports.status();
+  ASSERT_EQ(reports->size(), batches.size());
+
+  for (size_t i = 0; i < batches.size(); ++i) {
+    auto solo = Executor(*plan).Run(batches[i]);
+    ASSERT_TRUE(solo.ok());
+    EXPECT_EQ(SortedPairs((*reports)[i].matches), SortedPairs(solo->matches))
+        << "batch " << i;
+  }
+}
+
+TEST_F(ApiPlanTest, StreamingSinkReceivesEveryMatch) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  match::MatchResult streamed;
+  auto run = Executor(*plan).Run(
+      data_.instance,
+      [&](uint32_t l, uint32_t r) { streamed.Add(l, r); });
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(SortedPairs(streamed), SortedPairs(run->matches));
+  EXPECT_GT(streamed.size(), 0u);
+}
+
+TEST_F(ApiPlanTest, FellegiSunterPlanTrainsOnceAtCompileTime) {
+  PlanOptions options;
+  options.matcher = PlanOptions::Matcher::kFellegiSunter;
+  auto plan = BuildPlan(options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_NE((*plan)->fs(), nullptr);
+  EXPECT_GT((*plan)->fs()->model().iterations_run, 0u);
+
+  auto run = Executor(*plan).Run(data_.instance);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->match_quality.precision, 0.9);
+  EXPECT_GT(run->match_quality.recall, 0.8);
+}
+
+TEST_F(ApiPlanTest, FellegiSunterPlanRequiresTrainingData) {
+  PlanOptions options;
+  options.matcher = PlanOptions::Matcher::kFellegiSunter;
+  auto plan = PlanBuilder(data_.pair, data_.target, &ops_)
+                  .WithSigma(data_.mds)
+                  .WithOptions(options)
+                  .Build();
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiPlanTest, RejectsEmptyTarget) {
+  auto empty_target = ComparableLists::Make(data_.pair, {}, {});
+  ASSERT_TRUE(empty_target.ok());
+  auto plan = PlanBuilder(data_.pair, *empty_target, &ops_)
+                  .WithSigma(data_.mds)
+                  .Build();
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(ApiPlanTest, RejectsInvalidSigma) {
+  MdSet bad = {MatchingDependency({Conjunct{{99, 0}, 0}}, {{{0, 0}}})};
+  auto plan = PlanBuilder(data_.pair, data_.target, &ops_)
+                  .WithSigma(bad)
+                  .Build();
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(ApiPlanTest, RejectsMismatchedBatchSchema) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  Schema other("other", {{"x", "string"}});
+  Instance wrong{Relation(other), Relation(other)};
+  auto run = Executor(*plan).Run(wrong);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiPlanTest, PrecompiledRcksSkipDeduction) {
+  auto first = BuildPlan();
+  ASSERT_TRUE(first.ok());
+
+  const size_t deductions = FindRcksInvocationCount();
+  auto second = PlanBuilder(data_.pair, data_.target, &ops_)
+                    .WithSigma(data_.mds)
+                    .WithPrecompiledRcks((*first)->rcks())
+                    .WithQuality((*first)->quality())
+                    .Build();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(FindRcksInvocationCount(), deductions)
+      << "WithPrecompiledRcks must skip findRCKs";
+  EXPECT_FALSE((*second)->compile_stats().deduced);
+
+  auto run_first = Executor(*first).Run(data_.instance);
+  auto run_second = Executor(*second).Run(data_.instance);
+  ASSERT_TRUE(run_first.ok() && run_second.ok());
+  EXPECT_EQ(SortedPairs(run_first->matches), SortedPairs(run_second->matches));
+}
+
+// A builder with injected state may Build more than once (the "share one
+// deduction across plan variants" pattern); the second plan must be as
+// complete as the first.
+TEST_F(ApiPlanTest, BuilderMayBuildTwice) {
+  auto base = BuildPlan();
+  ASSERT_TRUE(base.ok());
+
+  PlanBuilder builder(data_.pair, data_.target, &ops_);
+  builder.WithSigma(data_.mds)
+      .WithPrecompiledRcks((*base)->rcks())
+      .WithQuality((*base)->quality())
+      .WithSortKeys((*base)->sort_keys())
+      .WithRules((*base)->rules());
+  auto first = builder.Build();
+  auto second = builder.Build();
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ((*second)->sort_keys().size(), (*first)->sort_keys().size());
+  EXPECT_EQ((*second)->rules().size(), (*first)->rules().size());
+
+  auto run_first = Executor(*first).Run(data_.instance);
+  auto run_second = Executor(*second).Run(data_.instance);
+  ASSERT_TRUE(run_first.ok() && run_second.ok());
+  EXPECT_GT(run_second->matches.size(), 0u);
+  EXPECT_EQ(SortedPairs(run_first->matches), SortedPairs(run_second->matches));
+}
+
+TEST_F(ApiPlanTest, TransitiveClosurePlanAddsImpliedPairs) {
+  auto plain = BuildPlan();
+  PlanOptions closed_options;
+  closed_options.transitive_closure = true;
+  auto closed = BuildPlan(closed_options);
+  ASSERT_TRUE(plain.ok() && closed.ok());
+
+  auto run_plain = Executor(*plain).Run(data_.instance);
+  auto run_closed = Executor(*closed).Run(data_.instance);
+  ASSERT_TRUE(run_plain.ok() && run_closed.ok());
+  EXPECT_GE(run_closed->matches.size(), run_plain->matches.size());
+  EXPECT_GE(run_closed->match_quality.recall,
+            run_plain->match_quality.recall);
+}
+
+TEST_F(ApiPlanTest, StageTimingsAreReported) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok());
+  auto run = Executor(*plan).Run(data_.instance);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->pairs_compared, 0u);
+  EXPECT_GE(run->timings.candidate_seconds, 0.0);
+  EXPECT_GE(run->timings.match_seconds, 0.0);
+  EXPECT_GE(run->timings.TotalSeconds(),
+            run->timings.candidate_seconds + run->timings.match_seconds);
+}
+
+}  // namespace
+}  // namespace mdmatch::api

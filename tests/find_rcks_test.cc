@@ -279,7 +279,9 @@ TEST_P(FindRcksRandomSweep, KeysAreSoundMinimalAndMutuallyUncovered) {
   }
   for (size_t i = 0; i < result.rcks.size(); ++i) {
     for (size_t j = 0; j < result.rcks.size(); ++j) {
-      if (i != j) EXPECT_FALSE(Covers(result.rcks[i], result.rcks[j]));
+      if (i != j) {
+        EXPECT_FALSE(Covers(result.rcks[i], result.rcks[j]));
+      }
     }
   }
 }

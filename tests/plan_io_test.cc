@@ -1,0 +1,174 @@
+// Tests for plan serialization (api/plan_io): a compiled MatchPlan saved
+// and reloaded must execute identically — with no re-deduction and no EM
+// retraining on load.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/executor.h"
+#include "api/plan.h"
+#include "api/plan_io.h"
+#include "core/find_rcks.h"
+#include "datagen/credit_billing.h"
+
+namespace mdmatch::api {
+namespace {
+
+std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
+    const match::PairSet& set) {
+  auto pairs = set.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+class PlanIoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CreditBillingOptions gen;
+    gen.num_base = 300;
+    gen.seed = 77;
+    data_ = datagen::GenerateCreditBilling(gen, &ops_);
+  }
+
+  Result<PlanPtr> BuildPlan(PlanOptions options = {}) {
+    return PlanBuilder(data_.pair, data_.target, &ops_)
+        .WithSigma(data_.mds)
+        .WithOptions(options)
+        .WithTrainingInstance(&data_.instance)
+        .Build();
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::CreditBillingData data_;
+};
+
+TEST_F(PlanIoTest, RuleBasedPlanRoundTrips) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  std::string text = SerializePlan(**plan);
+  ASSERT_FALSE(text.empty());
+
+  const size_t deductions = FindRcksInvocationCount();
+  auto loaded = DeserializePlan(text, data_.pair, data_.target, &ops_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(FindRcksInvocationCount(), deductions)
+      << "loading a plan must not re-deduce";
+  EXPECT_FALSE((*loaded)->compile_stats().deduced);
+
+  // Structure survives.
+  ASSERT_EQ((*loaded)->rcks().size(), (*plan)->rcks().size());
+  for (size_t i = 0; i < (*plan)->rcks().size(); ++i) {
+    EXPECT_TRUE((*loaded)->rcks()[i].SameElements((*plan)->rcks()[i]));
+  }
+  ASSERT_EQ((*loaded)->rules().size(), (*plan)->rules().size());
+  ASSERT_EQ((*loaded)->sort_keys().size(), (*plan)->sort_keys().size());
+  EXPECT_EQ((*loaded)->sigma().size(), (*plan)->sigma().size());
+  EXPECT_EQ((*loaded)->options().window_size, (*plan)->options().window_size);
+
+  // Behavior survives: identical matches on the same batch.
+  auto original_run = Executor(*plan).Run(data_.instance);
+  auto loaded_run = Executor(*loaded).Run(data_.instance);
+  ASSERT_TRUE(original_run.ok() && loaded_run.ok());
+  EXPECT_GT(original_run->matches.size(), 0u);
+  EXPECT_EQ(SortedPairs(original_run->matches),
+            SortedPairs(loaded_run->matches));
+}
+
+TEST_F(PlanIoTest, FellegiSunterPlanRoundTripsWithoutRetraining) {
+  PlanOptions options;
+  options.matcher = PlanOptions::Matcher::kFellegiSunter;
+  auto plan = BuildPlan(options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  std::string text = SerializePlan(**plan);
+  auto loaded = DeserializePlan(text, data_.pair, data_.target, &ops_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // The trained model ships inside the file — parameters survive exactly
+  // (1e-12 to allow decimal round-tripping at 17 significant digits).
+  ASSERT_NE((*loaded)->fs(), nullptr);
+  const auto& original_model = (*plan)->fs()->model();
+  const auto& loaded_model = (*loaded)->fs()->model();
+  ASSERT_EQ(loaded_model.m.size(), original_model.m.size());
+  for (size_t i = 0; i < original_model.m.size(); ++i) {
+    EXPECT_NEAR(loaded_model.m[i], original_model.m[i], 1e-12);
+    EXPECT_NEAR(loaded_model.u[i], original_model.u[i], 1e-12);
+  }
+  EXPECT_NEAR(loaded_model.p, original_model.p, 1e-12);
+
+  auto original_run = Executor(*plan).Run(data_.instance);
+  auto loaded_run = Executor(*loaded).Run(data_.instance);
+  ASSERT_TRUE(original_run.ok() && loaded_run.ok());
+  EXPECT_EQ(SortedPairs(original_run->matches),
+            SortedPairs(loaded_run->matches));
+}
+
+TEST_F(PlanIoTest, BlockingPlanRoundTrips) {
+  PlanOptions options;
+  options.candidates = PlanOptions::Candidates::kBlocking;
+  auto plan = BuildPlan(options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  auto loaded =
+      DeserializePlan(SerializePlan(**plan), data_.pair, data_.target, &ops_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->block_key().elements().size(),
+            (*plan)->block_key().elements().size());
+
+  auto original_run = Executor(*plan).Run(data_.instance);
+  auto loaded_run = Executor(*loaded).Run(data_.instance);
+  ASSERT_TRUE(original_run.ok() && loaded_run.ok());
+  EXPECT_EQ(SortedPairs(original_run->matches),
+            SortedPairs(loaded_run->matches));
+}
+
+TEST_F(PlanIoTest, SaveAndLoadFile) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  std::string path = testing::TempDir() + "/mdmatch_plan_io_test.mdp";
+  ASSERT_TRUE(SavePlanToFile(path, **plan).ok());
+  auto loaded = LoadPlanFromFile(path, data_.pair, data_.target, &ops_);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->rcks().size(), (*plan)->rcks().size());
+}
+
+TEST_F(PlanIoTest, LoadIntoFreshRegistryRegistersOperators) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  // A bare registry holds only "="; loading must re-register dl@0.80 etc.
+  sim::SimOpRegistry fresh;
+  auto loaded = DeserializePlan(SerializePlan(**plan), data_.pair,
+                                data_.target, &fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  auto run = Executor(*loaded).Run(data_.instance);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto baseline = Executor(*plan).Run(data_.instance);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(SortedPairs(run->matches), SortedPairs(baseline->matches));
+}
+
+TEST_F(PlanIoTest, RejectsGarbage) {
+  EXPECT_FALSE(
+      DeserializePlan("", data_.pair, data_.target, &ops_).ok());
+  EXPECT_FALSE(
+      DeserializePlan("not a plan\n", data_.pair, data_.target, &ops_).ok());
+  EXPECT_FALSE(DeserializePlan("mdmatch-plan v1\nbogus directive\nend\n",
+                               data_.pair, data_.target, &ops_)
+                   .ok());
+  // A header-only file has no RCKs: invalid.
+  EXPECT_FALSE(DeserializePlan("mdmatch-plan v1\nend\n", data_.pair,
+                               data_.target, &ops_)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mdmatch::api

@@ -239,7 +239,9 @@ TEST_P(SimOpAxioms, ReflexiveSymmetricSubsumesEquality) {
     EXPECT_TRUE(reg.Eval(*id, a, a)) << GetParam() << " not reflexive on " << a;
     EXPECT_EQ(reg.Eval(*id, a, b), reg.Eval(*id, b, a))
         << GetParam() << " not symmetric on " << a << "," << b;
-    if (a == b) EXPECT_TRUE(reg.Eval(*id, a, b));
+    if (a == b) {
+      EXPECT_TRUE(reg.Eval(*id, a, b));
+    }
   }
 }
 

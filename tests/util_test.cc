@@ -358,7 +358,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   double t0 = sw.ElapsedSeconds();
   EXPECT_GE(t0, 0.0);
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(sw.ElapsedSeconds(), t0);
   sw.Reset();
   EXPECT_LT(sw.ElapsedSeconds(), 1.0);

@@ -1,30 +1,30 @@
-// mdmatch_tool — command-line front end for the library.
+// mdmatch_tool — command-line front end for the library, organized as
+// subcommands around the compile-once / execute-many API (api::PlanBuilder,
+// api::Executor, api::plan_io):
 //
-//   mdmatch_tool gen  <K> <out_dir> [seed]
-//       Generate a credit/billing dataset (Section 6.2 protocol): writes
-//       credit.csv, billing.csv, truth.csv (entity ids) and sigma.mds
-//       (the 7 matching rules) into <out_dir>.
+//   gen    generate a credit/billing dataset + Σ
+//   keys   deduce RCKs from Σ and save them
+//   plan   compile a MatchPlan from Σ and save it (the compile step)
+//   match  execute a (saved or freshly compiled) plan over the dataset
+//   eval   score a matches.csv against the ground truth
 //
-//   mdmatch_tool keys <dir> [m]
-//       Load <dir>/sigma.mds, deduce up to m RCKs (default 10) for the
-//       card-holder target lists, print them and write <dir>/keys.mds.
-//
-//   mdmatch_tool match <dir>
-//       Load the dataset and <dir>/keys.mds (or deduce keys when absent),
-//       run the rule-based pipeline (windowing, θ = 0.8 similarity test),
-//       write <dir>/matches.csv and report quality against truth.csv when
-//       present.
-//
+// Run `mdmatch_tool --help` or `mdmatch_tool <command> --help` for usage.
 // The tool only drives public library APIs; see README.md.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "api/executor.h"
+#include "api/plan.h"
+#include "api/plan_io.h"
 #include "core/find_rcks.h"
 #include "core/rule_io.h"
 #include "datagen/credit_billing.h"
-#include "match/pipeline.h"
+#include "match/evaluation.h"
 #include "util/csv.h"
 
 using namespace mdmatch;
@@ -36,14 +36,144 @@ int Fail(const Status& status) {
   return 1;
 }
 
+void PrintUsage(FILE* out) {
+  std::fprintf(
+      out,
+      "mdmatch_tool — record matching with reasoned rules (MDs -> RCKs)\n"
+      "\n"
+      "usage: mdmatch_tool <command> [args] [flags]\n"
+      "\n"
+      "commands:\n"
+      "  gen   <dir> --k N [--seed S]     generate credit.csv, billing.csv,\n"
+      "                                   truth.csv and sigma.mds in <dir>\n"
+      "  keys  <dir> [--m N]              deduce up to N RCKs (default 10)\n"
+      "                                   from <dir>/sigma.mds; write\n"
+      "                                   <dir>/keys.mds\n"
+      "  plan  <dir> [flags]              compile a MatchPlan from\n"
+      "                                   <dir>/sigma.mds and save it to\n"
+      "                                   <dir>/plan.mdp (the compile-once\n"
+      "                                   step; `match` reuses it)\n"
+      "  match <dir> [flags]              execute the plan over the dataset;\n"
+      "                                   write <dir>/matches.csv\n"
+      "  eval  <dir>                      precision/recall of\n"
+      "                                   <dir>/matches.csv vs truth.csv\n"
+      "\n"
+      "plan flags:\n"
+      "  --matcher rule|fs                match basis (default rule)\n"
+      "  --candidates windowing|blocking  candidate generation (default\n"
+      "                                   windowing)\n"
+      "  --m N                            RCKs to deduce (default 10)\n"
+      "  --top-k N                        RCKs used for rules (default 5)\n"
+      "  --window N                       window size (default 10)\n"
+      "  --theta F                        match-time similarity threshold\n"
+      "                                   (default 0.8; 0 = strict equality)\n"
+      "  --closure                        close matches transitively\n"
+      "  --out FILE                       plan file (default <dir>/plan.mdp)\n"
+      "\n"
+      "match flags:\n"
+      "  --plan FILE                      load a compiled plan instead of\n"
+      "                                   compiling one on the fly\n"
+      "  --threads N                      executor worker threads (default 1)\n"
+      "  --out FILE                       matches file (default\n"
+      "                                   <dir>/matches.csv)\n"
+      "  plus every plan flag (used when no --plan file is given)\n"
+      "\n"
+      "eval flags:\n"
+      "  --matches FILE                   matches file (default\n"
+      "                                   <dir>/matches.csv)\n");
+}
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  mdmatch_tool gen   <K> <dir> [seed]\n"
-               "  mdmatch_tool keys  <dir> [m]\n"
-               "  mdmatch_tool match <dir>\n");
+  PrintUsage(stderr);
   return 2;
 }
+
+/// Minimal flag scanner: positional args in order, `--flag value` and
+/// boolean `--flag` by name. Flags outside `allowed` are rejected up
+/// front (a typo'd flag silently falling back to its default would give
+/// wrong-but-plausible runs).
+class Args {
+ public:
+  Args(int argc, char** argv, int first,
+       std::vector<std::string> allowed = {}) {
+    for (int i = first; i < argc; ++i) args_.push_back(argv[i]);
+    if (allowed.empty()) return;
+    allowed.push_back("--help");
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (!StartsWithDash(args_[i])) continue;
+      if (std::find(allowed.begin(), allowed.end(), args_[i]) ==
+          allowed.end()) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", args_[i].c_str());
+        std::exit(2);
+      }
+      if (!IsBooleanFlag(args_[i])) ++i;  // skip the flag's value
+    }
+  }
+
+  bool HasFlag(const std::string& name) const {
+    for (const auto& a : args_) {
+      if (a == name) return true;
+    }
+    return false;
+  }
+
+  std::string Flag(const std::string& name, std::string fallback) const {
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) return args_[i + 1];
+    }
+    return fallback;
+  }
+
+  size_t FlagNum(const std::string& name, size_t fallback) const {
+    std::string v = Flag(name, "");
+    if (v.empty()) return fallback;
+    try {
+      return static_cast<size_t>(std::stoull(v));
+    } catch (...) {
+      BadValue(name, v);
+    }
+  }
+
+  double FlagDouble(const std::string& name, double fallback) const {
+    std::string v = Flag(name, "");
+    if (v.empty()) return fallback;
+    try {
+      return std::stod(v);
+    } catch (...) {
+      BadValue(name, v);
+    }
+  }
+
+  /// The i-th non-flag argument ("" when absent). A flag's value does not
+  /// count as positional.
+  std::string Positional(size_t index) const {
+    size_t seen = 0;
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (StartsWithDash(args_[i])) {
+        if (!IsBooleanFlag(args_[i]) && i + 1 < args_.size()) ++i;
+        continue;
+      }
+      if (seen == index) return args_[i];
+      ++seen;
+    }
+    return "";
+  }
+
+ private:
+  [[noreturn]] static void BadValue(const std::string& name,
+                                    const std::string& value) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                 name.c_str(), value.c_str());
+    std::exit(2);
+  }
+  static bool StartsWithDash(const std::string& s) {
+    return !s.empty() && s[0] == '-';
+  }
+  static bool IsBooleanFlag(const std::string& s) {
+    return s == "--closure" || s == "--help";
+  }
+  std::vector<std::string> args_;
+};
 
 Status WriteTruth(const std::string& path, const Instance& instance) {
   std::vector<std::vector<std::string>> rows;
@@ -65,8 +195,15 @@ Status LoadTruth(const std::string& path, Instance* instance) {
   for (size_t r = 1; r < rows->size(); ++r) {
     const auto& row = (*rows)[r];
     if (row.size() != 3) return Status::ParseError("bad truth row");
-    size_t index = static_cast<size_t>(std::stoull(row[1]));
-    EntityId entity = static_cast<EntityId>(std::stoll(row[2]));
+    size_t index = 0;
+    EntityId entity = 0;
+    try {
+      index = static_cast<size_t>(std::stoull(row[1]));
+      entity = static_cast<EntityId>(std::stoll(row[2]));
+    } catch (...) {
+      return Status::ParseError("bad truth row '" + row[1] + "," + row[2] +
+                                "'");
+    }
     Relation& rel = row[0] == "credit" ? instance->left() : instance->right();
     if (index >= rel.size()) return Status::ParseError("truth row range");
     rel.tuple(index).set_entity(entity);
@@ -74,13 +211,72 @@ Status LoadTruth(const std::string& path, Instance* instance) {
   return Status::OK();
 }
 
-int CmdGen(int argc, char** argv) {
-  if (argc < 4) return Usage();
+Result<Instance> LoadInstance(const std::string& dir,
+                              const SchemaPair& pair) {
+  auto credit_rows = Csv::ReadFile(dir + "/credit.csv");
+  if (!credit_rows.ok()) return credit_rows.status();
+  auto billing_rows = Csv::ReadFile(dir + "/billing.csv");
+  if (!billing_rows.ok()) return billing_rows.status();
+  auto credit = Relation::FromCsvRows(pair.left(), *credit_rows);
+  if (!credit.ok()) return credit.status();
+  auto billing = Relation::FromCsvRows(pair.right(), *billing_rows);
+  if (!billing.ok()) return billing.status();
+  return Instance(std::move(*credit), std::move(*billing));
+}
+
+api::PlanOptions PlanOptionsFromFlags(const Args& args) {
+  api::PlanOptions options;
+  if (args.Flag("--matcher", "rule") == "fs") {
+    options.matcher = api::PlanOptions::Matcher::kFellegiSunter;
+  }
+  if (args.Flag("--candidates", "windowing") == "blocking") {
+    options.candidates = api::PlanOptions::Candidates::kBlocking;
+  }
+  options.num_rcks = args.FlagNum("--m", options.num_rcks);
+  options.top_k = args.FlagNum("--top-k", options.top_k);
+  options.window_size = args.FlagNum("--window", options.window_size);
+  options.relax_theta = args.FlagDouble("--theta", options.relax_theta);
+  options.transitive_closure = args.HasFlag("--closure");
+  return options;
+}
+
+/// Compiles a plan for the credit/billing dataset in `dir` (shared by the
+/// `plan` and `match` commands). `training` is the already-loaded
+/// instance.
+Result<api::PlanPtr> CompilePlan(const std::string& dir, const Args& args,
+                                 const Instance& training,
+                                 sim::SimOpRegistry* ops) {
+  SchemaPair pair = training.schema_pair();
+  ComparableLists target = datagen::MakeCreditBillingTarget(pair);
+  auto sigma = LoadMdSetFromFile(dir + "/sigma.mds", pair, *ops);
+  if (!sigma.ok()) return sigma.status();
+
+  QualityModel quality(1.0, 0.05, 3.0);
+  datagen::ApplyDefaultAccuracies(pair, target, &quality);
+
+  api::PlanBuilder builder(pair, target, ops);
+  builder.WithSigma(std::move(*sigma))
+      .WithOptions(PlanOptionsFromFlags(args))
+      .WithQuality(std::move(quality))
+      .WithTrainingInstance(&training);
+  // Honor keys precomputed by the `keys` subcommand: deduction is the
+  // expensive compile step, so reuse it when the file is present.
+  if (auto keys = LoadRcksFromFile(dir + "/keys.mds", target, pair, *ops);
+      keys.ok()) {
+    builder.WithPrecompiledRcks(std::move(*keys));
+  }
+  return builder.Build();
+}
+
+int CmdGen(const Args& args) {
+  std::string dir = args.Positional(0);
+  size_t k = args.FlagNum("--k", 0);
+  if (dir.empty() || k == 0) return Usage();
+
   sim::SimOpRegistry ops;
   datagen::CreditBillingOptions options;
-  options.num_base = static_cast<size_t>(std::stoull(argv[2]));
-  std::string dir = argv[3];
-  if (argc > 4) options.seed = static_cast<uint64_t>(std::stoull(argv[4]));
+  options.num_base = k;
+  options.seed = args.FlagNum("--seed", options.seed);
   datagen::CreditBillingData data =
       datagen::GenerateCreditBilling(options, &ops);
 
@@ -99,23 +295,10 @@ int CmdGen(int argc, char** argv) {
   return 0;
 }
 
-Result<Instance> LoadInstance(const std::string& dir,
-                              const SchemaPair& pair) {
-  auto credit_rows = Csv::ReadFile(dir + "/credit.csv");
-  if (!credit_rows.ok()) return credit_rows.status();
-  auto billing_rows = Csv::ReadFile(dir + "/billing.csv");
-  if (!billing_rows.ok()) return billing_rows.status();
-  auto credit = Relation::FromCsvRows(pair.left(), *credit_rows);
-  if (!credit.ok()) return credit.status();
-  auto billing = Relation::FromCsvRows(pair.right(), *billing_rows);
-  if (!billing.ok()) return billing.status();
-  return Instance(std::move(*credit), std::move(*billing));
-}
-
-int CmdKeys(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  std::string dir = argv[2];
-  size_t m = argc > 3 ? static_cast<size_t>(std::stoull(argv[3])) : 10;
+int CmdKeys(const Args& args) {
+  std::string dir = args.Positional(0);
+  if (dir.empty()) return Usage();
+  size_t m = args.FlagNum("--m", 10);
 
   sim::SimOpRegistry ops = sim::SimOpRegistry::Default();
   SchemaPair pair = datagen::MakeCreditBillingSchemas();
@@ -144,27 +327,51 @@ int CmdKeys(int argc, char** argv) {
   return 0;
 }
 
-int CmdMatch(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  std::string dir = argv[2];
+int CmdPlan(const Args& args) {
+  std::string dir = args.Positional(0);
+  if (dir.empty()) return Usage();
+  std::string out = args.Flag("--out", dir + "/plan.mdp");
+
+  sim::SimOpRegistry ops = sim::SimOpRegistry::Default();
+  SchemaPair pair = datagen::MakeCreditBillingSchemas();
+  auto instance = LoadInstance(dir, pair);
+  if (!instance.ok()) return Fail(instance.status());
+  auto plan = CompilePlan(dir, args, *instance, &ops);
+  if (!plan.ok()) return Fail(plan.status());
+
+  std::printf("%s", (*plan)->Describe().c_str());
+  if (auto st = api::SavePlanToFile(out, **plan); !st.ok()) return Fail(st);
+  std::printf("wrote compiled plan to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdMatch(const Args& args) {
+  std::string dir = args.Positional(0);
+  if (dir.empty()) return Usage();
+  std::string out = args.Flag("--out", dir + "/matches.csv");
+  std::string plan_file = args.Flag("--plan", "");
 
   sim::SimOpRegistry ops = sim::SimOpRegistry::Default();
   SchemaPair pair = datagen::MakeCreditBillingSchemas();
   ComparableLists target = datagen::MakeCreditBillingTarget(pair);
+
   auto instance = LoadInstance(dir, pair);
   if (!instance.ok()) return Fail(instance.status());
+
+  // Compile (or load) once ...
+  Result<api::PlanPtr> plan = plan_file.empty()
+                                  ? CompilePlan(dir, args, *instance, &ops)
+                                  : api::LoadPlanFromFile(plan_file, pair,
+                                                          target, &ops);
+  if (!plan.ok()) return Fail(plan.status());
+
   (void)LoadTruth(dir + "/truth.csv", &*instance);  // optional
 
-  auto sigma = LoadMdSetFromFile(dir + "/sigma.mds", pair, ops);
-  if (!sigma.ok()) return Fail(sigma.status());
-
-  QualityModel quality(1.0, 0.05, 3.0);
-  quality.EstimateLengthsFromData(*instance, *sigma, target);
-  datagen::ApplyDefaultAccuracies(pair, target, &quality);
-
-  match::PipelineOptions options;
-  auto report = match::RunPipeline(*instance, target, *sigma, &ops, &quality,
-                                   options);
+  // ... execute over the batch.
+  api::ExecutorOptions exec_options;
+  exec_options.num_threads = args.FlagNum("--threads", 1);
+  api::Executor executor(*plan, exec_options);
+  auto report = executor.Run(*instance);
   if (!report.ok()) return Fail(report.status());
 
   std::vector<std::vector<std::string>> rows;
@@ -172,18 +379,57 @@ int CmdMatch(int argc, char** argv) {
   for (const auto& [l, r] : report->matches.pairs()) {
     rows.push_back({std::to_string(l), std::to_string(r)});
   }
-  auto st = Csv::WriteFile(dir + "/matches.csv", rows);
-  if (!st.ok()) return Fail(st);
+  if (auto st = Csv::WriteFile(out, rows); !st.ok()) return Fail(st);
 
-  std::printf("%zu matches written to %s/matches.csv\n",
-              report->matches.size(), dir.c_str());
-  if (report->match_quality.truth > 0) {
-    std::printf("precision %.1f%%  recall %.1f%%  (deduce %.2fs, "
-                "candidates %.2fs, match %.2fs)\n",
-                100 * report->match_quality.precision,
-                100 * report->match_quality.recall, report->deduce_seconds,
-                report->candidate_seconds, report->match_seconds);
+  std::printf("%zu matches written to %s\n", report->matches.size(),
+              out.c_str());
+  std::printf("stages: candidates %.2fs (%zu pairs), match %.2fs",
+              report->timings.candidate_seconds, report->pairs_compared,
+              report->timings.match_seconds);
+  if (report->timings.closure_seconds > 0) {
+    std::printf(", closure %.2fs", report->timings.closure_seconds);
   }
+  std::printf("\n");
+  if (report->match_quality.truth > 0) {
+    std::printf("precision %.1f%%  recall %.1f%%\n",
+                100 * report->match_quality.precision,
+                100 * report->match_quality.recall);
+  }
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  std::string dir = args.Positional(0);
+  if (dir.empty()) return Usage();
+  std::string matches_file = args.Flag("--matches", dir + "/matches.csv");
+
+  SchemaPair pair = datagen::MakeCreditBillingSchemas();
+  auto instance = LoadInstance(dir, pair);
+  if (!instance.ok()) return Fail(instance.status());
+  if (auto st = LoadTruth(dir + "/truth.csv", &*instance); !st.ok()) {
+    return Fail(st);
+  }
+
+  auto rows = Csv::ReadFile(matches_file);
+  if (!rows.ok()) return Fail(rows.status());
+  match::MatchResult matches;
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    if (row.size() != 2) return Fail(Status::ParseError("bad matches row"));
+    try {
+      matches.Add(static_cast<uint32_t>(std::stoul(row[0])),
+                  static_cast<uint32_t>(std::stoul(row[1])));
+    } catch (...) {
+      return Fail(Status::ParseError("bad matches row '" + row[0] + "," +
+                                     row[1] + "'"));
+    }
+  }
+
+  match::MatchQuality q = match::Evaluate(matches, *instance);
+  std::printf("%s: %zu matches, %zu true pairs\n", matches_file.c_str(),
+              matches.size(), q.truth);
+  std::printf("precision %.2f%%  recall %.2f%%  f1 %.2f%%\n",
+              100 * q.precision, 100 * q.recall, 100 * q.f1);
   return 0;
 }
 
@@ -192,8 +438,40 @@ int CmdMatch(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
-  if (cmd == "gen") return CmdGen(argc, argv);
-  if (cmd == "keys") return CmdKeys(argc, argv);
-  if (cmd == "match") return CmdMatch(argc, argv);
-  return Usage();
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    PrintUsage(stdout);
+    return 0;
+  }
+
+  const std::vector<std::string> plan_flags = {
+      "--matcher", "--candidates", "--m",       "--top-k",
+      "--window",  "--theta",      "--closure", "--out"};
+  std::vector<std::string> allowed;
+  if (cmd == "gen") {
+    allowed = {"--k", "--seed"};
+  } else if (cmd == "keys") {
+    allowed = {"--m"};
+  } else if (cmd == "plan") {
+    allowed = plan_flags;
+  } else if (cmd == "match") {
+    allowed = plan_flags;
+    allowed.push_back("--plan");
+    allowed.push_back("--threads");
+  } else if (cmd == "eval") {
+    allowed = {"--matches"};
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+    return Usage();
+  }
+
+  Args args(argc, argv, 2, std::move(allowed));
+  if (args.HasFlag("--help")) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "keys") return CmdKeys(args);
+  if (cmd == "plan") return CmdPlan(args);
+  if (cmd == "match") return CmdMatch(args);
+  return CmdEval(args);
 }
