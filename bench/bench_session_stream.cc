@@ -1,0 +1,167 @@
+// Incremental ingest vs. full re-run: the economics the MatchSession
+// exists for. A standing corpus absorbs a stream of small deltas; each
+// delta is matched two ways — (a) MatchSession::Flush against the
+// persistent indexes, (b) a stateless Executor::Run over the whole
+// concatenated corpus — with identical results (asserted) and very
+// different costs.
+//
+// Emits an aligned table and machine-readable BENCH_session.json (perf
+// trajectory point for this bench across PRs). MDMATCH_BENCH_FULL=1 runs
+// the larger corpus.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "api/executor.h"
+#include "api/session.h"
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+using namespace mdmatch;
+
+namespace {
+
+std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
+    const match::PairSet& set) {
+  auto pairs = set.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace
+
+int main() {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = bench::FullRun() ? 20000 : 4000;
+  gen.seed = 7100;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+
+  api::PlanOptions options;
+  auto plan = bench::CompileExperimentPlan(data, &ops, options);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  // 80% of the data is the standing corpus (bulk-loaded once); the rest
+  // streams in as 10 equal deltas.
+  const size_t nl = data.instance.left().size();
+  const size_t nr = data.instance.right().size();
+  const size_t base_l = nl * 8 / 10;
+  const size_t base_r = nr * 8 / 10;
+  constexpr size_t kDeltas = 10;
+
+  api::SessionOptions session_options;
+  api::MatchSession session(*plan, session_options);
+  for (size_t i = 0; i < base_l; ++i) {
+    (void)session.Upsert(0, data.instance.left().tuple(i));
+  }
+  for (size_t i = 0; i < base_r; ++i) {
+    (void)session.Upsert(1, data.instance.right().tuple(i));
+  }
+  double bulk_seconds = bench::TimedSeconds([&] { (void)session.Flush(); });
+
+  std::printf("== Incremental ingest vs. full re-run (K = %zu, %zu + %zu "
+              "standing) ==\n",
+              gen.num_base, base_l, base_r);
+  TableWriter table({"delta", "records", "incremental (s)", "full rerun (s)",
+                     "speedup", "matches"});
+
+  api::Executor executor(*plan);
+  double total_incremental = 0;
+  double total_full = 0;
+  std::vector<std::string> delta_json;
+  for (size_t d = 0; d < kDeltas; ++d) {
+    const size_t lo_l = base_l + d * (nl - base_l) / kDeltas;
+    const size_t hi_l = base_l + (d + 1) * (nl - base_l) / kDeltas;
+    const size_t lo_r = base_r + d * (nr - base_r) / kDeltas;
+    const size_t hi_r = base_r + (d + 1) * (nr - base_r) / kDeltas;
+    for (size_t i = lo_l; i < hi_l; ++i) {
+      (void)session.Upsert(0, data.instance.left().tuple(i));
+    }
+    for (size_t i = lo_r; i < hi_r; ++i) {
+      (void)session.Upsert(1, data.instance.right().tuple(i));
+    }
+
+    double inc_seconds = 0;
+    api::IngestReport report;
+    {
+      auto flushed = session.Flush();
+      if (!flushed.ok()) {
+        std::fprintf(stderr, "flush failed: %s\n",
+                     flushed.status().ToString().c_str());
+        return 1;
+      }
+      report = *flushed;
+      inc_seconds = report.index_seconds + report.match_seconds +
+                    report.cluster_seconds;
+    }
+
+    // The stateless alternative: re-run the whole corpus.
+    Instance corpus = session.Corpus();
+    double full_seconds = 0;
+    match::MatchResult full_matches;
+    {
+      api::ExecutorOptions exec;
+      exec.evaluate_quality = false;
+      api::Executor full(*plan, exec);
+      full_seconds = bench::TimedSeconds([&] {
+        auto run = full.Run(corpus);
+        if (run.ok()) full_matches = std::move(run->matches);
+      });
+    }
+    if (SortedPairs(session.Matches()) != SortedPairs(full_matches)) {
+      std::fprintf(stderr,
+                   "BUG: incremental and full-rerun matches differ at "
+                   "delta %zu\n",
+                   d);
+      return 1;
+    }
+
+    total_incremental += inc_seconds;
+    total_full += full_seconds;
+    const size_t delta_records =
+        (hi_l - lo_l) + (hi_r - lo_r);
+    table.AddRow({std::to_string(d + 1), std::to_string(delta_records),
+                  TableWriter::Num(inc_seconds, 4),
+                  TableWriter::Num(full_seconds, 4),
+                  TableWriter::Num(full_seconds / std::max(1e-9, inc_seconds),
+                                   1),
+                  std::to_string(report.total_matches)});
+    delta_json.push_back(StringPrintf(
+        "    {\"delta\": %zu, \"records\": %zu, \"incremental_seconds\": "
+        "%.6f, \"full_rerun_seconds\": %.6f, \"matches\": %zu}",
+        d + 1, delta_records, inc_seconds, full_seconds,
+        report.total_matches));
+  }
+  table.Print(std::cout);
+  std::printf("\nbulk load %.3fs; totals: incremental %.4fs vs full re-runs "
+              "%.4fs (%.1fx)\n",
+              bulk_seconds, total_incremental, total_full,
+              total_full / std::max(1e-9, total_incremental));
+
+  std::ofstream json("BENCH_session.json");
+  json << "{\n  \"bench\": \"session_stream\",\n";
+  json << StringPrintf("  \"k\": %zu,\n  \"standing_left\": %zu,\n"
+                       "  \"standing_right\": %zu,\n"
+                       "  \"bulk_load_seconds\": %.6f,\n",
+                       gen.num_base, base_l, base_r, bulk_seconds);
+  json << "  \"deltas\": [\n";
+  for (size_t i = 0; i < delta_json.size(); ++i) {
+    json << delta_json[i] << (i + 1 < delta_json.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n";
+  json << StringPrintf("  \"total_incremental_seconds\": %.6f,\n"
+                       "  \"total_full_rerun_seconds\": %.6f,\n"
+                       "  \"speedup\": %.2f\n}\n",
+                       total_incremental, total_full,
+                       total_full / std::max(1e-9, total_incremental));
+  std::printf("wrote BENCH_session.json\n");
+  return 0;
+}

@@ -6,47 +6,16 @@
 #include <thread>
 #include <utility>
 
+#include "api/parallel.h"
 #include "match/blocking.h"
 #include "match/clustering.h"
-#include "match/comparison.h"
 #include "match/windowing.h"
 #include "util/stopwatch.h"
 
 namespace mdmatch::api {
 
-namespace {
-
-bool SameShape(const Schema& a, const Schema& b) {
-  if (a.arity() != b.arity()) return false;
-  for (AttrId i = 0; i < a.arity(); ++i) {
-    if (a.attribute(i).name != b.attribute(i).name) return false;
-  }
-  return true;
-}
-
-/// Runs `body(begin, end)` over [0, n) split into contiguous chunks, one
-/// per worker. Chunk boundaries depend only on (n, workers), so the
-/// concatenated per-chunk outputs are identical for every worker count.
-void ParallelChunks(size_t n, size_t workers,
-                    const std::function<void(size_t, size_t, size_t)>& body) {
-  if (workers <= 1 || n == 0) {
-    body(0, 0, n);
-    return;
-  }
-  workers = std::min(workers, n);
-  const size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    const size_t begin = w * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&body, w, begin, end] { body(w, begin, end); });
-  }
-  for (auto& t : threads) t.join();
-}
-
-}  // namespace
+using internal::ParallelChunks;
+using internal::SameShape;
 
 Executor::Executor(PlanPtr plan, ExecutorOptions options)
     : plan_(std::move(plan)), options_(options) {
@@ -67,7 +36,6 @@ ExecutionReport Executor::RunChecked(const Instance& batch,
                                      size_t match_threads,
                                      const MatchSink* sink) const {
   const MatchPlan& plan = *plan_;
-  const sim::SimOpRegistry& ops = plan.ops();
   ExecutionReport report;
 
   // --- candidate generation from the precompiled keys ---
@@ -88,12 +56,7 @@ ExecutionReport Executor::RunChecked(const Instance& batch,
     report.pairs_compared = pairs.size();
 
     auto matches_pair = [&](uint32_t l, uint32_t r) {
-      const Tuple& left = batch.left().tuple(l);
-      const Tuple& right = batch.right().tuple(r);
-      if (plan.options().matcher == PlanOptions::Matcher::kRuleBased) {
-        return match::AnyRuleMatches(plan.rules(), ops, left, right);
-      }
-      return plan.fs()->IsMatch(ops, left, right);
+      return plan.MatchesPair(batch.left().tuple(l), batch.right().tuple(r));
     };
 
     // Scale workers so each gets at least min_pairs_per_thread pairs;

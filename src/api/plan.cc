@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/find_rcks.h"
+#include "match/comparison.h"
 #include "util/stopwatch.h"
 
 namespace mdmatch::api {
@@ -28,6 +29,13 @@ std::string RenderKeyFunction(const match::KeyFunction& key,
 }
 
 }  // namespace
+
+bool MatchPlan::MatchesPair(const Tuple& left, const Tuple& right) const {
+  if (options_.matcher == PlanOptions::Matcher::kRuleBased) {
+    return match::AnyRuleMatches(rules_, *ops_, left, right);
+  }
+  return fs_->IsMatch(*ops_, left, right);
+}
 
 std::string MatchPlan::Describe() const {
   std::ostringstream out;

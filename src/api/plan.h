@@ -110,6 +110,12 @@ class MatchPlan {
 
   const CompileStats& compile_stats() const { return stats_; }
 
+  /// Applies the plan's match basis (relaxed rules or the trained FS
+  /// model) to one tuple pair. Deterministic and thread-safe; the single
+  /// per-pair decision the Executor's match stage and the MatchSession's
+  /// incremental flush both consult.
+  bool MatchesPair(const Tuple& left, const Tuple& right) const;
+
   /// Human-readable multi-line summary (RCKs, derived keys, matcher).
   std::string Describe() const;
 

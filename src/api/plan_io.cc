@@ -1,7 +1,9 @@
 #include "api/plan_io.h"
 
 #include <fstream>
+#include <iomanip>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "core/md_parser.h"
@@ -12,7 +14,51 @@ namespace mdmatch::api {
 
 namespace {
 
-constexpr const char kHeader[] = "mdmatch-plan v1";
+// Format history: v1 (PR 1) had no integrity protection; v2 adds a
+// `checksum` line over the normalized content. v1 files still load; files
+// from future versions are rejected with a clear error instead of being
+// misparsed.
+constexpr size_t kFormatVersion = 2;
+constexpr const char kHeaderPrefix[] = "mdmatch-plan v";
+
+/// FNV-1a 64 over the normalized plan content: every non-empty,
+/// non-comment, trimmed line after the header and before `end`, excluding
+/// the `checksum` line itself, joined with '\n'. Normalizing keeps the
+/// checksum stable under annotation comments and whitespace edits while
+/// catching any change to what the plan actually says.
+uint64_t ContentChecksum(const std::string& text) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::string_view piece) {
+    for (unsigned char c : piece) {
+      hash ^= c;
+      hash *= 1099511628211ull;
+    }
+  };
+  std::istringstream stream(text);
+  std::string line;
+  bool saw_header = false;
+  bool first_content = true;
+  while (std::getline(stream, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (!saw_header) {  // the header line is versioned, not checksummed
+      saw_header = true;
+      continue;
+    }
+    if (trimmed == "end") break;
+    if (StartsWith(trimmed, "checksum ")) continue;
+    if (!first_content) mix("\n");
+    mix(trimmed);
+    first_content = false;
+  }
+  return hash;
+}
+
+std::string ChecksumHex(uint64_t hash) {
+  std::ostringstream out;
+  out << std::hex << std::setfill('0') << std::setw(16) << hash;
+  return out.str();
+}
 
 Status WriteTextFile(const std::string& path, const std::string& text) {
   std::ofstream out(path, std::ios::binary);
@@ -185,7 +231,7 @@ std::string SerializePlan(const MatchPlan& plan) {
   const PlanOptions& opt = plan.options();
   std::ostringstream out;
 
-  out << kHeader << "\n";
+  out << kHeaderPrefix << kFormatVersion << "\n";
   out << "# compiled matching plan over (" << pair.left().name() << ", "
       << pair.right().name() << "); load with api::LoadPlanFromFile\n";
   out << "matcher "
@@ -250,6 +296,8 @@ std::string SerializePlan(const MatchPlan& plan) {
           << "\n";
     }
   }
+  const std::string body = out.str();
+  out << "checksum " << ChecksumHex(ContentChecksum(body)) << "\n";
   out << "end\n";
   return out.str();
 }
@@ -277,6 +325,8 @@ Result<PlanPtr> DeserializePlan(const std::string& text,
   bool have_fs_model = false;
   bool have_fs_p = false;
   bool saw_header = false;
+  size_t version = 0;
+  std::optional<std::string> declared_checksum;
 
   // The MD parser requires every named operator to be registered already,
   // so pre-register the standard parameterized operators appearing as
@@ -320,8 +370,23 @@ Result<PlanPtr> DeserializePlan(const std::string& text,
     std::string trimmed(Trim(line));
     if (trimmed.empty() || trimmed[0] == '#') continue;
     if (!saw_header) {
-      if (trimmed != kHeader) {
+      if (!StartsWith(trimmed, kHeaderPrefix)) {
         return Status::ParseError("not a mdmatch plan file (bad header)");
+      }
+      std::string tail = trimmed.substr(std::string(kHeaderPrefix).size());
+      if (!IsDigits(tail)) {
+        return Status::ParseError("not a mdmatch plan file (bad header)");
+      }
+      try {
+        version = static_cast<size_t>(std::stoull(tail));
+      } catch (...) {  // more digits than any version number can hold
+        return Status::ParseError("not a mdmatch plan file (bad header)");
+      }
+      if (version == 0 || version > kFormatVersion) {
+        return Status::ParseError(
+            "plan file format v" + tail + " is newer than this library "
+            "supports (v" + std::to_string(kFormatVersion) +
+            "); recompile the plan or upgrade");
       }
       saw_header = true;
       continue;
@@ -422,12 +487,27 @@ Result<PlanPtr> DeserializePlan(const std::string& text,
       } catch (...) {
         return bad("bad number '" + value + "'");
       }
+    } else if (key == "checksum") {
+      declared_checksum = value;
     } else {
       return bad("unknown plan directive '" + key + "'");
     }
   }
   if (!saw_header) {
     return Status::ParseError("not a mdmatch plan file (empty)");
+  }
+  if (version >= 2 && !declared_checksum.has_value()) {
+    return Status::ParseError(
+        "plan file is missing its checksum line (truncated?)");
+  }
+  if (declared_checksum.has_value()) {
+    const std::string actual = ChecksumHex(ContentChecksum(text));
+    if (*declared_checksum != actual) {
+      return Status::ParseError(
+          "plan file checksum mismatch (declared " + *declared_checksum +
+          ", content hashes to " + actual +
+          "): the file is corrupt or was hand-edited; recompile the plan");
+    }
   }
   if (rcks.empty()) {
     return Status::ParseError("plan file holds no RCKs");

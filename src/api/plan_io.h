@@ -22,6 +22,14 @@ namespace mdmatch::api {
 ///
 /// Attribute names are written verbatim; names containing ',' or ';' are
 /// not supported by the key-function lines.
+///
+/// The first line carries the format version ("mdmatch-plan v2"); files
+/// written by a newer library version are rejected with a clear error
+/// rather than misparsed. Since v2 the file also carries a `checksum`
+/// line — FNV-1a over the normalized content (comments and whitespace
+/// excluded) — and loading verifies it, so a corrupted or hand-edited
+/// plan fails loudly instead of silently matching with altered rules.
+/// v1 files (no checksum) still load.
 
 /// Serializes a compiled plan.
 std::string SerializePlan(const MatchPlan& plan);

@@ -1,0 +1,584 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "api/parallel.h"
+#include "util/stopwatch.h"
+
+namespace mdmatch::api {
+
+using internal::ParallelChunks;
+using match::IndexedEntry;
+
+namespace {
+
+/// True when some gap position g (a removal site in the final order) lies
+/// in (i, j] — i.e. the removed entry used to sit between positions i and
+/// j, so the pair's window distance shrank this flush. `gaps` is sorted.
+bool SpansGap(const std::vector<size_t>& gaps, size_t i, size_t j) {
+  auto it = std::upper_bound(gaps.begin(), gaps.end(), i);
+  return it != gaps.end() && *it <= j;
+}
+
+}  // namespace
+
+MatchSession::MatchSession(PlanPtr plan, SessionOptions options)
+    : plan_(std::move(plan)), options_(options) {
+  assert(plan_ != nullptr && "MatchSession requires a compiled plan");
+  if (options_.num_threads == 0) options_.num_threads = 1;
+  if (plan_->options().candidates == PlanOptions::Candidates::kWindowing) {
+    window_index_.resize(plan_->sort_keys().size());
+  }
+}
+
+Status MatchSession::CheckSide(int side) const {
+  if (side != 0 && side != 1) {
+    return Status::InvalidArgument("side must be 0 (left) or 1 (right)");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MatchSession::RenderKeys(const Tuple& tuple,
+                                                  int side) const {
+  std::vector<std::string> keys;
+  if (plan_->options().candidates == PlanOptions::Candidates::kWindowing) {
+    keys.reserve(plan_->sort_keys().size());
+    for (const auto& key : plan_->sort_keys()) {
+      keys.push_back(key.Render(tuple, side));
+    }
+  } else {
+    keys.push_back(plan_->block_key().Render(tuple, side));
+  }
+  return keys;
+}
+
+const Tuple& MatchSession::TupleBySeq(int side, uint32_t seq) const {
+  return corpus_[side][pos_by_seq_[side].at(seq)].tuple;
+}
+
+Status MatchSession::Upsert(int side, Tuple tuple) {
+  MDMATCH_RETURN_NOT_OK(CheckSide(side));
+  const Schema& schema =
+      side == 0 ? plan_->pair().left() : plan_->pair().right();
+  if (static_cast<int32_t>(tuple.arity()) != schema.arity()) {
+    return Status::InvalidArgument("tuple arity does not match schema " +
+                                   schema.name());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[{side, tuple.id()}] = std::move(tuple);
+  return Status::OK();
+}
+
+Status MatchSession::Upsert(int side, std::vector<Tuple> tuples) {
+  for (Tuple& tuple : tuples) {
+    MDMATCH_RETURN_NOT_OK(Upsert(side, std::move(tuple)));
+  }
+  return Status::OK();
+}
+
+Status MatchSession::Remove(int side, TupleId id) {
+  MDMATCH_RETURN_NOT_OK(CheckSide(side));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pos_by_id_[side].count(id) == 0 && pending_.count({side, id}) == 0) {
+    return Status::NotFound("no record with id " + std::to_string(id) +
+                            " on side " + std::to_string(side));
+  }
+  pending_[{side, id}] = std::nullopt;
+  return Status::OK();
+}
+
+void MatchSession::RebuildPositionsLocked(int side) {
+  pos_by_id_[side].clear();
+  pos_by_seq_[side].clear();
+  for (uint32_t i = 0; i < corpus_[side].size(); ++i) {
+    pos_by_id_[side][corpus_[side][i].tuple.id()] = i;
+    pos_by_seq_[side][corpus_[side][i].seq] = i;
+  }
+}
+
+void MatchSession::RebuildClustersLocked() {
+  uf_ = match::UnionFind();
+  node_of_.clear();
+  for (int side = 0; side < 2; ++side) {
+    for (const Record& record : corpus_[side]) {
+      node_of_[Handle(side, record.seq)] = uf_.Add();
+    }
+  }
+  for (const auto& [l, r] : raw_matches_.pairs()) {
+    uf_.Union(node_of_.at(Handle(0, l)), node_of_.at(Handle(1, r)));
+  }
+  clusters_stale_ = false;
+}
+
+Result<IngestReport> MatchSession::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const MatchPlan& plan = *plan_;
+  const bool windowing =
+      plan.options().candidates == PlanOptions::Candidates::kWindowing;
+  const size_t window = plan.options().window_size;
+  const size_t passes = windowing ? window_index_.size() : 0;
+
+  IngestReport report;
+
+  // --- resolve the staged delta and update the persistent indexes ---
+  // `inserted` covers new records and updated ones (an update re-enters
+  // the indexes under its new keys); `retired` holds the handles whose
+  // standing matches must be dropped (removed or updated records).
+  std::vector<std::pair<int, uint32_t>> inserted;  // (side, seq)
+  std::unordered_set<uint64_t> retired;
+  size_t delta_records = 0;
+  const size_t base_size[2] = {corpus_[0].size(), corpus_[1].size()};
+  {
+    ScopedTimer timer(&report.index_seconds);
+
+    std::vector<std::vector<IndexedEntry>> pass_removes(passes);
+    std::vector<std::vector<IndexedEntry>> pass_inserts(passes);
+    std::vector<IndexedEntry> block_removes;
+    std::vector<IndexedEntry> block_inserts;
+    std::vector<std::pair<int, uint32_t>> removal_positions;  // (side, pos)
+
+    auto index_out = [&](const Record& record, int side, bool insert) {
+      for (size_t p = 0; p < record.keys.size(); ++p) {
+        IndexedEntry entry{record.keys[p], static_cast<uint8_t>(side),
+                           record.seq};
+        if (windowing) {
+          (insert ? pass_inserts : pass_removes)[p].push_back(
+              std::move(entry));
+        } else {
+          (insert ? block_inserts : block_removes).push_back(
+              std::move(entry));
+        }
+      }
+    };
+
+    for (auto& [key, op] : pending_) {
+      const auto [side, id] = key;
+      auto found = pos_by_id_[side].find(id);
+      if (!op.has_value()) {
+        if (found == pos_by_id_[side].end()) continue;  // staged-only record
+        Record& record = corpus_[side][found->second];
+        index_out(record, side, /*insert=*/false);
+        retired.insert(Handle(side, record.seq));
+        removal_positions.emplace_back(side, found->second);
+        ++report.removed;
+        continue;
+      }
+      ++report.upserted;
+      if (found != pos_by_id_[side].end()) {
+        // Update in place: same seq (the corpus-order slot is kept), old
+        // keys leave the indexes, new keys enter, standing matches retire
+        // for re-evaluation against the new values.
+        Record& record = corpus_[side][found->second];
+        index_out(record, side, /*insert=*/false);
+        retired.insert(Handle(side, record.seq));
+        record.tuple = std::move(*op);
+        record.keys = RenderKeys(record.tuple, side);
+        index_out(record, side, /*insert=*/true);
+        inserted.emplace_back(side, record.seq);
+      } else {
+        Record record;
+        record.seq = next_seq_[side]++;
+        record.keys = RenderKeys(*op, side);
+        record.tuple = std::move(*op);
+        inserted.emplace_back(side, record.seq);
+        node_of_[Handle(side, record.seq)] = uf_.Add();
+        index_out(record, side, /*insert=*/true);
+        corpus_[side].push_back(std::move(record));
+      }
+    }
+    delta_records = pending_.size();
+    pending_.clear();
+
+    // Erase removed records back-to-front so earlier positions stay
+    // valid. Removals shift positions, so they force a map rebuild; a
+    // flush of appends and in-place updates only registers the new tail.
+    std::sort(removal_positions.rbegin(), removal_positions.rend());
+    for (const auto& [side, pos] : removal_positions) {
+      corpus_[side].erase(corpus_[side].begin() + pos);
+    }
+    if (!removal_positions.empty()) {
+      RebuildPositionsLocked(0);
+      RebuildPositionsLocked(1);
+    } else {
+      for (int side = 0; side < 2; ++side) {
+        for (uint32_t i = static_cast<uint32_t>(base_size[side]);
+             i < corpus_[side].size(); ++i) {
+          pos_by_id_[side][corpus_[side][i].tuple.id()] = i;
+          pos_by_seq_[side][corpus_[side][i].seq] = i;
+        }
+      }
+    }
+
+    if (!retired.empty()) {
+      report.matches_dropped += raw_matches_.RemoveMatching(
+          [&](uint32_t l, uint32_t r) {
+            return retired.count(Handle(0, l)) > 0 ||
+                   retired.count(Handle(1, r)) > 0;
+          });
+      clusters_stale_ = true;
+    }
+
+    if (windowing) {
+      for (size_t p = 0; p < passes; ++p) {
+        // Removes are passed by copy: their entries locate the gap
+        // positions after the merge.
+        window_index_[p].Apply(pass_removes[p], std::move(pass_inserts[p]));
+      }
+      // Gap positions (per pass, sorted) in the post-merge order.
+      gaps_scratch_.assign(passes, {});
+      for (size_t p = 0; p < passes; ++p) {
+        for (const IndexedEntry& e : pass_removes[p]) {
+          gaps_scratch_[p].push_back(window_index_[p].LowerBound(e));
+        }
+        std::sort(gaps_scratch_[p].begin(), gaps_scratch_[p].end());
+      }
+    } else {
+      for (const IndexedEntry& e : block_removes) {
+        block_index_.Remove(e.side, e.seq, e.key);
+      }
+      for (const IndexedEntry& e : block_inserts) {
+        block_index_.Add(e.side, e.seq, e.key);
+      }
+    }
+  }
+
+  // --- generate + evaluate the delta's candidate pairs ---
+  std::vector<std::pair<uint32_t, uint32_t>> new_matches;
+  {
+    ScopedTimer timer(&report.match_seconds);
+    const bool sharded = options_.num_threads > 1 &&
+                         options_.shard_min_delta > 0 &&
+                         delta_records >= options_.shard_min_delta;
+    auto eval = [&](uint32_t l, uint32_t r) {
+      return plan.MatchesPair(TupleBySeq(0, l), TupleBySeq(1, r));
+    };
+    auto seq_pair = [](const IndexedEntry& a,
+                       const IndexedEntry& b) -> std::pair<uint32_t, uint32_t> {
+      return a.side == 0 ? std::make_pair(a.seq, b.seq)
+                         : std::make_pair(b.seq, a.seq);
+    };
+
+    if (sharded) {
+      report.shards_used =
+          windowing ? ShardedWindowFlush(inserted, eval, seq_pair, window,
+                                         &new_matches, &report)
+                    : ShardedBlockFlush(inserted, eval, &new_matches,
+                                        &report);
+    } else if (windowing && window >= 2) {
+      // Delta path: scan the final order around every inserted entry
+      // (pairs gaining a delta endpoint) and around every removal gap
+      // (old pairs whose distance shrank below the window).
+      match::CandidateSet cand;
+      for (size_t p = 0; p < passes; ++p) {
+        const match::SortedKeyIndex& idx = window_index_[p];
+        const size_t n = idx.size();
+        auto add_pair = [&](size_t i, size_t j) {
+          const IndexedEntry& a = idx.at(i);
+          const IndexedEntry& b = idx.at(j);
+          if (a.side == b.side) return;
+          auto [l, r] = seq_pair(a, b);
+          if (!raw_matches_.Contains(l, r)) cand.Add(l, r);
+        };
+        for (const auto& [side, seq] : inserted) {
+          const Record& record =
+              corpus_[side][pos_by_seq_[side].at(seq)];
+          const size_t center = idx.LowerBound(
+              {record.keys[p], static_cast<uint8_t>(side), seq});
+          const size_t lo = center >= window - 1 ? center - (window - 1) : 0;
+          const size_t hi = std::min(n, center + window);
+          for (size_t j = lo; j < hi; ++j) {
+            if (j != center) add_pair(std::min(center, j),
+                                      std::max(center, j));
+          }
+        }
+        for (size_t gap : gaps_scratch_[p]) {
+          const size_t lo = gap >= window - 1 ? gap - (window - 1) : 0;
+          const size_t hi = std::min(n, gap + window - 1);
+          for (size_t i = lo; i < hi; ++i) {
+            const size_t jhi = std::min(hi, i + window);
+            for (size_t j = i + 1; j < jhi; ++j) add_pair(i, j);
+          }
+        }
+      }
+      EvaluatePairs(cand.pairs(), eval, &new_matches, &report);
+    } else if (!windowing) {
+      // Delta path, blocking: each inserted record against the opposite
+      // side of its block (PairSet-deduped, so intra-delta pairs emitted
+      // from both endpoints collapse).
+      match::CandidateSet cand;
+      for (const auto& [side, seq] : inserted) {
+        const Record& record = corpus_[side][pos_by_seq_[side].at(seq)];
+        const match::BlockIndex::Block* block =
+            block_index_.Find(record.keys[0]);
+        if (block == nullptr) continue;
+        const std::vector<uint32_t>& others =
+            side == 0 ? block->right : block->left;
+        for (uint32_t other : others) {
+          const uint32_t l = side == 0 ? seq : other;
+          const uint32_t r = side == 0 ? other : seq;
+          if (!raw_matches_.Contains(l, r)) cand.Add(l, r);
+        }
+      }
+      EvaluatePairs(cand.pairs(), eval, &new_matches, &report);
+    }
+  }
+
+  // --- retire standing matches insertions pushed out of every window ---
+  {
+    ScopedTimer timer(&report.cluster_seconds);
+    // Every standing pair is re-ranked on any flush with inserts
+    // (O(matches x passes x log n)); only pairs straddling an insertion
+    // position can actually drift, so an interval check over the
+    // insertion ranks could narrow this if it ever shows up in profiles.
+    if (windowing && window >= 2 && !inserted.empty() &&
+        raw_matches_.size() > 0) {
+      const size_t drifted = raw_matches_.RemoveMatching(
+          [&](uint32_t l, uint32_t r) {
+            const Record& left = corpus_[0][pos_by_seq_[0].at(l)];
+            const Record& right = corpus_[1][pos_by_seq_[1].at(r)];
+            for (size_t p = 0; p < passes; ++p) {
+              const size_t pl = window_index_[p].LowerBound(
+                  {left.keys[p], 0, left.seq});
+              const size_t pr = window_index_[p].LowerBound(
+                  {right.keys[p], 1, right.seq});
+              const size_t dist = pl > pr ? pl - pr : pr - pl;
+              if (dist <= window - 1) return false;  // still a candidate
+            }
+            return true;
+          });
+      if (drifted > 0) {
+        report.matches_dropped += drifted;
+        clusters_stale_ = true;
+      }
+    }
+
+    for (const auto& [l, r] : new_matches) {
+      if (raw_matches_.Add(l, r)) {
+        ++report.matches_added;
+        if (!clusters_stale_) {
+          uf_.Union(node_of_.at(Handle(0, l)), node_of_.at(Handle(1, r)));
+        }
+      }
+    }
+    if (clusters_stale_) RebuildClustersLocked();
+  }
+
+  report.corpus_left = corpus_[0].size();
+  report.corpus_right = corpus_[1].size();
+  report.total_matches = raw_matches_.size();
+  return report;
+}
+
+void MatchSession::EvaluatePairs(
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    const std::function<bool(uint32_t, uint32_t)>& eval,
+    std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report) {
+  report->pairs_evaluated += pairs.size();
+  size_t workers = options_.num_threads;
+  if (options_.min_pairs_per_thread > 0) {
+    workers = std::min(workers, pairs.size() / options_.min_pairs_per_thread);
+  }
+  if (workers <= 1) {
+    for (const auto& [l, r] : pairs) {
+      if (eval(l, r)) out->emplace_back(l, r);
+    }
+    return;
+  }
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> local(workers);
+  ParallelChunks(pairs.size(), workers,
+                 [&](size_t w, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     const auto& [l, r] = pairs[i];
+                     if (eval(l, r)) local[w].emplace_back(l, r);
+                   }
+                 });
+  for (const auto& chunk : local) {
+    out->insert(out->end(), chunk.begin(), chunk.end());
+  }
+}
+
+size_t MatchSession::ShardedWindowFlush(
+    const std::vector<std::pair<int, uint32_t>>& inserted,
+    const std::function<bool(uint32_t, uint32_t)>& eval,
+    const std::function<std::pair<uint32_t, uint32_t>(
+        const match::IndexedEntry&, const match::IndexedEntry&)>& seq_pair,
+    size_t window, std::vector<std::pair<uint32_t, uint32_t>>* out,
+    IngestReport* report) {
+  const size_t passes = window_index_.size();
+  const size_t n = passes == 0 ? 0 : window_index_[0].size();
+  if (window < 2 || n == 0) return 1;
+
+  // Per pass: flag the positions the delta entered at.
+  std::vector<std::vector<uint8_t>> is_delta(passes);
+  for (size_t p = 0; p < passes; ++p) {
+    is_delta[p].assign(window_index_[p].size(), 0);
+    for (const auto& [side, seq] : inserted) {
+      const Record& record = corpus_[side][pos_by_seq_[side].at(seq)];
+      is_delta[p][window_index_[p].LowerBound(
+          {record.keys[p], static_cast<uint8_t>(side), seq})] = 1;
+    }
+  }
+
+  const size_t shards = std::min(options_.num_threads, n);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> local(shards);
+  std::vector<size_t> local_evals(shards, 0);
+  // Each shard owns a contiguous range of positions — a contiguous range
+  // of the derived-key order — in every pass; a window crossing the shard
+  // boundary belongs to the shard of its left endpoint, which reads past
+  // its range into the (immutable) index.
+  ParallelChunks(n, shards, [&](size_t w, size_t begin, size_t end) {
+    match::PairSet seen;  // dedupes across this shard's passes
+    for (size_t p = 0; p < passes; ++p) {
+      const match::SortedKeyIndex& idx = window_index_[p];
+      const size_t np = idx.size();
+      const std::vector<size_t>& gaps = gaps_scratch_[p];
+      for (size_t i = begin; i < end && i < np; ++i) {
+        const size_t jhi = std::min(np, i + window);
+        for (size_t j = i + 1; j < jhi; ++j) {
+          const IndexedEntry& a = idx.at(i);
+          const IndexedEntry& b = idx.at(j);
+          if (a.side == b.side) continue;
+          if (!is_delta[p][i] && !is_delta[p][j] &&
+              !(!gaps.empty() && SpansGap(gaps, i, j))) {
+            continue;
+          }
+          auto [l, r] = seq_pair(a, b);
+          if (raw_matches_.Contains(l, r)) continue;
+          if (!seen.Add(l, r)) continue;
+          ++local_evals[w];
+          if (eval(l, r)) local[w].emplace_back(l, r);
+        }
+      }
+    }
+  });
+
+  match::PairSet merged;  // dedupes the same pair found by two shards
+  for (size_t w = 0; w < shards; ++w) {
+    report->pairs_evaluated += local_evals[w];
+    for (const auto& [l, r] : local[w]) {
+      if (merged.Add(l, r)) out->emplace_back(l, r);
+    }
+  }
+  return shards;
+}
+
+size_t MatchSession::ShardedBlockFlush(
+    const std::vector<std::pair<int, uint32_t>>& inserted,
+    const std::function<bool(uint32_t, uint32_t)>& eval,
+    std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report) {
+  // The delta's key range, sharded: the touched block keys in sorted
+  // order, split into contiguous ranges. Every candidate pair lives in
+  // exactly one block, so shard outputs are disjoint.
+  std::vector<std::string> touched;
+  std::unordered_set<uint64_t> delta;
+  for (const auto& [side, seq] : inserted) {
+    touched.push_back(corpus_[side][pos_by_seq_[side].at(seq)].keys[0]);
+    delta.insert(Handle(side, seq));
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  if (touched.empty()) return 1;
+
+  const size_t shards = std::min(options_.num_threads, touched.size());
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> local(shards);
+  std::vector<size_t> local_evals(shards, 0);
+  ParallelChunks(touched.size(), shards,
+                 [&](size_t w, size_t begin, size_t end) {
+                   for (size_t k = begin; k < end; ++k) {
+                     const match::BlockIndex::Block* block =
+                         block_index_.Find(touched[k]);
+                     if (block == nullptr) continue;
+                     for (uint32_t l : block->left) {
+                       for (uint32_t r : block->right) {
+                         if (delta.count(Handle(0, l)) == 0 &&
+                             delta.count(Handle(1, r)) == 0) {
+                           continue;
+                         }
+                         if (raw_matches_.Contains(l, r)) continue;
+                         ++local_evals[w];
+                         if (eval(l, r)) local[w].emplace_back(l, r);
+                       }
+                     }
+                   }
+                 });
+  for (size_t w = 0; w < shards; ++w) {
+    report->pairs_evaluated += local_evals[w];
+    out->insert(out->end(), local[w].begin(), local[w].end());
+  }
+  return shards;
+}
+
+size_t MatchSession::left_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corpus_[0].size();
+}
+
+size_t MatchSession::right_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corpus_[1].size();
+}
+
+size_t MatchSession::pending_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+Instance MatchSession::Corpus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Relation left(plan_->pair().left());
+  Relation right(plan_->pair().right());
+  for (const Record& record : corpus_[0]) {
+    (void)left.AppendTuple(record.tuple);
+  }
+  for (const Record& record : corpus_[1]) {
+    (void)right.AppendTuple(record.tuple);
+  }
+  return Instance(std::move(left), std::move(right));
+}
+
+match::MatchResult MatchSession::TranslatedMatchesLocked() const {
+  match::MatchResult out;
+  for (const auto& [l, r] : raw_matches_.pairs()) {
+    out.Add(pos_by_seq_[0].at(l), pos_by_seq_[1].at(r));
+  }
+  return out;
+}
+
+match::MatchResult MatchSession::Matches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  match::MatchResult raw = TranslatedMatchesLocked();
+  if (!plan_->options().transitive_closure) return raw;
+  return match::ClusterPairs(raw, corpus_[0].size(), corpus_[1].size())
+      .ImpliedMatches();
+}
+
+match::Clustering MatchSession::Clusters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return match::ClusterPairs(TranslatedMatchesLocked(), corpus_[0].size(),
+                             corpus_[1].size());
+}
+
+Result<uint64_t> MatchSession::ClusterOf(int side, TupleId id) const {
+  MDMATCH_RETURN_NOT_OK(CheckSide(side));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto found = pos_by_id_[side].find(id);
+  if (found == pos_by_id_[side].end()) {
+    return Status::NotFound("no record with id " + std::to_string(id) +
+                            " on side " + std::to_string(side));
+  }
+  const uint32_t seq = corpus_[side][found->second].seq;
+  return static_cast<uint64_t>(uf_.Find(node_of_.at(Handle(side, seq))));
+}
+
+Result<bool> MatchSession::SameCluster(int side_a, TupleId id_a, int side_b,
+                                       TupleId id_b) const {
+  auto a = ClusterOf(side_a, id_a);
+  if (!a.ok()) return a.status();
+  auto b = ClusterOf(side_b, id_b);
+  if (!b.ok()) return b.status();
+  return *a == *b;
+}
+
+}  // namespace mdmatch::api

@@ -1,0 +1,215 @@
+#ifndef MDMATCH_API_SESSION_H_
+#define MDMATCH_API_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/plan.h"
+#include "match/block_index.h"
+#include "match/clustering.h"
+#include "match/match_result.h"
+#include "match/sorted_index.h"
+#include "schema/instance.h"
+#include "util/status.h"
+
+namespace mdmatch::api {
+
+/// Runtime knobs of a MatchSession.
+struct SessionOptions {
+  /// Worker threads for rule evaluation and for sharded flushes.
+  /// Results are identical for every thread count.
+  size_t num_threads = 1;
+  /// Minimum candidate pairs per worker in the (unsharded) evaluation
+  /// stage; below it the stage stays sequential. 0 disables the scaling.
+  size_t min_pairs_per_thread = 2048;
+  /// A flush whose delta (upserts + removes) reaches this many records is
+  /// executed shard-wise: the derived-key order is split into contiguous
+  /// ranges, one worker per range, with windows crossing a shard boundary
+  /// handled by the owner of the left endpoint; candidate generation and
+  /// rule evaluation fuse per shard and only match reports are merged.
+  /// 0 disables sharding (the delta path is always used).
+  size_t shard_min_delta = 4096;
+};
+
+/// What one Flush did.
+struct IngestReport {
+  size_t upserted = 0;         ///< records inserted or updated
+  size_t removed = 0;          ///< records removed from the corpus
+  size_t pairs_evaluated = 0;  ///< candidate pairs the matcher inspected
+  size_t matches_added = 0;
+  size_t matches_dropped = 0;  ///< retired with their records or drifted
+                               ///< out of every window
+  size_t shards_used = 1;      ///< 1 = delta path, >1 = sharded flush
+  size_t corpus_left = 0;      ///< live left records after the flush
+  size_t corpus_right = 0;
+  size_t total_matches = 0;    ///< standing match pairs after the flush
+  double index_seconds = 0;    ///< corpus bookkeeping + index merge
+  double match_seconds = 0;    ///< candidate scans + rule evaluation
+  double cluster_seconds = 0;  ///< match revalidation + union-find upkeep
+};
+
+/// \brief A standing, incrementally matched corpus behind one compiled
+/// MatchPlan.
+///
+/// Where the Executor treats every batch as a stateless one-shot, a
+/// MatchSession keeps the corpus resident: per-RCK blocking / sort-key
+/// indexes persist across ingests, so a Flush matches only the staged
+/// delta against the indexed corpus (plus intra-delta pairs) instead of
+/// re-blocking the world. Match state is maintained incrementally — a
+/// union-find (match::UnionFind) grows with each flush, and Matches() /
+/// ClusterOf() are queryable between ingests.
+///
+/// The contract that makes the incrementality trustworthy: after any
+/// sequence of Upsert / Remove / Flush calls, Matches() and Clusters()
+/// are exactly what one-shot Executor::Run produces over Corpus() — bit
+/// for bit, for every thread and shard count. For windowing plans this
+/// includes the non-local effects of the sorted order: a flush
+/// re-examines pairs pushed together by removals (they may newly match)
+/// and retires standing matches pushed apart by insertions (they are no
+/// longer sorted-neighborhood candidates).
+///
+/// Records are addressed by (side, TupleId): side 0 is the plan's left
+/// relation, side 1 the right. Upserting an existing id replaces its
+/// values; the record keeps its position in the corpus order.
+///
+/// Oversized deltas (an initial bulk load, a backfill) shard internally
+/// across the executor thread pool — see SessionOptions::shard_min_delta.
+///
+/// All public methods are thread-safe (one internal mutex; flushes are
+/// serialized, queries see the last flushed state).
+class MatchSession {
+ public:
+  explicit MatchSession(PlanPtr plan, SessionOptions options = {});
+
+  const MatchPlan& plan() const { return *plan_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Stages a record for insertion or update. The tuple's id() is its
+  /// identity within `side`; its arity must match that side's schema.
+  Status Upsert(int side, Tuple tuple);
+
+  /// Stages many records for one side.
+  Status Upsert(int side, std::vector<Tuple> tuples);
+
+  /// Stages the removal of a record. NotFound when the id is neither in
+  /// the corpus nor staged.
+  Status Remove(int side, TupleId id);
+
+  /// Applies the staged delta: merges it into the persistent indexes,
+  /// matches delta-vs-corpus and intra-delta pairs, retires match state
+  /// of removed/updated records, and updates the clustering. A flush
+  /// with nothing staged is a cheap no-op.
+  Result<IngestReport> Flush();
+
+  size_t left_size() const;
+  size_t right_size() const;
+  /// Records staged but not yet flushed.
+  size_t pending_ops() const;
+
+  /// Materializes the standing corpus as an Instance (live records in
+  /// ingestion order) — the "equivalent single batch" a one-shot
+  /// Executor::Run reproduces this session's results on.
+  Instance Corpus() const;
+
+  /// The standing match pairs, as (left position, right position) into
+  /// Corpus(). Closure plans report the transitively implied pairs, like
+  /// Executor::Run does.
+  match::MatchResult Matches() const;
+
+  /// The entity clusters of the standing matches, numbered exactly as
+  /// match::ClusterMatches over (Matches(), Corpus()).
+  match::Clustering Clusters() const;
+
+  /// Opaque cluster handle of a record: two records are in one cluster
+  /// iff their handles are equal. Handles are stable between flushes
+  /// (any Flush may renumber). NotFound for unknown ids.
+  Result<uint64_t> ClusterOf(int side, TupleId id) const;
+
+  /// True iff both records are currently in the same cluster.
+  Result<bool> SameCluster(int side_a, TupleId id_a, int side_b,
+                           TupleId id_b) const;
+
+ private:
+  struct Record {
+    Tuple tuple;
+    uint32_t seq = 0;  ///< per-side ingestion sequence, stable for life
+    /// Rendered keys: one per windowing pass, or the single block key.
+    std::vector<std::string> keys;
+  };
+
+  static uint64_t Handle(int side, uint32_t seq) {
+    return (static_cast<uint64_t>(side) << 32) | seq;
+  }
+
+  Status CheckSide(int side) const;
+  std::vector<std::string> RenderKeys(const Tuple& tuple, int side) const;
+  const Tuple& TupleBySeq(int side, uint32_t seq) const;
+  void RebuildPositionsLocked(int side);
+  void RebuildClustersLocked();
+  match::MatchResult TranslatedMatchesLocked() const;
+
+  /// Evaluates a deduped candidate list, parallel-chunked like the
+  /// Executor's match stage; appends passing pairs to `out` in
+  /// deterministic order.
+  void EvaluatePairs(
+      const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+      const std::function<bool(uint32_t, uint32_t)>& eval,
+      std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report);
+
+  /// Sharded flush paths (oversized deltas); both return the shard count
+  /// used.
+  size_t ShardedWindowFlush(
+      const std::vector<std::pair<int, uint32_t>>& inserted,
+      const std::function<bool(uint32_t, uint32_t)>& eval,
+      const std::function<std::pair<uint32_t, uint32_t>(
+          const match::IndexedEntry&, const match::IndexedEntry&)>& seq_pair,
+      size_t window, std::vector<std::pair<uint32_t, uint32_t>>* out,
+      IngestReport* report);
+  size_t ShardedBlockFlush(
+      const std::vector<std::pair<int, uint32_t>>& inserted,
+      const std::function<bool(uint32_t, uint32_t)>& eval,
+      std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report);
+
+  PlanPtr plan_;
+  SessionOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Record> corpus_[2];                       // ingestion order
+  std::unordered_map<TupleId, uint32_t> pos_by_id_[2];  // id -> position
+  std::unordered_map<uint32_t, uint32_t> pos_by_seq_[2];
+  uint32_t next_seq_[2] = {0, 0};
+
+  /// Staged delta, keyed (side, id); nullopt = removal. Ordered so flush
+  /// processing (and hence seq assignment) is deterministic.
+  std::map<std::pair<int, TupleId>, std::optional<Tuple>> pending_;
+
+  /// Standing raw match pairs as (left seq, right seq).
+  match::PairSet raw_matches_;
+
+  /// Persistent candidate indexes: one sorted index per windowing pass,
+  /// or one block index (keyed by seq) for blocking plans.
+  std::vector<match::SortedKeyIndex> window_index_;
+  match::BlockIndex block_index_;
+
+  /// Incremental clustering over the raw match graph. Nodes are dense ids
+  /// mapped from record handles; removals mark the structure stale and
+  /// the next flush rebuilds it from the surviving pairs.
+  match::UnionFind uf_;
+  std::unordered_map<uint64_t, size_t> node_of_;
+  bool clusters_stale_ = false;
+
+  /// Removal-gap positions per windowing pass, valid during one Flush
+  /// (filled after the index merge, read by the scan paths).
+  std::vector<std::vector<size_t>> gaps_scratch_;
+};
+
+}  // namespace mdmatch::api
+
+#endif  // MDMATCH_API_SESSION_H_

@@ -1,0 +1,40 @@
+#include "match/block_index.h"
+
+#include <algorithm>
+
+namespace mdmatch::match {
+
+void BlockIndex::Add(uint8_t side, uint32_t id, const std::string& key) {
+  Block& block = blocks_[key];
+  (side == 0 ? block.left : block.right).push_back(id);
+}
+
+bool BlockIndex::Remove(uint8_t side, uint32_t id, const std::string& key) {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return false;
+  std::vector<uint32_t>& ids = side == 0 ? it->second.left : it->second.right;
+  auto pos = std::find(ids.begin(), ids.end(), id);
+  if (pos == ids.end()) return false;
+  ids.erase(pos);
+  if (it->second.left.empty() && it->second.right.empty()) blocks_.erase(it);
+  return true;
+}
+
+const BlockIndex::Block* BlockIndex::Find(const std::string& key) const {
+  auto it = blocks_.find(key);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+BlockIndex BlockIndex::FromInstance(const Instance& instance,
+                                    const KeyFunction& key) {
+  BlockIndex index;
+  for (uint32_t i = 0; i < instance.left().size(); ++i) {
+    index.Add(0, i, key.Render(instance.left().tuple(i), 0));
+  }
+  for (uint32_t i = 0; i < instance.right().size(); ++i) {
+    index.Add(1, i, key.Render(instance.right().tuple(i), 1));
+  }
+  return index;
+}
+
+}  // namespace mdmatch::match

@@ -1,35 +1,16 @@
 #include "match/blocking.h"
 
 #include <string>
-#include <unordered_map>
+
+#include "match/block_index.h"
 
 namespace mdmatch::match {
-
-namespace {
-
-struct Block {
-  std::vector<uint32_t> left;
-  std::vector<uint32_t> right;
-};
-
-std::unordered_map<std::string, Block> BuildBlocks(const Instance& instance,
-                                                   const KeyFunction& key) {
-  std::unordered_map<std::string, Block> blocks;
-  for (uint32_t i = 0; i < instance.left().size(); ++i) {
-    blocks[key.Render(instance.left().tuple(i), 0)].left.push_back(i);
-  }
-  for (uint32_t i = 0; i < instance.right().size(); ++i) {
-    blocks[key.Render(instance.right().tuple(i), 1)].right.push_back(i);
-  }
-  return blocks;
-}
-
-}  // namespace
 
 CandidateSet BlockCandidates(const Instance& instance,
                              const KeyFunction& key) {
   CandidateSet out;
-  for (const auto& [k, block] : BuildBlocks(instance, key)) {
+  const BlockIndex index = BlockIndex::FromInstance(instance, key);
+  for (const auto& [k, block] : index.blocks()) {
     (void)k;
     for (uint32_t l : block.left) {
       for (uint32_t r : block.right) {
@@ -51,19 +32,19 @@ CandidateSet BlockCandidatesMultiPass(const Instance& instance,
 
 BlockingStats AnalyzeBlocks(const Instance& instance, const KeyFunction& key) {
   BlockingStats stats;
-  auto blocks = BuildBlocks(instance, key);
-  stats.num_blocks = blocks.size();
+  BlockIndex index = BlockIndex::FromInstance(instance, key);
+  stats.num_blocks = index.num_blocks();
   size_t total = 0;
-  for (const auto& [k, block] : blocks) {
+  for (const auto& [k, block] : index.blocks()) {
     (void)k;
     size_t size = block.left.size() + block.right.size();
     total += size;
     if (size > stats.largest_block) stats.largest_block = size;
   }
-  stats.avg_block = blocks.empty()
+  stats.avg_block = index.num_blocks() == 0
                         ? 0.0
                         : static_cast<double>(total) /
-                              static_cast<double>(blocks.size());
+                              static_cast<double>(index.num_blocks());
   return stats;
 }
 

@@ -2,36 +2,46 @@
 
 #include <map>
 #include <numeric>
+#include <utility>
 
 namespace mdmatch::match {
 
-namespace {
+UnionFind::UnionFind(size_t n) : parent_(n), size_(n, 1), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+}
 
-class Dsu {
- public:
-  explicit Dsu(size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), size_t{0});
+size_t UnionFind::Add() {
+  const size_t id = parent_.size();
+  parent_.push_back(id);
+  size_.push_back(1);
+  ++components_;
+  return id;
+}
+
+size_t UnionFind::Find(size_t x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
   }
-  size_t Find(size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+  return x;
+}
 
- private:
-  std::vector<size_t> parent_;
-};
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --components_;
+  return true;
+}
 
-}  // namespace
-
-Clustering ClusterMatches(const MatchResult& matches,
-                          const Instance& instance) {
-  const size_t nl = instance.left().size();
-  const size_t nr = instance.right().size();
-  Dsu dsu(nl + nr);
+Clustering ClusterPairs(const MatchResult& matches, size_t num_left,
+                        size_t num_right) {
+  const size_t nl = num_left;
+  const size_t nr = num_right;
+  UnionFind dsu(nl + nr);
   for (const auto& [l, r] : matches.pairs()) {
     dsu.Union(l, nl + r);
   }
@@ -56,6 +66,12 @@ Clustering ClusterMatches(const MatchResult& matches,
     out.clusters_[c].push_back(RecordRef{1, static_cast<uint32_t>(i)});
   }
   return out;
+}
+
+Clustering ClusterMatches(const MatchResult& matches,
+                          const Instance& instance) {
+  return ClusterPairs(matches, instance.left().size(),
+                      instance.right().size());
 }
 
 size_t Clustering::ClusterOf(RecordRef r) const {

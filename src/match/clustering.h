@@ -17,6 +17,43 @@ struct RecordRef {
   bool operator==(const RecordRef&) const = default;
 };
 
+/// \brief Incrementally maintained disjoint sets (union by size, path
+/// compression).
+///
+/// The union-find under ClusterMatches, exposed so stateful callers (the
+/// api::MatchSession standing corpus) can grow the match graph one Union
+/// at a time and answer cluster-membership queries between ingests without
+/// rebuilding. Nodes are dense ids handed out by Add; there is no node or
+/// edge deletion — callers that remove records rebuild from the surviving
+/// match pairs (deletion would require decremental connectivity, which the
+/// ingest-heavy workload does not justify).
+class UnionFind {
+ public:
+  UnionFind() = default;
+  /// Starts with `n` singleton nodes 0..n-1.
+  explicit UnionFind(size_t n);
+
+  /// Appends a new singleton node and returns its id.
+  size_t Add();
+
+  /// Representative of x's component. Two nodes are in one cluster iff
+  /// their Find results are equal. Path-compresses (cheap, logically
+  /// const).
+  size_t Find(size_t x) const;
+
+  /// Joins the components of a and b; returns true when they were
+  /// previously distinct.
+  bool Union(size_t a, size_t b);
+
+  size_t size() const { return parent_.size(); }
+  size_t num_components() const { return components_; }
+
+ private:
+  mutable std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t components_ = 0;
+};
+
 /// \brief Entity clusters: the connected components of the match graph.
 ///
 /// Merge/purge [20] treats "matches" as an equivalence witness and closes
@@ -39,11 +76,18 @@ class Clustering {
   MatchResult ImpliedMatches() const;
 
  private:
-  friend Clustering ClusterMatches(const MatchResult&, const Instance&);
+  friend Clustering ClusterPairs(const MatchResult&, size_t, size_t);
   std::vector<std::vector<RecordRef>> clusters_;
   std::vector<size_t> left_cluster_;   // per left tuple position
   std::vector<size_t> right_cluster_;  // per right tuple position
 };
+
+/// Builds the transitive closure of a cross-relation match result over
+/// records 0..num_left-1 / 0..num_right-1. Cluster ids are densely
+/// numbered by first appearance over left positions then right positions,
+/// so two equal match results always yield identically numbered clusters.
+Clustering ClusterPairs(const MatchResult& matches, size_t num_left,
+                        size_t num_right);
 
 /// Builds the transitive closure of a cross-relation match result over the
 /// instance's records.

@@ -5,6 +5,10 @@
 #include "api/executor.h"
 #include "api/plan.h"
 
+// The shim is the one TU allowed to define the deprecated entry point
+// without tripping -Werror; every other caller should see the warning.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace mdmatch::match {
 
 namespace {

@@ -73,6 +73,10 @@ struct PipelineReport {
 /// installed to prefer reliable attributes); it is updated in place by
 /// findRCKs. Fails when Σ is invalid for the schema pair or no RCK can be
 /// deduced.
+[[deprecated(
+    "RunPipeline recompiles the plan on every call; build an "
+    "api::MatchPlan once (api/plan.h) and execute it with api::Executor "
+    "or api::MatchSession")]]
 Result<PipelineReport> RunPipeline(const Instance& instance,
                                    const ComparableLists& target,
                                    const MdSet& sigma,

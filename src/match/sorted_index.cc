@@ -1,0 +1,37 @@
+#include "match/sorted_index.h"
+
+#include <algorithm>
+
+namespace mdmatch::match {
+
+void SortedKeyIndex::Apply(std::vector<IndexedEntry> removes,
+                           std::vector<IndexedEntry> inserts) {
+  std::sort(removes.begin(), removes.end());
+  std::sort(inserts.begin(), inserts.end());
+
+  std::vector<IndexedEntry> next;
+  next.reserve(entries_.size() + inserts.size());
+  size_t rm = 0;
+  size_t in = 0;
+  for (auto& entry : entries_) {
+    while (in < inserts.size() && inserts[in] < entry) {
+      next.push_back(std::move(inserts[in++]));
+    }
+    while (rm < removes.size() && removes[rm] < entry) ++rm;
+    if (rm < removes.size() && removes[rm] == entry) {
+      ++rm;
+      continue;
+    }
+    next.push_back(std::move(entry));
+  }
+  while (in < inserts.size()) next.push_back(std::move(inserts[in++]));
+  entries_ = std::move(next);
+}
+
+size_t SortedKeyIndex::LowerBound(const IndexedEntry& e) const {
+  return static_cast<size_t>(
+      std::lower_bound(entries_.begin(), entries_.end(), e) -
+      entries_.begin());
+}
+
+}  // namespace mdmatch::match

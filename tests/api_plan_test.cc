@@ -299,6 +299,44 @@ TEST_F(ApiPlanTest, BuilderMayBuildTwice) {
   EXPECT_EQ(SortedPairs(run_first->matches), SortedPairs(run_second->matches));
 }
 
+// Migrated from the retired pipeline facade suite: the blocking path must
+// keep the candidate space tiny while preserving precision.
+TEST_F(ApiPlanTest, BlockingPlanKeepsReductionRatioHigh) {
+  PlanOptions options;
+  options.candidates = PlanOptions::Candidates::kBlocking;
+  auto plan = BuildPlan(options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto run = Executor(*plan).Run(data_.instance);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run->candidate_quality.reduction_ratio, 0.99);
+  EXPECT_GT(run->match_quality.precision, 0.9);
+}
+
+// Migrated from the retired pipeline facade suite: windowing keeps a high
+// reduction ratio too (the candidate space stays far below |I1| x |I2|).
+TEST_F(ApiPlanTest, WindowingPlanKeepsReductionRatioHigh) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto run = Executor(*plan).Run(data_.instance);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run->candidate_quality.reduction_ratio, 0.9);
+}
+
+// Migrated from the retired pipeline facade suite: disabling the θ-DL
+// relaxation ("=" stays strict equality) can only lower recall.
+TEST_F(ApiPlanTest, NoRelaxationLowersRecall) {
+  PlanOptions strict;
+  strict.relax_theta = 0;
+  auto strict_plan = BuildPlan(strict);
+  auto relaxed_plan = BuildPlan();
+  ASSERT_TRUE(strict_plan.ok() && relaxed_plan.ok());
+  auto strict_run = Executor(*strict_plan).Run(data_.instance);
+  auto relaxed_run = Executor(*relaxed_plan).Run(data_.instance);
+  ASSERT_TRUE(strict_run.ok() && relaxed_run.ok());
+  EXPECT_LE(strict_run->match_quality.recall,
+            relaxed_run->match_quality.recall);
+}
+
 TEST_F(ApiPlanTest, TransitiveClosurePlanAddsImpliedPairs) {
   auto plain = BuildPlan();
   PlanOptions closed_options;

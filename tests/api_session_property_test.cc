@@ -1,0 +1,145 @@
+// Property test for the MatchSession equivalence contract: *any* split of
+// a corpus into Upsert deltas — contiguous or randomly interleaved, with
+// or without a removal wave — must yield exactly the match set and
+// clusters of a single-batch Executor::Run over the final corpus, at 1
+// and 4 threads.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/executor.h"
+#include "api/plan.h"
+#include "api/session.h"
+#include "datagen/credit_billing.h"
+#include "match/clustering.h"
+
+namespace mdmatch::api {
+namespace {
+
+std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
+    const match::PairSet& set) {
+  auto pairs = set.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<std::vector<std::pair<int, uint32_t>>> CanonicalClusters(
+    const match::Clustering& clustering) {
+  std::vector<std::vector<std::pair<int, uint32_t>>> out;
+  for (const auto& cluster : clustering.clusters()) {
+    std::vector<std::pair<int, uint32_t>> members;
+    for (const auto& r : cluster) members.emplace_back(r.side, r.index);
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class ApiSessionPropertyTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CreditBillingOptions gen;
+    gen.num_base = 120;
+    gen.seed = 91;
+    data_ = datagen::GenerateCreditBilling(gen, &ops_);
+    plan_ = PlanBuilder(data_.pair, data_.target, &ops_)
+                .WithSigma(data_.mds)
+                .WithTrainingInstance(&data_.instance)
+                .Build()
+                .value();
+  }
+
+  /// Ingests the whole dataset as `num_deltas` flushes with records
+  /// assigned to deltas by `rng`, optionally followed by a removal wave;
+  /// then checks the session against one-shot execution on its corpus.
+  void CheckRandomSplit(size_t num_deltas, size_t num_threads,
+                        bool with_removals, uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    SessionOptions options;
+    options.num_threads = num_threads;
+    options.min_pairs_per_thread = 1;
+    MatchSession session(plan_, options);
+
+    // Random delta assignment per record, both sides.
+    std::uniform_int_distribution<size_t> pick(0, num_deltas - 1);
+    std::vector<std::vector<std::pair<int, uint32_t>>> deltas(num_deltas);
+    for (int side = 0; side < 2; ++side) {
+      const Relation& rel = side == 0 ? data_.instance.left()
+                                      : data_.instance.right();
+      for (uint32_t i = 0; i < rel.size(); ++i) {
+        deltas[pick(rng)].emplace_back(side, i);
+      }
+    }
+    for (const auto& delta : deltas) {
+      for (const auto& [side, row] : delta) {
+        const Relation& rel = side == 0 ? data_.instance.left()
+                                        : data_.instance.right();
+        ASSERT_TRUE(session.Upsert(side, rel.tuple(row)).ok());
+      }
+      ASSERT_TRUE(session.Flush().ok());
+    }
+
+    if (with_removals) {
+      std::uniform_real_distribution<double> coin(0, 1);
+      Instance before = session.Corpus();
+      for (int side = 0; side < 2; ++side) {
+        const Relation& rel = side == 0 ? before.left() : before.right();
+        for (uint32_t i = 0; i < rel.size(); ++i) {
+          if (coin(rng) < 0.1) {
+            ASSERT_TRUE(session.Remove(side, rel.tuple(i).id()).ok());
+          }
+        }
+      }
+      ASSERT_TRUE(session.Flush().ok());
+    }
+
+    Instance corpus = session.Corpus();
+    auto oneshot = Executor(plan_).Run(corpus);
+    ASSERT_TRUE(oneshot.ok()) << oneshot.status();
+    EXPECT_EQ(SortedPairs(session.Matches()), SortedPairs(oneshot->matches))
+        << "deltas=" << num_deltas << " threads=" << num_threads
+        << " removals=" << with_removals << " seed=" << seed;
+    EXPECT_EQ(CanonicalClusters(session.Clusters()),
+              CanonicalClusters(
+                  match::ClusterMatches(oneshot->matches, corpus)))
+        << "deltas=" << num_deltas << " threads=" << num_threads
+        << " removals=" << with_removals << " seed=" << seed;
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::CreditBillingData data_;
+  PlanPtr plan_;
+};
+
+TEST_F(ApiSessionPropertyTest, AnySplitEqualsSingleBatchSingleThread) {
+  for (size_t deltas : {1, 2, 5}) {
+    for (uint64_t seed : {7u, 21u}) {
+      CheckRandomSplit(deltas, /*num_threads=*/1, /*with_removals=*/false,
+                       seed);
+    }
+  }
+}
+
+TEST_F(ApiSessionPropertyTest, AnySplitEqualsSingleBatchFourThreads) {
+  for (size_t deltas : {2, 4}) {
+    for (uint64_t seed : {7u, 21u}) {
+      CheckRandomSplit(deltas, /*num_threads=*/4, /*with_removals=*/false,
+                       seed);
+    }
+  }
+}
+
+TEST_F(ApiSessionPropertyTest, SplitsWithRemovalWaveStillMatch) {
+  CheckRandomSplit(3, /*num_threads=*/1, /*with_removals=*/true, 13);
+  CheckRandomSplit(3, /*num_threads=*/4, /*with_removals=*/true, 13);
+  CheckRandomSplit(5, /*num_threads=*/4, /*with_removals=*/true, 29);
+}
+
+}  // namespace
+}  // namespace mdmatch::api

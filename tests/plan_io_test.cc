@@ -156,6 +156,82 @@ TEST_F(PlanIoTest, LoadIntoFreshRegistryRegistersOperators) {
   EXPECT_EQ(SortedPairs(run->matches), SortedPairs(baseline->matches));
 }
 
+TEST_F(PlanIoTest, SerializedPlansCarryVersionAndChecksum) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string text = SerializePlan(**plan);
+  EXPECT_EQ(text.rfind("mdmatch-plan v2\n", 0), 0u)
+      << "first line must carry the format version";
+  EXPECT_NE(text.find("\nchecksum "), std::string::npos);
+}
+
+TEST_F(PlanIoTest, RejectsCorruptContent) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string text = SerializePlan(**plan);
+
+  // Flip one digit inside a content line (window_size) — parseable, but
+  // no longer the plan the checksum was computed over.
+  size_t pos = text.find("window_size ");
+  ASSERT_NE(pos, std::string::npos);
+  pos += std::string("window_size ").size();
+  text[pos] = text[pos] == '9' ? '8' : '9';
+
+  auto loaded = DeserializePlan(text, data_.pair, data_.target, &ops_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status();
+}
+
+TEST_F(PlanIoTest, RejectsTruncatedV2File) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string text = SerializePlan(**plan);
+  // Cut before the checksum line: a v2 file without one is truncated.
+  text.resize(text.find("\nchecksum "));
+  text += "\nend\n";
+  auto loaded = DeserializePlan(text, data_.pair, data_.target, &ops_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(PlanIoTest, RejectsFutureFormatVersionWithClearError) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string text = SerializePlan(**plan);
+  text.replace(0, std::string("mdmatch-plan v2").size(), "mdmatch-plan v7");
+  auto loaded = DeserializePlan(text, data_.pair, data_.target, &ops_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("newer than this library"),
+            std::string::npos)
+      << loaded.status();
+}
+
+// A v1 file — the PR 1 format, no checksum — must still load, and comment
+// or whitespace edits must not disturb the v2 checksum.
+TEST_F(PlanIoTest, AcceptsLegacyV1AndAnnotatedV2Files) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string text = SerializePlan(**plan);
+
+  std::string v1 = text;
+  v1.replace(0, std::string("mdmatch-plan v2").size(), "mdmatch-plan v1");
+  v1.erase(v1.find("\nchecksum "),
+           v1.find("\nend\n") - v1.find("\nchecksum "));
+  auto legacy = DeserializePlan(v1, data_.pair, data_.target, &ops_);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_EQ((*legacy)->rcks().size(), (*plan)->rcks().size());
+
+  std::string annotated =
+      text.substr(0, text.find('\n') + 1) +
+      "# reviewed 2026-07: ships with the fraud fleet\n\n" +
+      text.substr(text.find('\n') + 1);
+  auto loaded = DeserializePlan(annotated, data_.pair, data_.target, &ops_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+}
+
 TEST_F(PlanIoTest, RejectsGarbage) {
   EXPECT_FALSE(
       DeserializePlan("", data_.pair, data_.target, &ops_).ok());

@@ -6,6 +6,8 @@
 //   keys   deduce RCKs from Σ and save them
 //   plan   compile a MatchPlan from Σ and save it (the compile step)
 //   match  execute a (saved or freshly compiled) plan over the dataset
+//   stream incremental matching: tuple deltas from stdin into a standing
+//          MatchSession (upsert / remove / flush lines)
 //   eval   score a matches.csv against the ground truth
 //
 // Run `mdmatch_tool --help` or `mdmatch_tool <command> --help` for usage.
@@ -15,17 +17,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "api/executor.h"
 #include "api/plan.h"
 #include "api/plan_io.h"
+#include "api/session.h"
 #include "core/find_rcks.h"
 #include "core/rule_io.h"
 #include "datagen/credit_billing.h"
 #include "match/evaluation.h"
 #include "util/csv.h"
+#include "util/string_util.h"
 
 using namespace mdmatch;
 
@@ -55,6 +60,10 @@ void PrintUsage(FILE* out) {
       "                                   step; `match` reuses it)\n"
       "  match <dir> [flags]              execute the plan over the dataset;\n"
       "                                   write <dir>/matches.csv\n"
+      "  stream <dir> [flags]             incremental matching: read tuple\n"
+      "                                   deltas from stdin into a standing\n"
+      "                                   session; write <dir>/matches.csv\n"
+      "                                   at EOF\n"
       "  eval  <dir>                      precision/recall of\n"
       "                                   <dir>/matches.csv vs truth.csv\n"
       "\n"
@@ -77,6 +86,21 @@ void PrintUsage(FILE* out) {
       "  --out FILE                       matches file (default\n"
       "                                   <dir>/matches.csv)\n"
       "  plus every plan flag (used when no --plan file is given)\n"
+      "\n"
+      "stream flags:\n"
+      "  --plan FILE                      load a compiled plan instead of\n"
+      "                                   compiling one on the fly\n"
+      "  --load                           preload <dir>/{credit,billing}.csv\n"
+      "                                   as the initial standing corpus\n"
+      "  --threads N                      session worker threads (default 1)\n"
+      "  --out FILE                       matches file written at EOF\n"
+      "                                   (default <dir>/matches.csv)\n"
+      "  stdin protocol, one CSV row per line ('#' comments skipped):\n"
+      "    upsert,credit,<id>,<v1>,...    insert or update a record\n"
+      "    remove,billing,<id>            remove a record\n"
+      "    flush                          apply the staged delta\n"
+      "  (matches.csv rows are positions into the session corpus; they\n"
+      "  line up with eval only when streaming never removes records)\n"
       "\n"
       "eval flags:\n"
       "  --matches FILE                   matches file (default\n"
@@ -170,7 +194,7 @@ class Args {
     return !s.empty() && s[0] == '-';
   }
   static bool IsBooleanFlag(const std::string& s) {
-    return s == "--closure" || s == "--help";
+    return s == "--closure" || s == "--load" || s == "--help";
   }
   std::vector<std::string> args_;
 };
@@ -398,6 +422,120 @@ int CmdMatch(const Args& args) {
   return 0;
 }
 
+int CmdStream(const Args& args) {
+  std::string dir = args.Positional(0);
+  if (dir.empty()) return Usage();
+  std::string out = args.Flag("--out", dir + "/matches.csv");
+  std::string plan_file = args.Flag("--plan", "");
+
+  sim::SimOpRegistry ops = sim::SimOpRegistry::Default();
+  SchemaPair pair = datagen::MakeCreditBillingSchemas();
+  ComparableLists target = datagen::MakeCreditBillingTarget(pair);
+
+  // The dataset CSVs are only needed to compile a plan on the fly or to
+  // preload the corpus; with --plan and no --load the session starts
+  // empty and everything arrives over stdin.
+  std::optional<Instance> instance;
+  if (plan_file.empty() || args.HasFlag("--load")) {
+    auto loaded = LoadInstance(dir, pair);
+    if (!loaded.ok()) return Fail(loaded.status());
+    instance = std::move(*loaded);
+  }
+  Result<api::PlanPtr> plan = plan_file.empty()
+                                  ? CompilePlan(dir, args, *instance, &ops)
+                                  : api::LoadPlanFromFile(plan_file, pair,
+                                                          target, &ops);
+  if (!plan.ok()) return Fail(plan.status());
+
+  api::SessionOptions session_options;
+  session_options.num_threads = args.FlagNum("--threads", 1);
+  api::MatchSession session(*plan, session_options);
+
+  auto print_flush = [](const api::IngestReport& report) {
+    std::printf("flush: +%zu -%zu matches (%zu upserts, %zu removes, %zu "
+                "pairs, %zu shard%s, %.3fs) -> %zu standing over %zu + %zu\n",
+                report.matches_added, report.matches_dropped, report.upserted,
+                report.removed, report.pairs_evaluated, report.shards_used,
+                report.shards_used == 1 ? "" : "s",
+                report.index_seconds + report.match_seconds +
+                    report.cluster_seconds,
+                report.total_matches, report.corpus_left,
+                report.corpus_right);
+  };
+
+  if (args.HasFlag("--load")) {
+    for (const auto& t : instance->left().tuples()) {
+      if (auto st = session.Upsert(0, t); !st.ok()) return Fail(st);
+    }
+    for (const auto& t : instance->right().tuples()) {
+      if (auto st = session.Upsert(1, t); !st.ok()) return Fail(st);
+    }
+    auto report = session.Flush();
+    if (!report.ok()) return Fail(report.status());
+    std::printf("loaded %s: ", dir.c_str());
+    print_flush(*report);
+  }
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto parse_fail = [&](const std::string& why) {
+      return Fail(Status::ParseError("stdin line " + std::to_string(line_no) +
+                                     ": " + why));
+    };
+    auto rows = Csv::Parse(trimmed);
+    if (!rows.ok() || rows->empty()) return parse_fail("bad CSV row");
+    const std::vector<std::string>& row = (*rows)[0];
+
+    if (row[0] == "flush") {
+      auto report = session.Flush();
+      if (!report.ok()) return Fail(report.status());
+      print_flush(*report);
+      continue;
+    }
+    if (row[0] != "upsert" && row[0] != "remove") {
+      return parse_fail("unknown op '" + row[0] +
+                        "' (want upsert/remove/flush)");
+    }
+    if (row.size() < 3) return parse_fail("missing side or id");
+    int side = -1;
+    if (row[1] == "credit" || row[1] == "left" || row[1] == "0") side = 0;
+    if (row[1] == "billing" || row[1] == "right" || row[1] == "1") side = 1;
+    if (side < 0) return parse_fail("unknown side '" + row[1] + "'");
+    TupleId id = 0;
+    try {
+      id = static_cast<TupleId>(std::stoll(row[2]));
+    } catch (...) {
+      return parse_fail("bad tuple id '" + row[2] + "'");
+    }
+    Status st = row[0] == "remove"
+                    ? session.Remove(side, id)
+                    : session.Upsert(
+                          side, Tuple(id, {row.begin() + 3, row.end()}));
+    if (!st.ok()) return Fail(st);
+  }
+
+  if (session.pending_ops() > 0) {
+    auto report = session.Flush();
+    if (!report.ok()) return Fail(report.status());
+    std::printf("final ");
+    print_flush(*report);
+  }
+
+  const match::MatchResult matches = session.Matches();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"credit_row", "billing_row"});
+  for (const auto& [l, r] : matches.pairs()) {
+    rows.push_back({std::to_string(l), std::to_string(r)});
+  }
+  if (auto st = Csv::WriteFile(out, rows); !st.ok()) return Fail(st);
+  std::printf("%zu matches written to %s\n", rows.size() - 1, out.c_str());
+  return 0;
+}
+
 int CmdEval(const Args& args) {
   std::string dir = args.Positional(0);
   if (dir.empty()) return Usage();
@@ -417,8 +555,14 @@ int CmdEval(const Args& args) {
     const auto& row = (*rows)[r];
     if (row.size() != 2) return Fail(Status::ParseError("bad matches row"));
     try {
-      matches.Add(static_cast<uint32_t>(std::stoul(row[0])),
-                  static_cast<uint32_t>(std::stoul(row[1])));
+      const uint32_t l = static_cast<uint32_t>(std::stoul(row[0]));
+      const uint32_t b = static_cast<uint32_t>(std::stoul(row[1]));
+      if (l >= instance->left().size() || b >= instance->right().size()) {
+        return Fail(Status::OutOfRange("matches row (" + row[0] + "," +
+                                       row[1] +
+                                       ") is outside the dataset"));
+      }
+      matches.Add(l, b);
     } catch (...) {
       return Fail(Status::ParseError("bad matches row '" + row[0] + "," +
                                      row[1] + "'"));
@@ -457,6 +601,11 @@ int main(int argc, char** argv) {
     allowed = plan_flags;
     allowed.push_back("--plan");
     allowed.push_back("--threads");
+  } else if (cmd == "stream") {
+    allowed = plan_flags;
+    allowed.push_back("--plan");
+    allowed.push_back("--threads");
+    allowed.push_back("--load");
   } else if (cmd == "eval") {
     allowed = {"--matches"};
   } else {
@@ -473,5 +622,6 @@ int main(int argc, char** argv) {
   if (cmd == "keys") return CmdKeys(args);
   if (cmd == "plan") return CmdPlan(args);
   if (cmd == "match") return CmdMatch(args);
+  if (cmd == "stream") return CmdStream(args);
   return CmdEval(args);
 }
