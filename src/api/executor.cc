@@ -21,6 +21,10 @@ Executor::Executor(PlanPtr plan, ExecutorOptions options)
     : plan_(std::move(plan)), options_(options) {
   assert(plan_ != nullptr && "Executor requires a compiled plan");
   if (options_.num_threads == 0) options_.num_threads = 1;
+  if (options_.pair_cache_capacity > 0) {
+    pair_cache_ = std::make_unique<match::PairDecisionCache>(
+        options_.pair_cache_capacity);
+  }
 }
 
 Status Executor::CheckBatch(const Instance& batch) const {
@@ -55,8 +59,50 @@ ExecutionReport Executor::RunChecked(const Instance& batch,
     const auto& pairs = report.candidates.pairs();
     report.pairs_compared = pairs.size();
 
+    // Per-record derived values (phonetic codes, q-gram sets) are columnar
+    // per batch side: computed once per record here instead of once per
+    // candidate pair inside the evaluator.
+    const match::CompiledEvaluator& evaluator = plan.evaluator();
+    std::vector<match::RecordProfile> profiles[2];
+    if (evaluator.needs_profiles() && !pairs.empty()) {
+      for (int side = 0; side < 2; ++side) {
+        const Relation& rel = side == 0 ? batch.left() : batch.right();
+        profiles[side].reserve(rel.size());
+        for (size_t i = 0; i < rel.size(); ++i) {
+          profiles[side].push_back(
+              evaluator.ProfileRecord(rel.tuple(i), side));
+        }
+      }
+    }
+    // Same for the cache key fingerprints: one hash per record, not pair.
+    match::PairDecisionCache* cache = pair_cache_.get();
+    std::vector<uint64_t> fingerprints[2];
+    if (cache != nullptr && !pairs.empty()) {
+      for (int side = 0; side < 2; ++side) {
+        const Relation& rel = side == 0 ? batch.left() : batch.right();
+        fingerprints[side].reserve(rel.size());
+        for (size_t i = 0; i < rel.size(); ++i) {
+          fingerprints[side].push_back(
+              match::TupleFingerprint(rel.tuple(i)));
+        }
+      }
+    }
+    std::atomic<size_t> cache_hits{0};
+
     auto matches_pair = [&](uint32_t l, uint32_t r) {
-      return plan.MatchesPair(batch.left().tuple(l), batch.right().tuple(r));
+      const Tuple& left = batch.left().tuple(l);
+      const Tuple& right = batch.right().tuple(r);
+      auto evaluate = [&] {
+        return plan.MatchesPair(
+            left, right, profiles[0].empty() ? nullptr : &profiles[0][l],
+            profiles[1].empty() ? nullptr : &profiles[1][r]);
+      };
+      if (cache == nullptr) return evaluate();
+      return cache->GetOrCompute(
+          match::PairDecisionCache::Key{left.id(), right.id(),
+                                        fingerprints[0][l],
+                                        fingerprints[1][r]},
+          &cache_hits, evaluate);
     };
 
     // Scale workers so each gets at least min_pairs_per_thread pairs;
@@ -88,6 +134,7 @@ ExecutionReport Executor::RunChecked(const Instance& batch,
         for (const auto& [l, r] : chunk) report.matches.Add(l, r);
       }
     }
+    report.cache_hits = cache_hits.load();
   }
 
   // --- optional transitive closure into entity clusters ---

@@ -5,9 +5,12 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
 #include "api/plan.h"
 #include "match/evaluation.h"
 #include "match/match_result.h"
+#include "match/pair_cache.h"
 #include "schema/instance.h"
 #include "util/status.h"
 
@@ -27,6 +30,13 @@ struct ExecutorOptions {
   /// Compute ground-truth quality metrics when the batch carries entity
   /// ids. Disable on production traffic without truth labels.
   bool evaluate_quality = true;
+  /// Entry budget of the per-executor pair-decision cache (0 disables).
+  /// Cached decisions are keyed by (TupleId, value fingerprint) on both
+  /// sides, so repeated Run calls over overlapping batches skip rule
+  /// evaluation for pairs whose records did not change. Results are
+  /// identical with the cache on or off, up to 64-bit fingerprint
+  /// collisions on a recycled id (see match/pair_cache.h).
+  size_t pair_cache_capacity = 0;
 };
 
 /// Per-stage wall time of one execution, measured on the monotonic clock
@@ -51,6 +61,7 @@ struct ExecutionReport {
   match::CandidateQuality candidate_quality;
   StageTimings timings;
   size_t pairs_compared = 0;  ///< candidate pairs the matcher inspected
+  size_t cache_hits = 0;      ///< pairs decided from the pair-decision cache
 };
 
 /// Streaming consumer of matched pairs: called once per (left_index,
@@ -92,6 +103,7 @@ class Executor {
 
   PlanPtr plan_;
   ExecutorOptions options_;
+  std::unique_ptr<match::PairDecisionCache> pair_cache_;
 };
 
 }  // namespace mdmatch::api

@@ -31,10 +31,13 @@ std::string RenderKeyFunction(const match::KeyFunction& key,
 }  // namespace
 
 bool MatchPlan::MatchesPair(const Tuple& left, const Tuple& right) const {
-  if (options_.matcher == PlanOptions::Matcher::kRuleBased) {
-    return match::AnyRuleMatches(rules_, *ops_, left, right);
-  }
-  return fs_->IsMatch(*ops_, left, right);
+  return evaluator_.Matches(left, right);
+}
+
+bool MatchPlan::MatchesPair(const Tuple& left, const Tuple& right,
+                            const match::RecordProfile* left_profile,
+                            const match::RecordProfile* right_profile) const {
+  return evaluator_.Matches(left, right, left_profile, right_profile);
 }
 
 std::string MatchPlan::Describe() const {
@@ -235,6 +238,9 @@ Result<PlanPtr> PlanBuilder::Build() {
   // --- compile step 3: assemble (and train) the Fellegi-Sunter basis ---
   if (options_.matcher == PlanOptions::Matcher::kFellegiSunter) {
     if (injected_fs_) {
+      // Injected bases skip Train() and with it its width validation; the
+      // pattern-word limit must still hold (silent truncation otherwise).
+      MDMATCH_RETURN_NOT_OK(injected_fs_->first.CheckPatternWidth());
       plan->fs_.emplace(injected_fs_->first, options_.fs_options);
       plan->fs_->SetModel(injected_fs_->second);
     } else {
@@ -244,9 +250,30 @@ Result<PlanPtr> PlanBuilder::Build() {
         vector = match::RelaxVectorForMatching(
             vector, ops_->Dl(options_.relax_theta));
       }
+      MDMATCH_RETURN_NOT_OK(vector.CheckPatternWidth());
       plan->fs_.emplace(std::move(vector), options_.fs_options);
       ScopedTimer timer(&stats.train_seconds);
       MDMATCH_RETURN_NOT_OK(plan->fs_->Train(*training_, *ops_));
+    }
+  }
+
+  // --- compile step 4: flatten the match basis into the compiled pair
+  // evaluator (deduplicated atom table; selectivity seeded from the
+  // training sample when one is available) ---
+  {
+    ScopedTimer timer(&stats.derive_seconds);
+    if (options_.matcher == PlanOptions::Matcher::kRuleBased) {
+      plan->evaluator_ =
+          match::CompiledEvaluator::ForRules(plan->rules_, *ops_);
+    } else {
+      plan->evaluator_ = match::CompiledEvaluator::ForFs(
+          plan->fs_->vector(), plan->fs_->model(), plan->fs_->Threshold(),
+          *ops_);
+    }
+    if (training_ != nullptr) {
+      plan->evaluator_.SeedSelectivity(*training_,
+                                       /*max_pairs=*/2000,
+                                       /*seed=*/options_.fs_options.seed);
     }
   }
 

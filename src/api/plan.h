@@ -10,6 +10,7 @@
 #include "core/quality.h"
 #include "core/rck.h"
 #include "match/comparison.h"
+#include "match/compiled_eval.h"
 #include "match/fellegi_sunter.h"
 #include "match/key_function.h"
 #include "schema/instance.h"
@@ -110,11 +111,25 @@ class MatchPlan {
 
   const CompileStats& compile_stats() const { return stats_; }
 
+  /// The compiled per-pair decision kernel: the plan's rules (or FS
+  /// comparison vector) flattened into a deduplicated atom table at Build
+  /// time, with per-atom selectivity seeded from the training sample when
+  /// one was supplied. MatchesPair runs through it; callers that can
+  /// amortize per-record derived values (Executor batches, MatchSession
+  /// records) use it directly via ProfileRecord.
+  const match::CompiledEvaluator& evaluator() const { return evaluator_; }
+
   /// Applies the plan's match basis (relaxed rules or the trained FS
   /// model) to one tuple pair. Deterministic and thread-safe; the single
   /// per-pair decision the Executor's match stage and the MatchSession's
-  /// incremental flush both consult.
+  /// incremental flush both consult. Decision-equivalent to evaluating the
+  /// rules / FS model naively — the compiled path changes cost only.
   bool MatchesPair(const Tuple& left, const Tuple& right) const;
+
+  /// MatchesPair over precomputed record profiles (either may be null).
+  bool MatchesPair(const Tuple& left, const Tuple& right,
+                   const match::RecordProfile* left_profile,
+                   const match::RecordProfile* right_profile) const;
 
   /// Human-readable multi-line summary (RCKs, derived keys, matcher).
   std::string Describe() const;
@@ -135,6 +150,7 @@ class MatchPlan {
   std::vector<match::KeyFunction> sort_keys_;
   match::KeyFunction block_key_;
   std::optional<match::FellegiSunter> fs_;
+  match::CompiledEvaluator evaluator_;
   CompileStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "api/session.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <unordered_set>
 
@@ -31,6 +32,10 @@ MatchSession::MatchSession(PlanPtr plan, SessionOptions options)
   if (plan_->options().candidates == PlanOptions::Candidates::kWindowing) {
     window_index_.resize(plan_->sort_keys().size());
   }
+  if (options_.pair_cache_capacity > 0) {
+    pair_cache_ = std::make_unique<match::PairDecisionCache>(
+        options_.pair_cache_capacity);
+  }
 }
 
 Status MatchSession::CheckSide(int side) const {
@@ -56,6 +61,15 @@ std::vector<std::string> MatchSession::RenderKeys(const Tuple& tuple,
 
 const Tuple& MatchSession::TupleBySeq(int side, uint32_t seq) const {
   return corpus_[side][pos_by_seq_[side].at(seq)].tuple;
+}
+
+void MatchSession::RenderDerived(Record* record, int side) const {
+  if (plan_->evaluator().needs_profiles()) {
+    record->profile = plan_->evaluator().ProfileRecord(record->tuple, side);
+  }
+  if (pair_cache_ != nullptr) {
+    record->fingerprint = match::TupleFingerprint(record->tuple);
+  }
 }
 
 Status MatchSession::Upsert(int side, Tuple tuple) {
@@ -175,6 +189,7 @@ Result<IngestReport> MatchSession::Flush() {
         retired.insert(Handle(side, record.seq));
         record.tuple = std::move(*op);
         record.keys = RenderKeys(record.tuple, side);
+        RenderDerived(&record, side);
         index_out(record, side, /*insert=*/true);
         inserted.emplace_back(side, record.seq);
       } else {
@@ -182,6 +197,7 @@ Result<IngestReport> MatchSession::Flush() {
         record.seq = next_seq_[side]++;
         record.keys = RenderKeys(*op, side);
         record.tuple = std::move(*op);
+        RenderDerived(&record, side);
         inserted.emplace_back(side, record.seq);
         node_of_[Handle(side, record.seq)] = uf_.Add();
         index_out(record, side, /*insert=*/true);
@@ -251,8 +267,19 @@ Result<IngestReport> MatchSession::Flush() {
     const bool sharded = options_.num_threads > 1 &&
                          options_.shard_min_delta > 0 &&
                          delta_records >= options_.shard_min_delta;
+    std::atomic<size_t> cache_hits{0};
     auto eval = [&](uint32_t l, uint32_t r) {
-      return plan.MatchesPair(TupleBySeq(0, l), TupleBySeq(1, r));
+      const Record& left = corpus_[0][pos_by_seq_[0].at(l)];
+      const Record& right = corpus_[1][pos_by_seq_[1].at(r)];
+      auto evaluate = [&] {
+        return plan.MatchesPair(left.tuple, right.tuple, &left.profile,
+                                &right.profile);
+      };
+      if (pair_cache_ == nullptr) return evaluate();
+      return pair_cache_->GetOrCompute(
+          match::PairDecisionCache::Key{left.tuple.id(), right.tuple.id(),
+                                        left.fingerprint, right.fingerprint},
+          &cache_hits, evaluate);
     };
     auto seq_pair = [](const IndexedEntry& a,
                        const IndexedEntry& b) -> std::pair<uint32_t, uint32_t> {
@@ -323,6 +350,7 @@ Result<IngestReport> MatchSession::Flush() {
       }
       EvaluatePairs(cand.pairs(), eval, &new_matches, &report);
     }
+    report.cache_hits = cache_hits.load();
   }
 
   // --- retire standing matches insertions pushed out of every window ---

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -14,7 +15,9 @@
 #include "api/plan.h"
 #include "match/block_index.h"
 #include "match/clustering.h"
+#include "match/compiled_eval.h"
 #include "match/match_result.h"
+#include "match/pair_cache.h"
 #include "match/sorted_index.h"
 #include "schema/instance.h"
 #include "util/status.h"
@@ -36,6 +39,14 @@ struct SessionOptions {
   /// rule evaluation fuse per shard and only match reports are merged.
   /// 0 disables sharding (the delta path is always used).
   size_t shard_min_delta = 4096;
+  /// Entry budget of the per-session pair-decision cache (0 disables).
+  /// Flushes re-examine pairs around insertions, removal gaps and drifted
+  /// windows; cached decisions — keyed by (TupleId, value fingerprint) on
+  /// both sides — let those re-examinations skip rule evaluation when the
+  /// records did not change. Results are identical with the cache on or
+  /// off, up to 64-bit fingerprint collisions on a recycled id (see
+  /// match/pair_cache.h).
+  size_t pair_cache_capacity = 0;
 };
 
 /// What one Flush did.
@@ -47,6 +58,7 @@ struct IngestReport {
   size_t matches_dropped = 0;  ///< retired with their records or drifted
                                ///< out of every window
   size_t shards_used = 1;      ///< 1 = delta path, >1 = sharded flush
+  size_t cache_hits = 0;       ///< pairs decided from the pair-decision cache
   size_t corpus_left = 0;      ///< live left records after the flush
   size_t corpus_right = 0;
   size_t total_matches = 0;    ///< standing match pairs after the flush
@@ -142,6 +154,13 @@ class MatchSession {
     uint32_t seq = 0;  ///< per-side ingestion sequence, stable for life
     /// Rendered keys: one per windowing pass, or the single block key.
     std::vector<std::string> keys;
+    /// Derived per-record values for the compiled evaluator (empty when
+    /// the plan's atoms need none); recomputed when an upsert changes the
+    /// tuple, like the keys.
+    match::RecordProfile profile;
+    /// Value fingerprint for pair-decision cache keys (0 when the cache
+    /// is off).
+    uint64_t fingerprint = 0;
   };
 
   static uint64_t Handle(int side, uint32_t seq) {
@@ -150,6 +169,9 @@ class MatchSession {
 
   Status CheckSide(int side) const;
   std::vector<std::string> RenderKeys(const Tuple& tuple, int side) const;
+  /// Fills the record's evaluator profile and cache fingerprint (those the
+  /// current configuration needs) from its tuple.
+  void RenderDerived(Record* record, int side) const;
   const Tuple& TupleBySeq(int side, uint32_t seq) const;
   void RebuildPositionsLocked(int side);
   void RebuildClustersLocked();
@@ -208,6 +230,9 @@ class MatchSession {
   /// Removal-gap positions per windowing pass, valid during one Flush
   /// (filled after the index merge, read by the scan paths).
   std::vector<std::vector<size_t>> gaps_scratch_;
+
+  /// Optional pair-decision cache (SessionOptions::pair_cache_capacity).
+  std::unique_ptr<match::PairDecisionCache> pair_cache_;
 };
 
 }  // namespace mdmatch::api

@@ -1,6 +1,19 @@
 #include "match/comparison.h"
 
+#include <cassert>
+#include <string>
+
 namespace mdmatch::match {
+
+Status ComparisonVector::CheckPatternWidth() const {
+  if (elements_.size() > kMaxPatternWidth) {
+    return Status::InvalidArgument(
+        "comparison vector has " + std::to_string(elements_.size()) +
+        " elements; agreement patterns support at most " +
+        std::to_string(kMaxPatternWidth));
+  }
+  return Status::OK();
+}
 
 ComparisonVector ComparisonVector::FromKey(const RelativeKey& key) {
   return ComparisonVector(key.elements());
@@ -28,6 +41,8 @@ ComparisonVector ComparisonVector::AllWithOp(const ComparableLists& target,
 uint32_t ComparisonVector::ComparePattern(const sim::SimOpRegistry& ops,
                                           const Tuple& left,
                                           const Tuple& right) const {
+  assert(elements_.size() <= kMaxPatternWidth &&
+         "vector too wide for a pattern word; see CheckPatternWidth");
   uint32_t pattern = 0;
   for (size_t i = 0; i < elements_.size(); ++i) {
     const auto& e = elements_[i];

@@ -8,6 +8,7 @@
 #include "schema/schema.h"
 #include "schema/tuple.h"
 #include "sim/sim_op.h"
+#include "util/status.h"
 
 namespace mdmatch::match {
 
@@ -39,8 +40,18 @@ class ComparisonVector {
   size_t size() const { return elements_.size(); }
   bool empty() const { return elements_.empty(); }
 
+  /// Patterns are packed into a uint32_t, so anything pattern-based (EM
+  /// training, FS scoring, the compiled evaluator) tops out at 32
+  /// elements. Enforced with CheckPatternWidth at plan Build / Train time.
+  static constexpr size_t kMaxPatternWidth = 32;
+
+  /// OK when the vector fits a pattern word; InvalidArgument (naming the
+  /// actual size) when it has more than kMaxPatternWidth elements.
+  Status CheckPatternWidth() const;
+
   /// Agreement pattern of a tuple pair as a bitmask (bit i set = element i
-  /// agrees). Requires size() <= 32.
+  /// agrees). Requires size() <= kMaxPatternWidth — callers must have
+  /// validated via CheckPatternWidth (asserted here).
   uint32_t ComparePattern(const sim::SimOpRegistry& ops, const Tuple& left,
                           const Tuple& right) const;
 

@@ -76,7 +76,7 @@ Status FellegiSunter::Train(const Instance& instance,
                             const sim::SimOpRegistry& ops) {
   const size_t k = vector_.size();
   if (k == 0) return Status::InvalidArgument("empty comparison vector");
-  if (k > 32) return Status::InvalidArgument("comparison vector too long");
+  MDMATCH_RETURN_NOT_OK(vector_.CheckPatternWidth());
 
   CandidateSet sample = SampleTrainingPairs(
       instance, vector_, options_.max_training_pairs, options_.seed);

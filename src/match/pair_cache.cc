@@ -1,0 +1,107 @@
+#include "match/pair_cache.h"
+
+#include <algorithm>
+
+namespace mdmatch::match {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// splitmix64 finalizer — the cache hashes a key per candidate pair, so
+/// the word-at-a-time mix matters (byte-wise FNV would cost ~32 steps per
+/// key).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t TupleFingerprint(const Tuple& tuple) {
+  uint64_t hash = kFnvOffset;
+  for (const std::string& value : tuple.values()) {
+    for (unsigned char c : value) {
+      hash ^= c;
+      hash *= kFnvPrime;
+    }
+    hash ^= 0x1f;  // unit separator: ("ab","c") != ("a","bc")
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+PairDecisionCache::PairDecisionCache(size_t capacity, size_t shards) {
+  if (shards == 0) shards = 1;
+  shards = std::min(shards, std::max<size_t>(capacity, 1));
+  per_shard_capacity_ = std::max<size_t>(1, (capacity + shards - 1) / shards);
+  shards_ = std::vector<Shard>(shards);
+}
+
+uint64_t PairDecisionCache::HashKey(const Key& key) {
+  uint64_t hash = Mix64(static_cast<uint64_t>(key.left_id));
+  hash = Mix64(hash ^ static_cast<uint64_t>(key.right_id));
+  hash = Mix64(hash ^ key.left_fp);
+  return Mix64(hash ^ key.right_fp);
+}
+
+std::optional<bool> PairDecisionCache::Lookup(const Key& key) {
+  const uint64_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto found = shard.index.find(hash);
+  // The index is keyed by the 64-bit hash; entries carry the full key, so
+  // a hash collision degrades to a miss, never to a wrong decision.
+  if (found == shard.index.end() || !(found->second->key == key)) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, found->second);
+  return found->second->decision;
+}
+
+void PairDecisionCache::Insert(const Key& key, bool decision) {
+  const uint64_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto found = shard.index.find(hash);
+  if (found != shard.index.end()) {
+    found->second->key = key;
+    found->second->decision = decision;
+    shard.lru.splice(shard.lru.begin(), shard.lru, found->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, decision});
+  shard.index[hash] = shard.lru.begin();
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(HashKey(shard.lru.back().key));
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+size_t PairDecisionCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+PairDecisionCache::Stats PairDecisionCache::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+}  // namespace mdmatch::match

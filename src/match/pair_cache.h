@@ -1,0 +1,108 @@
+#ifndef MDMATCH_MATCH_PAIR_CACHE_H_
+#define MDMATCH_MATCH_PAIR_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/tuple.h"
+
+namespace mdmatch::match {
+
+/// FNV-1a fingerprint of a tuple's attribute values (with separators, so
+/// value boundaries matter). Pair-decision cache entries carry the
+/// fingerprints of both records: an upserted record whose values changed
+/// gets a new fingerprint and therefore misses, which keeps cached
+/// decisions valid across slowly changing corpora without explicit
+/// invalidation. The guarantee is probabilistic: recycling a TupleId with
+/// different values whose 64-bit fingerprints collide would serve the
+/// stale decision (~2^-64 per changed record, negligible for benign data
+/// but worth knowing for adversarial inputs).
+uint64_t TupleFingerprint(const Tuple& tuple);
+
+/// \brief A sharded LRU cache of per-pair match decisions.
+///
+/// Keyed by (left TupleId, right TupleId) plus both value fingerprints —
+/// the decision for a pair of records is a pure function of their values
+/// under an immutable MatchPlan, so a hit can skip rule evaluation
+/// entirely. Hangs off an Executor or MatchSession (one cache per plan
+/// holder) for repeated batches / re-examined windows over slowly
+/// changing data.
+///
+/// Thread-safe: the key space is split over shards, each with its own
+/// mutex and LRU list, so concurrent match workers rarely contend.
+class PairDecisionCache {
+ public:
+  struct Key {
+    TupleId left_id = 0;
+    TupleId right_id = 0;
+    uint64_t left_fp = 0;
+    uint64_t right_fp = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+
+  /// `capacity` is the total entry budget across all shards (at least one
+  /// entry per shard is kept).
+  explicit PairDecisionCache(size_t capacity, size_t shards = 16);
+
+  /// The cached decision, or nullopt on a miss. Promotes hits to
+  /// most-recently-used.
+  std::optional<bool> Lookup(const Key& key);
+
+  /// Lookup-or-evaluate: returns the cached decision on a hit (bumping
+  /// `*hits` when non-null), otherwise evaluates `compute`, stores the
+  /// decision and returns it. The one idiom every cache-fronted match
+  /// path (Executor, MatchSession) shares.
+  template <typename Fn>
+  bool GetOrCompute(const Key& key, std::atomic<size_t>* hits,
+                    Fn&& compute) {
+    if (auto cached = Lookup(key)) {
+      if (hits != nullptr) hits->fetch_add(1, std::memory_order_relaxed);
+      return *cached;
+    }
+    const bool decision = compute();
+    Insert(key, decision);
+    return decision;
+  }
+
+  /// Stores a decision, evicting the shard's least-recently-used entry
+  /// beyond capacity. Overwrites an existing entry for the same key.
+  void Insert(const Key& key, bool decision);
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    Key key;
+    bool decision = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    Stats stats;
+  };
+
+  static uint64_t HashKey(const Key& key);
+  Shard& ShardFor(uint64_t hash) { return shards_[hash % shards_.size()]; }
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace mdmatch::match
+
+#endif  // MDMATCH_MATCH_PAIR_CACHE_H_

@@ -8,12 +8,24 @@ namespace mdmatch::sim {
 
 /// Classic Levenshtein distance: minimum number of single-character
 /// insertions, deletions and substitutions transforming `a` into `b`.
+/// Dispatches to the bit-parallel kernel when the shorter string fits a
+/// machine word (<= 64 characters), the row DP otherwise.
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
 
-/// Banded Levenshtein: returns the exact distance if it is <= `max_dist`,
-/// otherwise returns `max_dist + 1`. Runs in O(max_dist * min(|a|,|b|)).
+/// Bounded Levenshtein: returns the exact distance if it is <= `max_dist`,
+/// otherwise returns `max_dist + 1`. Short-circuits on the length gap
+/// (|len(a) - len(b)| > max_dist needs no DP at all), then runs Myers'
+/// bit-parallel scan — O(max(|a|,|b|)) word ops with early abandon — when
+/// the shorter string fits 64 characters, the O(max_dist * min(|a|,|b|))
+/// banded DP otherwise.
 size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
                                   size_t max_dist);
+
+/// Myers' bit-parallel Levenshtein (1999). Requires min(|a|,|b|) <= 64;
+/// exact distance in O(max(|a|,|b|)) word operations. Exposed for tests
+/// and benchmarks; normal callers go through LevenshteinDistance(Bounded),
+/// which dispatch here automatically.
+size_t MyersLevenshtein(std::string_view a, std::string_view b);
 
 /// Optimal-string-alignment distance (the "restricted" Damerau-Levenshtein):
 /// Levenshtein plus transposition of two adjacent characters, where no
@@ -25,9 +37,27 @@ size_t OsaDistance(std::string_view a, std::string_view b);
 /// Section 6 experimental setup [18].
 size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
 
+/// Bounded Damerau-Levenshtein: the exact distance if it is <= `max_dist`,
+/// otherwise `max_dist + 1`. Banded Lowrance-Wagner over reused
+/// thread-local scratch — O(max_dist * max(|a|,|b|)) cell work and no
+/// per-call allocation, which is what makes the θ-DL similarity test
+/// cheap enough for the per-pair hot path (budgets are tiny at θ = 0.8).
+size_t DamerauLevenshteinDistanceBounded(std::string_view a,
+                                         std::string_view b,
+                                         size_t max_dist);
+
 /// Normalized DL similarity in [0,1]: 1 - dist / max(|a|,|b|); both empty
 /// strings have similarity 1.
 double NormalizedDamerauLevenshtein(std::string_view a, std::string_view b);
+
+/// The integral edit budget of the θ-DL test for strings whose longer
+/// side has `longest` characters: floor((1 - theta) * longest + ε), the ε
+/// absorbing binary-representation error (at θ = 0.8 and length 5 the
+/// allowance must be exactly 1 edit, not 0.9999...). DlSimilar holds iff
+/// the DL distance is <= this budget; exported so prefilters (e.g. the
+/// compiled evaluator's presence signatures) bound against the exact same
+/// number.
+size_t DlEditBudget(double theta, size_t longest);
 
 /// The paper's thresholded DL predicate: v ~theta v' iff
 /// DL(v, v') <= (1 - theta) * max(|v|, |v'|). Section 6 fixes theta = 0.8.

@@ -9,9 +9,11 @@
 namespace mdmatch::sim {
 
 SimOpRegistry::SimOpRegistry() {
-  ops_.push_back(Op{"=", [](std::string_view a, std::string_view b) {
-                    return a == b;
-                  }});
+  ops_.push_back(Op{"=",
+                    [](std::string_view a, std::string_view b) {
+                      return a == b;
+                    },
+                    SimOpInfo{SimOpKind::kEquality, 0.0, 0}});
 }
 
 Result<SimOpId> SimOpRegistry::Register(std::string name, Predicate pred) {
@@ -27,21 +29,23 @@ Result<SimOpId> SimOpRegistry::Register(std::string name, Predicate pred) {
                                                 std::string_view b) {
     return a == b || inner(a, b);
   };
-  ops_.push_back(Op{std::move(name), std::move(wrapped)});
+  ops_.push_back(Op{std::move(name), std::move(wrapped), SimOpInfo{}});
   return static_cast<SimOpId>(ops_.size() - 1);
 }
 
-SimOpId SimOpRegistry::FindOrRegister(std::string name, Predicate pred) {
+SimOpId SimOpRegistry::FindOrRegister(std::string name, SimOpInfo info,
+                                      Predicate pred) {
   for (size_t i = 0; i < ops_.size(); ++i) {
     if (ops_[i].name == name) return static_cast<SimOpId>(i);
   }
   auto r = Register(std::move(name), std::move(pred));
+  ops_.back().info = info;
   return *r;
 }
 
 SimOpId SimOpRegistry::Dl(double theta) {
   return FindOrRegister(
-      StringPrintf("dl@%.2f", theta),
+      StringPrintf("dl@%.2f", theta), SimOpInfo{SimOpKind::kDl, theta, 0},
       [theta](std::string_view a, std::string_view b) {
         return DlSimilar(a, b, theta);
       });
@@ -49,7 +53,7 @@ SimOpId SimOpRegistry::Dl(double theta) {
 
 SimOpId SimOpRegistry::Levenshtein(size_t max_dist) {
   return FindOrRegister(
-      StringPrintf("lev%zu", max_dist),
+      StringPrintf("lev%zu", max_dist), SimOpInfo{SimOpKind::kLevenshtein, 0.0, max_dist},
       [max_dist](std::string_view a, std::string_view b) {
         return LevenshteinDistanceBounded(a, b, max_dist) <= max_dist;
       });
@@ -57,7 +61,7 @@ SimOpId SimOpRegistry::Levenshtein(size_t max_dist) {
 
 SimOpId SimOpRegistry::Jaro(double threshold) {
   return FindOrRegister(
-      StringPrintf("jaro@%.2f", threshold),
+      StringPrintf("jaro@%.2f", threshold), SimOpInfo{SimOpKind::kJaro, threshold, 0},
       [threshold](std::string_view a, std::string_view b) {
         return JaroSimilarity(a, b) >= threshold;
       });
@@ -65,7 +69,7 @@ SimOpId SimOpRegistry::Jaro(double threshold) {
 
 SimOpId SimOpRegistry::JaroWinkler(double threshold) {
   return FindOrRegister(
-      StringPrintf("jw@%.2f", threshold),
+      StringPrintf("jw@%.2f", threshold), SimOpInfo{SimOpKind::kJaroWinkler, threshold, 0},
       [threshold](std::string_view a, std::string_view b) {
         return JaroWinklerSimilarity(a, b) >= threshold;
       });
@@ -73,21 +77,21 @@ SimOpId SimOpRegistry::JaroWinkler(double threshold) {
 
 SimOpId SimOpRegistry::QGramJaccard2(double threshold) {
   return FindOrRegister(
-      StringPrintf("qgram2@%.2f", threshold),
+      StringPrintf("qgram2@%.2f", threshold), SimOpInfo{SimOpKind::kQGram2, threshold, 0},
       [threshold](std::string_view a, std::string_view b) {
         return QGramJaccard(a, b, 2) >= threshold;
       });
 }
 
 SimOpId SimOpRegistry::SoundexEq() {
-  return FindOrRegister("soundex",
+  return FindOrRegister("soundex", SimOpInfo{SimOpKind::kSoundex, 0.0, 0},
                         [](std::string_view a, std::string_view b) {
                           return Soundex(a) == Soundex(b);
                         });
 }
 
 SimOpId SimOpRegistry::NysiisEq() {
-  return FindOrRegister("nysiis",
+  return FindOrRegister("nysiis", SimOpInfo{SimOpKind::kNysiis, 0.0, 0},
                         [](std::string_view a, std::string_view b) {
                           return Nysiis(a) == Nysiis(b);
                         });
@@ -95,7 +99,7 @@ SimOpId SimOpRegistry::NysiisEq() {
 
 SimOpId SimOpRegistry::PrefixEq(size_t k) {
   return FindOrRegister(
-      StringPrintf("prefix%zu", k),
+      StringPrintf("prefix%zu", k), SimOpInfo{SimOpKind::kPrefix, 0.0, k},
       [k](std::string_view a, std::string_view b) {
         return a.substr(0, std::min(k, a.size())) ==
                b.substr(0, std::min(k, b.size()));
@@ -117,6 +121,10 @@ Result<SimOpId> SimOpRegistry::Find(std::string_view name) const {
 
 const std::string& SimOpRegistry::Name(SimOpId id) const {
   return ops_[static_cast<size_t>(id)].name;
+}
+
+const SimOpInfo& SimOpRegistry::Info(SimOpId id) const {
+  return ops_[static_cast<size_t>(id)].info;
 }
 
 SimOpRegistry SimOpRegistry::Default() {

@@ -15,6 +15,35 @@ namespace mdmatch::sim {
 /// Id 0 is always the equality operator "=".
 using SimOpId = int32_t;
 
+/// What family a registered operator belongs to. The registry records this
+/// for every convenience registration so that compiled evaluators
+/// (match::CompiledEvaluator) can specialize the hot per-pair path —
+/// precomputing phonetic codes or q-gram sets per record, or calling the
+/// metric directly instead of going through the type-erased Predicate.
+/// Operators installed via the generic Register() are kCustom and always
+/// evaluated through the predicate.
+enum class SimOpKind : uint8_t {
+  kEquality,     ///< "=" (id 0)
+  kCustom,       ///< user predicate; opaque to compiled evaluators
+  kDl,           ///< DlSimilar(a, b, threshold)
+  kLevenshtein,  ///< LevenshteinDistanceBounded(a, b, param) <= param
+  kJaro,         ///< JaroSimilarity >= threshold
+  kJaroWinkler,  ///< JaroWinklerSimilarity >= threshold
+  kQGram2,       ///< QGramJaccard(a, b, 2) >= threshold
+  kSoundex,      ///< Soundex(a) == Soundex(b)
+  kNysiis,       ///< Nysiis(a) == Nysiis(b)
+  kPrefix,       ///< first param characters equal
+};
+
+/// Structured description of one operator: its family plus the parameters
+/// it was registered with. `threshold` is meaningful for the real-valued
+/// metrics, `param` for the integer-parameterized ones.
+struct SimOpInfo {
+  SimOpKind kind = SimOpKind::kCustom;
+  double threshold = 0.0;
+  size_t param = 0;
+};
+
 /// \brief The fixed set Θ of domain-specific similarity operators
 /// (paper Section 2.1).
 ///
@@ -59,6 +88,13 @@ class SimOpRegistry {
   /// Evaluates operator `id` on (a, b); id must be valid.
   bool Eval(SimOpId id, std::string_view a, std::string_view b) const;
 
+  /// Structured metadata of operator `id` (kind + parameters). Predicates
+  /// registered through Register() report kCustom; the convenience
+  /// registrations report their family and the parameters the stored
+  /// predicate actually uses (first registration under a name wins, so the
+  /// info always describes the installed predicate).
+  const SimOpInfo& Info(SimOpId id) const;
+
   /// Name lookup; NotFound when the name is unknown.
   Result<SimOpId> Find(std::string_view name) const;
 
@@ -77,8 +113,9 @@ class SimOpRegistry {
   struct Op {
     std::string name;
     Predicate pred;
+    SimOpInfo info;
   };
-  SimOpId FindOrRegister(std::string name, Predicate pred);
+  SimOpId FindOrRegister(std::string name, SimOpInfo info, Predicate pred);
 
   std::vector<Op> ops_;
 };

@@ -224,6 +224,38 @@ TEST_F(ApiPlanTest, FellegiSunterPlanRequiresTrainingData) {
   EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
 }
 
+// Regression: ComparePattern packs agreement into 32 bits, and injected
+// FS bases bypass Train()'s validation — a wider vector used to truncate
+// silently; now Build rejects it with a checked error.
+TEST_F(ApiPlanTest, RejectsInjectedComparisonVectorWiderThanPatternWord) {
+  std::vector<Conjunct> wide(33, Conjunct{{0, 0}, sim::SimOpRegistry::kEq});
+  match::FsModel model;
+  model.m.assign(33, 0.9);
+  model.u.assign(33, 0.1);
+  PlanOptions options;
+  options.matcher = PlanOptions::Matcher::kFellegiSunter;
+  auto plan = PlanBuilder(data_.pair, data_.target, &ops_)
+                  .WithSigma(data_.mds)
+                  .WithOptions(options)
+                  .WithFsBasis(match::ComparisonVector(std::move(wide)),
+                               std::move(model))
+                  .Build();
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  // 32 elements is exactly the limit and still compiles.
+  std::vector<Conjunct> ok(32, Conjunct{{0, 0}, sim::SimOpRegistry::kEq});
+  match::FsModel ok_model;
+  ok_model.m.assign(32, 0.9);
+  ok_model.u.assign(32, 0.1);
+  auto fits = PlanBuilder(data_.pair, data_.target, &ops_)
+                  .WithSigma(data_.mds)
+                  .WithOptions(options)
+                  .WithFsBasis(match::ComparisonVector(std::move(ok)),
+                               std::move(ok_model))
+                  .Build();
+  EXPECT_TRUE(fits.ok()) << fits.status();
+}
+
 TEST_F(ApiPlanTest, RejectsEmptyTarget) {
   auto empty_target = ComparableLists::Make(data_.pair, {}, {});
   ASSERT_TRUE(empty_target.ok());

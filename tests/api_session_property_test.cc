@@ -59,11 +59,13 @@ class ApiSessionPropertyTest : public testing::Test {
   /// assigned to deltas by `rng`, optionally followed by a removal wave;
   /// then checks the session against one-shot execution on its corpus.
   void CheckRandomSplit(size_t num_deltas, size_t num_threads,
-                        bool with_removals, uint64_t seed) {
+                        bool with_removals, uint64_t seed,
+                        size_t pair_cache = 0) {
     std::mt19937_64 rng(seed);
     SessionOptions options;
     options.num_threads = num_threads;
     options.min_pairs_per_thread = 1;
+    options.pair_cache_capacity = pair_cache;
     MatchSession session(plan_, options);
 
     // Random delta assignment per record, both sides.
@@ -93,6 +95,13 @@ class ApiSessionPropertyTest : public testing::Test {
         for (uint32_t i = 0; i < rel.size(); ++i) {
           if (coin(rng) < 0.1) {
             ASSERT_TRUE(session.Remove(side, rel.tuple(i).id()).ok());
+          } else if (coin(rng) < 0.1) {
+            // An in-place update: the record's values change, so any
+            // cached pair decisions involving it must not be reused
+            // (fingerprint miss), and its matches are re-evaluated.
+            Tuple updated = rel.tuple(i);
+            updated.set_value(0, updated.value(0) + "x");
+            ASSERT_TRUE(session.Upsert(side, std::move(updated)).ok());
           }
         }
       }
@@ -139,6 +148,22 @@ TEST_F(ApiSessionPropertyTest, SplitsWithRemovalWaveStillMatch) {
   CheckRandomSplit(3, /*num_threads=*/1, /*with_removals=*/true, 13);
   CheckRandomSplit(3, /*num_threads=*/4, /*with_removals=*/true, 13);
   CheckRandomSplit(5, /*num_threads=*/4, /*with_removals=*/true, 29);
+}
+
+// The pair-decision cache is an optimization, never a semantics change:
+// every split/removal/update scenario must produce identical results with
+// the cache enabled — including re-evaluations of pairs whose records
+// were updated in place (their fingerprints change, forcing a miss).
+TEST_F(ApiSessionPropertyTest, PairCacheOnEqualsPairCacheOff) {
+  for (uint64_t seed : {7u, 29u}) {
+    CheckRandomSplit(3, /*num_threads=*/1, /*with_removals=*/true, seed,
+                     /*pair_cache=*/1 << 16);
+    CheckRandomSplit(4, /*num_threads=*/4, /*with_removals=*/true, seed,
+                     /*pair_cache=*/1 << 16);
+    // A deliberately tiny cache exercises eviction under load.
+    CheckRandomSplit(3, /*num_threads=*/4, /*with_removals=*/true, seed,
+                     /*pair_cache=*/64);
+  }
 }
 
 }  // namespace

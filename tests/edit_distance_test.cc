@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -80,6 +82,119 @@ TEST(LevenshteinTest, BoundedMatchesExactWhenWithinBound) {
 
 TEST(LevenshteinTest, BoundedShortCircuitsOnLengthGap) {
   EXPECT_EQ(LevenshteinDistanceBounded("a", "abcdefgh", 3), 4u);
+}
+
+// ---------------------------------------------------- Myers bit-parallel
+
+namespace {
+
+/// Independent reference DP (the classic full-matrix recurrence), kept
+/// deliberately naive: LevenshteinDistance itself now dispatches to the
+/// bit-parallel kernel, so tests need a path that cannot share its bugs.
+size_t ReferenceLevenshtein(std::string_view a, std::string_view b) {
+  std::vector<std::vector<size_t>> d(a.size() + 1,
+                                     std::vector<size_t>(b.size() + 1));
+  for (size_t i = 0; i <= a.size(); ++i) d[i][0] = i;
+  for (size_t j = 0; j <= b.size(); ++j) d[0][j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + cost});
+    }
+  }
+  return d[a.size()][b.size()];
+}
+
+std::string RandomWord(Rng* rng, size_t max_len, int alphabet) {
+  std::string s;
+  for (size_t j = rng->Index(max_len + 1); j > 0; --j) {
+    s.push_back(static_cast<char>('a' + rng->Index(alphabet)));
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(MyersTest, MatchesReferenceOnRandomStrings) {
+  Rng rng(61);
+  for (int i = 0; i < 2000; ++i) {
+    std::string a = RandomWord(&rng, 20, 4);
+    std::string b = RandomWord(&rng, 20, 4);
+    EXPECT_EQ(MyersLevenshtein(a, b), ReferenceLevenshtein(a, b))
+        << a << " vs " << b;
+  }
+}
+
+TEST(MyersTest, HandlesWordBoundaryLengths) {
+  // 63 / 64 characters sit exactly at the machine-word limit of the
+  // bit-parallel kernel; 65+ on one side still works when the shorter
+  // string fits the word.
+  std::string s63(63, 'a'), s64(64, 'a'), s100(100, 'a');
+  EXPECT_EQ(MyersLevenshtein(s63, s64), 1u);
+  EXPECT_EQ(MyersLevenshtein(s64, s64), 0u);
+  EXPECT_EQ(MyersLevenshtein(s64, s100), 36u);
+  std::string t64 = s64;
+  t64[0] = 'b';
+  t64[63] = 'b';
+  EXPECT_EQ(MyersLevenshtein(s64, t64), 2u);
+  EXPECT_EQ(MyersLevenshtein("", s64), 64u);
+}
+
+TEST(MyersTest, BoundedDispatchAgreesWithReferenceAndClamps) {
+  Rng rng(62);
+  for (int i = 0; i < 1000; ++i) {
+    std::string a = RandomWord(&rng, 30, 3);
+    std::string b = RandomWord(&rng, 30, 3);
+    size_t exact = ReferenceLevenshtein(a, b);
+    for (size_t bound : {size_t{0}, size_t{1}, size_t{3}, size_t{8}}) {
+      size_t got = LevenshteinDistanceBounded(a, b, bound);
+      EXPECT_EQ(got, exact <= bound ? exact : bound + 1) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(DamerauBoundedTest, MatchesFullDamerauLevenshtein) {
+  Rng rng(64);
+  for (int i = 0; i < 3000; ++i) {
+    std::string a = RandomWord(&rng, 14, 3);
+    std::string b = RandomWord(&rng, 14, 3);
+    size_t exact = DamerauLevenshteinDistance(a, b);
+    for (size_t bound : {size_t{0}, size_t{1}, size_t{2}, size_t{4},
+                         size_t{30}}) {
+      EXPECT_EQ(DamerauLevenshteinDistanceBounded(a, b, bound),
+                exact <= bound ? exact : bound + 1)
+          << a << " vs " << b << " bound " << bound;
+    }
+  }
+}
+
+TEST(DamerauBoundedTest, TranspositionHeavyCases) {
+  // The famous unrestricted-DL case: "ca" -> "abc" is 2 via transposition
+  // interleaved with an insertion (OSA says 3).
+  EXPECT_EQ(DamerauLevenshteinDistanceBounded("ca", "abc", 2), 2u);
+  EXPECT_EQ(DamerauLevenshteinDistanceBounded("ca", "abc", 1), 2u);
+  EXPECT_EQ(DamerauLevenshteinDistanceBounded("ab", "ba", 1), 1u);
+  EXPECT_EQ(DamerauLevenshteinDistanceBounded("abcdef", "abdcef", 1), 1u);
+  EXPECT_EQ(DamerauLevenshteinDistanceBounded("", "xyz", 2), 3u);
+  EXPECT_EQ(DamerauLevenshteinDistanceBounded("", "xy", 2), 2u);
+}
+
+// The banded (> 64 chars) path must agree with the bit-parallel one.
+TEST(MyersTest, LongStringsUseBandedPathConsistently) {
+  Rng rng(63);
+  for (int i = 0; i < 50; ++i) {
+    std::string a = RandomWord(&rng, 90, 3);
+    std::string b = RandomWord(&rng, 90, 3);
+    a.resize(std::max<size_t>(a.size(), 70), 'z');  // force both past 64
+    b.resize(std::max<size_t>(b.size(), 70), 'z');
+    size_t exact = ReferenceLevenshtein(a, b);
+    EXPECT_EQ(LevenshteinDistance(a, b), exact);
+    for (size_t bound : {size_t{2}, size_t{10}, size_t{200}}) {
+      EXPECT_EQ(LevenshteinDistanceBounded(a, b, bound),
+                exact <= bound ? exact : bound + 1);
+    }
+  }
 }
 
 // -------------------------------------------------------------------- OSA
@@ -204,6 +319,32 @@ TEST(DlSimilarTest, PaperExampleNames) {
   EXPECT_TRUE(DlSimilar("Mark", "Marx", 0.75));
   // At θ = 0.8 the allowance is 0.8 < 1: not similar.
   EXPECT_FALSE(DlSimilar("Mark", "Marx", 0.8));
+}
+
+// Satellite regression: the length pre-check rejects without any DP when
+// the length gap alone exceeds the allowance (1 - θ) · max(|a|, |b|), and
+// must NOT reject when the gap exactly equals the allowance.
+TEST(DlSimilarTest, LengthGapBoundaryBehavior) {
+  // θ = 0.8, max length 10 => allowance 2.0 edits.
+  // Gap exactly 2 (10 vs 8): the pre-check passes and pure-deletion pairs
+  // are similar (distance == gap == allowance).
+  EXPECT_TRUE(DlSimilar("abcdefghij", "abcdefgh", 0.8));
+  // Gap 3 (10 vs 7) > 2.0: rejected on lengths alone.
+  EXPECT_FALSE(DlSimilar("abcdefghij", "abcdefg", 0.8));
+  // Same boundary from the other side's length.
+  EXPECT_TRUE(DlSimilar("abcdefgh", "abcdefghij", 0.8));
+  EXPECT_FALSE(DlSimilar("abcdefg", "abcdefghij", 0.8));
+  // θ = 0.8, max length 5 => allowance exactly 1.0: one edit passes, a
+  // 2-edit pair with gap 1 passes the pre-check but fails the DP.
+  EXPECT_TRUE(DlSimilar("abcde", "abcd", 0.8));
+  EXPECT_FALSE(DlSimilar("abcde", "abcz", 0.8));
+  // Zero edit budget (θ = 1): only equal strings are similar; unequal
+  // strings of equal length exit before any DP.
+  EXPECT_TRUE(DlSimilar("abc", "abc", 1.0));
+  EXPECT_FALSE(DlSimilar("abc", "abd", 1.0));
+  // Empty vs non-empty: gap == length, allowance scales with the longer.
+  EXPECT_FALSE(DlSimilar("", "abcde", 0.8));
+  EXPECT_TRUE(DlSimilar("", "", 0.8));
 }
 
 TEST(DlSimilarTest, SymmetricPredicate) {
