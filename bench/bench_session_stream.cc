@@ -1,18 +1,26 @@
 // Incremental ingest vs. full re-run: the economics the MatchSession
-// exists for. A standing corpus absorbs a stream of small deltas; each
-// delta is matched two ways — (a) MatchSession::Flush against the
-// persistent indexes, (b) a stateless Executor::Run over the whole
-// concatenated corpus — with identical results (asserted) and very
+// exists for. A standing corpus absorbs an insert-heavy stream of small
+// deltas; each delta is matched two ways — (a) MatchSession::Flush
+// against the persistent indexes, (b) a stateless Executor::Run over the
+// whole concatenated corpus — with identical results (asserted) and very
 // different costs.
 //
-// Emits an aligned table and machine-readable BENCH_session.json (perf
-// trajectory point for this bench across PRs). MDMATCH_BENCH_FULL=1 runs
-// the larger corpus.
+// Each flush is broken into its phases (index merge, candidate scan, pair
+// eval, drift re-rank) so the delta-independent bookkeeping costs are
+// visible separately from the delta-proportional matching work — the
+// ROADMAP "re-profile flushes" evidence. Emits an aligned table and
+// machine-readable BENCH_session.json (perf trajectory point for this
+// bench across PRs).
+//
+// MDMATCH_BENCH_FULL=1 runs the large corpus (>= 50k standing records);
+// MDMATCH_BENCH_TINY=1 shrinks everything for CI smoke runs.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "api/executor.h"
@@ -24,6 +32,11 @@
 using namespace mdmatch;
 
 namespace {
+
+bool TinyRun() {
+  const char* env = std::getenv("MDMATCH_BENCH_TINY");
+  return env != nullptr && std::string(env) == "1";
+}
 
 std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
     const match::PairSet& set) {
@@ -37,7 +50,10 @@ std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
 int main() {
   sim::SimOpRegistry ops;
   datagen::CreditBillingOptions gen;
-  gen.num_base = bench::FullRun() ? 20000 : 4000;
+  // K = 20000 base tuples per relation plus 80% duplicates is ~72k records
+  // total, i.e. a standing corpus of ~57k records after the 80% bulk load —
+  // comfortably past the 50k bar the flush-phase profile targets.
+  gen.num_base = TinyRun() ? 300 : (bench::FullRun() ? 20000 : 4000);
   gen.seed = 7100;
   datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
 
@@ -50,7 +66,7 @@ int main() {
   }
 
   // 80% of the data is the standing corpus (bulk-loaded once); the rest
-  // streams in as 10 equal deltas.
+  // streams in as 10 equal insert-only deltas.
   const size_t nl = data.instance.left().size();
   const size_t nr = data.instance.right().size();
   const size_t base_l = nl * 8 / 10;
@@ -70,12 +86,16 @@ int main() {
   std::printf("== Incremental ingest vs. full re-run (K = %zu, %zu + %zu "
               "standing) ==\n",
               gen.num_base, base_l, base_r);
-  TableWriter table({"delta", "records", "incremental (s)", "full rerun (s)",
+  TableWriter table({"delta", "records", "merge (s)", "scan (s)", "eval (s)",
+                     "rerank (s)", "incremental (s)", "full rerun (s)",
                      "speedup", "matches"});
 
-  api::Executor executor(*plan);
   double total_incremental = 0;
   double total_full = 0;
+  double total_merge = 0;
+  double total_scan = 0;
+  double total_eval = 0;
+  double total_rerank = 0;
   std::vector<std::string> delta_json;
   for (size_t d = 0; d < kDeltas; ++d) {
     const size_t lo_l = base_l + d * (nl - base_l) / kDeltas;
@@ -126,25 +146,43 @@ int main() {
 
     total_incremental += inc_seconds;
     total_full += full_seconds;
-    const size_t delta_records =
-        (hi_l - lo_l) + (hi_r - lo_r);
+    total_merge += report.merge_seconds;
+    total_scan += report.scan_seconds;
+    total_eval += report.eval_seconds;
+    total_rerank += report.rerank_seconds;
+    const size_t delta_records = (hi_l - lo_l) + (hi_r - lo_r);
     table.AddRow({std::to_string(d + 1), std::to_string(delta_records),
+                  TableWriter::Num(report.merge_seconds, 4),
+                  TableWriter::Num(report.scan_seconds, 4),
+                  TableWriter::Num(report.eval_seconds, 4),
+                  TableWriter::Num(report.rerank_seconds, 4),
                   TableWriter::Num(inc_seconds, 4),
                   TableWriter::Num(full_seconds, 4),
                   TableWriter::Num(full_seconds / std::max(1e-9, inc_seconds),
                                    1),
                   std::to_string(report.total_matches)});
     delta_json.push_back(StringPrintf(
-        "    {\"delta\": %zu, \"records\": %zu, \"incremental_seconds\": "
-        "%.6f, \"full_rerun_seconds\": %.6f, \"matches\": %zu}",
-        d + 1, delta_records, inc_seconds, full_seconds,
-        report.total_matches));
+        "    {\"delta\": %zu, \"records\": %zu, \"merge_seconds\": %.6f, "
+        "\"scan_seconds\": %.6f, \"eval_seconds\": %.6f, "
+        "\"rerank_seconds\": %.6f, \"index_seconds\": %.6f, "
+        "\"match_seconds\": %.6f, \"cluster_seconds\": %.6f, "
+        "\"pairs_evaluated\": %zu, \"incremental_seconds\": %.6f, "
+        "\"full_rerun_seconds\": %.6f, \"matches\": %zu}",
+        d + 1, delta_records, report.merge_seconds, report.scan_seconds,
+        report.eval_seconds, report.rerank_seconds, report.index_seconds,
+        report.match_seconds, report.cluster_seconds, report.pairs_evaluated,
+        inc_seconds, full_seconds, report.total_matches));
   }
   table.Print(std::cout);
   std::printf("\nbulk load %.3fs; totals: incremental %.4fs vs full re-runs "
               "%.4fs (%.1fx)\n",
               bulk_seconds, total_incremental, total_full,
               total_full / std::max(1e-9, total_incremental));
+  std::printf("flush phases: merge %.4fs, scan %.4fs, eval %.4fs, rerank "
+              "%.4fs (bookkeeping %.4fs)\n",
+              total_merge, total_scan, total_eval, total_rerank,
+              total_incremental - total_merge - total_scan - total_eval -
+                  total_rerank);
 
   std::ofstream json("BENCH_session.json");
   json << "{\n  \"bench\": \"session_stream\",\n";
@@ -157,6 +195,11 @@ int main() {
     json << delta_json[i] << (i + 1 < delta_json.size() ? ",\n" : "\n");
   }
   json << "  ],\n";
+  json << StringPrintf("  \"total_merge_seconds\": %.6f,\n"
+                       "  \"total_scan_seconds\": %.6f,\n"
+                       "  \"total_eval_seconds\": %.6f,\n"
+                       "  \"total_rerank_seconds\": %.6f,\n",
+                       total_merge, total_scan, total_eval, total_rerank);
   json << StringPrintf("  \"total_incremental_seconds\": %.6f,\n"
                        "  \"total_full_rerun_seconds\": %.6f,\n"
                        "  \"speedup\": %.2f\n}\n",

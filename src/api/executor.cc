@@ -7,9 +7,9 @@
 #include <utility>
 
 #include "api/parallel.h"
+#include "candidate/windowing.h"
 #include "match/blocking.h"
 #include "match/clustering.h"
-#include "match/windowing.h"
 #include "util/stopwatch.h"
 
 namespace mdmatch::api {
@@ -46,7 +46,7 @@ ExecutionReport Executor::RunChecked(const Instance& batch,
   {
     ScopedTimer timer(&report.timings.candidate_seconds);
     if (plan.options().candidates == PlanOptions::Candidates::kWindowing) {
-      report.candidates = match::WindowCandidatesMultiPass(
+      report.candidates = candidate::WindowCandidatesMultiPass(
           batch, plan.sort_keys(), plan.options().window_size);
     } else {
       report.candidates = match::BlockCandidates(batch, plan.block_key());
@@ -76,6 +76,8 @@ ExecutionReport Executor::RunChecked(const Instance& batch,
     }
     // Same for the cache key fingerprints: one hash per record, not pair.
     match::PairDecisionCache* cache = pair_cache_.get();
+    const match::PairDecisionCache::Stats cache_before =
+        cache != nullptr ? cache->stats() : match::PairDecisionCache::Stats{};
     std::vector<uint64_t> fingerprints[2];
     if (cache != nullptr && !pairs.empty()) {
       for (int side = 0; side < 2; ++side) {
@@ -135,6 +137,12 @@ ExecutionReport Executor::RunChecked(const Instance& batch,
       }
     }
     report.cache_hits = cache_hits.load();
+    if (cache != nullptr) {
+      const match::PairDecisionCache::Stats after = cache->stats();
+      report.cache_lookups = (after.hits - cache_before.hits) +
+                             (after.misses - cache_before.misses);
+      report.cache_evictions = after.evictions - cache_before.evictions;
+    }
   }
 
   // --- optional transitive closure into entity clusters ---

@@ -62,6 +62,11 @@ struct ExecutionReport {
   StageTimings timings;
   size_t pairs_compared = 0;  ///< candidate pairs the matcher inspected
   size_t cache_hits = 0;      ///< pairs decided from the pair-decision cache
+  size_t cache_lookups = 0;   ///< pair-cache probes this run (hits+misses)
+  size_t cache_evictions = 0;  ///< pair-cache LRU entries evicted this run
+  // (Lookup/eviction deltas are exact for serial Run calls; concurrent
+  //  Runs on one executor interleave their probes and split them
+  //  arbitrarily between reports.)
 };
 
 /// Streaming consumer of matched pairs: called once per (left_index,

@@ -8,6 +8,7 @@
 
 #include "core/md_parser.h"
 #include "core/rule_io.h"
+#include "util/fnv.h"
 #include "util/string_util.h"
 
 namespace mdmatch::api {
@@ -27,12 +28,9 @@ constexpr const char kHeaderPrefix[] = "mdmatch-plan v";
 /// checksum stable under annotation comments and whitespace edits while
 /// catching any change to what the plan actually says.
 uint64_t ContentChecksum(const std::string& text) {
-  uint64_t hash = 1469598103934665603ull;
+  uint64_t hash = kFnvOffsetBasis;
   auto mix = [&hash](std::string_view piece) {
-    for (unsigned char c : piece) {
-      hash ^= c;
-      hash *= 1099511628211ull;
-    }
+    for (unsigned char c : piece) hash = FnvMixByte(hash, c);
   };
   std::istringstream stream(text);
   std::string line;
@@ -300,6 +298,10 @@ std::string SerializePlan(const MatchPlan& plan) {
   out << "checksum " << ChecksumHex(ContentChecksum(body)) << "\n";
   out << "end\n";
   return out.str();
+}
+
+uint64_t PlanFingerprint(const MatchPlan& plan) {
+  return ContentChecksum(SerializePlan(plan));
 }
 
 Status SavePlanToFile(const std::string& path, const MatchPlan& plan) {

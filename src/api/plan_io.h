@@ -34,6 +34,13 @@ namespace mdmatch::api {
 /// Serializes a compiled plan.
 std::string SerializePlan(const MatchPlan& plan);
 
+/// A stable 64-bit fingerprint of everything a plan computes: the FNV-1a
+/// content checksum of the serialized form (the same hash the `checksum`
+/// file line carries). Two plans with equal fingerprints produce equal
+/// matches on any batch — the property candidate::IndexCatalog keys
+/// shared index entries on.
+uint64_t PlanFingerprint(const MatchPlan& plan);
+
 Status SavePlanToFile(const std::string& path, const MatchPlan& plan);
 
 /// Parses a serialized plan against the schema pair and target it was

@@ -6,12 +6,17 @@
 #include <unordered_set>
 
 #include "api/parallel.h"
+#include "api/plan_io.h"
+#include "util/fnv.h"
 #include "util/stopwatch.h"
 
 namespace mdmatch::api {
 
+using candidate::IndexedEntry;
+using candidate::IndexSnapshot;
+using candidate::IndexSnapshotPtr;
+using candidate::SortedKeyIndex;
 using internal::ParallelChunks;
-using match::IndexedEntry;
 
 namespace {
 
@@ -23,14 +28,40 @@ bool SpansGap(const std::vector<size_t>& gaps, size_t i, size_t j) {
   return it != gaps.end() && *it <= j;
 }
 
+/// FNV-1a over a staged delta: its (side, id, op, values) sequence in the
+/// deterministic pending-map order. Two sessions staging identical deltas
+/// from identical base versions produce the same fingerprint — the key
+/// the IndexCatalog memoizes snapshot transitions under.
+uint64_t FingerprintDelta(
+    const std::map<std::pair<int, TupleId>, std::optional<Tuple>>& pending) {
+  uint64_t hash = kFnvOffsetBasis;
+  for (const auto& [key, op] : pending) {
+    hash = FnvMixU64(hash, static_cast<uint64_t>(key.first));
+    hash = FnvMixU64(hash, static_cast<uint64_t>(key.second));
+    hash = FnvMixU64(hash, op.has_value() ? 1 : 2);
+    if (op.has_value()) {
+      for (const std::string& value : op->values()) {
+        hash = FnvMixU64(hash, value.size());
+        hash = FnvMixString(hash, value);
+      }
+    }
+  }
+  return hash;
+}
+
 }  // namespace
 
 MatchSession::MatchSession(PlanPtr plan, SessionOptions options)
-    : plan_(std::move(plan)), options_(options) {
+    : plan_(std::move(plan)), options_(std::move(options)) {
   assert(plan_ != nullptr && "MatchSession requires a compiled plan");
   if (options_.num_threads == 0) options_.num_threads = 1;
-  if (plan_->options().candidates == PlanOptions::Candidates::kWindowing) {
-    window_index_.resize(plan_->sort_keys().size());
+  const bool windowing =
+      plan_->options().candidates == PlanOptions::Candidates::kWindowing;
+  indexes_ = IndexSnapshot::Empty(
+      windowing ? plan_->sort_keys().size() : 0, !windowing);
+  if (options_.catalog != nullptr) {
+    catalog_entry_ =
+        options_.catalog->Acquire(PlanFingerprint(*plan_), options_.corpus_id);
   }
   if (options_.pair_cache_capacity > 0) {
     pair_cache_ = std::make_unique<match::PairDecisionCache>(
@@ -60,7 +91,7 @@ std::vector<std::string> MatchSession::RenderKeys(const Tuple& tuple,
 }
 
 const Tuple& MatchSession::TupleBySeq(int side, uint32_t seq) const {
-  return corpus_[side][pos_by_seq_[side].at(seq)].tuple;
+  return corpus_[side][pos_by_seq_[side][seq]].tuple;
 }
 
 void MatchSession::RenderDerived(Record* record, int side) const {
@@ -105,7 +136,7 @@ Status MatchSession::Remove(int side, TupleId id) {
 
 void MatchSession::RebuildPositionsLocked(int side) {
   pos_by_id_[side].clear();
-  pos_by_seq_[side].clear();
+  pos_by_seq_[side].assign(next_seq_[side], UINT32_MAX);
   for (uint32_t i = 0; i < corpus_[side].size(); ++i) {
     pos_by_id_[side][corpus_[side][i].tuple.id()] = i;
     pos_by_seq_[side][corpus_[side][i].seq] = i;
@@ -132,9 +163,24 @@ Result<IngestReport> MatchSession::Flush() {
   const bool windowing =
       plan.options().candidates == PlanOptions::Candidates::kWindowing;
   const size_t window = plan.options().window_size;
-  const size_t passes = windowing ? window_index_.size() : 0;
+  const size_t passes = windowing ? indexes_->window_passes().size() : 0;
 
   IngestReport report;
+
+  // Nothing staged: report the standing state without touching the
+  // snapshot chain. (Advancing a version for a no-op would desynchronize
+  // this session from catalog siblings and churn the transition memo.)
+  if (pending_.empty()) {
+    report.corpus_left = corpus_[0].size();
+    report.corpus_right = corpus_[1].size();
+    report.total_matches = raw_matches_.size();
+    return report;
+  }
+
+  // Catalog sessions key the shared snapshot transition on the staged
+  // delta's content; fingerprint it before the staging map is consumed.
+  const uint64_t delta_fp =
+      catalog_entry_ != nullptr ? FingerprintDelta(pending_) : 0;
 
   // --- resolve the staged delta and update the persistent indexes ---
   // `inserted` covers new records and updated ones (an update re-enters
@@ -144,10 +190,10 @@ Result<IngestReport> MatchSession::Flush() {
   std::unordered_set<uint64_t> retired;
   size_t delta_records = 0;
   const size_t base_size[2] = {corpus_[0].size(), corpus_[1].size()};
+  std::vector<std::vector<IndexedEntry>> pass_removes(passes);
   {
     ScopedTimer timer(&report.index_seconds);
 
-    std::vector<std::vector<IndexedEntry>> pass_removes(passes);
     std::vector<std::vector<IndexedEntry>> pass_inserts(passes);
     std::vector<IndexedEntry> block_removes;
     std::vector<IndexedEntry> block_inserts;
@@ -219,6 +265,7 @@ Result<IngestReport> MatchSession::Flush() {
       RebuildPositionsLocked(1);
     } else {
       for (int side = 0; side < 2; ++side) {
+        pos_by_seq_[side].resize(next_seq_[side], UINT32_MAX);
         for (uint32_t i = static_cast<uint32_t>(base_size[side]);
              i < corpus_[side].size(); ++i) {
           pos_by_id_[side][corpus_[side][i].tuple.id()] = i;
@@ -236,31 +283,42 @@ Result<IngestReport> MatchSession::Flush() {
       clusters_stale_ = true;
     }
 
-    if (windowing) {
-      for (size_t p = 0; p < passes; ++p) {
-        // Removes are passed by copy: their entries locate the gap
-        // positions after the merge.
-        window_index_[p].Apply(pass_removes[p], std::move(pass_inserts[p]));
+    // Advance the index chain to the next snapshot. A catalog session
+    // first consults the shared entry: when a sibling already built this
+    // exact transition, its snapshot is adopted and the merge is skipped.
+    {
+      ScopedTimer merge_timer(&report.merge_seconds);
+      if (catalog_entry_ != nullptr) {
+        indexes_ = catalog_entry_->Advance(
+            indexes_->version(), delta_fp, &report.index_reused,
+            [&](uint64_t version) {
+              return IndexSnapshot::Advance(
+                  std::move(indexes_), pass_removes, std::move(pass_inserts),
+                  block_removes, block_inserts, version);
+            });
+      } else {
+        indexes_ = IndexSnapshot::Advance(
+            std::move(indexes_), pass_removes, std::move(pass_inserts),
+            block_removes, block_inserts, next_version_++);
       }
       // Gap positions (per pass, sorted) in the post-merge order.
-      gaps_scratch_.assign(passes, {});
-      for (size_t p = 0; p < passes; ++p) {
-        for (const IndexedEntry& e : pass_removes[p]) {
-          gaps_scratch_[p].push_back(window_index_[p].LowerBound(e));
+      if (windowing) {
+        gaps_scratch_.assign(passes, {});
+        for (size_t p = 0; p < passes; ++p) {
+          for (const IndexedEntry& e : pass_removes[p]) {
+            gaps_scratch_[p].push_back(
+                indexes_->window_passes()[p].LowerBound(e));
+          }
+          std::sort(gaps_scratch_[p].begin(), gaps_scratch_[p].end());
         }
-        std::sort(gaps_scratch_[p].begin(), gaps_scratch_[p].end());
-      }
-    } else {
-      for (const IndexedEntry& e : block_removes) {
-        block_index_.Remove(e.side, e.seq, e.key);
-      }
-      for (const IndexedEntry& e : block_inserts) {
-        block_index_.Add(e.side, e.seq, e.key);
       }
     }
   }
 
   // --- generate + evaluate the delta's candidate pairs ---
+  const match::PairDecisionCache::Stats cache_before =
+      pair_cache_ != nullptr ? pair_cache_->stats()
+                             : match::PairDecisionCache::Stats{};
   std::vector<std::pair<uint32_t, uint32_t>> new_matches;
   {
     ScopedTimer timer(&report.match_seconds);
@@ -269,8 +327,8 @@ Result<IngestReport> MatchSession::Flush() {
                          delta_records >= options_.shard_min_delta;
     std::atomic<size_t> cache_hits{0};
     auto eval = [&](uint32_t l, uint32_t r) {
-      const Record& left = corpus_[0][pos_by_seq_[0].at(l)];
-      const Record& right = corpus_[1][pos_by_seq_[1].at(r)];
+      const Record& left = corpus_[0][pos_by_seq_[0][l]];
+      const Record& right = corpus_[1][pos_by_seq_[1][r]];
       auto evaluate = [&] {
         return plan.MatchesPair(left.tuple, right.tuple, &left.profile,
                                 &right.profile);
@@ -288,6 +346,9 @@ Result<IngestReport> MatchSession::Flush() {
     };
 
     if (sharded) {
+      // The sharded paths fuse candidate scan and evaluation per shard;
+      // their whole time lands in eval_seconds.
+      ScopedTimer eval_timer(&report.eval_seconds);
       report.shards_used =
           windowing ? ShardedWindowFlush(inserted, eval, seq_pair, window,
                                          &new_matches, &report)
@@ -298,34 +359,43 @@ Result<IngestReport> MatchSession::Flush() {
       // (pairs gaining a delta endpoint) and around every removal gap
       // (old pairs whose distance shrank below the window).
       match::CandidateSet cand;
-      for (size_t p = 0; p < passes; ++p) {
-        const match::SortedKeyIndex& idx = window_index_[p];
-        const size_t n = idx.size();
-        auto add_pair = [&](size_t i, size_t j) {
-          const IndexedEntry& a = idx.at(i);
-          const IndexedEntry& b = idx.at(j);
+      {
+        ScopedTimer scan_timer(&report.scan_seconds);
+        std::vector<const IndexedEntry*> span;  // reused window buffer
+        auto add_pair = [&](const IndexedEntry& a, const IndexedEntry& b) {
           if (a.side == b.side) return;
           auto [l, r] = seq_pair(a, b);
           if (!raw_matches_.Contains(l, r)) cand.Add(l, r);
         };
-        for (const auto& [side, seq] : inserted) {
-          const Record& record =
-              corpus_[side][pos_by_seq_[side].at(seq)];
-          const size_t center = idx.LowerBound(
-              {record.keys[p], static_cast<uint8_t>(side), seq});
-          const size_t lo = center >= window - 1 ? center - (window - 1) : 0;
-          const size_t hi = std::min(n, center + window);
-          for (size_t j = lo; j < hi; ++j) {
-            if (j != center) add_pair(std::min(center, j),
-                                      std::max(center, j));
+        for (size_t p = 0; p < passes; ++p) {
+          const SortedKeyIndex& idx = indexes_->window_passes()[p];
+          const size_t n = idx.size();
+          for (const auto& [side, seq] : inserted) {
+            const Record& record =
+                corpus_[side][pos_by_seq_[side][seq]];
+            const size_t center = idx.LowerBound(
+                {record.keys[p], static_cast<uint8_t>(side), seq});
+            const size_t lo = center >= window - 1 ? center - (window - 1)
+                                                   : 0;
+            const size_t hi = std::min(n, center + window);
+            idx.SpanInto(lo, hi, &span);
+            const size_t center_off = center - lo;
+            for (size_t j = 0; j < span.size(); ++j) {
+              if (j == center_off) continue;
+              add_pair(*span[std::min(j, center_off)],
+                       *span[std::max(j, center_off)]);
+            }
           }
-        }
-        for (size_t gap : gaps_scratch_[p]) {
-          const size_t lo = gap >= window - 1 ? gap - (window - 1) : 0;
-          const size_t hi = std::min(n, gap + window - 1);
-          for (size_t i = lo; i < hi; ++i) {
-            const size_t jhi = std::min(hi, i + window);
-            for (size_t j = i + 1; j < jhi; ++j) add_pair(i, j);
+          for (size_t gap : gaps_scratch_[p]) {
+            const size_t lo = gap >= window - 1 ? gap - (window - 1) : 0;
+            const size_t hi = std::min(n, gap + window - 1);
+            idx.SpanInto(lo, hi, &span);
+            for (size_t i = 0; i < span.size(); ++i) {
+              const size_t jhi = std::min(span.size(), i + window);
+              for (size_t j = i + 1; j < jhi; ++j) {
+                add_pair(*span[i], *span[j]);
+              }
+            }
           }
         }
       }
@@ -335,47 +405,98 @@ Result<IngestReport> MatchSession::Flush() {
       // side of its block (PairSet-deduped, so intra-delta pairs emitted
       // from both endpoints collapse).
       match::CandidateSet cand;
-      for (const auto& [side, seq] : inserted) {
-        const Record& record = corpus_[side][pos_by_seq_[side].at(seq)];
-        const match::BlockIndex::Block* block =
-            block_index_.Find(record.keys[0]);
-        if (block == nullptr) continue;
-        const std::vector<uint32_t>& others =
-            side == 0 ? block->right : block->left;
-        for (uint32_t other : others) {
-          const uint32_t l = side == 0 ? seq : other;
-          const uint32_t r = side == 0 ? other : seq;
-          if (!raw_matches_.Contains(l, r)) cand.Add(l, r);
+      {
+        ScopedTimer scan_timer(&report.scan_seconds);
+        const candidate::BlockIndex* blocks = indexes_->block();
+        for (const auto& [side, seq] : inserted) {
+          const Record& record = corpus_[side][pos_by_seq_[side][seq]];
+          const candidate::BlockIndex::Block* block =
+              blocks->Find(record.keys[0]);
+          if (block == nullptr) continue;
+          const std::vector<uint32_t>& others =
+              side == 0 ? block->right : block->left;
+          for (uint32_t other : others) {
+            const uint32_t l = side == 0 ? seq : other;
+            const uint32_t r = side == 0 ? other : seq;
+            if (!raw_matches_.Contains(l, r)) cand.Add(l, r);
+          }
         }
       }
       EvaluatePairs(cand.pairs(), eval, &new_matches, &report);
     }
     report.cache_hits = cache_hits.load();
+    if (pair_cache_ != nullptr) {
+      const match::PairDecisionCache::Stats after = pair_cache_->stats();
+      report.cache_lookups = (after.hits - cache_before.hits) +
+                             (after.misses - cache_before.misses);
+      report.cache_evictions = after.evictions - cache_before.evictions;
+    }
   }
 
   // --- retire standing matches insertions pushed out of every window ---
   {
     ScopedTimer timer(&report.cluster_seconds);
-    // Every standing pair is re-ranked on any flush with inserts
-    // (O(matches x passes x log n)); only pairs straddling an insertion
-    // position can actually drift, so an interval check over the
-    // insertion ranks could narrow this if it ever shows up in profiles.
     if (windowing && window >= 2 && !inserted.empty() &&
         raw_matches_.size() > 0) {
-      const size_t drifted = raw_matches_.RemoveMatching(
-          [&](uint32_t l, uint32_t r) {
-            const Record& left = corpus_[0][pos_by_seq_[0].at(l)];
-            const Record& right = corpus_[1][pos_by_seq_[1].at(r)];
-            for (size_t p = 0; p < passes; ++p) {
-              const size_t pl = window_index_[p].LowerBound(
-                  {left.keys[p], 0, left.seq});
-              const size_t pr = window_index_[p].LowerBound(
-                  {right.keys[p], 1, right.seq});
-              const size_t dist = pl > pr ? pl - pr : pr - pl;
-              if (dist <= window - 1) return false;  // still a candidate
-            }
-            return true;
-          });
+      ScopedTimer rerank_timer(&report.rerank_seconds);
+      const auto& widx = indexes_->window_passes();
+      const size_t n = widx.empty() ? 0 : widx[0].size();
+      size_t drifted = 0;
+      // Two exact strategies, chosen by cost. Per-pair rank queries on
+      // the treap cost a logarithmic descent of key comparisons per pair
+      // per pass — fine while standing matches are few. Past that, one
+      // in-order walk per pass ranks *every* record in O(n) with no key
+      // comparisons at all, and pairs are re-ranked by O(1) integer
+      // distance checks against the dense rank table. The table is
+      // indexed by seq, and seqs are never reused — a session that
+      // churned records down leaves the seq space larger than the live
+      // corpus, so bulk also requires the table (next_seq-sized) to stay
+      // proportional to n or the zero-fill would dwarf the walks.
+      const bool bulk =
+          raw_matches_.size() * 8 >= n &&
+          static_cast<size_t>(next_seq_[0]) + next_seq_[1] <= 4 * n;
+      if (bulk) {
+        // rank_of[side][seq * passes + p] = rank in pass p.
+        std::vector<uint32_t> rank_of[2];
+        rank_of[0].resize(static_cast<size_t>(next_seq_[0]) * passes);
+        rank_of[1].resize(static_cast<size_t>(next_seq_[1]) * passes);
+        std::vector<const IndexedEntry*> span;
+        for (size_t p = 0; p < passes; ++p) {
+          widx[p].SpanInto(0, n, &span);
+          for (size_t i = 0; i < span.size(); ++i) {
+            rank_of[span[i]->side][span[i]->seq * passes + p] =
+                static_cast<uint32_t>(i);
+          }
+        }
+        drifted = raw_matches_.RemoveMatching(
+            [&](uint32_t l, uint32_t r) {
+              const uint32_t* pl =
+                  &rank_of[0][static_cast<size_t>(l) * passes];
+              const uint32_t* pr =
+                  &rank_of[1][static_cast<size_t>(r) * passes];
+              for (size_t p = 0; p < passes; ++p) {
+                const uint32_t dist =
+                    pl[p] > pr[p] ? pl[p] - pr[p] : pr[p] - pl[p];
+                if (dist <= window - 1) return false;  // still a candidate
+              }
+              return true;
+            });
+      } else {
+        drifted = raw_matches_.RemoveMatching(
+            [&](uint32_t l, uint32_t r) {
+              const Record& left = corpus_[0][pos_by_seq_[0][l]];
+              const Record& right = corpus_[1][pos_by_seq_[1][r]];
+              for (size_t p = 0; p < passes; ++p) {
+                const size_t pl =
+                    widx[p].LowerBound({left.keys[p], 0, left.seq});
+                const size_t pr =
+                    widx[p].LowerBound({right.keys[p], 1, right.seq});
+                const size_t dist = pl > pr ? pl - pr : pr - pl;
+                if (dist <= window - 1) return false;  // still a candidate
+              }
+              return true;
+            });
+      }
       if (drifted > 0) {
         report.matches_dropped += drifted;
         clusters_stale_ = true;
@@ -403,6 +524,7 @@ void MatchSession::EvaluatePairs(
     const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
     const std::function<bool(uint32_t, uint32_t)>& eval,
     std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report) {
+  ScopedTimer eval_timer(&report->eval_seconds);
   report->pairs_evaluated += pairs.size();
   size_t workers = options_.num_threads;
   if (options_.min_pairs_per_thread > 0) {
@@ -431,20 +553,22 @@ size_t MatchSession::ShardedWindowFlush(
     const std::vector<std::pair<int, uint32_t>>& inserted,
     const std::function<bool(uint32_t, uint32_t)>& eval,
     const std::function<std::pair<uint32_t, uint32_t>(
-        const match::IndexedEntry&, const match::IndexedEntry&)>& seq_pair,
+        const candidate::IndexedEntry&, const candidate::IndexedEntry&)>&
+        seq_pair,
     size_t window, std::vector<std::pair<uint32_t, uint32_t>>* out,
     IngestReport* report) {
-  const size_t passes = window_index_.size();
-  const size_t n = passes == 0 ? 0 : window_index_[0].size();
+  const auto& widx = indexes_->window_passes();
+  const size_t passes = widx.size();
+  const size_t n = passes == 0 ? 0 : widx[0].size();
   if (window < 2 || n == 0) return 1;
 
   // Per pass: flag the positions the delta entered at.
   std::vector<std::vector<uint8_t>> is_delta(passes);
   for (size_t p = 0; p < passes; ++p) {
-    is_delta[p].assign(window_index_[p].size(), 0);
+    is_delta[p].assign(widx[p].size(), 0);
     for (const auto& [side, seq] : inserted) {
-      const Record& record = corpus_[side][pos_by_seq_[side].at(seq)];
-      is_delta[p][window_index_[p].LowerBound(
+      const Record& record = corpus_[side][pos_by_seq_[side][seq]];
+      is_delta[p][widx[p].LowerBound(
           {record.keys[p], static_cast<uint8_t>(side), seq})] = 1;
     }
   }
@@ -455,18 +579,22 @@ size_t MatchSession::ShardedWindowFlush(
   // Each shard owns a contiguous range of positions — a contiguous range
   // of the derived-key order — in every pass; a window crossing the shard
   // boundary belongs to the shard of its left endpoint, which reads past
-  // its range into the (immutable) index.
+  // its range into the (immutable) snapshot.
   ParallelChunks(n, shards, [&](size_t w, size_t begin, size_t end) {
     match::PairSet seen;  // dedupes across this shard's passes
     for (size_t p = 0; p < passes; ++p) {
-      const match::SortedKeyIndex& idx = window_index_[p];
+      const SortedKeyIndex& idx = widx[p];
       const size_t np = idx.size();
+      if (begin >= np) continue;
       const std::vector<size_t>& gaps = gaps_scratch_[p];
+      // One contiguous walk per shard per pass: the owned range plus the
+      // window tail read past the boundary.
+      const auto span = idx.Span(begin, std::min(np, end + window - 1));
       for (size_t i = begin; i < end && i < np; ++i) {
         const size_t jhi = std::min(np, i + window);
         for (size_t j = i + 1; j < jhi; ++j) {
-          const IndexedEntry& a = idx.at(i);
-          const IndexedEntry& b = idx.at(j);
+          const IndexedEntry& a = *span[i - begin];
+          const IndexedEntry& b = *span[j - begin];
           if (a.side == b.side) continue;
           if (!is_delta[p][i] && !is_delta[p][j] &&
               !(!gaps.empty() && SpansGap(gaps, i, j))) {
@@ -502,21 +630,22 @@ size_t MatchSession::ShardedBlockFlush(
   std::vector<std::string> touched;
   std::unordered_set<uint64_t> delta;
   for (const auto& [side, seq] : inserted) {
-    touched.push_back(corpus_[side][pos_by_seq_[side].at(seq)].keys[0]);
+    touched.push_back(corpus_[side][pos_by_seq_[side][seq]].keys[0]);
     delta.insert(Handle(side, seq));
   }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   if (touched.empty()) return 1;
 
+  const candidate::BlockIndex* blocks = indexes_->block();
   const size_t shards = std::min(options_.num_threads, touched.size());
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> local(shards);
   std::vector<size_t> local_evals(shards, 0);
   ParallelChunks(touched.size(), shards,
                  [&](size_t w, size_t begin, size_t end) {
                    for (size_t k = begin; k < end; ++k) {
-                     const match::BlockIndex::Block* block =
-                         block_index_.Find(touched[k]);
+                     const candidate::BlockIndex::Block* block =
+                         blocks->Find(touched[k]);
                      if (block == nullptr) continue;
                      for (uint32_t l : block->left) {
                        for (uint32_t r : block->right) {
@@ -553,6 +682,11 @@ size_t MatchSession::pending_ops() const {
   return pending_.size();
 }
 
+candidate::IndexSnapshotPtr MatchSession::indexes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexes_;
+}
+
 Instance MatchSession::Corpus() const {
   std::lock_guard<std::mutex> lock(mu_);
   Relation left(plan_->pair().left());
@@ -569,7 +703,7 @@ Instance MatchSession::Corpus() const {
 match::MatchResult MatchSession::TranslatedMatchesLocked() const {
   match::MatchResult out;
   for (const auto& [l, r] : raw_matches_.pairs()) {
-    out.Add(pos_by_seq_[0].at(l), pos_by_seq_[1].at(r));
+    out.Add(pos_by_seq_[0][l], pos_by_seq_[1][r]);
   }
   return out;
 }

@@ -13,12 +13,13 @@
 #include <vector>
 
 #include "api/plan.h"
-#include "match/block_index.h"
+#include "candidate/catalog.h"
+#include "candidate/indexed_entry.h"
+#include "candidate/snapshot.h"
 #include "match/clustering.h"
 #include "match/compiled_eval.h"
 #include "match/match_result.h"
 #include "match/pair_cache.h"
-#include "match/sorted_index.h"
 #include "schema/instance.h"
 #include "util/status.h"
 
@@ -47,6 +48,18 @@ struct SessionOptions {
   /// off, up to 64-bit fingerprint collisions on a recycled id (see
   /// match/pair_cache.h).
   size_t pair_cache_capacity = 0;
+  /// Optional shared index catalog. Sessions created with the same
+  /// catalog, an identical compiled plan (keyed by PlanFingerprint) and
+  /// the same corpus_id attach to one candidate::IndexCatalog entry: the
+  /// first session to flush a given delta builds the next index snapshot,
+  /// every other session adopts it (IngestReport::index_reused), so index
+  /// construction is paid once per corpus instead of once per session.
+  /// Sharing pays off when the sessions ingest identical delta streams;
+  /// divergence is detected by delta fingerprint and degrades to private
+  /// index builds — results are bit-identical either way.
+  std::shared_ptr<candidate::IndexCatalog> catalog;
+  /// Names the corpus within the catalog (ignored without `catalog`).
+  std::string corpus_id;
 };
 
 /// What one Flush did.
@@ -59,12 +72,25 @@ struct IngestReport {
                                ///< out of every window
   size_t shards_used = 1;      ///< 1 = delta path, >1 = sharded flush
   size_t cache_hits = 0;       ///< pairs decided from the pair-decision cache
+  size_t cache_lookups = 0;    ///< pair-cache probes this flush (hits+misses)
+  size_t cache_evictions = 0;  ///< pair-cache LRU entries evicted this flush
+  /// True when this flush adopted an index snapshot another session already
+  /// built for the same (base version, delta) through a shared
+  /// candidate::IndexCatalog entry, skipping the merge entirely.
+  bool index_reused = false;
   size_t corpus_left = 0;      ///< live left records after the flush
   size_t corpus_right = 0;
   size_t total_matches = 0;    ///< standing match pairs after the flush
   double index_seconds = 0;    ///< corpus bookkeeping + index merge
   double match_seconds = 0;    ///< candidate scans + rule evaluation
   double cluster_seconds = 0;  ///< match revalidation + union-find upkeep
+  // Finer-grained phases (each nested inside one aggregate above):
+  double merge_seconds = 0;   ///< index delta merge alone (in index_seconds)
+  double scan_seconds = 0;    ///< candidate scans alone (in match_seconds)
+  double eval_seconds = 0;    ///< rule evaluation alone (in match_seconds;
+                              ///< sharded flushes fuse scan+eval here)
+  double rerank_seconds = 0;  ///< windowing drift re-rank (in
+                              ///< cluster_seconds)
 };
 
 /// \brief A standing, incrementally matched corpus behind one compiled
@@ -72,20 +98,26 @@ struct IngestReport {
 ///
 /// Where the Executor treats every batch as a stateless one-shot, a
 /// MatchSession keeps the corpus resident: per-RCK blocking / sort-key
-/// indexes persist across ingests, so a Flush matches only the staged
-/// delta against the indexed corpus (plus intra-delta pairs) instead of
-/// re-blocking the world. Match state is maintained incrementally — a
-/// union-find (match::UnionFind) grows with each flush, and Matches() /
-/// ClusterOf() are queryable between ingests.
+/// indexes persist across ingests as immutable candidate::IndexSnapshot
+/// versions (persistent treaps for windowing, copy-on-write blocks for
+/// blocking), so a Flush advances the index chain in O(delta · log n) and
+/// matches only the staged delta against the indexed corpus (plus
+/// intra-delta pairs) instead of re-blocking the world. Match state is
+/// maintained incrementally — a union-find (match::UnionFind) grows with
+/// each flush, and Matches() / ClusterOf() are queryable between ingests.
 ///
 /// The contract that makes the incrementality trustworthy: after any
 /// sequence of Upsert / Remove / Flush calls, Matches() and Clusters()
 /// are exactly what one-shot Executor::Run produces over Corpus() — bit
-/// for bit, for every thread and shard count. For windowing plans this
-/// includes the non-local effects of the sorted order: a flush
-/// re-examines pairs pushed together by removals (they may newly match)
-/// and retires standing matches pushed apart by insertions (they are no
-/// longer sorted-neighborhood candidates).
+/// for bit, for every thread and shard count, with or without a shared
+/// index catalog. For windowing plans this includes the non-local effects
+/// of the sorted order: a flush re-examines pairs pushed together by
+/// removals (they may newly match) and retires standing matches pushed
+/// apart by insertions (they are no longer sorted-neighborhood
+/// candidates) — the latter re-rank resolves every standing pair's
+/// per-pass ranks either by direct index queries or, past a size
+/// threshold, from one ordered walk per pass with comparison-free O(1)
+/// distance checks (see Flush).
 ///
 /// Records are addressed by (side, TupleId): side 0 is the plan's left
 /// relation, side 1 the right. Upserting an existing id replaces its
@@ -114,16 +146,21 @@ class MatchSession {
   /// the corpus nor staged.
   Status Remove(int side, TupleId id);
 
-  /// Applies the staged delta: merges it into the persistent indexes,
-  /// matches delta-vs-corpus and intra-delta pairs, retires match state
-  /// of removed/updated records, and updates the clustering. A flush
-  /// with nothing staged is a cheap no-op.
+  /// Applies the staged delta: merges it into the persistent indexes
+  /// (advancing the snapshot chain), matches delta-vs-corpus and
+  /// intra-delta pairs, retires match state of removed/updated records,
+  /// and updates the clustering. A flush with nothing staged is a cheap
+  /// no-op.
   Result<IngestReport> Flush();
 
   size_t left_size() const;
   size_t right_size() const;
   /// Records staged but not yet flushed.
   size_t pending_ops() const;
+
+  /// The current (last flushed) index snapshot — immutable; stays valid
+  /// and unchanged while the session keeps flushing.
+  candidate::IndexSnapshotPtr indexes() const;
 
   /// Materializes the standing corpus as an Instance (live records in
   /// ingestion order) — the "equivalent single batch" a one-shot
@@ -191,7 +228,8 @@ class MatchSession {
       const std::vector<std::pair<int, uint32_t>>& inserted,
       const std::function<bool(uint32_t, uint32_t)>& eval,
       const std::function<std::pair<uint32_t, uint32_t>(
-          const match::IndexedEntry&, const match::IndexedEntry&)>& seq_pair,
+          const candidate::IndexedEntry&, const candidate::IndexedEntry&)>&
+          seq_pair,
       size_t window, std::vector<std::pair<uint32_t, uint32_t>>* out,
       IngestReport* report);
   size_t ShardedBlockFlush(
@@ -205,7 +243,11 @@ class MatchSession {
   mutable std::mutex mu_;
   std::vector<Record> corpus_[2];                       // ingestion order
   std::unordered_map<TupleId, uint32_t> pos_by_id_[2];  // id -> position
-  std::unordered_map<uint32_t, uint32_t> pos_by_seq_[2];
+  /// seq -> corpus position, dense (seqs are allocated consecutively;
+  /// slots of removed records go stale and are never consulted). A flat
+  /// array because this lookup sits on the hottest flush paths — every
+  /// pair evaluation resolves both records through it.
+  std::vector<uint32_t> pos_by_seq_[2];
   uint32_t next_seq_[2] = {0, 0};
 
   /// Staged delta, keyed (side, id); nullopt = removal. Ordered so flush
@@ -215,10 +257,16 @@ class MatchSession {
   /// Standing raw match pairs as (left seq, right seq).
   match::PairSet raw_matches_;
 
-  /// Persistent candidate indexes: one sorted index per windowing pass,
-  /// or one block index (keyed by seq) for blocking plans.
-  std::vector<match::SortedKeyIndex> window_index_;
-  match::BlockIndex block_index_;
+  /// The current version of the persistent candidate indexes: one sorted
+  /// treap per windowing pass, or the block index, frozen per flush.
+  /// Readers (queries, shard workers, sibling catalog sessions) hold the
+  /// snapshot; Flush advances to the next version without disturbing
+  /// them.
+  candidate::IndexSnapshotPtr indexes_;
+  /// Version counter for private (non-catalog) snapshot chains.
+  uint64_t next_version_ = 1;
+  /// The shared catalog entry, when SessionOptions::catalog is set.
+  candidate::IndexCatalog::EntryPtr catalog_entry_;
 
   /// Incremental clustering over the raw match graph. Nodes are dense ids
   /// mapped from record handles; removals mark the structure stale and

@@ -1,8 +1,8 @@
-#include "match/block_index.h"
+#include "candidate/block_index.h"
 
 #include <algorithm>
 
-namespace mdmatch::match {
+namespace mdmatch::candidate {
 
 void BlockIndex::Add(uint8_t side, uint32_t id, const std::string& key) {
   Block& block = blocks_[key];
@@ -26,7 +26,7 @@ const BlockIndex::Block* BlockIndex::Find(const std::string& key) const {
 }
 
 BlockIndex BlockIndex::FromInstance(const Instance& instance,
-                                    const KeyFunction& key) {
+                                    const match::KeyFunction& key) {
   BlockIndex index;
   for (uint32_t i = 0; i < instance.left().size(); ++i) {
     index.Add(0, i, key.Render(instance.left().tuple(i), 0));
@@ -37,4 +37,4 @@ BlockIndex BlockIndex::FromInstance(const Instance& instance,
   return index;
 }
 
-}  // namespace mdmatch::match
+}  // namespace mdmatch::candidate

@@ -1,0 +1,64 @@
+#ifndef MDMATCH_CANDIDATE_BLOCK_INDEX_H_
+#define MDMATCH_CANDIDATE_BLOCK_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "match/key_function.h"
+#include "schema/instance.h"
+
+namespace mdmatch::candidate {
+
+/// \brief A persistent blocking index: records grouped by their rendered
+/// blocking key.
+///
+/// Two records are blocking candidates iff their keys are equal — a
+/// property of the pair alone, independent of every other record. That
+/// makes blocking exactly incremental: adding or removing a record never
+/// changes the candidacy of any other pair, which is why the
+/// api::MatchSession keeps one BlockIndex alive across ingests instead of
+/// re-blocking the corpus. The one-shot BlockCandidates path builds a
+/// throwaway BlockIndex over a batch via FromInstance.
+///
+/// Unlike candidate::SortedKeyIndex this structure is mutable in place;
+/// snapshot sharing is handled one level up by candidate::IndexSnapshot,
+/// which clones the index copy-on-write when a frozen snapshot of it is
+/// still referenced (see IndexSnapshot::Advance).
+///
+/// Records are opaque (side, id) handles: batch executions use tuple
+/// positions, sessions use ingestion sequence numbers.
+class BlockIndex {
+ public:
+  struct Block {
+    std::vector<uint32_t> left;   ///< side-0 record ids, insertion order
+    std::vector<uint32_t> right;  ///< side-1 record ids, insertion order
+  };
+
+  /// Adds a record under its rendered key.
+  void Add(uint8_t side, uint32_t id, const std::string& key);
+
+  /// Removes a record from its key's block (the key it was added under);
+  /// returns false when it was not present. Empty blocks are dropped.
+  bool Remove(uint8_t side, uint32_t id, const std::string& key);
+
+  /// The block of `key`, or nullptr when no record rendered it.
+  const Block* Find(const std::string& key) const;
+
+  const std::unordered_map<std::string, Block>& blocks() const {
+    return blocks_;
+  }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// Blocks a whole batch by tuple positions (the one-shot path).
+  static BlockIndex FromInstance(const Instance& instance,
+                                 const match::KeyFunction& key);
+
+ private:
+  std::unordered_map<std::string, Block> blocks_;
+};
+
+}  // namespace mdmatch::candidate
+
+#endif  // MDMATCH_CANDIDATE_BLOCK_INDEX_H_

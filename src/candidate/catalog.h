@@ -1,0 +1,87 @@
+#ifndef MDMATCH_CANDIDATE_CATALOG_H_
+#define MDMATCH_CANDIDATE_CATALOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "candidate/snapshot.h"
+
+namespace mdmatch::candidate {
+
+/// \brief A process-wide registry of shared candidate indexes, keyed by
+/// (plan fingerprint, corpus id).
+///
+/// Sessions that stand on the same compiled plan and ingest the same
+/// corpus (same corpus id, same delta stream) attach to one catalog
+/// entry; the first session to flush a given delta builds the next
+/// IndexSnapshot and publishes it, every other session *adopts* it —
+/// index construction happens once per corpus instead of once per
+/// session. Divergence is safe, not fatal: transitions are memoized by
+/// (base version, delta fingerprint), so a session whose stream differs
+/// simply misses the memo and builds privately (its versions branch off;
+/// results are unaffected either way).
+///
+/// Thread safety: the catalog map and each entry have their own mutex. A
+/// build runs under the entry lock, which serializes index construction
+/// (not matching) across the sessions sharing the entry — the point is to
+/// do the work once, and the losers of the race want the winner's result
+/// anyway.
+class IndexCatalog {
+ public:
+  /// One (plan fingerprint, corpus id) slot: the memoized transition
+  /// chain and the version counter shared by its sessions.
+  class Entry {
+   public:
+    /// The memoized delta transition. If some session already advanced a
+    /// snapshot of `base_version` under the same `delta_fp`, its result
+    /// is returned and `*reused` is set; otherwise `build(version)` runs
+    /// (under the entry lock) with a freshly assigned version number and
+    /// its result is published for the others.
+    IndexSnapshotPtr Advance(
+        uint64_t base_version, uint64_t delta_fp, bool* reused,
+        const std::function<IndexSnapshotPtr(uint64_t version)>& build);
+
+    /// Distinct transitions currently memoized (observability/tests).
+    size_t memo_size() const;
+
+   private:
+    friend class IndexCatalog;
+    /// Bounds memo memory: old transitions beyond this many are evicted
+    /// FIFO — a straggler session then rebuilds them privately, which is
+    /// correct, just unshared.
+    static constexpr size_t kMemoCapacity = 16;
+
+    mutable std::mutex mu_;
+    uint64_t next_version_ = 1;
+    std::map<std::pair<uint64_t, uint64_t>, IndexSnapshotPtr> memo_;
+    std::deque<std::pair<uint64_t, uint64_t>> memo_order_;  // FIFO
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// The entry for (plan_fingerprint, corpus_id), created on first use.
+  /// Entries live as long as the catalog. Memory note: the memo retains
+  /// up to kMemoCapacity snapshots. For windowing plans those share
+  /// treap structure and cost O(delta · log n) each; for blocking plans
+  /// each memoized transition holds its own copy-on-write BlockIndex
+  /// clone, so catalog-shared *blocking* sessions trade O(corpus) clone
+  /// work and memory per distinct flush for the shared build — prefer
+  /// private sessions (no catalog) for blocking plans with large corpora
+  /// until the block index is made persistent per-block (see ROADMAP).
+  EntryPtr Acquire(uint64_t plan_fingerprint, const std::string& corpus_id);
+
+  size_t num_entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<uint64_t, std::string>, EntryPtr> entries_;
+};
+
+}  // namespace mdmatch::candidate
+
+#endif  // MDMATCH_CANDIDATE_CATALOG_H_

@@ -1,0 +1,32 @@
+#ifndef MDMATCH_CANDIDATE_INDEXED_ENTRY_H_
+#define MDMATCH_CANDIDATE_INDEXED_ENTRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mdmatch::candidate {
+
+/// One entry of a persistent sort-key index: a rendered key plus a stable
+/// record handle (relation side + per-side ingestion sequence number).
+struct IndexedEntry {
+  std::string key;
+  uint8_t side = 0;   ///< 0 = left relation, 1 = right relation
+  uint32_t seq = 0;   ///< per-side ingestion sequence (stable across removals)
+
+  bool operator==(const IndexedEntry&) const = default;
+};
+
+/// Total order (key, side, seq): exactly the order WindowCandidates sees
+/// after stable-sorting a batch laid out as all left tuples in position
+/// order followed by all right tuples — equal keys keep left before right
+/// and ingestion order within a side. This equivalence is what lets an
+/// incremental session reproduce one-shot windowing bit for bit.
+inline bool operator<(const IndexedEntry& a, const IndexedEntry& b) {
+  if (a.key != b.key) return a.key < b.key;
+  if (a.side != b.side) return a.side < b.side;
+  return a.seq < b.seq;
+}
+
+}  // namespace mdmatch::candidate
+
+#endif  // MDMATCH_CANDIDATE_INDEXED_ENTRY_H_

@@ -1,0 +1,93 @@
+#ifndef MDMATCH_CANDIDATE_RADIX_H_
+#define MDMATCH_CANDIDATE_RADIX_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdmatch::candidate {
+
+namespace radix_internal {
+
+/// Lexicographic comparison of key suffixes from `depth` on, by unsigned
+/// byte (the order std::string's operator< induces). Returns <0, 0, >0.
+inline int CompareSuffix(const std::string& a, const std::string& b,
+                         size_t depth) {
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  const size_t m = std::min(na, nb);
+  for (size_t i = depth; i < m; ++i) {
+    const unsigned char ca = static_cast<unsigned char>(a[i]);
+    const unsigned char cb = static_cast<unsigned char>(b[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (na == nb) return 0;
+  return na < nb ? -1 : 1;
+}
+
+/// MSD radix step over perm[lo, hi): stable counting sort on the byte at
+/// `depth` (bucket 0 = key exhausted, so shorter prefixes sort first),
+/// then recursion per byte bucket. Small ranges fall back to a stable
+/// comparison sort of the remaining suffix, preserving the incoming
+/// relative order of equal keys like the counting passes do.
+template <typename KeyAt>
+void RadixSortRange(std::vector<uint32_t>& perm, std::vector<uint32_t>& tmp,
+                    size_t lo, size_t hi, size_t depth, const KeyAt& key_at) {
+  constexpr size_t kBuckets = 257;  // 0 = exhausted, 1..256 = byte + 1
+  constexpr size_t kFallback = 48;
+
+  const size_t n = hi - lo;
+  if (n < 2) return;
+  if (n <= kFallback) {
+    std::stable_sort(perm.begin() + lo, perm.begin() + hi,
+                     [&](uint32_t a, uint32_t b) {
+                       return CompareSuffix(key_at(a), key_at(b), depth) < 0;
+                     });
+    return;
+  }
+
+  std::array<size_t, kBuckets + 1> counts{};
+  auto bucket_of = [&](uint32_t index) -> size_t {
+    const std::string& key = key_at(index);
+    return depth < key.size()
+               ? static_cast<size_t>(static_cast<unsigned char>(key[depth])) +
+                     1
+               : 0;
+  };
+  for (size_t i = lo; i < hi; ++i) ++counts[bucket_of(perm[i]) + 1];
+  for (size_t b = 1; b <= kBuckets; ++b) counts[b] += counts[b - 1];
+
+  std::array<size_t, kBuckets> offsets;
+  for (size_t b = 0; b < kBuckets; ++b) offsets[b] = counts[b];
+  for (size_t i = lo; i < hi; ++i) {
+    tmp[lo + offsets[bucket_of(perm[i])]++] = perm[i];
+  }
+  std::copy(tmp.begin() + lo, tmp.begin() + hi, perm.begin() + lo);
+
+  // Bucket 0 holds keys equal through their whole length: already in
+  // stable order, nothing left to distinguish.
+  for (size_t b = 1; b < kBuckets; ++b) {
+    const size_t blo = lo + counts[b];
+    const size_t bhi = lo + counts[b + 1];
+    if (bhi - blo > 1) RadixSortRange(perm, tmp, blo, bhi, depth + 1, key_at);
+  }
+}
+
+}  // namespace radix_internal
+
+/// \brief Stable MSD byte-radix sort of `perm` by `key_at(index)`: after
+/// the call, perm is ordered by key (memcmp order, shorter prefixes
+/// first), with equal keys keeping their incoming relative order in
+/// `perm`. Far cheaper than a comparison sort for short clustered keys —
+/// most of the work is counting passes over bytes.
+template <typename KeyAt>
+void StableRadixSortByKey(std::vector<uint32_t>& perm, const KeyAt& key_at) {
+  std::vector<uint32_t> tmp(perm.size());
+  radix_internal::RadixSortRange(perm, tmp, 0, perm.size(), 0, key_at);
+}
+
+}  // namespace mdmatch::candidate
+
+#endif  // MDMATCH_CANDIDATE_RADIX_H_

@@ -1,0 +1,62 @@
+#include "candidate/snapshot.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mdmatch::candidate {
+
+IndexSnapshotPtr IndexSnapshot::Empty(size_t passes, bool blocking) {
+  auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
+  snapshot->window_.resize(passes);
+  if (blocking) snapshot->block_ = std::make_shared<BlockIndex>();
+  return snapshot;
+}
+
+IndexSnapshotPtr IndexSnapshot::Advance(
+    IndexSnapshotPtr base,
+    const std::vector<std::vector<IndexedEntry>>& pass_removes,
+    std::vector<std::vector<IndexedEntry>> pass_inserts,
+    const std::vector<IndexedEntry>& block_removes,
+    const std::vector<IndexedEntry>& block_inserts, uint64_t version) {
+  assert(base != nullptr && "Advance requires a base snapshot");
+  assert(pass_removes.size() == base->window_.size() &&
+         pass_inserts.size() == base->window_.size() &&
+         "delta pass count must match the snapshot");
+
+  // Recycle the base object when the caller moved in the only reference:
+  // nobody can observe it, so mutating in place is safe and skips the
+  // block-index clone. Every IndexSnapshot is created non-const (Empty /
+  // here), so the const_cast does not touch a const object.
+  std::shared_ptr<IndexSnapshot> next;
+  if (base.use_count() == 1) {
+    next = std::const_pointer_cast<IndexSnapshot>(std::move(base));
+  } else {
+    next = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
+    next->window_ = base->window_;  // O(passes): treap roots are shared
+    next->block_ = base->block_;
+    base.reset();
+  }
+  next->version_ = version;
+
+  for (size_t p = 0; p < next->window_.size(); ++p) {
+    next->window_[p].Apply(pass_removes[p], std::move(pass_inserts[p]));
+  }
+  if (next->block_ != nullptr &&
+      (!block_removes.empty() || !block_inserts.empty())) {
+    if (next->block_.use_count() > 1) {
+      // A frozen ancestor still references this block index: clone before
+      // writing (copy-on-write; O(corpus), only paid when actually
+      // shared).
+      next->block_ = std::make_shared<BlockIndex>(*next->block_);
+    }
+    for (const IndexedEntry& e : block_removes) {
+      next->block_->Remove(e.side, e.seq, e.key);
+    }
+    for (const IndexedEntry& e : block_inserts) {
+      next->block_->Add(e.side, e.seq, e.key);
+    }
+  }
+  return next;
+}
+
+}  // namespace mdmatch::candidate

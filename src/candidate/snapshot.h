@@ -1,0 +1,76 @@
+#ifndef MDMATCH_CANDIDATE_SNAPSHOT_H_
+#define MDMATCH_CANDIDATE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "candidate/block_index.h"
+#include "candidate/indexed_entry.h"
+#include "candidate/sorted_index.h"
+
+namespace mdmatch::candidate {
+
+class IndexSnapshot;
+/// The form a snapshot is shared in: deeply immutable, reference-counted.
+/// Shard workers, concurrent queries and other sessions (through an
+/// IndexCatalog) all read through one of these while the owning session
+/// keeps advancing — an advance never mutates a snapshot someone else can
+/// still see.
+using IndexSnapshotPtr = std::shared_ptr<const IndexSnapshot>;
+
+/// \brief One immutable version of a corpus's candidate-generation
+/// indexes: the per-pass sorted windowing indexes, or the blocking index.
+///
+/// Versions form a chain (or, when sessions diverge, a tree): each
+/// Advance applies one flush's delta and yields the next version.
+/// Windowing indexes are persistent treaps, so an advance costs
+/// O(delta · log n) and shares all untouched nodes with its parent; the
+/// blocking index is cloned copy-on-write only when the parent version is
+/// still referenced by someone else (a lone session advances its block
+/// index in place, like the pre-snapshot code did).
+class IndexSnapshot {
+ public:
+  /// The starting version: empty indexes, `passes` windowing passes
+  /// (0 for blocking plans), version 0.
+  static IndexSnapshotPtr Empty(size_t passes, bool blocking);
+
+  /// Applies one delta to `base` and returns the resulting snapshot with
+  /// `version` stamped on it. `base` is passed by value on purpose: a
+  /// caller that moves in its only reference lets Advance recycle the
+  /// object in place (and mutate the block index without cloning);
+  /// otherwise the result is a fresh snapshot and `base` survives
+  /// untouched for its remaining holders.
+  ///
+  /// `pass_removes` / `pass_inserts` are per windowing pass (must match
+  /// the snapshot's pass count); `block_removes` / `block_inserts` feed
+  /// the blocking index. A windowing snapshot ignores the block lists and
+  /// vice versa.
+  static IndexSnapshotPtr Advance(
+      IndexSnapshotPtr base,
+      const std::vector<std::vector<IndexedEntry>>& pass_removes,
+      std::vector<std::vector<IndexedEntry>> pass_inserts,
+      const std::vector<IndexedEntry>& block_removes,
+      const std::vector<IndexedEntry>& block_inserts, uint64_t version);
+
+  uint64_t version() const { return version_; }
+
+  /// The windowing indexes, one per pass (empty for blocking snapshots).
+  const std::vector<SortedKeyIndex>& window_passes() const {
+    return window_;
+  }
+
+  /// The blocking index, or nullptr for windowing snapshots.
+  const BlockIndex* block() const { return block_.get(); }
+
+ private:
+  IndexSnapshot() = default;
+
+  std::vector<SortedKeyIndex> window_;
+  std::shared_ptr<BlockIndex> block_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace mdmatch::candidate
+
+#endif  // MDMATCH_CANDIDATE_SNAPSHOT_H_

@@ -1,0 +1,430 @@
+#include "candidate/sorted_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "candidate/radix.h"
+#include "util/fnv.h"
+
+namespace mdmatch::candidate {
+
+namespace {
+
+/// Deterministic treap priority: FNV-1a over the key bytes, then the
+/// (side, seq) handle folded in through a splitmix64 finalizer. Hash
+/// quality matters — the expected O(log n) bounds assume priorities act
+/// like independent uniform draws.
+uint64_t EntryPriority(const IndexedEntry& e) {
+  const uint64_t hash = FnvMixString(kFnvOffsetBasis, e.key);
+  return Mix64(hash ^ (static_cast<uint64_t>(e.side) << 32) ^ e.seq);
+}
+
+}  // namespace
+
+SortedKeyIndex::SortedKeyIndex(const SortedKeyIndex& other)
+    : root_(other.root_) {
+  shared_.store(true, std::memory_order_relaxed);
+  other.shared_.store(true, std::memory_order_relaxed);
+}
+
+SortedKeyIndex& SortedKeyIndex::operator=(const SortedKeyIndex& other) {
+  root_ = other.root_;
+  shared_.store(true, std::memory_order_relaxed);
+  other.shared_.store(true, std::memory_order_relaxed);
+  return *this;
+}
+
+SortedKeyIndex::SortedKeyIndex(SortedKeyIndex&& other) noexcept
+    : root_(std::move(other.root_)) {
+  shared_.store(other.shared_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+SortedKeyIndex& SortedKeyIndex::operator=(SortedKeyIndex&& other) noexcept {
+  root_ = std::move(other.root_);
+  shared_.store(other.shared_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  return *this;
+}
+
+SortedKeyIndex::NodePtr SortedKeyIndex::MakeNode(EntryPtr entry,
+                                                 uint64_t priority,
+                                                 NodePtr left, NodePtr right) {
+  auto node = std::make_shared<Node>();
+  node->entry = std::move(entry);
+  node->priority = priority;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->count = 1 + Count(node->left.get()) + Count(node->right.get());
+  return node;
+}
+
+SortedKeyIndex::NodePtr SortedKeyIndex::WithChildren(const Node& n,
+                                                     NodePtr left,
+                                                     NodePtr right) {
+  return MakeNode(n.entry, n.priority, std::move(left), std::move(right));
+}
+
+void SortedKeyIndex::Split(const NodePtr& t, const IndexedEntry& e,
+                           NodePtr* less, NodePtr* rest) {
+  if (t == nullptr) {
+    *less = nullptr;
+    *rest = nullptr;
+    return;
+  }
+  if (*t->entry < e) {
+    NodePtr right_less;
+    Split(t->right, e, &right_less, rest);
+    *less = WithChildren(*t, t->left, std::move(right_less));
+  } else {
+    NodePtr left_rest;
+    Split(t->left, e, less, &left_rest);
+    *rest = WithChildren(*t, std::move(left_rest), t->right);
+  }
+}
+
+SortedKeyIndex::NodePtr SortedKeyIndex::Join(NodePtr a, NodePtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority > b->priority) {
+    return WithChildren(*a, a->left, Join(a->right, std::move(b)));
+  }
+  return WithChildren(*b, Join(std::move(a), b->left), b->right);
+}
+
+SortedKeyIndex::NodePtr SortedKeyIndex::InsertNode(const NodePtr& t,
+                                                   EntryPtr entry,
+                                                   uint64_t priority) {
+  if (t == nullptr) {
+    return MakeNode(std::move(entry), priority, nullptr, nullptr);
+  }
+  if (priority > t->priority) {
+    NodePtr less;
+    NodePtr rest;
+    Split(t, *entry, &less, &rest);
+    return MakeNode(std::move(entry), priority, std::move(less),
+                    std::move(rest));
+  }
+  if (*entry < *t->entry) {
+    return WithChildren(*t, InsertNode(t->left, std::move(entry), priority),
+                        t->right);
+  }
+  // Equal entries go right: immediately after the present one, the stable
+  // position.
+  return WithChildren(*t, t->left,
+                      InsertNode(t->right, std::move(entry), priority));
+}
+
+SortedKeyIndex::NodePtr SortedKeyIndex::RemoveNode(const NodePtr& t,
+                                                   const IndexedEntry& e,
+                                                   bool* removed) {
+  if (t == nullptr) return nullptr;
+  if (e < *t->entry) {
+    NodePtr left = RemoveNode(t->left, e, removed);
+    return *removed ? WithChildren(*t, std::move(left), t->right) : t;
+  }
+  if (*t->entry < e) {
+    NodePtr right = RemoveNode(t->right, e, removed);
+    return *removed ? WithChildren(*t, t->left, std::move(right)) : t;
+  }
+  *removed = true;
+  return Join(t->left, t->right);
+}
+
+void SortedKeyIndex::Insert(IndexedEntry entry) {
+  const uint64_t priority = EntryPriority(entry);
+  if (!shared_.load(std::memory_order_relaxed)) {
+    auto node = std::make_shared<Node>();
+    node->priority = priority;
+    node->entry = std::make_shared<const IndexedEntry>(std::move(entry));
+    root_ = InsertMut(Mutable(std::move(root_)), std::move(node));
+    return;
+  }
+  auto shared = std::make_shared<const IndexedEntry>(std::move(entry));
+  root_ = InsertNode(root_, std::move(shared), priority);
+}
+
+bool SortedKeyIndex::Remove(const IndexedEntry& entry) {
+  bool removed = false;
+  if (!shared_.load(std::memory_order_relaxed)) {
+    root_ = RemoveMut(Mutable(std::move(root_)), entry, &removed);
+    return removed;
+  }
+  NodePtr next = RemoveNode(root_, entry, &removed);
+  if (removed) root_ = std::move(next);
+  return removed;
+}
+
+void SortedKeyIndex::SplitFresh(std::shared_ptr<Node> t,
+                                const IndexedEntry& e,
+                                std::shared_ptr<Node>* less,
+                                std::shared_ptr<Node>* rest) {
+  if (t == nullptr) {
+    *less = nullptr;
+    *rest = nullptr;
+    return;
+  }
+  if (*t->entry < e) {
+    std::shared_ptr<Node> right_less;
+    SplitFresh(std::const_pointer_cast<Node>(t->right), e, &right_less,
+               rest);
+    t->right = std::move(right_less);
+    t->count = 1 + Count(t->left.get()) + Count(t->right.get());
+    *less = std::move(t);
+  } else {
+    std::shared_ptr<Node> left_rest;
+    SplitFresh(std::const_pointer_cast<Node>(t->left), e, less, &left_rest);
+    t->left = std::move(left_rest);
+    t->count = 1 + Count(t->left.get()) + Count(t->right.get());
+    *rest = std::move(t);
+  }
+}
+
+SortedKeyIndex::NodePtr SortedKeyIndex::UnionFresh(
+    NodePtr shared, std::shared_ptr<Node> fresh) {
+  if (fresh == nullptr) return shared;
+  if (shared == nullptr) return fresh;
+  if (fresh->priority >= shared->priority) {
+    // The fresh root outranks the shared one: split the shared side
+    // around it (path-copying) and splice the fresh node in place.
+    NodePtr less;
+    NodePtr rest;
+    Split(shared, *fresh->entry, &less, &rest);
+    fresh->left = UnionFresh(std::move(less),
+                             std::const_pointer_cast<Node>(fresh->left));
+    fresh->right = UnionFresh(std::move(rest),
+                              std::const_pointer_cast<Node>(fresh->right));
+    fresh->count =
+        1 + Count(fresh->left.get()) + Count(fresh->right.get());
+    return fresh;
+  }
+  // The shared root stays: one copied node, the fresh treap split
+  // destructively across its children.
+  std::shared_ptr<Node> fresh_less;
+  std::shared_ptr<Node> fresh_rest;
+  SplitFresh(std::move(fresh), *shared->entry, &fresh_less, &fresh_rest);
+  return MakeNode(shared->entry, shared->priority,
+                  UnionFresh(shared->left, std::move(fresh_less)),
+                  UnionFresh(shared->right, std::move(fresh_rest)));
+}
+
+std::shared_ptr<SortedKeyIndex::Node> SortedKeyIndex::JoinMut(
+    std::shared_ptr<Node> a, std::shared_ptr<Node> b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority > b->priority) {
+    a->right = JoinMut(Mutable(a->right), std::move(b));
+    a->count = 1 + Count(a->left.get()) + Count(a->right.get());
+    return a;
+  }
+  b->left = JoinMut(std::move(a), Mutable(b->left));
+  b->count = 1 + Count(b->left.get()) + Count(b->right.get());
+  return b;
+}
+
+std::shared_ptr<SortedKeyIndex::Node> SortedKeyIndex::UnionMut(
+    std::shared_ptr<Node> a, std::shared_ptr<Node> b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority < b->priority) std::swap(a, b);
+  std::shared_ptr<Node> b_less;
+  std::shared_ptr<Node> b_rest;
+  SplitFresh(std::move(b), *a->entry, &b_less, &b_rest);
+  a->left = UnionMut(Mutable(a->left), std::move(b_less));
+  a->right = UnionMut(Mutable(a->right), std::move(b_rest));
+  a->count = 1 + Count(a->left.get()) + Count(a->right.get());
+  return a;
+}
+
+std::shared_ptr<SortedKeyIndex::Node> SortedKeyIndex::InsertMut(
+    std::shared_ptr<Node> t, std::shared_ptr<Node> node) {
+  if (t == nullptr) return node;
+  if (node->priority > t->priority) {
+    std::shared_ptr<Node> less;
+    std::shared_ptr<Node> rest;
+    SplitFresh(std::move(t), *node->entry, &less, &rest);
+    node->left = std::move(less);
+    node->right = std::move(rest);
+    node->count =
+        1 + Count(node->left.get()) + Count(node->right.get());
+    return node;
+  }
+  if (*node->entry < *t->entry) {
+    t->left = InsertMut(Mutable(t->left), std::move(node));
+  } else {
+    t->right = InsertMut(Mutable(t->right), std::move(node));
+  }
+  t->count = 1 + Count(t->left.get()) + Count(t->right.get());
+  return t;
+}
+
+std::shared_ptr<SortedKeyIndex::Node> SortedKeyIndex::RemoveMut(
+    std::shared_ptr<Node> t, const IndexedEntry& e, bool* removed) {
+  if (t == nullptr) return nullptr;
+  if (e < *t->entry) {
+    t->left = RemoveMut(Mutable(t->left), e, removed);
+  } else if (*t->entry < e) {
+    t->right = RemoveMut(Mutable(t->right), e, removed);
+  } else {
+    *removed = true;
+    return JoinMut(Mutable(t->left), Mutable(t->right));
+  }
+  if (*removed) t->count = 1 + Count(t->left.get()) + Count(t->right.get());
+  return t;
+}
+
+std::shared_ptr<SortedKeyIndex::Node> SortedKeyIndex::BuildFromSorted(
+    std::vector<IndexedEntry> sorted) {
+  // Cartesian-tree build over the rightmost spine: each entry joins as
+  // the spine's new tail, adopting as left child everything it outranks.
+  // Nodes are freshly allocated and unpublished, so mutating them here is
+  // safe; counts are settled in one bottom-up pass at the end.
+  std::vector<std::shared_ptr<Node>> spine;
+  std::shared_ptr<Node> root;
+  for (IndexedEntry& entry : sorted) {
+    auto node = std::make_shared<Node>();
+    node->priority = EntryPriority(entry);
+    node->entry = std::make_shared<const IndexedEntry>(std::move(entry));
+    std::shared_ptr<Node> displaced;
+    while (!spine.empty() && spine.back()->priority < node->priority) {
+      displaced = std::move(spine.back());
+      spine.pop_back();
+      // A popped node's subtree is final: its left was settled when it
+      // was displaced itself, its right is the node popped just before.
+      displaced->count = 1 + Count(displaced->left.get()) +
+                         Count(displaced->right.get());
+    }
+    node->left = std::move(displaced);
+    if (spine.empty()) {
+      root = node;
+    } else {
+      spine.back()->right = node;
+    }
+    spine.push_back(std::move(node));
+  }
+  // The remaining spine is the tree's right edge; counts settle deepest
+  // first (each node's right child is the spine node after it).
+  for (size_t i = spine.size(); i-- > 0;) {
+    Node& n = *spine[i];
+    n.count = 1 + Count(n.left.get()) + Count(n.right.get());
+  }
+  return root;
+}
+
+void SortedKeyIndex::Apply(const std::vector<IndexedEntry>& removes,
+                           std::vector<IndexedEntry> inserts) {
+  for (const IndexedEntry& e : removes) Remove(e);
+  if (inserts.empty()) return;
+  // Sort the batch into (key, side, seq) order without a full-string
+  // comparison sort: an integer sort on (side, seq) first, then a stable
+  // byte radix on the keys — profiling showed the comparison sort of the
+  // batch costing more string compares than the union merge itself.
+  std::sort(inserts.begin(), inserts.end(),
+            [](const IndexedEntry& a, const IndexedEntry& b) {
+              if (a.side != b.side) return a.side < b.side;
+              return a.seq < b.seq;
+            });
+  std::vector<uint32_t> perm(inserts.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  StableRadixSortByKey(perm,
+                       [&](uint32_t i) -> const std::string& {
+                         return inserts[i].key;
+                       });
+  std::vector<IndexedEntry> sorted;
+  sorted.reserve(inserts.size());
+  for (uint32_t i : perm) sorted.push_back(std::move(inserts[i]));
+  std::shared_ptr<Node> batch = BuildFromSorted(std::move(sorted));
+  root_ = shared_.load(std::memory_order_relaxed)
+              ? UnionFresh(std::move(root_), std::move(batch))
+              : NodePtr(UnionMut(Mutable(std::move(root_)),
+                                 std::move(batch)));
+}
+
+size_t SortedKeyIndex::LowerBound(const IndexedEntry& e) const {
+  size_t rank = 0;
+  const Node* n = root_.get();
+  while (n != nullptr) {
+    if (*n->entry < e) {
+      rank += Count(n->left.get()) + 1;
+      n = n->right.get();
+    } else {
+      n = n->left.get();
+    }
+  }
+  return rank;
+}
+
+const IndexedEntry& SortedKeyIndex::at(size_t pos) const {
+  const Node* n = root_.get();
+  assert(pos < Count(n) && "SortedKeyIndex::at out of range");
+  while (true) {
+    const size_t left_count = Count(n->left.get());
+    if (pos < left_count) {
+      n = n->left.get();
+    } else if (pos == left_count) {
+      return *n->entry;
+    } else {
+      pos -= left_count + 1;
+      n = n->right.get();
+    }
+  }
+}
+
+std::vector<const IndexedEntry*> SortedKeyIndex::Span(size_t lo,
+                                                      size_t hi) const {
+  std::vector<const IndexedEntry*> out;
+  SpanInto(lo, hi, &out);
+  return out;
+}
+
+void SortedKeyIndex::SpanInto(size_t lo, size_t hi,
+                              std::vector<const IndexedEntry*>* out_ptr)
+    const {
+  std::vector<const IndexedEntry*>& out = *out_ptr;
+  out.clear();
+  const size_t n = size();
+  if (hi > n) hi = n;
+  if (lo >= hi) return;
+  out.reserve(hi - lo);
+
+  // Descend to rank `lo`, stacking the nodes still to be visited (a node
+  // is pushed when the walk goes left of it — it comes after its left
+  // subtree — or when it is the target itself).
+  std::vector<const Node*> stack;
+  const Node* cur = root_.get();
+  size_t skip = lo;
+  while (cur != nullptr) {
+    const size_t left_count = Count(cur->left.get());
+    if (skip < left_count) {
+      stack.push_back(cur);
+      cur = cur->left.get();
+    } else if (skip == left_count) {
+      stack.push_back(cur);
+      break;
+    } else {
+      skip -= left_count + 1;
+      cur = cur->right.get();
+    }
+  }
+
+  while (!stack.empty() && out.size() < hi - lo) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    out.push_back(node->entry.get());
+    const Node* next = node->right.get();
+    while (next != nullptr) {
+      stack.push_back(next);
+      next = next->left.get();
+    }
+  }
+}
+
+std::vector<IndexedEntry> SortedKeyIndex::Entries() const {
+  std::vector<IndexedEntry> out;
+  out.reserve(size());
+  for (const IndexedEntry* e : Span(0, size())) out.push_back(*e);
+  return out;
+}
+
+}  // namespace mdmatch::candidate

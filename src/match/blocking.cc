@@ -2,14 +2,15 @@
 
 #include <string>
 
-#include "match/block_index.h"
+#include "candidate/block_index.h"
 
 namespace mdmatch::match {
 
 CandidateSet BlockCandidates(const Instance& instance,
                              const KeyFunction& key) {
   CandidateSet out;
-  const BlockIndex index = BlockIndex::FromInstance(instance, key);
+  const candidate::BlockIndex index =
+      candidate::BlockIndex::FromInstance(instance, key);
   for (const auto& [k, block] : index.blocks()) {
     (void)k;
     for (uint32_t l : block.left) {
@@ -32,7 +33,8 @@ CandidateSet BlockCandidatesMultiPass(const Instance& instance,
 
 BlockingStats AnalyzeBlocks(const Instance& instance, const KeyFunction& key) {
   BlockingStats stats;
-  BlockIndex index = BlockIndex::FromInstance(instance, key);
+  candidate::BlockIndex index =
+      candidate::BlockIndex::FromInstance(instance, key);
   stats.num_blocks = index.num_blocks();
   size_t total = 0;
   for (const auto& [k, block] : index.blocks()) {

@@ -2,34 +2,15 @@
 
 #include <algorithm>
 
+#include "util/fnv.h"
+
 namespace mdmatch::match {
 
-namespace {
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
-
-/// splitmix64 finalizer — the cache hashes a key per candidate pair, so
-/// the word-at-a-time mix matters (byte-wise FNV would cost ~32 steps per
-/// key).
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 uint64_t TupleFingerprint(const Tuple& tuple) {
-  uint64_t hash = kFnvOffset;
+  uint64_t hash = kFnvOffsetBasis;
   for (const std::string& value : tuple.values()) {
-    for (unsigned char c : value) {
-      hash ^= c;
-      hash *= kFnvPrime;
-    }
-    hash ^= 0x1f;  // unit separator: ("ab","c") != ("a","bc")
-    hash *= kFnvPrime;
+    hash = FnvMixString(hash, value);
+    hash = FnvMixByte(hash, 0x1f);  // unit separator: ("ab","c")!=("a","bc")
   }
   return hash;
 }

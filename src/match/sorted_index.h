@@ -1,62 +1,19 @@
 #ifndef MDMATCH_MATCH_SORTED_INDEX_H_
 #define MDMATCH_MATCH_SORTED_INDEX_H_
 
-#include <cstdint>
-#include <string>
-#include <vector>
+// Moved: the persistent sort-key index lives in the candidate-generation
+// subsystem (src/candidate/) since the snapshot refactor — an
+// order-statistic treap with O(log n) ranked insert/remove and O(1)
+// copy-on-write snapshots replaced the flat sorted vector. This header
+// keeps the old mdmatch::match spellings alive for existing includers.
+
+#include "candidate/indexed_entry.h"
+#include "candidate/sorted_index.h"
 
 namespace mdmatch::match {
 
-/// One entry of a persistent sort-key index: a rendered key plus a stable
-/// record handle (relation side + per-side ingestion sequence number).
-struct IndexedEntry {
-  std::string key;
-  uint8_t side = 0;   ///< 0 = left relation, 1 = right relation
-  uint32_t seq = 0;   ///< per-side ingestion sequence (stable across removals)
-
-  bool operator==(const IndexedEntry&) const = default;
-};
-
-/// Total order (key, side, seq): exactly the order WindowCandidates sees
-/// after stable-sorting a batch laid out as all left tuples in position
-/// order followed by all right tuples — equal keys keep left before right
-/// and ingestion order within a side. This equivalence is what lets an
-/// incremental session reproduce one-shot windowing bit for bit.
-inline bool operator<(const IndexedEntry& a, const IndexedEntry& b) {
-  if (a.key != b.key) return a.key < b.key;
-  if (a.side != b.side) return a.side < b.side;
-  return a.seq < b.seq;
-}
-
-/// \brief A persistent sorted index over one windowing sort key.
-///
-/// Maintained by api::MatchSession, one per windowing pass: a flush merges
-/// the delta's removals and insertions in a single O(n + d log d) pass,
-/// after which neighborhood scans around the touched positions yield every
-/// candidate pair the one-shot sorted-neighborhood run would produce over
-/// the full corpus — without re-sorting or re-scanning the untouched
-/// regions. A flat sorted vector beats tree structures here: scans are the
-/// hot operation and batch merges amortize the O(n) update.
-class SortedKeyIndex {
- public:
-  /// Applies one batch of mutations: every entry of `removes` (matched
-  /// exactly by key/side/seq) leaves the index, every entry of `inserts`
-  /// enters it. Either list may be empty; entries never present are
-  /// ignored.
-  void Apply(std::vector<IndexedEntry> removes,
-             std::vector<IndexedEntry> inserts);
-
-  size_t size() const { return entries_.size(); }
-  const IndexedEntry& at(size_t pos) const { return entries_[pos]; }
-  const std::vector<IndexedEntry>& entries() const { return entries_; }
-
-  /// Position of `e` when present; otherwise the position it would occupy
-  /// (the gap a removed entry left behind).
-  size_t LowerBound(const IndexedEntry& e) const;
-
- private:
-  std::vector<IndexedEntry> entries_;  // always sorted
-};
+using candidate::IndexedEntry;
+using candidate::SortedKeyIndex;
 
 }  // namespace mdmatch::match
 

@@ -1,47 +1,18 @@
 #ifndef MDMATCH_MATCH_SORTED_NEIGHBORHOOD_H_
 #define MDMATCH_MATCH_SORTED_NEIGHBORHOOD_H_
 
-#include <vector>
+// Moved: the sorted-neighborhood method lives in the candidate-generation
+// subsystem (src/candidate/) since the snapshot refactor. This header
+// keeps the old mdmatch::match spellings alive for existing includers.
 
-#include "match/comparison.h"
-#include "match/key_function.h"
-#include "match/match_result.h"
-#include "schema/instance.h"
-#include "sim/sim_op.h"
+#include "candidate/sorted_neighborhood.h"
 
 namespace mdmatch::match {
 
-/// Options of the sorted-neighborhood method [20] (paper Exp-3 fixes the
-/// window size at 10).
-struct SnOptions {
-  size_t window_size = 10;
-};
-
-/// Result of a (multi-pass) SN run.
-struct SnResult {
-  MatchResult matches;      ///< pairs some rule declared a match
-  CandidateSet candidates;  ///< all cross-relation pairs that were compared
-  size_t comparisons = 0;   ///< rule evaluations performed (pairs × passes)
-};
-
-/// \brief The sorted-neighborhood method: for each pass, merge both
-/// relations, sort by the pass's key, slide a window, and apply the
-/// equational-theory rules to every cross-relation pair inside a window.
-/// Matches accumulate over passes (the multi-pass strategy of [20]).
-SnResult SortedNeighborhood(const Instance& instance,
-                            const sim::SimOpRegistry& ops,
-                            const std::vector<KeyFunction>& passes,
-                            const std::vector<MatchRule>& rules,
-                            const SnOptions& options = {});
-
-/// Derives one sort key per rule/RCK from its first `max_elems` elements
-/// (name-domain attributes Soundex-encoded), for use as SN passes — the
-/// "(part of) RCKs suffice to serve as quality sorting keys" usage of the
-/// paper.
-std::vector<KeyFunction> SortKeysFromRules(const std::vector<MatchRule>& rules,
-                                           const SchemaPair& pair,
-                                           size_t max_passes,
-                                           size_t max_elems = 3);
+using candidate::SnOptions;
+using candidate::SnResult;
+using candidate::SortedNeighborhood;
+using candidate::SortKeysFromRules;
 
 }  // namespace mdmatch::match
 

@@ -1,30 +1,18 @@
 #ifndef MDMATCH_MATCH_WINDOWING_H_
 #define MDMATCH_MATCH_WINDOWING_H_
 
-#include <cstddef>
+// Moved: windowing candidate generation lives in the candidate-generation
+// subsystem (src/candidate/) since the snapshot refactor, where the
+// multi-pass path renders all sort keys in one scan and radix-sorts one
+// permutation array per pass. This header keeps the old mdmatch::match
+// spellings alive for existing includers.
 
-#include "match/key_function.h"
-#include "match/match_result.h"
-#include "schema/instance.h"
+#include "candidate/windowing.h"
 
 namespace mdmatch::match {
 
-/// \brief Windowing (the sorted-neighborhood candidate generator of [20],
-/// paper Section 1 "Applications"): merge the tuples of both relations,
-/// sort by the key, slide a window of `window_size` tuples and emit every
-/// cross-relation pair inside a window.
-///
-/// The returned candidate set is deduplicated; PC/RR are computed by
-/// EvaluateCandidates.
-CandidateSet WindowCandidates(const Instance& instance, const KeyFunction& key,
-                              size_t window_size);
-
-/// Multi-pass variant: union of the candidates of each pass (the paper
-/// repeats blocking/windowing "multiple times, each using a different
-/// key").
-CandidateSet WindowCandidatesMultiPass(const Instance& instance,
-                                       const std::vector<KeyFunction>& keys,
-                                       size_t window_size);
+using candidate::WindowCandidates;
+using candidate::WindowCandidatesMultiPass;
 
 }  // namespace mdmatch::match
 

@@ -1,0 +1,281 @@
+// Tests for shared candidate indexes across sessions (SessionOptions::
+// catalog + candidate::IndexCatalog): sessions attached to one catalog
+// entry must produce matches and clusters bit-identical to fully
+// independent sessions — the only observable difference is that one
+// session builds each index snapshot and the others adopt it
+// (IngestReport::index_reused) — including under concurrent flushes.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/executor.h"
+#include "api/plan.h"
+#include "api/plan_io.h"
+#include "api/session.h"
+#include "candidate/catalog.h"
+#include "datagen/credit_billing.h"
+#include "match/clustering.h"
+
+namespace mdmatch::api {
+namespace {
+
+std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
+    const match::PairSet& set) {
+  auto pairs = set.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<std::vector<std::pair<int, uint32_t>>> CanonicalClusters(
+    const match::Clustering& clustering) {
+  std::vector<std::vector<std::pair<int, uint32_t>>> out;
+  for (const auto& cluster : clustering.clusters()) {
+    std::vector<std::pair<int, uint32_t>> members;
+    for (const auto& r : cluster) members.emplace_back(r.side, r.index);
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class ApiCatalogTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CreditBillingOptions gen;
+    gen.num_base = 150;
+    gen.seed = 77;
+    data_ = datagen::GenerateCreditBilling(gen, &ops_);
+  }
+
+  Result<PlanPtr> BuildPlan(PlanOptions options = {}) {
+    return PlanBuilder(data_.pair, data_.target, &ops_)
+        .WithSigma(data_.mds)
+        .WithOptions(options)
+        .WithTrainingInstance(&data_.instance)
+        .Build();
+  }
+
+  /// Stages rows [begin, end) of both relations into every session.
+  void UpsertRange(const std::vector<MatchSession*>& sessions, size_t begin,
+                   size_t end) {
+    for (MatchSession* session : sessions) {
+      const Relation& left = data_.instance.left();
+      const Relation& right = data_.instance.right();
+      for (size_t i = begin; i < end && i < left.size(); ++i) {
+        ASSERT_TRUE(session->Upsert(0, left.tuple(i)).ok());
+      }
+      for (size_t i = begin; i < end && i < right.size(); ++i) {
+        ASSERT_TRUE(session->Upsert(1, right.tuple(i)).ok());
+      }
+    }
+  }
+
+  void ExpectSameState(MatchSession& a, MatchSession& b) {
+    EXPECT_EQ(SortedPairs(a.Matches()), SortedPairs(b.Matches()));
+    EXPECT_EQ(CanonicalClusters(a.Clusters()), CanonicalClusters(b.Clusters()));
+  }
+
+  sim::SimOpRegistry ops_;
+  datagen::CreditBillingData data_;
+};
+
+TEST_F(ApiCatalogTest, SharedEntryMatchesIndependentSessionsBitForBit) {
+  for (const auto candidates : {PlanOptions::Candidates::kWindowing,
+                                PlanOptions::Candidates::kBlocking}) {
+    PlanOptions options;
+    options.candidates = candidates;
+    auto plan = BuildPlan(options);
+    ASSERT_TRUE(plan.ok());
+
+    auto catalog = std::make_shared<candidate::IndexCatalog>();
+    SessionOptions shared;
+    shared.catalog = catalog;
+    shared.corpus_id = "stream";
+    MatchSession first(*plan, shared);
+    MatchSession second(*plan, shared);
+    MatchSession lone(*plan);  // the reference: private indexes
+
+    // Identical delta streams (inserts, then an update + removal wave).
+    const std::vector<std::pair<size_t, size_t>> waves = {
+        {0, 60}, {60, 120}, {120, 200}};
+    for (const auto& [begin, end] : waves) {
+      UpsertRange({&first, &second, &lone}, begin, end);
+      auto r1 = first.Flush();
+      auto r2 = second.Flush();
+      auto r3 = lone.Flush();
+      ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+      // The flush order is deterministic here: `first` builds, `second`
+      // adopts, the lone session never shares.
+      EXPECT_FALSE(r1->index_reused);
+      EXPECT_TRUE(r2->index_reused);
+      EXPECT_FALSE(r3->index_reused);
+      ExpectSameState(first, lone);
+      ExpectSameState(second, lone);
+    }
+
+    // An update + removal wave (windowing drift, block moves).
+    std::vector<MatchSession*> all = {&first, &second, &lone};
+    for (MatchSession* session : all) {
+      for (size_t i = 0; i < 30; ++i) {
+        Tuple t = data_.instance.left().tuple(i);
+        t.set_value(0, t.value(0) + "x");
+        ASSERT_TRUE(session->Upsert(0, std::move(t)).ok());
+      }
+      for (size_t i = 40; i < 55; ++i) {
+        ASSERT_TRUE(
+            session->Remove(1, data_.instance.right().tuple(i).id()).ok());
+      }
+    }
+    auto r1 = first.Flush();
+    auto r2 = second.Flush();
+    auto r3 = lone.Flush();
+    ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+    EXPECT_TRUE(r2->index_reused);
+    ExpectSameState(first, lone);
+    ExpectSameState(second, lone);
+
+    // The shared snapshot is literally the same object, not a twin.
+    EXPECT_EQ(first.indexes(), second.indexes());
+    EXPECT_NE(first.indexes(), lone.indexes());
+
+    // One-shot ground truth over the standing corpus.
+    auto oneshot = Executor(*plan).Run(lone.Corpus());
+    ASSERT_TRUE(oneshot.ok());
+    EXPECT_EQ(SortedPairs(first.Matches()), SortedPairs(oneshot->matches));
+  }
+}
+
+TEST_F(ApiCatalogTest, EmptyFlushesDoNotDesynchronizeSharing) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok());
+  auto catalog = std::make_shared<candidate::IndexCatalog>();
+  SessionOptions shared;
+  shared.catalog = catalog;
+  shared.corpus_id = "stream";
+  MatchSession a(*plan, shared);
+  MatchSession b(*plan, shared);
+
+  UpsertRange({&a, &b}, 0, 40);
+  ASSERT_TRUE(a.Flush().ok());
+  ASSERT_TRUE(b.Flush().ok());
+
+  // b issues extra empty flushes (a polling loop, a defensive flush):
+  // they must not advance its version or churn the transition memo.
+  auto empty = b.Flush();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->upserted, 0u);
+  EXPECT_FALSE(empty->index_reused);
+  ASSERT_TRUE(b.Flush().ok());
+  EXPECT_EQ(a.indexes(), b.indexes());
+
+  UpsertRange({&a, &b}, 40, 80);
+  ASSERT_TRUE(a.Flush().ok());
+  auto rb = b.Flush();
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(rb->index_reused) << "empty flushes broke snapshot sharing";
+  ExpectSameState(a, b);
+}
+
+TEST_F(ApiCatalogTest, DivergingSessionFallsBackToPrivateBuilds) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok());
+  auto catalog = std::make_shared<candidate::IndexCatalog>();
+  SessionOptions shared;
+  shared.catalog = catalog;
+  shared.corpus_id = "stream";
+  MatchSession a(*plan, shared);
+  MatchSession b(*plan, shared);
+
+  UpsertRange({&a, &b}, 0, 50);
+  ASSERT_TRUE(a.Flush().ok());
+  auto rb = b.Flush();
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(rb->index_reused);
+
+  // b diverges: different delta → different fingerprint → private build,
+  // still correct against its own one-shot.
+  UpsertRange({&a}, 50, 100);
+  UpsertRange({&b}, 50, 90);
+  ASSERT_TRUE(a.Flush().ok());
+  rb = b.Flush();
+  ASSERT_TRUE(rb.ok());
+  EXPECT_FALSE(rb->index_reused);
+
+  for (MatchSession* session : {&a, &b}) {
+    auto oneshot = Executor(*plan).Run(session->Corpus());
+    ASSERT_TRUE(oneshot.ok());
+    EXPECT_EQ(SortedPairs(session->Matches()), SortedPairs(oneshot->matches));
+  }
+}
+
+TEST_F(ApiCatalogTest, ConcurrentFlushesStaySharedAndIdentical) {
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok());
+  auto catalog = std::make_shared<candidate::IndexCatalog>();
+  SessionOptions shared;
+  shared.catalog = catalog;
+  shared.corpus_id = "stream";
+  shared.num_threads = 2;
+  MatchSession a(*plan, shared);
+  MatchSession b(*plan, shared);
+  MatchSession lone(*plan);
+
+  const std::vector<std::pair<size_t, size_t>> waves = {
+      {0, 50}, {50, 110}, {110, 180}, {180, 270}};
+  size_t reused_flushes = 0;
+  for (const auto& [begin, end] : waves) {
+    UpsertRange({&a, &b, &lone}, begin, end);
+    IngestReport ra;
+    IngestReport rb;
+    // Both sessions flush the same delta at once: the entry lock makes
+    // one of them build and the other adopt, in either order.
+    std::thread ta([&] { ra = *a.Flush(); });
+    std::thread tb([&] { rb = *b.Flush(); });
+    ta.join();
+    tb.join();
+    ASSERT_TRUE(lone.Flush().ok());
+    EXPECT_TRUE(ra.index_reused != rb.index_reused)
+        << "exactly one of two concurrent identical flushes should adopt";
+    reused_flushes += (ra.index_reused ? 1 : 0) + (rb.index_reused ? 1 : 0);
+    ExpectSameState(a, lone);
+    ExpectSameState(b, lone);
+    EXPECT_EQ(a.indexes(), b.indexes());
+  }
+  EXPECT_EQ(reused_flushes, waves.size());
+}
+
+TEST_F(ApiCatalogTest, PlanFingerprintSeparatesCatalogEntries) {
+  auto plan = BuildPlan();
+  PlanOptions other_options;
+  other_options.window_size = 6;
+  auto other_plan = BuildPlan(other_options);
+  ASSERT_TRUE(plan.ok() && other_plan.ok());
+  EXPECT_EQ(PlanFingerprint(**plan), PlanFingerprint(**plan));
+  EXPECT_NE(PlanFingerprint(**plan), PlanFingerprint(**other_plan));
+
+  // Different plans on one catalog must not share snapshots even under
+  // the same corpus id.
+  auto catalog = std::make_shared<candidate::IndexCatalog>();
+  SessionOptions shared;
+  shared.catalog = catalog;
+  shared.corpus_id = "stream";
+  MatchSession a(*plan, shared);
+  MatchSession b(*other_plan, shared);
+  UpsertRange({&a, &b}, 0, 40);
+  auto ra = a.Flush();
+  auto rb = b.Flush();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_FALSE(ra->index_reused);
+  EXPECT_FALSE(rb->index_reused);
+  EXPECT_EQ(catalog->num_entries(), 2u);
+}
+
+}  // namespace
+}  // namespace mdmatch::api

@@ -1,0 +1,343 @@
+// Tests for the candidate-generation subsystem (src/candidate/): the
+// order-statistic persistent SortedKeyIndex against a flat-vector
+// reference model, snapshot semantics (copies frozen while the original
+// advances), the radix permutation sort against stable_sort, the
+// single-sort windowing front-end, and IndexSnapshot / IndexCatalog
+// version sharing.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "candidate/block_index.h"
+#include "candidate/catalog.h"
+#include "candidate/indexed_entry.h"
+#include "candidate/snapshot.h"
+#include "candidate/sorted_index.h"
+#include "candidate/windowing.h"
+#include "datagen/credit_billing.h"
+#include "match/hs_rules.h"
+
+namespace mdmatch::candidate {
+namespace {
+
+// ------------------------------------------------------- SortedKeyIndex
+
+std::vector<IndexedEntry> SortedReference(std::vector<IndexedEntry> entries) {
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+TEST(SortedKeyIndexTest, InsertRemoveRankAndSelect) {
+  SortedKeyIndex index;
+  EXPECT_TRUE(index.empty());
+  index.Insert({"b", 0, 1});
+  index.Insert({"a", 1, 2});
+  index.Insert({"c", 0, 3});
+  index.Insert({"a", 0, 4});
+  ASSERT_EQ(index.size(), 4u);
+
+  // Order: ("a",0,4) ("a",1,2) ("b",0,1) ("c",0,3).
+  EXPECT_EQ(index.at(0), (IndexedEntry{"a", 0, 4}));
+  EXPECT_EQ(index.at(1), (IndexedEntry{"a", 1, 2}));
+  EXPECT_EQ(index.at(2), (IndexedEntry{"b", 0, 1}));
+  EXPECT_EQ(index.at(3), (IndexedEntry{"c", 0, 3}));
+
+  EXPECT_EQ(index.LowerBound({"a", 0, 4}), 0u);
+  EXPECT_EQ(index.LowerBound({"b", 0, 1}), 2u);
+  EXPECT_EQ(index.LowerBound({"bb", 0, 0}), 3u);  // absent: gap position
+
+  EXPECT_TRUE(index.Remove({"b", 0, 1}));
+  EXPECT_FALSE(index.Remove({"b", 0, 1}));  // already gone
+  EXPECT_FALSE(index.Remove({"zz", 1, 9}));  // never present
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.at(2), (IndexedEntry{"c", 0, 3}));
+}
+
+TEST(SortedKeyIndexTest, SpanWalksRankRanges) {
+  SortedKeyIndex index;
+  for (uint32_t i = 0; i < 100; ++i) {
+    index.Insert({std::to_string(i % 10) + "-" + std::to_string(i), 0, i});
+  }
+  const auto all = index.Span(0, index.size());
+  ASSERT_EQ(all.size(), 100u);
+  for (size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_TRUE(*all[i] < *all[i + 1]);
+  }
+  // Any sub-span equals the same slice of the full walk.
+  const auto mid = index.Span(37, 61);
+  ASSERT_EQ(mid.size(), 24u);
+  for (size_t i = 0; i < mid.size(); ++i) {
+    EXPECT_EQ(*mid[i], *all[37 + i]);
+    EXPECT_EQ(*mid[i], index.at(37 + i));
+  }
+  EXPECT_TRUE(index.Span(95, 200).size() == 5u);  // hi clamps to size
+  EXPECT_TRUE(index.Span(60, 60).empty());
+  EXPECT_TRUE(index.Span(200, 300).empty());
+}
+
+TEST(SortedKeyIndexTest, RandomOpsMatchFlatReference) {
+  std::mt19937 rng(4711);
+  SortedKeyIndex index;
+  std::vector<IndexedEntry> reference;  // kept sorted
+  uint32_t next_seq = 0;
+
+  for (int round = 0; round < 60; ++round) {
+    // A batch of inserts and removes, like one session flush.
+    std::vector<IndexedEntry> removes;
+    std::vector<IndexedEntry> inserts;
+    const size_t num_inserts = rng() % 40;
+    for (size_t i = 0; i < num_inserts; ++i) {
+      inserts.push_back({std::string(1, 'a' + rng() % 6) +
+                             std::string(1, 'a' + rng() % 6),
+                         static_cast<uint8_t>(rng() % 2), next_seq++});
+    }
+    const size_t num_removes = reference.empty() ? 0 : rng() % 10;
+    for (size_t i = 0; i < num_removes; ++i) {
+      removes.push_back(reference[rng() % reference.size()]);
+    }
+    index.Apply(removes, inserts);
+    for (const auto& e : removes) {
+      auto it = std::find(reference.begin(), reference.end(), e);
+      if (it != reference.end()) reference.erase(it);
+    }
+    reference.insert(reference.end(), inserts.begin(), inserts.end());
+    reference = SortedReference(std::move(reference));
+
+    ASSERT_EQ(index.size(), reference.size());
+    EXPECT_EQ(index.Entries(), reference);
+    // Rank queries agree with the flat lower_bound on present entries,
+    // gaps and extremes.
+    for (int probe = 0; probe < 20 && !reference.empty(); ++probe) {
+      IndexedEntry e = reference[rng() % reference.size()];
+      if (probe % 3 == 1) e.key += "x";   // likely absent
+      if (probe % 3 == 2) e.seq = rng();  // likely absent
+      const size_t expected = static_cast<size_t>(
+          std::lower_bound(reference.begin(), reference.end(), e) -
+          reference.begin());
+      EXPECT_EQ(index.LowerBound(e), expected);
+    }
+  }
+}
+
+TEST(SortedKeyIndexTest, CopiesAreFrozenSnapshots) {
+  SortedKeyIndex index;
+  for (uint32_t i = 0; i < 50; ++i) {
+    index.Insert({std::to_string(i), 0, i});
+  }
+  const SortedKeyIndex snapshot = index;  // O(1): shares structure
+  const std::vector<IndexedEntry> frozen = snapshot.Entries();
+
+  // Keep pointers into the snapshot: they must survive any amount of
+  // divergence of the original.
+  const auto frozen_span = snapshot.Span(0, snapshot.size());
+
+  for (uint32_t i = 0; i < 50; i += 2) {
+    index.Remove({std::to_string(i), 0, i});
+  }
+  for (uint32_t i = 100; i < 140; ++i) {
+    index.Insert({std::to_string(i), 1, i});
+  }
+
+  EXPECT_EQ(snapshot.size(), 50u);
+  EXPECT_EQ(snapshot.Entries(), frozen);
+  for (size_t i = 0; i < frozen_span.size(); ++i) {
+    EXPECT_EQ(*frozen_span[i], frozen[i]);
+  }
+  EXPECT_EQ(index.size(), 50u - 25u + 40u);
+}
+
+// ------------------------------------------------- SortedKeyPermutation
+
+TEST(SortedKeyPermutationTest, MatchesStableSortIncludingTies) {
+  std::mt19937 rng(99);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::string> keys;
+    const size_t n = 1 + rng() % 200;
+    for (size_t i = 0; i < n; ++i) {
+      std::string key;
+      const size_t len = rng() % 12;  // empties and prefixes included
+      for (size_t c = 0; c < len; ++c) {
+        key += static_cast<char>('A' + rng() % 4);  // few symbols: many ties
+      }
+      keys.push_back(std::move(key));
+    }
+    std::vector<uint32_t> expected(n);
+    for (uint32_t i = 0; i < n; ++i) expected[i] = i;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [&](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+    EXPECT_EQ(SortedKeyPermutation(keys), expected) << "round " << round;
+  }
+}
+
+TEST(SortedKeyPermutationTest, OrdersByUnsignedByte) {
+  // High-bit bytes must sort after ASCII (memcmp order), and a prefix
+  // before its extensions.
+  std::vector<std::string> keys = {"\xffz", "az", "a", "", "\x7f"};
+  const auto perm = SortedKeyPermutation(keys);
+  const std::vector<uint32_t> expected = {3, 2, 1, 4, 0};
+  EXPECT_EQ(perm, expected);
+}
+
+// ------------------------------------------------------------ windowing
+
+TEST(WindowingFrontEndTest, MatchesLegacySemanticsOnGeneratedData) {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = 150;
+  gen.seed = 321;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+
+  const std::vector<match::KeyFunction> keys =
+      match::StandardWindowKeys(data.pair);
+  ASSERT_GE(keys.size(), 2u);
+
+  // Reference: per pass, stable_sort full entry vectors (the pre-refactor
+  // implementation), then slide the window.
+  auto reference = [&](const match::KeyFunction& key, size_t window) {
+    struct Entry {
+      std::string key;
+      uint32_t index;
+      uint8_t side;
+    };
+    std::vector<Entry> entries;
+    const Instance& inst = data.instance;
+    for (uint32_t i = 0; i < inst.left().size(); ++i) {
+      entries.push_back({key.Render(inst.left().tuple(i), 0), i, 0});
+    }
+    for (uint32_t i = 0; i < inst.right().size(); ++i) {
+      entries.push_back({key.Render(inst.right().tuple(i), 1), i, 1});
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.key < b.key;
+                     });
+    match::CandidateSet out;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const size_t hi = std::min(entries.size(), i + window);
+      for (size_t j = i + 1; j < hi; ++j) {
+        if (entries[i].side == entries[j].side) continue;
+        if (entries[i].side == 0) {
+          out.Add(entries[i].index, entries[j].index);
+        } else {
+          out.Add(entries[j].index, entries[i].index);
+        }
+      }
+    }
+    return out;
+  };
+
+  for (const size_t window : {2u, 5u, 10u}) {
+    match::CandidateSet expected;
+    for (const auto& key : keys) {
+      expected.Merge(reference(key, window));
+    }
+    const match::CandidateSet got =
+        WindowCandidatesMultiPass(data.instance, keys, window);
+    // Same pairs in the same order — executors evaluate candidates in
+    // this order, so ordering is part of the bit-identical contract.
+    EXPECT_EQ(got.pairs(), expected.pairs()) << "window " << window;
+  }
+  EXPECT_EQ(WindowCandidates(data.instance, keys[0], 1).size(), 0u);
+  EXPECT_EQ(
+      WindowCandidatesMultiPass(data.instance, {}, 10).size(), 0u);
+}
+
+// -------------------------------------------------------- IndexSnapshot
+
+TEST(IndexSnapshotTest, AdvanceLeavesSharedBaseUntouched) {
+  IndexSnapshotPtr base = IndexSnapshot::Empty(2, /*blocking=*/false);
+  EXPECT_EQ(base->version(), 0u);
+
+  std::vector<std::vector<IndexedEntry>> inserts(2);
+  for (uint32_t i = 0; i < 20; ++i) {
+    inserts[0].push_back({"k" + std::to_string(i), 0, i});
+    inserts[1].push_back({"j" + std::to_string(i), 0, i});
+  }
+  // Holding a second reference forces copy-on-write.
+  IndexSnapshotPtr held = base;
+  IndexSnapshotPtr next = IndexSnapshot::Advance(
+      base, std::vector<std::vector<IndexedEntry>>(2), std::move(inserts),
+      {}, {}, /*version=*/1);
+  EXPECT_EQ(held->window_passes()[0].size(), 0u);
+  EXPECT_EQ(next->window_passes()[0].size(), 20u);
+  EXPECT_EQ(next->window_passes()[1].size(), 20u);
+  EXPECT_EQ(next->version(), 1u);
+}
+
+TEST(IndexSnapshotTest, BlockIndexClonedOnlyWhenShared) {
+  IndexSnapshotPtr snapshot = IndexSnapshot::Empty(0, /*blocking=*/true);
+  std::vector<IndexedEntry> inserts = {{"blk", 0, 1}, {"blk", 1, 2}};
+  snapshot = IndexSnapshot::Advance(std::move(snapshot), {}, {}, {},
+                                    inserts, 1);
+  const BlockIndex* before = snapshot->block();
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(before->Find("blk"), nullptr);
+
+  // Shared: the old version must keep its contents after the advance.
+  IndexSnapshotPtr held = snapshot;
+  std::vector<IndexedEntry> removes = {{"blk", 0, 1}};
+  IndexSnapshotPtr next =
+      IndexSnapshot::Advance(snapshot, {}, {}, removes, {}, 2);
+  ASSERT_NE(held->block()->Find("blk"), nullptr);
+  EXPECT_EQ(held->block()->Find("blk")->left.size(), 1u);
+  EXPECT_EQ(next->block()->Find("blk")->left.size(), 0u);
+
+  // Unshared advance recycles the object (same block pointer, no clone).
+  held.reset();
+  const BlockIndex* recycled_block = next->block();
+  std::vector<IndexedEntry> more = {{"blk2", 0, 3}};
+  next = IndexSnapshot::Advance(std::move(next), {}, {}, {}, more, 3);
+  EXPECT_EQ(next->block(), recycled_block);
+  EXPECT_NE(next->block()->Find("blk2"), nullptr);
+}
+
+// --------------------------------------------------------- IndexCatalog
+
+TEST(IndexCatalogTest, MemoizesTransitionsPerEntry) {
+  IndexCatalog catalog;
+  auto entry = catalog.Acquire(1234, "corpus-a");
+  ASSERT_EQ(catalog.num_entries(), 1u);
+  EXPECT_EQ(catalog.Acquire(1234, "corpus-a"), entry);  // same slot
+  EXPECT_NE(catalog.Acquire(1234, "corpus-b"), entry);
+  EXPECT_NE(catalog.Acquire(99, "corpus-a"), entry);
+  EXPECT_EQ(catalog.num_entries(), 3u);
+
+  size_t builds = 0;
+  auto build = [&](uint64_t version) {
+    ++builds;
+    IndexSnapshotPtr base = IndexSnapshot::Empty(1, false);
+    std::vector<std::vector<IndexedEntry>> inserts(1);
+    inserts[0].push_back({"x", 0, 7});
+    return IndexSnapshot::Advance(
+        std::move(base), std::vector<std::vector<IndexedEntry>>(1),
+        std::move(inserts), {}, {}, version);
+  };
+
+  bool reused = true;
+  IndexSnapshotPtr first = entry->Advance(0, 42, &reused, build);
+  EXPECT_FALSE(reused);
+  EXPECT_EQ(builds, 1u);
+  EXPECT_EQ(first->version(), 1u);
+
+  // Same (base, delta): adopted, not rebuilt.
+  IndexSnapshotPtr second = entry->Advance(0, 42, &reused, build);
+  EXPECT_TRUE(reused);
+  EXPECT_EQ(builds, 1u);
+  EXPECT_EQ(second, first);
+
+  // A different delta from the same base branches off.
+  IndexSnapshotPtr branch = entry->Advance(0, 43, &reused, build);
+  EXPECT_FALSE(reused);
+  EXPECT_EQ(builds, 2u);
+  EXPECT_NE(branch, first);
+  EXPECT_EQ(branch->version(), 2u);
+  EXPECT_EQ(entry->memo_size(), 2u);
+}
+
+}  // namespace
+}  // namespace mdmatch::candidate

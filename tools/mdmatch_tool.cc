@@ -93,6 +93,12 @@ void PrintUsage(FILE* out) {
       "  --load                           preload <dir>/{credit,billing}.csv\n"
       "                                   as the initial standing corpus\n"
       "  --threads N                      session worker threads (default 1)\n"
+      "  --cache N                        pair-decision cache entries\n"
+      "                                   (default 0 = off)\n"
+      "  --stats                          print per-flush phase timings\n"
+      "                                   (index merge, candidate scan,\n"
+      "                                   pair eval, drift re-rank) and\n"
+      "                                   cache hit/eviction rates\n"
       "  --out FILE                       matches file written at EOF\n"
       "                                   (default <dir>/matches.csv)\n"
       "  stdin protocol, one CSV row per line ('#' comments skipped):\n"
@@ -194,7 +200,8 @@ class Args {
     return !s.empty() && s[0] == '-';
   }
   static bool IsBooleanFlag(const std::string& s) {
-    return s == "--closure" || s == "--load" || s == "--help";
+    return s == "--closure" || s == "--load" || s == "--stats" ||
+           s == "--help";
   }
   std::vector<std::string> args_;
 };
@@ -449,9 +456,11 @@ int CmdStream(const Args& args) {
 
   api::SessionOptions session_options;
   session_options.num_threads = args.FlagNum("--threads", 1);
+  session_options.pair_cache_capacity = args.FlagNum("--cache", 0);
   api::MatchSession session(*plan, session_options);
 
-  auto print_flush = [](const api::IngestReport& report) {
+  const bool stats = args.HasFlag("--stats");
+  auto print_flush = [stats](const api::IngestReport& report) {
     std::printf("flush: +%zu -%zu matches (%zu upserts, %zu removes, %zu "
                 "pairs, %zu shard%s, %.3fs) -> %zu standing over %zu + %zu\n",
                 report.matches_added, report.matches_dropped, report.upserted,
@@ -461,6 +470,23 @@ int CmdStream(const Args& args) {
                     report.cluster_seconds,
                 report.total_matches, report.corpus_left,
                 report.corpus_right);
+    if (!stats) return;
+    std::printf("  phases: merge %.4fs%s, scan %.4fs, eval %.4fs, rerank "
+                "%.4fs (index %.4fs, match %.4fs, cluster %.4fs)\n",
+                report.merge_seconds, report.index_reused ? " (reused)" : "",
+                report.scan_seconds, report.eval_seconds,
+                report.rerank_seconds, report.index_seconds,
+                report.match_seconds, report.cluster_seconds);
+    if (report.cache_lookups > 0) {
+      std::printf("  cache: %zu lookups, %zu hits (%.1f%%), %zu evictions "
+                  "(%.1f%%)\n",
+                  report.cache_lookups, report.cache_hits,
+                  100.0 * static_cast<double>(report.cache_hits) /
+                      static_cast<double>(report.cache_lookups),
+                  report.cache_evictions,
+                  100.0 * static_cast<double>(report.cache_evictions) /
+                      static_cast<double>(report.cache_lookups));
+    }
   };
 
   if (args.HasFlag("--load")) {
@@ -606,6 +632,8 @@ int main(int argc, char** argv) {
     allowed.push_back("--plan");
     allowed.push_back("--threads");
     allowed.push_back("--load");
+    allowed.push_back("--cache");
+    allowed.push_back("--stats");
   } else if (cmd == "eval") {
     allowed = {"--matches"};
   } else {
