@@ -23,7 +23,8 @@ Executor::Executor(PlanPtr plan, ExecutorOptions options)
   if (options_.num_threads == 0) options_.num_threads = 1;
   if (options_.pair_cache_capacity > 0) {
     pair_cache_ = std::make_unique<match::PairDecisionCache>(
-        options_.pair_cache_capacity);
+        options_.pair_cache_capacity, /*shards=*/16,
+        options_.cache_doorkeeper);
   }
 }
 

@@ -37,6 +37,11 @@ struct ExecutorOptions {
   /// identical with the cache on or off, up to 64-bit fingerprint
   /// collisions on a recycled id (see match/pair_cache.h).
   size_t pair_cache_capacity = 0;
+  /// Doorkeeper admission for the pair-decision cache: a key's decision
+  /// enters the LRU only on its second miss, which keeps one-hit-wonder
+  /// pairs (id-recycling churn) from evicting the hot working set.
+  /// Ignored without pair_cache_capacity; never changes results.
+  bool cache_doorkeeper = false;
 };
 
 /// Per-stage wall time of one execution, measured on the monotonic clock

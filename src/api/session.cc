@@ -49,7 +49,67 @@ uint64_t FingerprintDelta(
   return hash;
 }
 
+/// The view's raw match pairs translated from (left seq, right seq) to
+/// corpus positions — the addressing Matches()/Clusters() report in.
+match::MatchResult TranslatedMatches(const SessionGeneration& gen) {
+  match::MatchResult out;
+  for (const auto& [l, r] : gen.raw_matches.pairs()) {
+    out.Add(gen.pos_by_seq[0][l], gen.pos_by_seq[1][r]);
+  }
+  return out;
+}
+
 }  // namespace
+
+// ------------------------------------------------------------ SessionView
+
+Instance SessionView::Corpus() const {
+  Relation left(plan_->pair().left());
+  Relation right(plan_->pair().right());
+  for (const SessionRecordPtr& record : gen_->corpus[0]) {
+    (void)left.AppendTuple(record->tuple);
+  }
+  for (const SessionRecordPtr& record : gen_->corpus[1]) {
+    (void)right.AppendTuple(record->tuple);
+  }
+  return Instance(std::move(left), std::move(right));
+}
+
+match::MatchResult SessionView::Matches() const {
+  match::MatchResult raw = TranslatedMatches(*gen_);
+  if (!plan_->options().transitive_closure) return raw;
+  return match::ClusterPairs(raw, gen_->corpus[0].size(),
+                             gen_->corpus[1].size())
+      .ImpliedMatches();
+}
+
+match::Clustering SessionView::Clusters() const {
+  return match::ClusterPairs(TranslatedMatches(*gen_),
+                             gen_->corpus[0].size(), gen_->corpus[1].size());
+}
+
+Result<uint64_t> SessionView::ClusterOf(int side, TupleId id) const {
+  if (side != 0 && side != 1) {
+    return Status::InvalidArgument("side must be 0 (left) or 1 (right)");
+  }
+  auto found = gen_->pos_by_id[side].find(id);
+  if (found == gen_->pos_by_id[side].end()) {
+    return Status::NotFound("no record with id " + std::to_string(id) +
+                            " on side " + std::to_string(side));
+  }
+  return gen_->cluster_handle[side][found->second];
+}
+
+Result<bool> SessionView::SameCluster(int side_a, TupleId id_a, int side_b,
+                                      TupleId id_b) const {
+  auto a = ClusterOf(side_a, id_a);
+  if (!a.ok()) return a.status();
+  auto b = ClusterOf(side_b, id_b);
+  if (!b.ok()) return b.status();
+  return *a == *b;
+}
+
+// ----------------------------------------------------------- MatchSession
 
 MatchSession::MatchSession(PlanPtr plan, SessionOptions options)
     : plan_(std::move(plan)), options_(std::move(options)) {
@@ -65,8 +125,13 @@ MatchSession::MatchSession(PlanPtr plan, SessionOptions options)
   }
   if (options_.pair_cache_capacity > 0) {
     pair_cache_ = std::make_unique<match::PairDecisionCache>(
-        options_.pair_cache_capacity);
+        options_.pair_cache_capacity, /*shards=*/16,
+        options_.cache_doorkeeper);
   }
+  // Generation 0: the empty corpus, queryable from the first instant.
+  auto gen = std::make_shared<SessionGeneration>();
+  gen->indexes = indexes_;
+  published_ = std::move(gen);
 }
 
 Status MatchSession::CheckSide(int side) const {
@@ -91,7 +156,7 @@ std::vector<std::string> MatchSession::RenderKeys(const Tuple& tuple,
 }
 
 const Tuple& MatchSession::TupleBySeq(int side, uint32_t seq) const {
-  return corpus_[side][pos_by_seq_[side][seq]].tuple;
+  return corpus_[side][pos_by_seq_[side][seq]]->tuple;
 }
 
 void MatchSession::RenderDerived(Record* record, int side) const {
@@ -138,23 +203,54 @@ void MatchSession::RebuildPositionsLocked(int side) {
   pos_by_id_[side].clear();
   pos_by_seq_[side].assign(next_seq_[side], UINT32_MAX);
   for (uint32_t i = 0; i < corpus_[side].size(); ++i) {
-    pos_by_id_[side][corpus_[side][i].tuple.id()] = i;
-    pos_by_seq_[side][corpus_[side][i].seq] = i;
+    pos_by_id_[side][corpus_[side][i]->tuple.id()] = i;
+    pos_by_seq_[side][corpus_[side][i]->seq] = i;
   }
 }
 
 void MatchSession::RebuildClustersLocked() {
   uf_ = match::UnionFind();
-  node_of_.clear();
   for (int side = 0; side < 2; ++side) {
-    for (const Record& record : corpus_[side]) {
-      node_of_[Handle(side, record.seq)] = uf_.Add();
+    node_by_seq_[side].assign(next_seq_[side], SIZE_MAX);
+    for (const SessionRecordPtr& record : corpus_[side]) {
+      node_by_seq_[side][record->seq] = uf_.Add();
     }
   }
   for (const auto& [l, r] : raw_matches_.pairs()) {
-    uf_.Union(node_of_.at(Handle(0, l)), node_of_.at(Handle(1, r)));
+    uf_.Union(node_by_seq_[0][l], node_by_seq_[1][r]);
   }
   clusters_stale_ = false;
+}
+
+void MatchSession::PublishLocked(IngestReport* report) {
+  ScopedTimer timer(&report->publish_seconds);
+  auto gen = std::make_shared<SessionGeneration>();
+  gen->generation = next_generation_++;
+  gen->indexes = indexes_;
+  gen->raw_matches = raw_matches_;
+  // Resolve every node's representative once: queries then answer from
+  // plain array reads, with no path-compression writes to race on.
+  const match::FrozenUnionFind frozen(uf_);
+  for (int side = 0; side < 2; ++side) {
+    gen->corpus[side] = corpus_[side];
+    gen->pos_by_id[side] = pos_by_id_[side];
+    gen->pos_by_seq[side] = pos_by_seq_[side];
+    gen->cluster_handle[side].resize(corpus_[side].size());
+    for (size_t i = 0; i < corpus_[side].size(); ++i) {
+      gen->cluster_handle[side][i] = static_cast<uint64_t>(
+          frozen.Find(node_by_seq_[side][corpus_[side][i]->seq]));
+    }
+  }
+  report->generation = gen->generation;
+  {
+    // The only writer-side touch of the publication latch: one pointer
+    // swap. The old generation's release (possibly the last reference)
+    // happens after the latch is dropped.
+    SessionGenerationPtr retired;
+    std::lock_guard<std::mutex> publish_lock(publish_mu_);
+    retired.swap(published_);
+    published_ = std::move(gen);
+  }
 }
 
 Result<IngestReport> MatchSession::Flush() {
@@ -168,12 +264,14 @@ Result<IngestReport> MatchSession::Flush() {
   IngestReport report;
 
   // Nothing staged: report the standing state without touching the
-  // snapshot chain. (Advancing a version for a no-op would desynchronize
-  // this session from catalog siblings and churn the transition memo.)
+  // snapshot chain or publishing. (Advancing a version for a no-op would
+  // desynchronize this session from catalog siblings and churn the
+  // transition memo.)
   if (pending_.empty()) {
     report.corpus_left = corpus_[0].size();
     report.corpus_right = corpus_[1].size();
     report.total_matches = raw_matches_.size();
+    report.generation = next_generation_ - 1;
     return report;
   }
 
@@ -218,7 +316,7 @@ Result<IngestReport> MatchSession::Flush() {
       auto found = pos_by_id_[side].find(id);
       if (!op.has_value()) {
         if (found == pos_by_id_[side].end()) continue;  // staged-only record
-        Record& record = corpus_[side][found->second];
+        const Record& record = *corpus_[side][found->second];
         index_out(record, side, /*insert=*/false);
         retired.insert(Handle(side, record.seq));
         removal_positions.emplace_back(side, found->second);
@@ -229,24 +327,30 @@ Result<IngestReport> MatchSession::Flush() {
       if (found != pos_by_id_[side].end()) {
         // Update in place: same seq (the corpus-order slot is kept), old
         // keys leave the indexes, new keys enter, standing matches retire
-        // for re-evaluation against the new values.
-        Record& record = corpus_[side][found->second];
-        index_out(record, side, /*insert=*/false);
-        retired.insert(Handle(side, record.seq));
-        record.tuple = std::move(*op);
-        record.keys = RenderKeys(record.tuple, side);
-        RenderDerived(&record, side);
-        index_out(record, side, /*insert=*/true);
-        inserted.emplace_back(side, record.seq);
+        // for re-evaluation against the new values. The old record object
+        // stays untouched — published generations may still reference it;
+        // the slot gets a freshly derived record instead.
+        const Record& old = *corpus_[side][found->second];
+        index_out(old, side, /*insert=*/false);
+        retired.insert(Handle(side, old.seq));
+        auto record = std::make_shared<Record>();
+        record->seq = old.seq;
+        record->keys = RenderKeys(*op, side);
+        record->tuple = std::move(*op);
+        RenderDerived(record.get(), side);
+        index_out(*record, side, /*insert=*/true);
+        inserted.emplace_back(side, record->seq);
+        corpus_[side][found->second] = std::move(record);
       } else {
-        Record record;
-        record.seq = next_seq_[side]++;
-        record.keys = RenderKeys(*op, side);
-        record.tuple = std::move(*op);
-        RenderDerived(&record, side);
-        inserted.emplace_back(side, record.seq);
-        node_of_[Handle(side, record.seq)] = uf_.Add();
-        index_out(record, side, /*insert=*/true);
+        auto record = std::make_shared<Record>();
+        record->seq = next_seq_[side]++;
+        record->keys = RenderKeys(*op, side);
+        record->tuple = std::move(*op);
+        RenderDerived(record.get(), side);
+        inserted.emplace_back(side, record->seq);
+        node_by_seq_[side].resize(next_seq_[side], SIZE_MAX);
+        node_by_seq_[side][record->seq] = uf_.Add();
+        index_out(*record, side, /*insert=*/true);
         corpus_[side].push_back(std::move(record));
       }
     }
@@ -268,8 +372,8 @@ Result<IngestReport> MatchSession::Flush() {
         pos_by_seq_[side].resize(next_seq_[side], UINT32_MAX);
         for (uint32_t i = static_cast<uint32_t>(base_size[side]);
              i < corpus_[side].size(); ++i) {
-          pos_by_id_[side][corpus_[side][i].tuple.id()] = i;
-          pos_by_seq_[side][corpus_[side][i].seq] = i;
+          pos_by_id_[side][corpus_[side][i]->tuple.id()] = i;
+          pos_by_seq_[side][corpus_[side][i]->seq] = i;
         }
       }
     }
@@ -327,8 +431,8 @@ Result<IngestReport> MatchSession::Flush() {
                          delta_records >= options_.shard_min_delta;
     std::atomic<size_t> cache_hits{0};
     auto eval = [&](uint32_t l, uint32_t r) {
-      const Record& left = corpus_[0][pos_by_seq_[0][l]];
-      const Record& right = corpus_[1][pos_by_seq_[1][r]];
+      const Record& left = *corpus_[0][pos_by_seq_[0][l]];
+      const Record& right = *corpus_[1][pos_by_seq_[1][r]];
       auto evaluate = [&] {
         return plan.MatchesPair(left.tuple, right.tuple, &left.profile,
                                 &right.profile);
@@ -372,7 +476,7 @@ Result<IngestReport> MatchSession::Flush() {
           const size_t n = idx.size();
           for (const auto& [side, seq] : inserted) {
             const Record& record =
-                corpus_[side][pos_by_seq_[side][seq]];
+                *corpus_[side][pos_by_seq_[side][seq]];
             const size_t center = idx.LowerBound(
                 {record.keys[p], static_cast<uint8_t>(side), seq});
             const size_t lo = center >= window - 1 ? center - (window - 1)
@@ -409,7 +513,7 @@ Result<IngestReport> MatchSession::Flush() {
         ScopedTimer scan_timer(&report.scan_seconds);
         const candidate::BlockIndex* blocks = indexes_->block();
         for (const auto& [side, seq] : inserted) {
-          const Record& record = corpus_[side][pos_by_seq_[side][seq]];
+          const Record& record = *corpus_[side][pos_by_seq_[side][seq]];
           const candidate::BlockIndex::Block* block =
               blocks->Find(record.keys[0]);
           if (block == nullptr) continue;
@@ -433,7 +537,8 @@ Result<IngestReport> MatchSession::Flush() {
     }
   }
 
-  // --- retire standing matches insertions pushed out of every window ---
+  // --- retire standing matches insertions pushed out of every window,
+  //     fold in the new matches, and publish the next generation ---
   {
     ScopedTimer timer(&report.cluster_seconds);
     if (windowing && window >= 2 && !inserted.empty() &&
@@ -484,8 +589,8 @@ Result<IngestReport> MatchSession::Flush() {
       } else {
         drifted = raw_matches_.RemoveMatching(
             [&](uint32_t l, uint32_t r) {
-              const Record& left = corpus_[0][pos_by_seq_[0][l]];
-              const Record& right = corpus_[1][pos_by_seq_[1][r]];
+              const Record& left = *corpus_[0][pos_by_seq_[0][l]];
+              const Record& right = *corpus_[1][pos_by_seq_[1][r]];
               for (size_t p = 0; p < passes; ++p) {
                 const size_t pl =
                     widx[p].LowerBound({left.keys[p], 0, left.seq});
@@ -507,11 +612,13 @@ Result<IngestReport> MatchSession::Flush() {
       if (raw_matches_.Add(l, r)) {
         ++report.matches_added;
         if (!clusters_stale_) {
-          uf_.Union(node_of_.at(Handle(0, l)), node_of_.at(Handle(1, r)));
+          uf_.Union(node_by_seq_[0][l], node_by_seq_[1][r]);
         }
       }
     }
     if (clusters_stale_) RebuildClustersLocked();
+
+    PublishLocked(&report);
   }
 
   report.corpus_left = corpus_[0].size();
@@ -567,7 +674,7 @@ size_t MatchSession::ShardedWindowFlush(
   for (size_t p = 0; p < passes; ++p) {
     is_delta[p].assign(widx[p].size(), 0);
     for (const auto& [side, seq] : inserted) {
-      const Record& record = corpus_[side][pos_by_seq_[side][seq]];
+      const Record& record = *corpus_[side][pos_by_seq_[side][seq]];
       is_delta[p][widx[p].LowerBound(
           {record.keys[p], static_cast<uint8_t>(side), seq})] = 1;
     }
@@ -630,7 +737,7 @@ size_t MatchSession::ShardedBlockFlush(
   std::vector<std::string> touched;
   std::unordered_set<uint64_t> delta;
   for (const auto& [side, seq] : inserted) {
-    touched.push_back(corpus_[side][pos_by_seq_[side][seq]].keys[0]);
+    touched.push_back(corpus_[side][pos_by_seq_[side][seq]]->keys[0]);
     delta.insert(Handle(side, seq));
   }
   std::sort(touched.begin(), touched.end());
@@ -667,80 +774,9 @@ size_t MatchSession::ShardedBlockFlush(
   return shards;
 }
 
-size_t MatchSession::left_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return corpus_[0].size();
-}
-
-size_t MatchSession::right_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return corpus_[1].size();
-}
-
 size_t MatchSession::pending_ops() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_.size();
-}
-
-candidate::IndexSnapshotPtr MatchSession::indexes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return indexes_;
-}
-
-Instance MatchSession::Corpus() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Relation left(plan_->pair().left());
-  Relation right(plan_->pair().right());
-  for (const Record& record : corpus_[0]) {
-    (void)left.AppendTuple(record.tuple);
-  }
-  for (const Record& record : corpus_[1]) {
-    (void)right.AppendTuple(record.tuple);
-  }
-  return Instance(std::move(left), std::move(right));
-}
-
-match::MatchResult MatchSession::TranslatedMatchesLocked() const {
-  match::MatchResult out;
-  for (const auto& [l, r] : raw_matches_.pairs()) {
-    out.Add(pos_by_seq_[0][l], pos_by_seq_[1][r]);
-  }
-  return out;
-}
-
-match::MatchResult MatchSession::Matches() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  match::MatchResult raw = TranslatedMatchesLocked();
-  if (!plan_->options().transitive_closure) return raw;
-  return match::ClusterPairs(raw, corpus_[0].size(), corpus_[1].size())
-      .ImpliedMatches();
-}
-
-match::Clustering MatchSession::Clusters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return match::ClusterPairs(TranslatedMatchesLocked(), corpus_[0].size(),
-                             corpus_[1].size());
-}
-
-Result<uint64_t> MatchSession::ClusterOf(int side, TupleId id) const {
-  MDMATCH_RETURN_NOT_OK(CheckSide(side));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto found = pos_by_id_[side].find(id);
-  if (found == pos_by_id_[side].end()) {
-    return Status::NotFound("no record with id " + std::to_string(id) +
-                            " on side " + std::to_string(side));
-  }
-  const uint32_t seq = corpus_[side][found->second].seq;
-  return static_cast<uint64_t>(uf_.Find(node_of_.at(Handle(side, seq))));
-}
-
-Result<bool> MatchSession::SameCluster(int side_a, TupleId id_a, int side_b,
-                                       TupleId id_b) const {
-  auto a = ClusterOf(side_a, id_a);
-  if (!a.ok()) return a.status();
-  auto b = ClusterOf(side_b, id_b);
-  if (!b.ok()) return b.status();
-  return *a == *b;
 }
 
 }  // namespace mdmatch::api

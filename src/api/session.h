@@ -48,6 +48,12 @@ struct SessionOptions {
   /// off, up to 64-bit fingerprint collisions on a recycled id (see
   /// match/pair_cache.h).
   size_t pair_cache_capacity = 0;
+  /// Doorkeeper admission for the pair-decision cache: a pair's decision
+  /// enters the LRU only on its second miss, so one-hit-wonder keys from
+  /// id-recycling churn stop evicting the hot working set (compare
+  /// IngestReport::cache_evictions with and without). Ignored without
+  /// pair_cache_capacity; never changes results.
+  bool cache_doorkeeper = false;
   /// Optional shared index catalog. Sessions created with the same
   /// catalog, an identical compiled plan (keyed by PlanFingerprint) and
   /// the same corpus_id attach to one candidate::IndexCatalog entry: the
@@ -78,6 +84,11 @@ struct IngestReport {
   /// built for the same (base version, delta) through a shared
   /// candidate::IndexCatalog entry, skipping the merge entirely.
   bool index_reused = false;
+  /// The generation number this flush published (unchanged by an empty
+  /// flush). Every query answers from exactly one generation; a reader
+  /// that remembers this number can tell whether a view already includes
+  /// this flush.
+  uint64_t generation = 0;
   size_t corpus_left = 0;      ///< live left records after the flush
   size_t corpus_right = 0;
   size_t total_matches = 0;    ///< standing match pairs after the flush
@@ -91,6 +102,108 @@ struct IngestReport {
                               ///< sharded flushes fuse scan+eval here)
   double rerank_seconds = 0;  ///< windowing drift re-rank (in
                               ///< cluster_seconds)
+  double publish_seconds = 0;  ///< building + swapping in the new
+                               ///< SessionGeneration (in cluster_seconds)
+};
+
+/// One corpus record as the session stores it: the tuple plus everything
+/// derived from it (sort/block keys, evaluator profile, cache
+/// fingerprint). Shared immutably between the session's build side and
+/// every published generation — an upsert replaces the pointer, never the
+/// record.
+struct SessionRecord {
+  Tuple tuple;
+  uint32_t seq = 0;  ///< per-side ingestion sequence, stable for life
+  /// Rendered keys: one per windowing pass, or the single block key.
+  std::vector<std::string> keys;
+  /// Derived per-record values for the compiled evaluator (empty when
+  /// the plan's atoms need none).
+  match::RecordProfile profile;
+  /// Value fingerprint for pair-decision cache keys (0 when the cache
+  /// is off).
+  uint64_t fingerprint = 0;
+};
+using SessionRecordPtr = std::shared_ptr<const SessionRecord>;
+
+/// \brief One immutable published version of a MatchSession's queryable
+/// state: corpus, indexes, matches and clusters, all from the same flush.
+///
+/// Flush builds the next generation off to the side and publishes it with
+/// a single pointer swap under the session's publication latch; queries
+/// acquire the pointer once and answer entirely from the acquired object,
+/// so a query can never observe a torn mix of versions (matches from one
+/// flush against a corpus from another). Everything reachable from a generation is deeply immutable
+/// and structurally shared with neighboring generations where possible
+/// (records by pointer, indexes by persistent-treap nodes).
+struct SessionGeneration {
+  /// Monotonic per-session publication counter (0 = the empty initial
+  /// generation).
+  uint64_t generation = 0;
+  /// Live records in ingestion order, per side.
+  std::vector<SessionRecordPtr> corpus[2];
+  /// TupleId -> corpus position.
+  std::unordered_map<TupleId, uint32_t> pos_by_id[2];
+  /// seq -> corpus position (dense; removed seqs hold stale values that
+  /// are never consulted — raw_matches only names live seqs).
+  std::vector<uint32_t> pos_by_seq[2];
+  /// The candidate indexes this generation's matches were computed with.
+  candidate::IndexSnapshotPtr indexes;
+  /// Standing raw match pairs as (left seq, right seq).
+  match::PairSet raw_matches;
+  /// Frozen cluster representative per corpus position (resolved at
+  /// publish time; equal handle == same cluster, valid within this
+  /// generation only — a flush may renumber).
+  std::vector<uint64_t> cluster_handle[2];
+};
+using SessionGenerationPtr = std::shared_ptr<const SessionGeneration>;
+
+/// \brief A read-only view of one MatchSession generation.
+///
+/// Obtained lock-free from MatchSession::View(); every accessor answers
+/// from the same pinned generation, so Corpus(), Matches() and Clusters()
+/// read from a view are mutually consistent by construction — exactly
+/// what one-shot Executor::Run over Corpus() would produce — no matter
+/// how many flushes race past in the meantime. Hold a view to make a
+/// multi-call read atomic; drop it to release the pinned generation.
+class SessionView {
+ public:
+  uint64_t generation() const { return gen_->generation; }
+  size_t left_size() const { return gen_->corpus[0].size(); }
+  size_t right_size() const { return gen_->corpus[1].size(); }
+
+  /// The view's index snapshot (immutable).
+  const candidate::IndexSnapshotPtr& indexes() const {
+    return gen_->indexes;
+  }
+
+  /// Materializes the view's corpus as an Instance (live records in
+  /// ingestion order).
+  Instance Corpus() const;
+
+  /// The view's match pairs as (left position, right position) into
+  /// Corpus(). Closure plans report the transitively implied pairs.
+  match::MatchResult Matches() const;
+
+  /// The entity clusters of the view's matches, numbered exactly as
+  /// match::ClusterMatches over (Matches(), Corpus()).
+  match::Clustering Clusters() const;
+
+  /// Opaque cluster handle of a record: two records are in one cluster
+  /// iff their handles are equal. Valid within this view's generation.
+  /// NotFound for unknown ids.
+  Result<uint64_t> ClusterOf(int side, TupleId id) const;
+
+  /// True iff both records are in the same cluster of this view.
+  Result<bool> SameCluster(int side_a, TupleId id_a, int side_b,
+                           TupleId id_b) const;
+
+ private:
+  friend class MatchSession;
+  SessionView(PlanPtr plan, SessionGenerationPtr gen)
+      : plan_(std::move(plan)), gen_(std::move(gen)) {}
+
+  PlanPtr plan_;
+  SessionGenerationPtr gen_;
 };
 
 /// \brief A standing, incrementally matched corpus behind one compiled
@@ -99,12 +212,12 @@ struct IngestReport {
 /// Where the Executor treats every batch as a stateless one-shot, a
 /// MatchSession keeps the corpus resident: per-RCK blocking / sort-key
 /// indexes persist across ingests as immutable candidate::IndexSnapshot
-/// versions (persistent treaps for windowing, copy-on-write blocks for
-/// blocking), so a Flush advances the index chain in O(delta · log n) and
-/// matches only the staged delta against the indexed corpus (plus
-/// intra-delta pairs) instead of re-blocking the world. Match state is
-/// maintained incrementally — a union-find (match::UnionFind) grows with
-/// each flush, and Matches() / ClusterOf() are queryable between ingests.
+/// versions (persistent treaps for windowing and blocking alike), so a
+/// Flush advances the index chain in O(delta · log n) and matches only
+/// the staged delta against the indexed corpus (plus intra-delta pairs)
+/// instead of re-blocking the world. Match state is maintained
+/// incrementally — a union-find (match::UnionFind) grows with each flush,
+/// and Matches() / ClusterOf() are queryable between ingests.
 ///
 /// The contract that makes the incrementality trustworthy: after any
 /// sequence of Upsert / Remove / Flush calls, Matches() and Clusters()
@@ -126,8 +239,24 @@ struct IngestReport {
 /// Oversized deltas (an initial bulk load, a backfill) shard internally
 /// across the executor thread pool — see SessionOptions::shard_min_delta.
 ///
-/// All public methods are thread-safe (one internal mutex; flushes are
-/// serialized, queries see the last flushed state).
+/// Concurrency model: *generation publishing*. Writers (Upsert / Remove /
+/// Flush) serialize on one internal mutex and mutate only build-side
+/// state; the queryable state lives in an immutable, reference-counted
+/// SessionGeneration that Flush swaps in once the next version is fully
+/// built. Queries — Corpus(), Matches(), Clusters(), ClusterOf(),
+/// SameCluster(), the size accessors and View() — never touch the writer
+/// mutex: they acquire the current generation through a publication latch
+/// held only for the pointer copy itself, so read throughput is
+/// independent of flush activity (a reader waits on a concurrent flush
+/// for at most one pointer swap, never for the flush's work). Each query
+/// call answers from one generation; use View() to pin a generation
+/// across several calls.
+///
+/// Note on positions: Matches() / Clusters() address records by position
+/// into the same call's (generation's) Corpus(). A flush that removes
+/// records renumbers positions of later records — correlate results
+/// across flushes by TupleId (via Corpus()) or through a pinned View(),
+/// never by raw position.
 class MatchSession {
  public:
   explicit MatchSession(PlanPtr plan, SessionOptions options = {});
@@ -149,56 +278,68 @@ class MatchSession {
   /// Applies the staged delta: merges it into the persistent indexes
   /// (advancing the snapshot chain), matches delta-vs-corpus and
   /// intra-delta pairs, retires match state of removed/updated records,
-  /// and updates the clustering. A flush with nothing staged is a cheap
-  /// no-op.
+  /// updates the clustering, and publishes the result as the next
+  /// generation. A flush with nothing staged is a cheap no-op that
+  /// publishes nothing.
   Result<IngestReport> Flush();
 
-  size_t left_size() const;
-  size_t right_size() const;
+  /// A consistent read view of the current generation — one pointer
+  /// acquire through the publication latch (held for a pointer copy,
+  /// never for flush work). All accessors of the returned view answer
+  /// from the same generation even while flushes continue.
+  SessionView View() const {
+    return SessionView(plan_, CurrentGeneration());
+  }
+
+  /// The published generation number (0 until the first non-empty flush).
+  uint64_t generation() const { return CurrentGeneration()->generation; }
+
+  // Flush-independent queries: each call acquires the current generation
+  // once and answers from it (one View() call); none of them ever touches
+  // the writer mutex. Two consecutive calls may span a concurrent flush —
+  // pin a View() when several reads must agree.
+
+  size_t left_size() const { return View().left_size(); }
+  size_t right_size() const { return View().right_size(); }
+
   /// Records staged but not yet flushed.
   size_t pending_ops() const;
 
   /// The current (last flushed) index snapshot — immutable; stays valid
   /// and unchanged while the session keeps flushing.
-  candidate::IndexSnapshotPtr indexes() const;
+  candidate::IndexSnapshotPtr indexes() const { return View().indexes(); }
 
   /// Materializes the standing corpus as an Instance (live records in
   /// ingestion order) — the "equivalent single batch" a one-shot
   /// Executor::Run reproduces this session's results on.
-  Instance Corpus() const;
+  Instance Corpus() const { return View().Corpus(); }
 
   /// The standing match pairs, as (left position, right position) into
-  /// Corpus(). Closure plans report the transitively implied pairs, like
-  /// Executor::Run does.
-  match::MatchResult Matches() const;
+  /// Corpus() *of the same generation* (see the class comment on
+  /// positions across flushes). Closure plans report the transitively
+  /// implied pairs, like Executor::Run does.
+  match::MatchResult Matches() const { return View().Matches(); }
 
   /// The entity clusters of the standing matches, numbered exactly as
   /// match::ClusterMatches over (Matches(), Corpus()).
-  match::Clustering Clusters() const;
+  match::Clustering Clusters() const { return View().Clusters(); }
 
   /// Opaque cluster handle of a record: two records are in one cluster
   /// iff their handles are equal. Handles are stable between flushes
   /// (any Flush may renumber). NotFound for unknown ids.
-  Result<uint64_t> ClusterOf(int side, TupleId id) const;
+  Result<uint64_t> ClusterOf(int side, TupleId id) const {
+    return View().ClusterOf(side, id);
+  }
 
-  /// True iff both records are currently in the same cluster.
+  /// True iff both records are currently in the same cluster (answered
+  /// from one generation).
   Result<bool> SameCluster(int side_a, TupleId id_a, int side_b,
-                           TupleId id_b) const;
+                           TupleId id_b) const {
+    return View().SameCluster(side_a, id_a, side_b, id_b);
+  }
 
  private:
-  struct Record {
-    Tuple tuple;
-    uint32_t seq = 0;  ///< per-side ingestion sequence, stable for life
-    /// Rendered keys: one per windowing pass, or the single block key.
-    std::vector<std::string> keys;
-    /// Derived per-record values for the compiled evaluator (empty when
-    /// the plan's atoms need none); recomputed when an upsert changes the
-    /// tuple, like the keys.
-    match::RecordProfile profile;
-    /// Value fingerprint for pair-decision cache keys (0 when the cache
-    /// is off).
-    uint64_t fingerprint = 0;
-  };
+  using Record = SessionRecord;
 
   static uint64_t Handle(int side, uint32_t seq) {
     return (static_cast<uint64_t>(side) << 32) | seq;
@@ -212,7 +353,14 @@ class MatchSession {
   const Tuple& TupleBySeq(int side, uint32_t seq) const;
   void RebuildPositionsLocked(int side);
   void RebuildClustersLocked();
-  match::MatchResult TranslatedMatchesLocked() const;
+  /// Builds the next SessionGeneration from the build-side state and
+  /// swaps it in (the single publication point).
+  void PublishLocked(IngestReport* report);
+  /// The current generation, acquired through the publication latch.
+  SessionGenerationPtr CurrentGeneration() const {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    return published_;
+  }
 
   /// Evaluates a deduped candidate list, parallel-chunked like the
   /// Executor's match stage; appends passing pairs to `out` in
@@ -240,8 +388,24 @@ class MatchSession {
   PlanPtr plan_;
   SessionOptions options_;
 
+  /// The published side: the current generation, swapped by PublishLocked
+  /// and acquired by every query. The latch guards nothing but the
+  /// pointer copy (a few atomic ops): writers hold it for one swap per
+  /// flush, readers for one shared_ptr copy per query — queries therefore
+  /// never wait on flush work, only on other sub-microsecond pointer
+  /// copies. (The natural primitive here is std::atomic<shared_ptr>, but
+  /// libstdc++'s implementation is itself a per-object spinlock around
+  /// exactly this pointer+refcount pair — with a formally relaxed reader
+  /// unlock that ThreadSanitizer rightly flags — so an explicit latch
+  /// costs the same and is memory-model clean. A truly contention-free
+  /// many-core acquire needs epoch/hazard machinery; see ROADMAP.)
+  /// `published_` is never null.
+  mutable std::mutex publish_mu_;
+  SessionGenerationPtr published_;
+
+  /// ---- build side: guarded by mu_, never read by queries ----
   mutable std::mutex mu_;
-  std::vector<Record> corpus_[2];                       // ingestion order
+  std::vector<SessionRecordPtr> corpus_[2];             // ingestion order
   std::unordered_map<TupleId, uint32_t> pos_by_id_[2];  // id -> position
   /// seq -> corpus position, dense (seqs are allocated consecutively;
   /// slots of removed records go stale and are never consulted). A flat
@@ -260,19 +424,25 @@ class MatchSession {
   /// The current version of the persistent candidate indexes: one sorted
   /// treap per windowing pass, or the block index, frozen per flush.
   /// Readers (queries, shard workers, sibling catalog sessions) hold the
-  /// snapshot; Flush advances to the next version without disturbing
-  /// them.
+  /// snapshot through their generation; Flush advances to the next
+  /// version without disturbing them.
   candidate::IndexSnapshotPtr indexes_;
   /// Version counter for private (non-catalog) snapshot chains.
   uint64_t next_version_ = 1;
+  /// Publication counter behind SessionGeneration::generation.
+  uint64_t next_generation_ = 1;
   /// The shared catalog entry, when SessionOptions::catalog is set.
   candidate::IndexCatalog::EntryPtr catalog_entry_;
 
   /// Incremental clustering over the raw match graph. Nodes are dense ids
-  /// mapped from record handles; removals mark the structure stale and
-  /// the next flush rebuilds it from the surviving pairs.
+  /// per record handle; removals mark the structure stale and the next
+  /// flush rebuilds it from the surviving pairs. Queries never touch this
+  /// (path compression writes) — they read the frozen handles published
+  /// in the generation.
   match::UnionFind uf_;
-  std::unordered_map<uint64_t, size_t> node_of_;
+  /// seq -> union-find node id, dense per side (stale after removal until
+  /// the rebuild, like pos_by_seq_).
+  std::vector<size_t> node_by_seq_[2];
   bool clusters_stale_ = false;
 
   /// Removal-gap positions per windowing pass, valid during one Flush

@@ -1,39 +1,290 @@
 #include "candidate/block_index.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "candidate/radix.h"
+#include "util/fnv.h"
 
 namespace mdmatch::candidate {
 
-void BlockIndex::Add(uint8_t side, uint32_t id, const std::string& key) {
-  Block& block = blocks_[key];
-  (side == 0 ? block.left : block.right).push_back(id);
+namespace {
+
+/// Deterministic treap priority: FNV-1a over the key bytes through a
+/// splitmix64 finalizer, so the tree shape is a pure function of the key
+/// set. Keys are unique within the tree, so no tie-breaking is needed.
+uint64_t KeyPriority(const std::string& key) {
+  return Mix64(FnvMixString(kFnvOffsetBasis, key));
 }
 
-bool BlockIndex::Remove(uint8_t side, uint32_t id, const std::string& key) {
-  auto it = blocks_.find(key);
-  if (it == blocks_.end()) return false;
-  std::vector<uint32_t>& ids = side == 0 ? it->second.left : it->second.right;
-  auto pos = std::find(ids.begin(), ids.end(), id);
-  if (pos == ids.end()) return false;
-  ids.erase(pos);
-  if (it->second.left.empty() && it->second.right.empty()) blocks_.erase(it);
-  return true;
+}  // namespace
+
+BlockIndex::BlockIndex(const BlockIndex& other)
+    : root_(other.root_), num_blocks_(other.num_blocks_) {
+  shared_.store(true, std::memory_order_relaxed);
+  other.shared_.store(true, std::memory_order_relaxed);
+}
+
+BlockIndex& BlockIndex::operator=(const BlockIndex& other) {
+  root_ = other.root_;
+  num_blocks_ = other.num_blocks_;
+  shared_.store(true, std::memory_order_relaxed);
+  other.shared_.store(true, std::memory_order_relaxed);
+  return *this;
+}
+
+BlockIndex::BlockIndex(BlockIndex&& other) noexcept
+    : root_(std::move(other.root_)), num_blocks_(other.num_blocks_) {
+  other.num_blocks_ = 0;
+  shared_.store(other.shared_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+BlockIndex& BlockIndex::operator=(BlockIndex&& other) noexcept {
+  root_ = std::move(other.root_);
+  num_blocks_ = other.num_blocks_;
+  other.num_blocks_ = 0;
+  shared_.store(other.shared_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  return *this;
+}
+
+std::shared_ptr<BlockIndex::Node> BlockIndex::Own(const NodePtr& n) const {
+  if (!shared_.load(std::memory_order_relaxed)) {
+    // Never copied: every node is uniquely this index's, mutate in place.
+    return std::const_pointer_cast<Node>(n);
+  }
+  auto copy = std::make_shared<Node>();
+  copy->key = n->key;
+  copy->priority = n->priority;
+  copy->block = n->block;
+  copy->left = n->left;
+  copy->right = n->right;
+  return copy;
+}
+
+std::shared_ptr<BlockIndex::Block> BlockIndex::OwnBlock(BlockPtr block) {
+  // A snapshot (path-copied node or an older tree) may still reference
+  // the payload: clone unless this reference is provably the only one.
+  if (block.use_count() == 1) {
+    return std::const_pointer_cast<Block>(std::move(block));
+  }
+  return std::make_shared<Block>(*block);
+}
+
+const BlockIndex::Node* BlockIndex::FindNode(const std::string& key) const {
+  const Node* n = root_.get();
+  while (n != nullptr) {
+    if (key < n->key) {
+      n = n->left.get();
+    } else if (n->key < key) {
+      n = n->right.get();
+    } else {
+      return n;
+    }
+  }
+  return nullptr;
 }
 
 const BlockIndex::Block* BlockIndex::Find(const std::string& key) const {
-  auto it = blocks_.find(key);
-  return it == blocks_.end() ? nullptr : &it->second;
+  const Node* n = FindNode(key);
+  return n == nullptr ? nullptr : n->block.get();
+}
+
+void BlockIndex::SplitKey(const NodePtr& t, const std::string& key,
+                          NodePtr* less, NodePtr* greater) const {
+  if (t == nullptr) {
+    *less = nullptr;
+    *greater = nullptr;
+    return;
+  }
+  std::shared_ptr<Node> n = Own(t);
+  if (n->key < key) {
+    NodePtr right_less;
+    SplitKey(n->right, key, &right_less, greater);
+    n->right = std::move(right_less);
+    *less = std::move(n);
+  } else {
+    NodePtr left_greater;
+    SplitKey(n->left, key, less, &left_greater);
+    n->left = std::move(left_greater);
+    *greater = std::move(n);
+  }
+}
+
+BlockIndex::NodePtr BlockIndex::JoinNodes(NodePtr a, NodePtr b) const {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority > b->priority) {
+    std::shared_ptr<Node> n = Own(a);
+    n->right = JoinNodes(n->right, std::move(b));
+    return n;
+  }
+  std::shared_ptr<Node> n = Own(b);
+  n->left = JoinNodes(std::move(a), n->left);
+  return n;
+}
+
+BlockIndex::NodePtr BlockIndex::UpsertRec(const NodePtr& t,
+                                          const std::string& key,
+                                          uint64_t priority, uint8_t side,
+                                          uint32_t id,
+                                          bool* inserted) const {
+  if (t == nullptr || priority > t->priority) {
+    // Heap order puts every node below `t` at priority <= t->priority <
+    // priority, and the key's node would carry exactly `priority` — so
+    // the key is absent here and the new node splices in. (An equal
+    // priority — the key's own node or a hash-colliding key — falls
+    // through to the key descent.)
+    *inserted = true;
+    auto node = std::make_shared<Node>();
+    node->key = key;
+    node->priority = priority;
+    auto block = std::make_shared<Block>();
+    (side == 0 ? block->left : block->right).push_back(id);
+    node->block = std::move(block);
+    SplitKey(t, key, &node->left, &node->right);
+    return node;
+  }
+  std::shared_ptr<Node> n = Own(t);
+  if (key < n->key) {
+    n->left = UpsertRec(n->left, key, priority, side, id, inserted);
+  } else if (n->key < key) {
+    n->right = UpsertRec(n->right, key, priority, side, id, inserted);
+  } else {
+    std::shared_ptr<Block> block = OwnBlock(std::move(n->block));
+    (side == 0 ? block->left : block->right).push_back(id);
+    n->block = std::move(block);
+  }
+  return n;
+}
+
+BlockIndex::NodePtr BlockIndex::RemoveRec(const NodePtr& t,
+                                          const std::string& key,
+                                          uint8_t side, uint32_t id,
+                                          bool* removed,
+                                          bool* erased_block) const {
+  if (t == nullptr) return t;
+  if (key < t->key || t->key < key) {
+    const bool go_left = key < t->key;
+    NodePtr child = RemoveRec(go_left ? t->left : t->right, key, side, id,
+                              removed, erased_block);
+    if (!*removed) return t;  // untouched: no path copy for a failed remove
+    std::shared_ptr<Node> n = Own(t);
+    (go_left ? n->left : n->right) = std::move(child);
+    return n;
+  }
+  const std::vector<uint32_t>& ids =
+      side == 0 ? t->block->left : t->block->right;
+  if (std::find(ids.begin(), ids.end(), id) == ids.end()) return t;
+  *removed = true;
+  if (t->block->left.size() + t->block->right.size() == 1) {
+    *erased_block = true;
+    return JoinNodes(t->left, t->right);
+  }
+  std::shared_ptr<Node> n = Own(t);
+  std::shared_ptr<Block> block = OwnBlock(std::move(n->block));
+  std::vector<uint32_t>& mutable_ids =
+      side == 0 ? block->left : block->right;
+  mutable_ids.erase(std::find(mutable_ids.begin(), mutable_ids.end(), id));
+  n->block = std::move(block);
+  return n;
+}
+
+void BlockIndex::Add(uint8_t side, uint32_t id, const std::string& key) {
+  bool inserted = false;
+  root_ = UpsertRec(root_, key, KeyPriority(key), side, id, &inserted);
+  if (inserted) ++num_blocks_;
+}
+
+bool BlockIndex::Remove(uint8_t side, uint32_t id, const std::string& key) {
+  bool removed = false;
+  bool erased_block = false;
+  NodePtr next = RemoveRec(root_, key, side, id, &removed, &erased_block);
+  if (!removed) return false;
+  root_ = std::move(next);
+  if (erased_block) --num_blocks_;
+  return true;
+}
+
+void BlockIndex::ForEachBlock(
+    const std::function<void(const std::string& key, const Block& block)>&
+        visit) const {
+  // Iterative in-order walk (expected depth is O(log #blocks), but the
+  // explicit stack keeps worst-case inputs off the call stack).
+  std::vector<const Node*> stack;
+  const Node* cur = root_.get();
+  while (cur != nullptr || !stack.empty()) {
+    while (cur != nullptr) {
+      stack.push_back(cur);
+      cur = cur->left.get();
+    }
+    cur = stack.back();
+    stack.pop_back();
+    visit(cur->key, *cur->block);
+    cur = cur->right.get();
+  }
 }
 
 BlockIndex BlockIndex::FromInstance(const Instance& instance,
                                     const match::KeyFunction& key) {
-  BlockIndex index;
+  // One-shot bulk build: group records by hashed key in O(n), then
+  // assemble the treap with a Cartesian build over the radix-sorted
+  // distinct keys — no per-record treap descents, so the throwaway
+  // batch path pays nothing for the persistence machinery the
+  // incremental/session path uses.
+  std::unordered_map<std::string, std::shared_ptr<Block>> groups;
+  auto add = [&](uint8_t side, uint32_t id, std::string rendered) {
+    std::shared_ptr<Block>& block = groups[std::move(rendered)];
+    if (block == nullptr) block = std::make_shared<Block>();
+    (side == 0 ? block->left : block->right).push_back(id);
+  };
   for (uint32_t i = 0; i < instance.left().size(); ++i) {
-    index.Add(0, i, key.Render(instance.left().tuple(i), 0));
+    add(0, i, key.Render(instance.left().tuple(i), 0));
   }
   for (uint32_t i = 0; i < instance.right().size(); ++i) {
-    index.Add(1, i, key.Render(instance.right().tuple(i), 1));
+    add(1, i, key.Render(instance.right().tuple(i), 1));
   }
+
+  std::vector<std::pair<std::string, BlockPtr>> blocks;
+  blocks.reserve(groups.size());
+  for (auto& [k, block] : groups) {
+    blocks.emplace_back(k, std::move(block));
+  }
+  std::vector<uint32_t> perm(blocks.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  StableRadixSortByKey(perm, [&](uint32_t i) -> const std::string& {
+    return blocks[i].first;
+  });
+
+  // Cartesian build over the rightmost spine (see SortedKeyIndex::
+  // BuildFromSorted): each key-ordered node joins as the spine's tail,
+  // adopting as left child everything it outranks. Ties keep the earlier
+  // node on top, matching UpsertRec's strict-splice invariant.
+  BlockIndex index;
+  std::vector<std::shared_ptr<Node>> spine;
+  std::shared_ptr<Node> root;
+  for (uint32_t i : perm) {
+    auto node = std::make_shared<Node>();
+    node->key = std::move(blocks[i].first);
+    node->priority = KeyPriority(node->key);
+    node->block = std::move(blocks[i].second);
+    std::shared_ptr<Node> displaced;
+    while (!spine.empty() && spine.back()->priority < node->priority) {
+      displaced = std::move(spine.back());
+      spine.pop_back();
+    }
+    node->left = std::move(displaced);
+    if (spine.empty()) {
+      root = node;
+    } else {
+      spine.back()->right = node;
+    }
+    spine.push_back(std::move(node));
+  }
+  index.root_ = std::move(root);
+  index.num_blocks_ = blocks.size();
   return index;
 }
 

@@ -66,13 +66,10 @@ class IndexCatalog {
 
   /// The entry for (plan_fingerprint, corpus_id), created on first use.
   /// Entries live as long as the catalog. Memory note: the memo retains
-  /// up to kMemoCapacity snapshots. For windowing plans those share
-  /// treap structure and cost O(delta · log n) each; for blocking plans
-  /// each memoized transition holds its own copy-on-write BlockIndex
-  /// clone, so catalog-shared *blocking* sessions trade O(corpus) clone
-  /// work and memory per distinct flush for the shared build — prefer
-  /// private sessions (no catalog) for blocking plans with large corpora
-  /// until the block index is made persistent per-block (see ROADMAP).
+  /// up to kMemoCapacity snapshots; both index kinds are persistent
+  /// (order-statistic treaps for windowing, the per-block key treap for
+  /// blocking), so each memoized transition shares all untouched
+  /// structure with its base and costs O(delta · log n) time and memory.
   EntryPtr Acquire(uint64_t plan_fingerprint, const std::string& corpus_id);
 
   size_t num_entries() const;

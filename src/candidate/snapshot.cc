@@ -8,7 +8,7 @@ namespace mdmatch::candidate {
 IndexSnapshotPtr IndexSnapshot::Empty(size_t passes, bool blocking) {
   auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
   snapshot->window_.resize(passes);
-  if (blocking) snapshot->block_ = std::make_shared<BlockIndex>();
+  if (blocking) snapshot->block_ = std::make_unique<BlockIndex>();
   return snapshot;
 }
 
@@ -33,7 +33,11 @@ IndexSnapshotPtr IndexSnapshot::Advance(
   } else {
     next = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
     next->window_ = base->window_;  // O(passes): treap roots are shared
-    next->block_ = base->block_;
+    if (base->block_ != nullptr) {
+      // O(1): the persistent block index shares all nodes with the frozen
+      // base; mutations below path-copy only what the delta touches.
+      next->block_ = std::make_unique<BlockIndex>(*base->block_);
+    }
     base.reset();
   }
   next->version_ = version;
@@ -41,14 +45,7 @@ IndexSnapshotPtr IndexSnapshot::Advance(
   for (size_t p = 0; p < next->window_.size(); ++p) {
     next->window_[p].Apply(pass_removes[p], std::move(pass_inserts[p]));
   }
-  if (next->block_ != nullptr &&
-      (!block_removes.empty() || !block_inserts.empty())) {
-    if (next->block_.use_count() > 1) {
-      // A frozen ancestor still references this block index: clone before
-      // writing (copy-on-write; O(corpus), only paid when actually
-      // shared).
-      next->block_ = std::make_shared<BlockIndex>(*next->block_);
-    }
+  if (next->block_ != nullptr) {
     for (const IndexedEntry& e : block_removes) {
       next->block_->Remove(e.side, e.seq, e.key);
     }

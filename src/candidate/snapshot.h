@@ -23,12 +23,12 @@ using IndexSnapshotPtr = std::shared_ptr<const IndexSnapshot>;
 /// indexes: the per-pass sorted windowing indexes, or the blocking index.
 ///
 /// Versions form a chain (or, when sessions diverge, a tree): each
-/// Advance applies one flush's delta and yields the next version.
-/// Windowing indexes are persistent treaps, so an advance costs
-/// O(delta · log n) and shares all untouched nodes with its parent; the
-/// blocking index is cloned copy-on-write only when the parent version is
-/// still referenced by someone else (a lone session advances its block
-/// index in place, like the pre-snapshot code did).
+/// Advance applies one flush's delta and yields the next version. Both
+/// index kinds are persistent — windowing indexes are order-statistic
+/// treaps, the blocking index a per-block key treap — so an advance costs
+/// O(delta · log n) and shares all untouched nodes (and untouched blocks)
+/// with its parent, regardless of how many frozen versions are still
+/// alive. A parent nobody else references is recycled in place.
 class IndexSnapshot {
  public:
   /// The starting version: empty indexes, `passes` windowing passes
@@ -38,9 +38,11 @@ class IndexSnapshot {
   /// Applies one delta to `base` and returns the resulting snapshot with
   /// `version` stamped on it. `base` is passed by value on purpose: a
   /// caller that moves in its only reference lets Advance recycle the
-  /// object in place (and mutate the block index without cloning);
-  /// otherwise the result is a fresh snapshot and `base` survives
-  /// untouched for its remaining holders.
+  /// object in place; otherwise the result is a fresh snapshot — an O(1)
+  /// structural copy of the persistent indexes — and `base` survives
+  /// untouched for its remaining holders (api::MatchSession publishes
+  /// every flushed snapshot inside a SessionGeneration, so its advances
+  /// always take this path).
   ///
   /// `pass_removes` / `pass_inserts` are per windowing pass (must match
   /// the snapshot's pass count); `block_removes` / `block_inserts` feed
@@ -60,14 +62,18 @@ class IndexSnapshot {
     return window_;
   }
 
-  /// The blocking index, or nullptr for windowing snapshots.
+  /// The blocking index, or nullptr for windowing snapshots. Deeply
+  /// const: no mutable path into the index or its blocks is reachable
+  /// from a snapshot.
   const BlockIndex* block() const { return block_.get(); }
 
  private:
   IndexSnapshot() = default;
 
   std::vector<SortedKeyIndex> window_;
-  std::shared_ptr<BlockIndex> block_;
+  /// Owned per snapshot; copying the pointee is O(1) (persistent treap),
+  /// so a non-recycled Advance copies instead of sharing a mutable index.
+  std::unique_ptr<BlockIndex> block_;
   uint64_t version_ = 0;
 };
 

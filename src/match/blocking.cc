@@ -11,14 +11,14 @@ CandidateSet BlockCandidates(const Instance& instance,
   CandidateSet out;
   const candidate::BlockIndex index =
       candidate::BlockIndex::FromInstance(instance, key);
-  for (const auto& [k, block] : index.blocks()) {
-    (void)k;
+  index.ForEachBlock([&](const std::string&,
+                         const candidate::BlockIndex::Block& block) {
     for (uint32_t l : block.left) {
       for (uint32_t r : block.right) {
         out.Add(l, r);
       }
     }
-  }
+  });
   return out;
 }
 
@@ -37,12 +37,12 @@ BlockingStats AnalyzeBlocks(const Instance& instance, const KeyFunction& key) {
       candidate::BlockIndex::FromInstance(instance, key);
   stats.num_blocks = index.num_blocks();
   size_t total = 0;
-  for (const auto& [k, block] : index.blocks()) {
-    (void)k;
+  index.ForEachBlock([&](const std::string&,
+                         const candidate::BlockIndex::Block& block) {
     size_t size = block.left.size() + block.right.size();
     total += size;
     if (size > stats.largest_block) stats.largest_block = size;
-  }
+  });
   stats.avg_block = index.num_blocks() == 0
                         ? 0.0
                         : static_cast<double>(total) /

@@ -15,11 +15,46 @@ uint64_t TupleFingerprint(const Tuple& tuple) {
   return hash;
 }
 
-PairDecisionCache::PairDecisionCache(size_t capacity, size_t shards) {
+PairDecisionCache::PairDecisionCache(size_t capacity, size_t shards,
+                                     bool doorkeeper) {
   if (shards == 0) shards = 1;
   shards = std::min(shards, std::max<size_t>(capacity, 1));
   per_shard_capacity_ = std::max<size_t>(1, (capacity + shards - 1) / shards);
   shards_ = std::vector<Shard>(shards);
+  if (doorkeeper) {
+    // ~8 filter bits per resident entry (two probes each), at least one
+    // word: small enough to live in cache, large enough that the quarter-
+    // full reset fires well after per_shard_capacity_ one-hit wonders.
+    bloom_words_ = std::max<size_t>(1, per_shard_capacity_ / 8);
+    for (Shard& shard : shards_) shard.bloom.assign(bloom_words_, 0);
+  }
+}
+
+bool PairDecisionCache::DoorkeeperAdmit(Shard* shard, uint64_t hash) {
+  // Two probes from independent halves of the 64-bit key hash.
+  const size_t bits = bloom_words_ * 64;
+  const size_t b1 = static_cast<size_t>(hash) % bits;
+  const size_t b2 = static_cast<size_t>(hash >> 32) % bits;
+  const uint64_t m1 = uint64_t{1} << (b1 & 63);
+  const uint64_t m2 = uint64_t{1} << (b2 & 63);
+  uint64_t& w1 = shard->bloom[b1 >> 6];
+  uint64_t& w2 = shard->bloom[b2 >> 6];
+  if ((w1 & m1) != 0 && (w2 & m2) != 0) return true;  // seen before
+  // Count set bits one probe at a time: when both probes alias the same
+  // bit, the second test must see the first bit already set or the
+  // age-out counter would drift high and reset early.
+  shard->bloom_bits_set += (w1 & m1) == 0;
+  w1 |= m1;
+  shard->bloom_bits_set += (w2 & m2) == 0;
+  w2 |= m2;
+  if (shard->bloom_bits_set * 4 >= bits) {
+    // Age out: wholesale reset keeps the filter's false-positive rate
+    // bounded under endless churn (resident keys re-earn admission).
+    std::fill(shard->bloom.begin(), shard->bloom.end(), 0);
+    shard->bloom_bits_set = 0;
+  }
+  ++shard->stats.doorkeeper_rejects;
+  return false;
 }
 
 uint64_t PairDecisionCache::HashKey(const Key& key) {
@@ -56,6 +91,7 @@ void PairDecisionCache::Insert(const Key& key, bool decision) {
     shard.lru.splice(shard.lru.begin(), shard.lru, found->second);
     return;
   }
+  if (bloom_words_ > 0 && !DoorkeeperAdmit(&shard, hash)) return;
   shard.lru.push_front(Entry{key, decision});
   shard.index[hash] = shard.lru.begin();
   if (shard.lru.size() > per_shard_capacity_) {
@@ -81,6 +117,7 @@ PairDecisionCache::Stats PairDecisionCache::stats() const {
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
     total.evictions += shard.stats.evictions;
+    total.doorkeeper_rejects += shard.stats.doorkeeper_rejects;
   }
   return total;
 }

@@ -36,6 +36,17 @@ uint64_t TupleFingerprint(const Tuple& tuple);
 ///
 /// Thread-safe: the key space is split over shards, each with its own
 /// mutex and LRU list, so concurrent match workers rarely contend.
+///
+/// Optional doorkeeper admission (`doorkeeper` ctor flag): each shard
+/// fronts its LRU with a small one-hit bloom filter — a key's first miss
+/// is only *recorded* (two bits set), and the decision enters the LRU on
+/// its second miss. Workloads that recycle TupleIds with fresh values
+/// produce an endless stream of one-hit-wonder keys; without admission
+/// each of them evicts a resident entry, so the LRU churns and the hot
+/// working set drains (the ROADMAP cache-hardening item). The filter ages
+/// by wholesale reset once a quarter of its bits are set, so persistent
+/// pairs re-earn admission at worst one extra miss per age-out. Results
+/// are unaffected either way — admission only decides what is *stored*.
 class PairDecisionCache {
  public:
   struct Key {
@@ -51,11 +62,16 @@ class PairDecisionCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t evictions = 0;
+    /// First-seen keys the doorkeeper kept out of the LRU (0 when the
+    /// doorkeeper is off).
+    size_t doorkeeper_rejects = 0;
   };
 
   /// `capacity` is the total entry budget across all shards (at least one
-  /// entry per shard is kept).
-  explicit PairDecisionCache(size_t capacity, size_t shards = 16);
+  /// entry per shard is kept). `doorkeeper` enables per-shard one-hit
+  /// bloom admission.
+  explicit PairDecisionCache(size_t capacity, size_t shards = 16,
+                             bool doorkeeper = false);
 
   /// The cached decision, or nullopt on a miss. Promotes hits to
   /// most-recently-used.
@@ -94,12 +110,20 @@ class PairDecisionCache {
     std::list<Entry> lru;  ///< front = most recently used
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
     Stats stats;
+    /// Doorkeeper bloom bits (empty when the doorkeeper is off) and the
+    /// number of set bits since the last age-out reset.
+    std::vector<uint64_t> bloom;
+    size_t bloom_bits_set = 0;
   };
 
   static uint64_t HashKey(const Key& key);
   Shard& ShardFor(uint64_t hash) { return shards_[hash % shards_.size()]; }
+  /// True when `hash` was seen before (both probe bits set); records it
+  /// otherwise. Called under the shard lock.
+  bool DoorkeeperAdmit(Shard* shard, uint64_t hash);
 
   size_t per_shard_capacity_;
+  size_t bloom_words_ = 0;  ///< per-shard filter size; 0 = doorkeeper off
   std::vector<Shard> shards_;
 };
 

@@ -7,8 +7,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <random>
 #include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -294,6 +298,147 @@ TEST(IndexSnapshotTest, BlockIndexClonedOnlyWhenShared) {
   next = IndexSnapshot::Advance(std::move(next), {}, {}, {}, more, 3);
   EXPECT_EQ(next->block(), recycled_block);
   EXPECT_NE(next->block()->Find("blk2"), nullptr);
+}
+
+// ------------------------------------------------------------ BlockIndex
+
+/// Flat reference model: the behavior BlockIndex must reproduce.
+struct BlockReference {
+  std::map<std::string, BlockIndex::Block> blocks;
+  void Add(uint8_t side, uint32_t id, const std::string& key) {
+    auto& b = blocks[key];
+    (side == 0 ? b.left : b.right).push_back(id);
+  }
+  bool Remove(uint8_t side, uint32_t id, const std::string& key) {
+    auto it = blocks.find(key);
+    if (it == blocks.end()) return false;
+    auto& ids = side == 0 ? it->second.left : it->second.right;
+    auto pos = std::find(ids.begin(), ids.end(), id);
+    if (pos == ids.end()) return false;
+    ids.erase(pos);
+    if (it->second.left.empty() && it->second.right.empty()) {
+      blocks.erase(it);
+    }
+    return true;
+  }
+};
+
+void ExpectSameBlocks(const BlockIndex& index, const BlockReference& ref) {
+  ASSERT_EQ(index.num_blocks(), ref.blocks.size());
+  auto it = ref.blocks.begin();
+  index.ForEachBlock(
+      [&](const std::string& key, const BlockIndex::Block& block) {
+        ASSERT_NE(it, ref.blocks.end());
+        EXPECT_EQ(key, it->first);  // key order
+        EXPECT_EQ(block.left, it->second.left);
+        EXPECT_EQ(block.right, it->second.right);
+        ++it;
+      });
+  EXPECT_EQ(it, ref.blocks.end());
+  for (const auto& [key, block] : ref.blocks) {
+    const BlockIndex::Block* found = index.Find(key);
+    ASSERT_NE(found, nullptr) << key;
+    EXPECT_EQ(found->left, block.left);
+    EXPECT_EQ(found->right, block.right);
+  }
+}
+
+TEST(BlockIndexTest, RandomOpsMatchReferenceAcrossSnapshots) {
+  std::mt19937 rng(4242);
+  BlockIndex index;
+  BlockReference ref;
+  std::vector<std::pair<BlockIndex, BlockReference>> snapshots;
+  std::vector<std::tuple<uint8_t, uint32_t, std::string>> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    if (!live.empty() && rng() % 3 == 0) {
+      const size_t at = rng() % live.size();
+      const auto [side, id, key] = live[at];
+      EXPECT_TRUE(index.Remove(side, id, key));
+      EXPECT_TRUE(ref.Remove(side, id, key));
+      live.erase(live.begin() + at);
+    } else {
+      const uint8_t side = rng() % 2;
+      const uint32_t id = step;
+      const std::string key = "k" + std::to_string(rng() % 60);
+      index.Add(side, id, key);
+      ref.Add(side, id, key);
+      live.emplace_back(side, id, key);
+    }
+    EXPECT_FALSE(index.Remove(0, 999999, "absent"));
+    if (step % 500 == 250) snapshots.emplace_back(index, ref);  // O(1) copy
+  }
+  ExpectSameBlocks(index, ref);
+  // Every frozen copy still shows exactly the state it was taken at.
+  for (const auto& [frozen, frozen_ref] : snapshots) {
+    ExpectSameBlocks(frozen, frozen_ref);
+  }
+}
+
+TEST(BlockIndexTest, MutationClonesOnlyTheTouchedBlock) {
+  BlockIndex index;
+  for (uint32_t i = 0; i < 50; ++i) {
+    index.Add(0, i, "key" + std::to_string(i % 10));
+  }
+  BlockIndex frozen = index;  // flips to persistent mode
+  const BlockIndex::Block* untouched_before = frozen.Find("key3");
+  const BlockIndex::Block* touched_before = frozen.Find("key7");
+
+  index.Add(1, 100, "key7");
+  // The touched block was cloned for the new version; every other block
+  // is shared by pointer with the frozen copy.
+  EXPECT_EQ(index.Find("key3"), untouched_before);
+  EXPECT_NE(index.Find("key7"), touched_before);
+  EXPECT_EQ(frozen.Find("key7"), touched_before);
+  EXPECT_EQ(frozen.Find("key7")->right.size(), 0u);
+  EXPECT_EQ(index.Find("key7")->right.size(), 1u);
+}
+
+// Satellite regression (const-correctness audit): nothing reachable from
+// a frozen snapshot hands out a mutable path into the index — Find and
+// ForEachBlock return const blocks, IndexSnapshot::block() is a const
+// pointer, and mutating the live index never disturbs what a frozen
+// snapshot shows.
+TEST(BlockIndexTest, FrozenSnapshotsExposeNoMutablePath) {
+  static_assert(
+      std::is_same_v<decltype(std::declval<const BlockIndex&>().Find("")),
+                     const BlockIndex::Block*>,
+      "Find must hand out const blocks");
+  static_assert(
+      std::is_same_v<
+          decltype(std::declval<const IndexSnapshot&>().block()),
+          const BlockIndex*>,
+      "IndexSnapshot::block must be deeply const");
+
+  IndexSnapshotPtr snapshot = IndexSnapshot::Empty(0, /*blocking=*/true);
+  std::vector<IndexedEntry> inserts = {{"a", 0, 1}, {"a", 1, 2},
+                                       {"b", 0, 3}};
+  snapshot = IndexSnapshot::Advance(std::move(snapshot), {}, {}, {},
+                                    inserts, 1);
+  IndexSnapshotPtr frozen = snapshot;
+
+  // Hammer the same blocks through several descendant versions.
+  for (uint64_t v = 2; v < 6; ++v) {
+    std::vector<IndexedEntry> more = {{"a", 0, static_cast<uint32_t>(v * 10)},
+                                      {"b", 1, static_cast<uint32_t>(v)}};
+    std::vector<IndexedEntry> removes =
+        v == 4 ? std::vector<IndexedEntry>{{"a", 1, 2}}
+               : std::vector<IndexedEntry>{};
+    snapshot = IndexSnapshot::Advance(std::move(snapshot), {}, {}, removes,
+                                      more, v);
+  }
+
+  const BlockIndex::Block* a = frozen->block()->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->left, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(a->right, (std::vector<uint32_t>{2}));
+  const BlockIndex::Block* b = frozen->block()->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->left, (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(b->right.empty());
+  EXPECT_EQ(frozen->block()->num_blocks(), 2u);
+  // And the live head really did move on.
+  EXPECT_EQ(snapshot->block()->Find("a")->left.size(), 5u);
 }
 
 // --------------------------------------------------------- IndexCatalog

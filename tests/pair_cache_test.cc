@@ -1,0 +1,150 @@
+// Tests for the pair-decision cache's doorkeeper admission (the ROADMAP
+// cache-hardening item, first notch): one-hit-wonder keys — the shape an
+// id-recycling workload produces endlessly — must stop evicting the hot
+// working set, provable through the cache's own lookup/eviction counters,
+// while decisions stay exactly what the evaluator computes either way.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/plan.h"
+#include "api/session.h"
+#include "datagen/credit_billing.h"
+#include "match/pair_cache.h"
+
+namespace mdmatch::match {
+namespace {
+
+PairDecisionCache::Key MakeKey(uint64_t n) {
+  return PairDecisionCache::Key{static_cast<TupleId>(n),
+                                static_cast<TupleId>(n * 31 + 7),
+                                n * 0x9E3779B97F4A7C15ull, n ^ 0xABCDEF};
+}
+
+TEST(PairCacheDoorkeeperTest, AdmitsOnSecondMissOnly) {
+  PairDecisionCache cache(/*capacity=*/64, /*shards=*/1,
+                          /*doorkeeper=*/true);
+  const PairDecisionCache::Key key = MakeKey(1);
+
+  // First insert: recorded by the doorkeeper, not stored.
+  cache.Insert(key, true);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.stats().doorkeeper_rejects, 1u);
+
+  // Second insert: admitted.
+  cache.Insert(key, true);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Lookup(key).has_value());
+  EXPECT_TRUE(*cache.Lookup(key));
+}
+
+TEST(PairCacheDoorkeeperTest, GetOrComputeStaysCorrectEitherWay) {
+  for (bool doorkeeper : {false, true}) {
+    PairDecisionCache cache(32, 4, doorkeeper);
+    // Every key's decision is deterministic; replay a mixed stream twice
+    // and demand the right answer every time, hit or miss.
+    for (int round = 0; round < 2; ++round) {
+      for (uint64_t n = 0; n < 200; ++n) {
+        const bool expected = (n % 3) == 0;
+        const bool got = cache.GetOrCompute(MakeKey(n), nullptr,
+                                            [&] { return expected; });
+        EXPECT_EQ(got, expected) << "doorkeeper=" << doorkeeper;
+      }
+    }
+  }
+}
+
+TEST(PairCacheDoorkeeperTest, RecyclingStressEvictsLessAndKeepsHotSet) {
+  // The adversarial shape: a small hot working set probed repeatedly,
+  // drowned in a stream of keys that are each seen exactly once (recycled
+  // TupleIds with fresh value fingerprints produce exactly this).
+  constexpr size_t kCapacity = 64;
+  constexpr uint64_t kHot = 16;
+  constexpr uint64_t kIterations = 2000;
+
+  PairDecisionCache::Stats plain_stats;
+  PairDecisionCache::Stats guarded_stats;
+  for (bool doorkeeper : {false, true}) {
+    PairDecisionCache cache(kCapacity, /*shards=*/4, doorkeeper);
+    // Warm the hot set (twice, so the doorkeeper admits it too).
+    for (int warm = 0; warm < 2; ++warm) {
+      for (uint64_t h = 0; h < kHot; ++h) {
+        cache.GetOrCompute(MakeKey(h), nullptr, [] { return true; });
+      }
+    }
+    for (uint64_t n = 0; n < kIterations; ++n) {
+      // Each hot key is re-probed only every kHot iterations, with enough
+      // one-hit wonders in between to flush an unguarded shard's LRU.
+      for (uint64_t j = 0; j < 4; ++j) {
+        cache.GetOrCompute(MakeKey(1000 + n * 4 + j), nullptr,
+                           [] { return false; });
+      }
+      cache.GetOrCompute(MakeKey(n % kHot), nullptr, [] { return true; });
+    }
+    (doorkeeper ? guarded_stats : plain_stats) = cache.stats();
+  }
+
+  // Same probe stream both times.
+  EXPECT_EQ(plain_stats.hits + plain_stats.misses,
+            guarded_stats.hits + guarded_stats.misses);
+  EXPECT_EQ(plain_stats.doorkeeper_rejects, 0u);
+  EXPECT_GT(guarded_stats.doorkeeper_rejects, 0u);
+  // The doorkeeper keeps the churn out of the LRU: far fewer evictions...
+  EXPECT_LT(guarded_stats.evictions, plain_stats.evictions / 4);
+  // ...and the hot set stays resident: strictly better hit rate.
+  EXPECT_GT(guarded_stats.hits, plain_stats.hits);
+}
+
+// Session-level equivalence: an id-recycling churn stream produces
+// identical matches with the doorkeeper on or off, and the doorkeeper
+// strictly reduces eviction churn (IngestReport::cache_evictions).
+TEST(PairCacheDoorkeeperTest, SessionIdRecyclingEquivalenceAndLessChurn) {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = 120;
+  gen.seed = 910;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+  auto plan = api::PlanBuilder(data.pair, data.target, &ops)
+                  .WithSigma(data.mds)
+                  .WithTrainingInstance(&data.instance)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+
+  size_t evictions[2] = {0, 0};
+  std::vector<std::pair<uint32_t, uint32_t>> matches[2];
+  for (int arm = 0; arm < 2; ++arm) {
+    api::SessionOptions options;
+    options.pair_cache_capacity = 128;  // deliberately tight
+    options.cache_doorkeeper = arm == 1;
+    api::MatchSession session(*plan, options);
+    const size_t n = data.instance.left().size();
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(session.Upsert(0, data.instance.left().tuple(i)).ok());
+      ASSERT_TRUE(session.Upsert(1, data.instance.right().tuple(i)).ok());
+    }
+    ASSERT_TRUE(session.Flush().ok());
+    // Recycling churn: the same ids keep coming back with fresh values,
+    // so every wave mints fingerprint-new cache keys.
+    for (int wave = 0; wave < 6; ++wave) {
+      for (size_t i = 0; i < 40; ++i) {
+        Tuple t = data.instance.left().tuple((wave * 40 + i) % n);
+        t.set_value(2, t.value(2) + std::to_string(wave));
+        ASSERT_TRUE(session.Upsert(0, std::move(t)).ok());
+      }
+      auto report = session.Flush();
+      ASSERT_TRUE(report.ok());
+      evictions[arm] += report->cache_evictions;
+      EXPECT_GT(report->cache_lookups, 0u);
+    }
+    matches[arm] = session.Matches().pairs();
+    std::sort(matches[arm].begin(), matches[arm].end());
+  }
+  EXPECT_EQ(matches[0], matches[1]);  // admission never changes results
+  EXPECT_LT(evictions[1], evictions[0]);
+}
+
+}  // namespace
+}  // namespace mdmatch::match

@@ -14,11 +14,14 @@
 // The tool only drives public library APIs; see README.md.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/executor.h"
@@ -95,10 +98,20 @@ void PrintUsage(FILE* out) {
       "  --threads N                      session worker threads (default 1)\n"
       "  --cache N                        pair-decision cache entries\n"
       "                                   (default 0 = off)\n"
+      "  --doorkeeper                     doorkeeper admission for the pair\n"
+      "                                   cache: decisions enter the LRU on\n"
+      "                                   their second miss, so id-recycling\n"
+      "                                   churn stops evicting the hot set\n"
+      "                                   (compare eviction rates in --stats)\n"
       "  --stats                          print per-flush phase timings\n"
       "                                   (index merge, candidate scan,\n"
       "                                   pair eval, drift re-rank) and\n"
       "                                   cache hit/eviction rates\n"
+      "  --readers N                      spawn N concurrent query threads\n"
+      "                                   (flush-independent cluster and\n"
+      "                                   membership reads) for the whole\n"
+      "                                   run; their query count is\n"
+      "                                   reported at EOF\n"
       "  --out FILE                       matches file written at EOF\n"
       "                                   (default <dir>/matches.csv)\n"
       "  stdin protocol, one CSV row per line ('#' comments skipped):\n"
@@ -201,7 +214,7 @@ class Args {
   }
   static bool IsBooleanFlag(const std::string& s) {
     return s == "--closure" || s == "--load" || s == "--stats" ||
-           s == "--help";
+           s == "--doorkeeper" || s == "--help";
   }
   std::vector<std::string> args_;
 };
@@ -457,19 +470,93 @@ int CmdStream(const Args& args) {
   api::SessionOptions session_options;
   session_options.num_threads = args.FlagNum("--threads", 1);
   session_options.pair_cache_capacity = args.FlagNum("--cache", 0);
+  session_options.cache_doorkeeper = args.HasFlag("--doorkeeper");
   api::MatchSession session(*plan, session_options);
+
+  // Optional concurrent readers: query threads hammering the lock-free
+  // cluster/membership path for the whole run, exercising generation
+  // publishing under real ingest (also the CI concurrency smoke test).
+  // They sample ids the driver loop has staged so far.
+  const size_t num_readers = args.FlagNum("--readers", 0);
+  std::atomic<bool> readers_stop{false};
+  std::mutex ids_mu;
+  std::vector<std::pair<int, TupleId>> known_ids;
+  auto note_id = [&](int side, TupleId id) {
+    std::lock_guard<std::mutex> lock(ids_mu);
+    known_ids.emplace_back(side, id);
+  };
+  std::vector<std::thread> readers;
+  std::vector<size_t> reader_queries(num_readers, 0);
+  for (size_t t = 0; t < num_readers; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t rng = t * 2654435769u + 12345;
+      size_t count = 0;
+      uint64_t last_generation = 0;
+      while (!readers_stop.load(std::memory_order_relaxed)) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        std::pair<int, TupleId> pick{-1, 0};
+        {
+          std::lock_guard<std::mutex> lock(ids_mu);
+          if (!known_ids.empty()) pick = known_ids[rng % known_ids.size()];
+        }
+        if (pick.first < 0) {
+          (void)session.left_size();
+        } else {
+          (void)session.ClusterOf(pick.first, pick.second);
+        }
+        const uint64_t generation = session.generation();
+        if (generation < last_generation) {
+          std::fprintf(stderr, "reader %zu: generation went backwards\n", t);
+          std::exit(1);
+        }
+        last_generation = generation;
+        ++count;
+      }
+      reader_queries[t] = count;
+    });
+  }
+  // Joins on every exit path: an error `return Fail(...)` below must not
+  // destroy joinable threads (std::terminate) or leave them querying a
+  // dying session. Declared after `session`, so it runs first.
+  struct ReaderJoiner {
+    std::atomic<bool>& stop;
+    std::vector<std::thread>& threads;
+    ~ReaderJoiner() {
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& t : threads) {
+        if (t.joinable()) t.join();
+      }
+    }
+  } reader_joiner{readers_stop, readers};
+  auto finish_readers = [&] {
+    readers_stop.store(true, std::memory_order_relaxed);
+    size_t total = 0;
+    for (auto& reader : readers) reader.join();
+    for (size_t n : reader_queries) total += n;
+    if (num_readers > 0) {
+      std::printf("readers: %zu threads issued %zu queries concurrently "
+                  "with ingest (final generation %llu)\n",
+                  num_readers, total,
+                  static_cast<unsigned long long>(session.generation()));
+    }
+    readers.clear();
+  };
 
   const bool stats = args.HasFlag("--stats");
   auto print_flush = [stats](const api::IngestReport& report) {
     std::printf("flush: +%zu -%zu matches (%zu upserts, %zu removes, %zu "
-                "pairs, %zu shard%s, %.3fs) -> %zu standing over %zu + %zu\n",
+                "pairs, %zu shard%s, %.3fs) -> %zu standing over %zu + %zu "
+                "(gen %llu)\n",
                 report.matches_added, report.matches_dropped, report.upserted,
                 report.removed, report.pairs_evaluated, report.shards_used,
                 report.shards_used == 1 ? "" : "s",
                 report.index_seconds + report.match_seconds +
                     report.cluster_seconds,
                 report.total_matches, report.corpus_left,
-                report.corpus_right);
+                report.corpus_right,
+                static_cast<unsigned long long>(report.generation));
     if (!stats) return;
     std::printf("  phases: merge %.4fs%s, scan %.4fs, eval %.4fs, rerank "
                 "%.4fs (index %.4fs, match %.4fs, cluster %.4fs)\n",
@@ -492,9 +579,11 @@ int CmdStream(const Args& args) {
   if (args.HasFlag("--load")) {
     for (const auto& t : instance->left().tuples()) {
       if (auto st = session.Upsert(0, t); !st.ok()) return Fail(st);
+      note_id(0, t.id());
     }
     for (const auto& t : instance->right().tuples()) {
       if (auto st = session.Upsert(1, t); !st.ok()) return Fail(st);
+      note_id(1, t.id());
     }
     auto report = session.Flush();
     if (!report.ok()) return Fail(report.status());
@@ -542,6 +631,7 @@ int CmdStream(const Args& args) {
                     : session.Upsert(
                           side, Tuple(id, {row.begin() + 3, row.end()}));
     if (!st.ok()) return Fail(st);
+    if (row[0] == "upsert") note_id(side, id);
   }
 
   if (session.pending_ops() > 0) {
@@ -550,6 +640,7 @@ int CmdStream(const Args& args) {
     std::printf("final ");
     print_flush(*report);
   }
+  finish_readers();
 
   const match::MatchResult matches = session.Matches();
   std::vector<std::vector<std::string>> rows;
@@ -633,7 +724,9 @@ int main(int argc, char** argv) {
     allowed.push_back("--threads");
     allowed.push_back("--load");
     allowed.push_back("--cache");
+    allowed.push_back("--doorkeeper");
     allowed.push_back("--stats");
+    allowed.push_back("--readers");
   } else if (cmd == "eval") {
     allowed = {"--matches"};
   } else {
