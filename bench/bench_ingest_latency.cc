@@ -1,0 +1,232 @@
+// Async ingestion economics: what the stream::IngestDriver buys over
+// synchronous per-record flushing, and what subscribers pay in latency.
+//
+// Two arms over the same generated corpus (80% bulk-loaded standing, 20%
+// streamed):
+//
+//   throughput  the streamed records ingested two ways — (a) synchronous
+//               baseline: MatchSession::Upsert + Flush per record (every
+//               record pays a full flush); (b) async: IngestDriver
+//               enqueue of every record followed by one Drain() — the
+//               flusher coalesces whatever accumulated per cycle, so
+//               flush cost is paid per cycle, not per record. Final
+//               match states are asserted identical (sorted pair sets).
+//
+//   latency     one record at a time through the driver with a
+//               subscribed sink, each enqueue waiting for its delta to
+//               arrive before the next: the wall-clock from Upsert()
+//               return-from-enqueue to MatchDeltaSink::OnDelta is the
+//               end-to-end freshness a subscriber sees. Reported as
+//               p50/p95/max over the sample set.
+//
+// Emits BENCH_ingest.json (perf trajectory point for async ingestion
+// across PRs). MDMATCH_BENCH_FULL=1 runs the large corpus;
+// MDMATCH_BENCH_TINY=1 shrinks everything for CI smoke runs.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "bench_common.h"
+#include "stream/ingest_driver.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+using namespace mdmatch;
+
+namespace {
+
+bool TinyRun() {
+  const char* env = std::getenv("MDMATCH_BENCH_TINY");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
+    const match::PairSet& set) {
+  auto pairs = set.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+/// Counts deliveries and lets the producer block until its record's
+/// delta arrived — the latency arm's measurement endpoint.
+struct CountingSink : stream::MatchDeltaSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t delivered = 0;
+
+  void OnDelta(const stream::MatchDelta&) override {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++delivered;
+    }
+    cv.notify_all();
+  }
+  void AwaitAtLeast(uint64_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return delivered >= n; });
+  }
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = std::min(
+      sorted.size() - 1, static_cast<size_t>(p * (sorted.size() - 1)));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main() {
+  sim::SimOpRegistry ops;
+  datagen::CreditBillingOptions gen;
+  gen.num_base = TinyRun() ? 300 : (bench::FullRun() ? 20000 : 4000);
+  gen.seed = 7200;
+  datagen::CreditBillingData data = datagen::GenerateCreditBilling(gen, &ops);
+
+  api::PlanOptions options;
+  auto plan = bench::CompileExperimentPlan(data, &ops, options);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t nl = data.instance.left().size();
+  const size_t nr = data.instance.right().size();
+  const size_t base_l = nl * 8 / 10;
+  const size_t base_r = nr * 8 / 10;
+  const size_t streamed = (nl - base_l) + (nr - base_r);
+
+  auto bulk_load = [&](auto&& upsert) {
+    for (size_t i = 0; i < base_l; ++i) {
+      upsert(0, data.instance.left().tuple(i));
+    }
+    for (size_t i = 0; i < base_r; ++i) {
+      upsert(1, data.instance.right().tuple(i));
+    }
+  };
+  // The streamed tail, interleaved across sides the way each arm ingests
+  // it (left block then right block — identical order in every arm keeps
+  // the final states comparable).
+  std::vector<std::pair<int, Tuple>> tail;
+  tail.reserve(streamed);
+  for (size_t i = base_l; i < nl; ++i) {
+    tail.emplace_back(0, data.instance.left().tuple(i));
+  }
+  for (size_t i = base_r; i < nr; ++i) {
+    tail.emplace_back(1, data.instance.right().tuple(i));
+  }
+
+  std::printf("== Async ingestion (K = %zu, %zu + %zu standing, %zu "
+              "streamed) ==\n",
+              gen.num_base, base_l, base_r, streamed);
+
+  // --- Throughput arm: synchronous per-record flush baseline. ---
+  api::MatchSession sync_session(*plan);
+  bulk_load([&](int side, const Tuple& t) {
+    (void)sync_session.Upsert(side, t);
+  });
+  (void)sync_session.Flush();
+  const double sync_seconds = bench::TimedSeconds([&] {
+    for (const auto& [side, tuple] : tail) {
+      (void)sync_session.Upsert(side, tuple);
+      (void)sync_session.Flush();
+    }
+  });
+
+  // --- Throughput arm: async enqueue-everything, one Drain barrier. ---
+  stream::IngestDriver driver(*plan);
+  bulk_load([&](int side, const Tuple& t) { (void)driver.Upsert(side, t); });
+  (void)driver.Drain();
+  const double async_seconds = bench::TimedSeconds([&] {
+    for (const auto& [side, tuple] : tail) {
+      (void)driver.Upsert(side, tuple);
+    }
+    (void)driver.Drain();
+  });
+  const stream::IngestStats stats = driver.stats();
+
+  if (SortedPairs(sync_session.Matches()) != SortedPairs(driver.session().Matches())) {
+    std::fprintf(stderr,
+                 "BUG: async and synchronous ingestion diverged\n");
+    return 1;
+  }
+
+  const double sync_rate = static_cast<double>(streamed) /
+                           std::max(1e-9, sync_seconds);
+  const double async_rate = static_cast<double>(streamed) /
+                            std::max(1e-9, async_seconds);
+
+  // --- Latency arm: one record per cycle, measured to sink delivery. ---
+  stream::IngestDriver lat_driver(*plan);
+  bulk_load([&](int side, const Tuple& t) {
+    (void)lat_driver.Upsert(side, t);
+  });
+  (void)lat_driver.Drain();
+  CountingSink sink;
+  lat_driver.Subscribe(&sink);
+  const size_t samples = std::min(tail.size(),
+                                  static_cast<size_t>(TinyRun() ? 50 : 200));
+  std::vector<double> latencies;
+  latencies.reserve(samples);
+  for (size_t i = 0; i < samples; ++i) {
+    const double start = MonotonicSeconds();
+    (void)lat_driver.Upsert(tail[i].first, tail[i].second);
+    sink.AwaitAtLeast(i + 1);
+    latencies.push_back(MonotonicSeconds() - start);
+  }
+  lat_driver.Stop();
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double lat_max = latencies.empty() ? 0 : latencies.back();
+
+  TableWriter table({"arm", "records", "seconds", "records/s", "flushes"});
+  table.AddRow({"sync per-record flush", std::to_string(streamed),
+                TableWriter::Num(sync_seconds, 4),
+                TableWriter::Num(sync_rate, 0), std::to_string(streamed)});
+  table.AddRow({"async drain", std::to_string(streamed),
+                TableWriter::Num(async_seconds, 4),
+                TableWriter::Num(async_rate, 0),
+                std::to_string(stats.flushes)});
+  table.Print(std::cout);
+  std::printf("\nasync/sync throughput: %.2fx (%zu flush cycles for %zu "
+              "records, %zu ops coalesced)\n",
+              async_rate / std::max(1e-9, sync_rate), stats.flushes,
+              streamed + base_l + base_r, stats.coalesced_deltas);
+  std::printf("delta latency over %zu single-record cycles: p50 %.1fus, "
+              "p95 %.1fus, max %.1fus\n",
+              latencies.size(), p50 * 1e6, p95 * 1e6, lat_max * 1e6);
+
+  std::ofstream json("BENCH_ingest.json");
+  json << "{\n  \"bench\": \"ingest_latency\",\n";
+  json << StringPrintf(
+      "  \"k\": %zu,\n  \"standing_left\": %zu,\n"
+      "  \"standing_right\": %zu,\n  \"streamed_records\": %zu,\n",
+      gen.num_base, base_l, base_r, streamed);
+  json << StringPrintf(
+      "  \"sync_seconds\": %.6f,\n  \"sync_records_per_second\": %.1f,\n"
+      "  \"async_seconds\": %.6f,\n  \"async_records_per_second\": %.1f,\n"
+      "  \"async_speedup\": %.3f,\n",
+      sync_seconds, sync_rate, async_seconds, async_rate,
+      async_rate / std::max(1e-9, sync_rate));
+  json << StringPrintf(
+      "  \"async_flushes\": %zu,\n  \"async_coalesced_deltas\": %zu,\n"
+      "  \"async_deltas_delivered\": %zu,\n",
+      stats.flushes, stats.coalesced_deltas, stats.deltas_delivered);
+  json << StringPrintf(
+      "  \"latency_samples\": %zu,\n  \"latency_p50_seconds\": %.9f,\n"
+      "  \"latency_p95_seconds\": %.9f,\n  \"latency_max_seconds\": %.9f\n}\n",
+      latencies.size(), p50, p95, lat_max);
+  std::printf("wrote BENCH_ingest.json\n");
+  return 0;
+}

@@ -177,7 +177,10 @@ Status MatchSession::Upsert(int side, Tuple tuple) {
                                    schema.name());
   }
   std::lock_guard<std::mutex> lock(mu_);
-  pending_[{side, tuple.id()}] = std::move(tuple);
+  const auto [it, inserted] =
+      pending_.insert_or_assign({side, tuple.id()}, std::move(tuple));
+  (void)it;
+  if (!inserted) ++pending_coalesced_;
   return Status::OK();
 }
 
@@ -195,7 +198,10 @@ Status MatchSession::Remove(int side, TupleId id) {
     return Status::NotFound("no record with id " + std::to_string(id) +
                             " on side " + std::to_string(side));
   }
-  pending_[{side, id}] = std::nullopt;
+  const auto [it, inserted] =
+      pending_.insert_or_assign({side, id}, std::nullopt);
+  (void)it;
+  if (!inserted) ++pending_coalesced_;
   return Status::OK();
 }
 
@@ -226,6 +232,11 @@ void MatchSession::PublishLocked(IngestReport* report) {
   ScopedTimer timer(&report->publish_seconds);
   auto gen = std::make_shared<SessionGeneration>();
   gen->generation = next_generation_++;
+  gen->parent_generation = gen->generation - 1;
+  gen->added_pairs = std::move(delta_added_scratch_);
+  gen->retired_pairs = std::move(delta_retired_scratch_);
+  delta_added_scratch_.clear();
+  delta_retired_scratch_.clear();
   gen->indexes = indexes_;
   gen->raw_matches = raw_matches_;
   // Resolve every node's representative once: queries then answer from
@@ -279,6 +290,11 @@ Result<IngestReport> MatchSession::Flush() {
   // delta's content; fingerprint it before the staging map is consumed.
   const uint64_t delta_fp =
       catalog_entry_ != nullptr ? FingerprintDelta(pending_) : 0;
+
+  report.coalesced_deltas = pending_coalesced_;
+  pending_coalesced_ = 0;
+  delta_added_scratch_.clear();
+  delta_retired_scratch_.clear();
 
   // --- resolve the staged delta and update the persistent indexes ---
   // `inserted` covers new records and updated ones (an update re-enters
@@ -381,8 +397,10 @@ Result<IngestReport> MatchSession::Flush() {
     if (!retired.empty()) {
       report.matches_dropped += raw_matches_.RemoveMatching(
           [&](uint32_t l, uint32_t r) {
-            return retired.count(Handle(0, l)) > 0 ||
-                   retired.count(Handle(1, r)) > 0;
+            const bool drop = retired.count(Handle(0, l)) > 0 ||
+                              retired.count(Handle(1, r)) > 0;
+            if (drop) delta_retired_scratch_.emplace_back(l, r);
+            return drop;
           });
       clusters_stale_ = true;
     }
@@ -584,6 +602,7 @@ Result<IngestReport> MatchSession::Flush() {
                     pl[p] > pr[p] ? pl[p] - pr[p] : pr[p] - pl[p];
                 if (dist <= window - 1) return false;  // still a candidate
               }
+              delta_retired_scratch_.emplace_back(l, r);
               return true;
             });
       } else {
@@ -599,6 +618,7 @@ Result<IngestReport> MatchSession::Flush() {
                 const size_t dist = pl > pr ? pl - pr : pr - pl;
                 if (dist <= window - 1) return false;  // still a candidate
               }
+              delta_retired_scratch_.emplace_back(l, r);
               return true;
             });
       }
@@ -608,13 +628,35 @@ Result<IngestReport> MatchSession::Flush() {
       }
     }
 
+    // Fold in the new matches, netting out same-flush churn for the
+    // published parent-delta: a pair retired above (its record updated or
+    // drifted) and re-established here was present before and after this
+    // flush, so it belongs in neither added_pairs nor retired_pairs.
+    std::unordered_set<uint64_t> retired_keys;
+    retired_keys.reserve(delta_retired_scratch_.size());
+    for (const auto& [l, r] : delta_retired_scratch_) {
+      retired_keys.insert((static_cast<uint64_t>(l) << 32) | r);
+    }
+    const size_t retired_before = retired_keys.size();
     for (const auto& [l, r] : new_matches) {
       if (raw_matches_.Add(l, r)) {
         ++report.matches_added;
         if (!clusters_stale_) {
           uf_.Union(node_by_seq_[0][l], node_by_seq_[1][r]);
         }
+        if (retired_keys.erase((static_cast<uint64_t>(l) << 32) | r) == 0) {
+          delta_added_scratch_.emplace_back(l, r);
+        }
       }
+    }
+    if (retired_keys.size() != retired_before) {
+      size_t kept = 0;
+      for (const auto& [l, r] : delta_retired_scratch_) {
+        if (retired_keys.count((static_cast<uint64_t>(l) << 32) | r) > 0) {
+          delta_retired_scratch_[kept++] = {l, r};
+        }
+      }
+      delta_retired_scratch_.resize(kept);
     }
     if (clusters_stale_) RebuildClustersLocked();
 

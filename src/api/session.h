@@ -89,6 +89,16 @@ struct IngestReport {
   /// that remembers this number can tell whether a view already includes
   /// this flush.
   uint64_t generation = 0;
+  /// Staged operations that collapsed onto an already-staged (side, id)
+  /// before this flush applied them — the per-key coalescing a bursty
+  /// producer gets for free from the staging map (and, through a
+  /// stream::IngestDriver, from ops queued while the previous flush ran).
+  size_t coalesced_deltas = 0;
+  /// Driver-side staging-queue backlog sampled right after this flush
+  /// completed (stream::IngestDriver fills it; always 0 for synchronous
+  /// Flush calls). A persistently nonzero depth means producers outpace
+  /// the flusher.
+  size_t queue_depth = 0;
   size_t corpus_left = 0;      ///< live left records after the flush
   size_t corpus_right = 0;
   size_t total_matches = 0;    ///< standing match pairs after the flush
@@ -154,6 +164,23 @@ struct SessionGeneration {
   /// publish time; equal handle == same cluster, valid within this
   /// generation only — a flush may renumber).
   std::vector<uint64_t> cluster_handle[2];
+
+  // --- delta vs. the parent generation (what stream::GenerationDiff
+  // consumes for its O(changes) fast path) ---
+
+  /// The generation this one was built from (generation - 1 in an
+  /// unbroken chain; 0 for the initial generation, whose delta fields
+  /// describe it relative to the empty state).
+  uint64_t parent_generation = 0;
+  /// Match pairs present here but not in the parent, as (left seq,
+  /// right seq), in publication order. Net of same-flush churn: a pair
+  /// retired and re-established within one flush (an in-place update
+  /// whose records still match) appears in neither list.
+  std::vector<std::pair<uint32_t, uint32_t>> added_pairs;
+  /// Match pairs present in the parent but not here. Seqs may name
+  /// records this generation no longer holds — translate them through
+  /// the *parent* generation's corpus.
+  std::vector<std::pair<uint32_t, uint32_t>> retired_pairs;
 };
 using SessionGenerationPtr = std::shared_ptr<const SessionGeneration>;
 
@@ -175,6 +202,11 @@ class SessionView {
   const candidate::IndexSnapshotPtr& indexes() const {
     return gen_->indexes;
   }
+
+  /// The pinned generation object itself (immutable, refcounted) — the
+  /// raw material stream::GenerationDiff consumes. Holding the returned
+  /// pointer keeps the generation alive like holding the view does.
+  const SessionGenerationPtr& state() const { return gen_; }
 
   /// Materializes the view's corpus as an Instance (live records in
   /// ingestion order).
@@ -417,6 +449,14 @@ class MatchSession {
   /// Staged delta, keyed (side, id); nullopt = removal. Ordered so flush
   /// processing (and hence seq assignment) is deterministic.
   std::map<std::pair<int, TupleId>, std::optional<Tuple>> pending_;
+  /// Staged ops that overwrote an already-staged (side, id) since the
+  /// last flush (reported as IngestReport::coalesced_deltas).
+  size_t pending_coalesced_ = 0;
+  /// Match pairs the in-progress flush added / retired, in seq space —
+  /// the parent-delta the next published generation carries (see
+  /// SessionGeneration::added_pairs).
+  std::vector<std::pair<uint32_t, uint32_t>> delta_added_scratch_;
+  std::vector<std::pair<uint32_t, uint32_t>> delta_retired_scratch_;
 
   /// Standing raw match pairs as (left seq, right seq).
   match::PairSet raw_matches_;

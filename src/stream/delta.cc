@@ -1,0 +1,178 @@
+#include "stream/delta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "match/clustering.h"
+
+namespace mdmatch::stream {
+
+namespace {
+
+TupleId IdAt(const api::SessionGeneration& gen, int side, uint32_t seq) {
+  return gen.corpus[side][gen.pos_by_seq[side][seq]]->tuple.id();
+}
+
+uint64_t SeqKey(uint32_t l, uint32_t r) {
+  return (static_cast<uint64_t>(l) << 32) | r;
+}
+
+/// The merge events of from→to, given the added pairs (in seq space of
+/// `to`). Connectivity in `to` equals the from-cluster contraction plus
+/// the added-pair edges — surviving pairs cannot connect two distinct
+/// from-clusters — so a mini union-find over just the touched nodes is
+/// exact and O(added).
+std::vector<ClusterMergeEvent> MergeEvents(
+    const api::SessionGeneration& from, const api::SessionGeneration& to,
+    const std::vector<std::pair<uint32_t, uint32_t>>& added_seq) {
+  match::UnionFind mini;
+  // Nodes: one per touched from-cluster (keyed by its frozen handle), one
+  // per touched record that did not exist in `from` (keyed by side+id).
+  std::unordered_map<uint64_t, size_t> handle_node;
+  std::map<std::pair<int, TupleId>, size_t> fresh_node;
+  // Any member record of each touched from-cluster, for the stable event
+  // encoding (handles themselves are generation-local).
+  std::vector<std::pair<int, TupleId>> handle_member;
+  std::vector<size_t> handle_nodes;  // nodes that name a from-cluster
+
+  auto resolve = [&](int side, TupleId id) {
+    auto found = from.pos_by_id[side].find(id);
+    if (found == from.pos_by_id[side].end()) {
+      auto [it, inserted] = fresh_node.try_emplace({side, id}, 0);
+      if (inserted) it->second = mini.Add();
+      return it->second;
+    }
+    const uint64_t handle = from.cluster_handle[side][found->second];
+    auto [it, inserted] = handle_node.try_emplace(handle, 0);
+    if (inserted) {
+      it->second = mini.Add();
+      handle_nodes.push_back(it->second);
+      handle_member.resize(mini.size());
+      handle_member[it->second] = {side, id};
+    }
+    return it->second;
+  };
+
+  for (const auto& [l, r] : added_seq) {
+    const size_t node_l = resolve(0, IdAt(to, 0, l));
+    const size_t node_r = resolve(1, IdAt(to, 1, r));
+    mini.Union(node_l, node_r);
+  }
+
+  // Components holding two or more from-clusters are the merges.
+  std::unordered_map<size_t, std::vector<std::pair<int, TupleId>>> components;
+  for (size_t node : handle_nodes) {
+    components[mini.Find(node)].push_back(handle_member[node]);
+  }
+  std::vector<ClusterMergeEvent> events;
+  for (auto& [root, members] : components) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    events.push_back(ClusterMergeEvent{std::move(members)});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ClusterMergeEvent& a, const ClusterMergeEvent& b) {
+              return a.members.front() < b.members.front();
+            });
+  return events;
+}
+
+}  // namespace
+
+MatchDelta GenerationDiff(const api::SessionGeneration& from,
+                          const api::SessionGeneration& to) {
+  assert(from.generation <= to.generation &&
+         "GenerationDiff runs forward: from.generation <= to.generation");
+  MatchDelta delta;
+  delta.from_generation = from.generation;
+  delta.to_generation = to.generation;
+
+  std::vector<std::pair<uint32_t, uint32_t>> added_seq;
+  std::vector<std::pair<uint32_t, uint32_t>> retired_seq;
+  if (to.parent_generation == from.generation &&
+      to.generation == from.generation + 1) {
+    // Consecutive generations: the session recorded this delta at publish
+    // time, already net of same-flush churn. O(changes).
+    added_seq = to.added_pairs;
+    retired_seq = to.retired_pairs;
+  } else if (to.generation == from.generation) {
+    // Same generation: empty diff.
+  } else {
+    // Gap: hashed membership over the raw pair sets. Seqs are stable per
+    // record life and never recycled, so seq-space membership is exact —
+    // a record removed and re-added under the same id gets a new seq and
+    // its pairs show up as retired + added, which the id translation
+    // below turns into retire-then-add of the same id pair.
+    for (const auto& [l, r] : to.raw_matches.pairs()) {
+      if (!from.raw_matches.Contains(l, r)) added_seq.emplace_back(l, r);
+    }
+    for (const auto& [l, r] : from.raw_matches.pairs()) {
+      if (!to.raw_matches.Contains(l, r)) retired_seq.emplace_back(l, r);
+    }
+  }
+
+  delta.added.reserve(added_seq.size());
+  for (const auto& [l, r] : added_seq) {
+    delta.added.push_back(IdPair{IdAt(to, 0, l), IdAt(to, 1, r)});
+  }
+  // Retired seqs may name records `to` no longer holds: translate through
+  // the generation they were live in.
+  delta.retired.reserve(retired_seq.size());
+  for (const auto& [l, r] : retired_seq) {
+    delta.retired.push_back(IdPair{IdAt(from, 0, l), IdAt(from, 1, r)});
+  }
+  std::sort(delta.added.begin(), delta.added.end());
+  std::sort(delta.retired.begin(), delta.retired.end());
+
+  delta.merges = MergeEvents(from, to, added_seq);
+  return delta;
+}
+
+MatchDelta FullStateDelta(const api::SessionGeneration& gen) {
+  MatchDelta delta;
+  delta.resync = true;
+  delta.from_generation = 0;
+  delta.to_generation = gen.generation;
+  delta.added.reserve(gen.raw_matches.size());
+  for (const auto& [l, r] : gen.raw_matches.pairs()) {
+    delta.added.push_back(IdPair{IdAt(gen, 0, l), IdAt(gen, 1, r)});
+  }
+  std::sort(delta.added.begin(), delta.added.end());
+  return delta;
+}
+
+Status DeltaReplica::Apply(const MatchDelta& delta) {
+  if (delta.resync) {
+    pairs_.clear();
+    pairs_.insert(delta.added.begin(), delta.added.end());
+    generation_ = delta.to_generation;
+    ++resyncs_;
+    return Status::OK();
+  }
+  if (delta.from_generation != generation_) {
+    return Status::FailedPrecondition(
+        "delta gap: replica at generation " + std::to_string(generation_) +
+        ", delta starts from " + std::to_string(delta.from_generation));
+  }
+  for (const IdPair& pair : delta.retired) {
+    if (pairs_.erase(pair) == 0) {
+      return Status::Internal(
+          "delta retires pair (" + std::to_string(pair.left) + ", " +
+          std::to_string(pair.right) + ") the replica does not hold");
+    }
+  }
+  for (const IdPair& pair : delta.added) {
+    if (!pairs_.insert(pair).second) {
+      return Status::Internal(
+          "delta adds pair (" + std::to_string(pair.left) + ", " +
+          std::to_string(pair.right) + ") the replica already holds");
+    }
+  }
+  generation_ = delta.to_generation;
+  return Status::OK();
+}
+
+}  // namespace mdmatch::stream

@@ -1,0 +1,117 @@
+#ifndef MDMATCH_STREAM_DELTA_H_
+#define MDMATCH_STREAM_DELTA_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "api/session.h"
+#include "schema/tuple.h"
+#include "util/status.h"
+
+namespace mdmatch::stream {
+
+/// One match pair named by record ids — the *stable* addressing for
+/// streamed events. Positions renumber when a flush removes records and
+/// seqs are internal; TupleIds are the identity records keep for life
+/// (and the identity an upstream producer re-uses on update), so a
+/// subscriber can correlate events across any number of generations.
+struct IdPair {
+  TupleId left = 0;   ///< side-0 (left relation) record id
+  TupleId right = 0;  ///< side-1 (right relation) record id
+  auto operator<=>(const IdPair&) const = default;
+};
+
+/// \brief Previously-distinct entity clusters fused into one by a
+/// generation transition.
+///
+/// Lists one member record per cluster that existed separately in the
+/// `from` generation and is part of a single cluster in the `to`
+/// generation — at least two members, each identifying its old cluster by
+/// a record that belonged to it (singleton clusters count: the first
+/// match between two standing unmatched records is a merge of their
+/// singleton clusters). Records new in `to` never name a merged cluster;
+/// they only provide the connectivity.
+struct ClusterMergeEvent {
+  /// (side, id) per previously-distinct cluster, sorted ascending.
+  std::vector<std::pair<int, TupleId>> members;
+  bool operator==(const ClusterMergeEvent&) const = default;
+};
+
+/// \brief The match-state changes between two published generations of
+/// one MatchSession, in the stable id-based encoding.
+///
+/// Apply order within one delta: `retired` first, then `added` (a record
+/// update can retire a pair and re-add the same id pair when the new
+/// values still match — after the same-flush netting in the session this
+/// only survives across multi-generation diffs). `merges` is derived
+/// information: it follows from `added` plus the previous cluster state
+/// and is not needed to reconstruct the pair set.
+///
+/// Pairs are in *raw* (pre-closure) match space: for transitive-closure
+/// plans a subscriber owns the closure, which is exactly what the
+/// cluster-merge events support.
+struct MatchDelta {
+  uint64_t from_generation = 0;
+  uint64_t to_generation = 0;
+  /// True for a resync snapshot instead of an incremental diff: the
+  /// subscriber fell behind (its delivery queue overflowed) or asked for
+  /// an initial snapshot, so `added` lists the *entire* standing match
+  /// state of to_generation, `retired` and `merges` are empty, and
+  /// from_generation is 0. Apply by clearing local state first.
+  bool resync = false;
+  std::vector<IdPair> added;    ///< sorted ascending
+  std::vector<IdPair> retired;  ///< sorted ascending
+  /// Cluster merges, ordered by their smallest member.
+  std::vector<ClusterMergeEvent> merges;
+};
+
+/// \brief Diffs two published generations of one session,
+/// `from.generation <= to.generation`.
+///
+/// For consecutive generations (to's parent is from) this reads the
+/// parent-delta the session recorded at publish time — O(changes), no
+/// scan of the standing pair sets. Across a gap it falls back to hashed
+/// membership tests over the two raw PairSets — O(|from| + |to|) — and
+/// produces the same canonical encoding (sorted id pairs, net of
+/// retire/re-add churn), so callers cannot tell which path ran.
+///
+/// Cluster merges are exact for any gap: a surviving pair never connects
+/// two from-clusters (its endpoints already shared one), so the merges
+/// of from→to are the components of the added pairs over the frozen
+/// from-generation cluster handles.
+MatchDelta GenerationDiff(const api::SessionGeneration& from,
+                          const api::SessionGeneration& to);
+
+/// The resync form of a generation: its entire standing match state as
+/// one delta with `resync` set (see MatchDelta::resync).
+MatchDelta FullStateDelta(const api::SessionGeneration& gen);
+
+/// \brief A subscriber-side replica of a session's match state, built
+/// purely from delivered deltas.
+///
+/// Strict: Apply rejects a delta that does not extend the replica's
+/// generation (a gap), retires a pair the replica does not hold, or adds
+/// one it already holds — so a property test that drives a replica from
+/// a delta stream proves the stream is gap-free, ordered, and exact.
+class DeltaReplica {
+ public:
+  /// Applies one delta (resyncs clear first). On error the replica is
+  /// unchanged except that a failed non-resync apply leaves pairs
+  /// partially applied — treat any non-OK status as fatal.
+  Status Apply(const MatchDelta& delta);
+
+  uint64_t generation() const { return generation_; }
+  size_t resyncs() const { return resyncs_; }
+  const std::set<IdPair>& pairs() const { return pairs_; }
+
+ private:
+  uint64_t generation_ = 0;
+  size_t resyncs_ = 0;
+  std::set<IdPair> pairs_;
+};
+
+}  // namespace mdmatch::stream
+
+#endif  // MDMATCH_STREAM_DELTA_H_

@@ -1,0 +1,310 @@
+#include "stream/ingest_driver.h"
+
+#include <string>
+#include <utility>
+
+namespace mdmatch::stream {
+
+IngestDriver::IngestDriver(api::PlanPtr plan,
+                           api::SessionOptions session_options,
+                           IngestDriverOptions options)
+    : session_(std::move(plan), std::move(session_options)),
+      options_(options) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.subscriber_queue_capacity == 0) {
+    options_.subscriber_queue_capacity = 1;
+  }
+  prev_generation_ = session_.View().state();  // generation 0
+  flusher_ = std::thread(&IngestDriver::FlusherLoop, this);
+}
+
+IngestDriver::~IngestDriver() { Stop(); }
+
+Status IngestDriver::Upsert(int side, Tuple tuple) {
+  if (side != 0 && side != 1) {
+    return Status::InvalidArgument("side must be 0 (left) or 1 (right)");
+  }
+  const Schema& schema = side == 0 ? session_.plan().pair().left()
+                                   : session_.plan().pair().right();
+  if (static_cast<int32_t>(tuple.arity()) != schema.arity()) {
+    return Status::InvalidArgument("tuple arity does not match schema " +
+                                   schema.name());
+  }
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
+  if (queue_.size() >= options_.queue_capacity) {
+    if (options_.backpressure == IngestDriverOptions::Backpressure::kReject) {
+      ++ops_rejected_;
+      return Status::QueueFull(
+          "ingest staging queue at capacity (" +
+          std::to_string(options_.queue_capacity) + " ops)");
+    }
+    space_cv_.wait(lock, [&] {
+      return stop_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
+  }
+  StagedOp op;
+  op.side = side;
+  op.id = tuple.id();
+  op.tuple = std::move(tuple);
+  queue_.push_back(std::move(op));
+  ++ops_enqueued_;
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Status IngestDriver::Remove(int side, TupleId id) {
+  if (side != 0 && side != 1) {
+    return Status::InvalidArgument("side must be 0 (left) or 1 (right)");
+  }
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
+  if (queue_.size() >= options_.queue_capacity) {
+    if (options_.backpressure == IngestDriverOptions::Backpressure::kReject) {
+      ++ops_rejected_;
+      return Status::QueueFull(
+          "ingest staging queue at capacity (" +
+          std::to_string(options_.queue_capacity) + " ops)");
+    }
+    space_cv_.wait(lock, [&] {
+      return stop_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
+  }
+  StagedOp op;
+  op.side = side;
+  op.id = id;
+  queue_.push_back(std::move(op));
+  ++ops_enqueued_;
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+void IngestDriver::FlusherLoop() {
+  for (;;) {
+    std::vector<StagedOp> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop_ with nothing left
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      // Space freed: unblock producers parked on backpressure.
+      space_cv_.notify_all();
+    }
+    RunFlushCycle(std::move(batch));
+  }
+  // All ops are flushed; release any Drain still parked.
+  drained_cv_.notify_all();
+}
+
+void IngestDriver::RunFlushCycle(std::vector<StagedOp> batch) {
+  size_t ignored = 0;
+  for (StagedOp& op : batch) {
+    if (op.tuple.has_value()) {
+      // Side and arity were validated at enqueue; this cannot fail.
+      (void)session_.Upsert(op.side, std::move(*op.tuple));
+    } else if (!session_.Remove(op.side, op.id).ok()) {
+      // Removal of an id unknown to the session: asynchronous Remove
+      // cannot report NotFound to its caller, so the op is dropped.
+      ++ignored;
+    }
+  }
+
+  auto flushed = session_.Flush();
+  // Flush only fails on internal invariant breaks; there is no caller to
+  // surface it to here, so record what we can and keep the loop alive.
+  api::IngestReport report =
+      flushed.ok() ? *flushed : api::IngestReport{};
+
+  if (flushed.ok() &&
+      report.generation != prev_generation_->generation) {
+    // One diff per published generation, shared by every subscription.
+    const api::SessionGenerationPtr now = session_.View().state();
+    auto delta = std::make_shared<const MatchDelta>(
+        GenerationDiff(*prev_generation_, *now));
+    prev_generation_ = now;
+    FanOut(delta);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    ops_flushed_through_ += batch.size();
+    ops_ignored_ += ignored;
+    ++flushes_;
+    coalesced_total_ += report.coalesced_deltas;
+    report.queue_depth = queue_.size();
+    last_report_ = report;
+  }
+  drained_cv_.notify_all();
+}
+
+void IngestDriver::FanOut(const std::shared_ptr<const MatchDelta>& delta) {
+  std::lock_guard<std::mutex> subs_lock(subs_mu_);
+  for (auto& [id, sub] : subscribers_) {
+    (void)id;
+    std::lock_guard<std::mutex> lock(sub->mu);
+    if (sub->lagging) {
+      // Resync pending: it will cover this generation too.
+    } else if (sub->queue.size() >= sub->capacity) {
+      // Slow subscriber: drop the backlog, one resync replaces it.
+      sub->queue.clear();
+      sub->lagging = true;
+      resyncs_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sub->queue.push_back(delta);
+      deltas_delivered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    sub->cv.notify_one();
+  }
+}
+
+void IngestDriver::DeliveryLoop(Subscriber* sub) {
+  for (;;) {
+    std::shared_ptr<const MatchDelta> next;
+    bool do_resync = false;
+    {
+      std::unique_lock<std::mutex> lock(sub->mu);
+      sub->cv.wait(lock, [&] {
+        return sub->stop || sub->lagging || !sub->queue.empty();
+      });
+      if (sub->lagging) {
+        sub->lagging = false;
+        do_resync = true;
+      } else if (!sub->queue.empty()) {
+        next = std::move(sub->queue.front());
+        sub->queue.pop_front();
+      } else {
+        break;  // stop, queue drained, nothing to resync
+      }
+    }
+    if (do_resync) {
+      const api::SessionGenerationPtr gen = session_.View().state();
+      if (gen->generation > sub->last_generation) {
+        sub->sink->OnDelta(FullStateDelta(*gen));
+        sub->last_generation = gen->generation;
+      }
+      continue;
+    }
+    if (next->to_generation <= sub->last_generation) {
+      continue;  // already covered by a resync snapshot
+    }
+    if (next->from_generation != sub->last_generation) {
+      // A gap the overflow path did not mark (cannot happen with one
+      // flusher, but the invariant is cheap to enforce): resync.
+      std::lock_guard<std::mutex> lock(sub->mu);
+      sub->lagging = true;
+      continue;
+    }
+    sub->sink->OnDelta(*next);
+    sub->last_generation = next->to_generation;
+  }
+}
+
+IngestDriver::SubscriptionId IngestDriver::Subscribe(
+    MatchDeltaSink* sink, SubscribeOptions options) {
+  auto sub = std::make_unique<Subscriber>();
+  sub->sink = sink;
+  sub->capacity = options.queue_capacity > 0
+                      ? options.queue_capacity
+                      : options_.subscriber_queue_capacity;
+  Subscriber* raw = sub.get();
+  SubscriptionId id = 0;
+  {
+    // Registration and the generation read happen under the fan-out
+    // mutex, so the subscription either receives a generation's delta or
+    // starts at (or past) it — never misses one in between.
+    std::lock_guard<std::mutex> subs_lock(subs_mu_);
+    sub->last_generation = session_.generation();
+    if (options.initial_snapshot) {
+      sub->last_generation = 0;
+      sub->lagging = true;  // first delivery: resync of the current state
+    }
+    id = next_subscription_++;
+    subscribers_.emplace(id, std::move(sub));
+  }
+  raw->thread = std::thread(&IngestDriver::DeliveryLoop, this, raw);
+  return id;
+}
+
+void IngestDriver::StopSubscriber(Subscriber* sub) {
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    sub->stop = true;
+  }
+  sub->cv.notify_all();
+  if (sub->thread.joinable()) sub->thread.join();
+}
+
+bool IngestDriver::Unsubscribe(SubscriptionId id) {
+  std::unique_ptr<Subscriber> sub;
+  {
+    std::lock_guard<std::mutex> subs_lock(subs_mu_);
+    auto found = subscribers_.find(id);
+    if (found == subscribers_.end()) return false;
+    sub = std::move(found->second);
+    subscribers_.erase(found);
+  }
+  StopSubscriber(sub.get());
+  return true;
+}
+
+void IngestDriver::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  drained_cv_.notify_all();
+
+  // Flushing is over: every remaining queued delta gets delivered, then
+  // the delivery threads exit. Subscribers stay registered (Unsubscribe
+  // still works) but their sinks never run again.
+  std::vector<Subscriber*> subs;
+  {
+    std::lock_guard<std::mutex> subs_lock(subs_mu_);
+    subs.reserve(subscribers_.size());
+    for (auto& [id, sub] : subscribers_) {
+      (void)id;
+      subs.push_back(sub.get());
+    }
+  }
+  for (Subscriber* sub : subs) StopSubscriber(sub);
+}
+
+IngestStats IngestDriver::stats() const {
+  IngestStats stats;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.ops_enqueued = ops_enqueued_;
+    stats.ops_flushed = ops_flushed_through_;
+    stats.ops_rejected = ops_rejected_;
+    stats.ops_ignored = ops_ignored_;
+    stats.flushes = flushes_;
+    stats.queue_depth = queue_.size();
+    stats.coalesced_deltas = coalesced_total_;
+  }
+  stats.deltas_delivered = deltas_delivered_.load(std::memory_order_relaxed);
+  stats.resyncs = resyncs_.load(std::memory_order_relaxed);
+  stats.generation = session_.generation();
+  return stats;
+}
+
+Result<api::IngestReport> IngestDriver::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  const uint64_t ticket = ops_enqueued_;
+  drained_cv_.wait(lock, [&] {
+    return ops_flushed_through_ >= ticket || (stop_ && queue_.empty());
+  });
+  if (ops_flushed_through_ < ticket) {
+    return Status::FailedPrecondition(
+        "IngestDriver stopped before the drained ops were flushed");
+  }
+  return last_report_;
+}
+
+}  // namespace mdmatch::stream

@@ -1,0 +1,203 @@
+#ifndef MDMATCH_STREAM_INGEST_DRIVER_H_
+#define MDMATCH_STREAM_INGEST_DRIVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/plan.h"
+#include "api/session.h"
+#include "schema/tuple.h"
+#include "stream/delta.h"
+#include "stream/sink.h"
+#include "util/status.h"
+
+namespace mdmatch::stream {
+
+/// Runtime knobs of an IngestDriver.
+struct IngestDriverOptions {
+  /// Bound of the staging queue, in operations. Producers hitting the
+  /// bound block or are rejected per `backpressure`.
+  size_t queue_capacity = 4096;
+  /// What a producer gets when the staging queue is full: kBlock parks it
+  /// until the flusher frees space, kReject returns kQueueFull
+  /// immediately (retryable — the queue drains as flushes complete).
+  enum class Backpressure { kBlock, kReject };
+  Backpressure backpressure = Backpressure::kBlock;
+  /// Default per-subscription delivery-queue bound, in deltas
+  /// (overridable per subscription; see SubscribeOptions).
+  size_t subscriber_queue_capacity = 256;
+};
+
+/// Aggregate counters of an IngestDriver since construction.
+struct IngestStats {
+  size_t ops_enqueued = 0;   ///< accepted Upsert/Remove calls
+  size_t ops_flushed = 0;    ///< ops drained into completed flushes
+  size_t ops_rejected = 0;   ///< kReject backpressure refusals
+  size_t ops_ignored = 0;    ///< removes of ids unknown at flush time
+  size_t flushes = 0;        ///< flush cycles run (incl. no-op ones)
+  size_t queue_depth = 0;    ///< staged ops waiting right now
+  size_t coalesced_deltas = 0;  ///< ops collapsed per (side, id), total
+  size_t deltas_delivered = 0;  ///< deltas enqueued to subscriptions
+  size_t resyncs = 0;           ///< slow-subscriber overflow resyncs
+  uint64_t generation = 0;      ///< current published generation
+};
+
+/// \brief A background ingestion front-end that owns a MatchSession:
+/// producers stage records into a bounded queue, one flusher thread
+/// drains and flushes, and subscribers receive every published
+/// generation's match delta in order.
+///
+/// Where MatchSession::Flush is a synchronous call the producer pays for,
+/// the driver decouples the two rates: Upsert/Remove cost one bounded
+/// queue push (blocking or rejecting at capacity, see
+/// IngestDriverOptions::backpressure), and the flusher coalesces
+/// everything staged since the previous flush into one Flush call — a
+/// burst of updates to one record collapses to its last value
+/// (IngestReport::coalesced_deltas), and flush cost is paid per *cycle*,
+/// not per record. Queries stay what they were: View()/session() answer
+/// lock-free from the latest published generation regardless of what the
+/// flusher is doing.
+///
+/// Subscriptions: Subscribe attaches a MatchDeltaSink; after every flush
+/// that publishes a generation the flusher computes one GenerationDiff
+/// and fans it out to each subscription's bounded queue, from which a
+/// dedicated delivery thread runs the sink. Delivery is gap-free and in
+/// generation order per subscription: either consecutive diffs chain
+/// from == last-delivered to, or — when a slow sink overflowed its queue
+/// — a single resync snapshot replaces the backlog (MatchDelta::resync).
+/// An empty flush cycle (nothing staged, or only ignorable removes)
+/// publishes nothing and wakes no subscriber.
+///
+/// Shutdown: Stop() (also the destructor) drains the remaining queue
+/// through one final flush, stops the flusher, delivers every delta
+/// still queued to subscribers, then joins their delivery threads — so
+/// after Stop returns, every subscriber saw the final generation and no
+/// sink runs again. Drain() is the weaker barrier: it blocks until every
+/// op enqueued before the call is flushed, and returns that flush's
+/// report.
+///
+/// Thread safety: every public method is safe from any thread, including
+/// concurrent producers. Remove is asynchronous and therefore cannot
+/// report NotFound for ids absent at flush time; such removes are
+/// dropped and counted (IngestStats::ops_ignored).
+class IngestDriver {
+ public:
+  using SubscriptionId = uint64_t;
+
+  explicit IngestDriver(api::PlanPtr plan,
+                        api::SessionOptions session_options = {},
+                        IngestDriverOptions options = {});
+  ~IngestDriver();
+
+  IngestDriver(const IngestDriver&) = delete;
+  IngestDriver& operator=(const IngestDriver&) = delete;
+
+  /// Stages an insert/update. Validates side and arity synchronously;
+  /// queue-full handling per IngestDriverOptions::backpressure;
+  /// FailedPrecondition after Stop.
+  Status Upsert(int side, Tuple tuple);
+
+  /// Stages a removal (dropped silently at flush time when the id is
+  /// unknown — see class comment).
+  Status Remove(int side, TupleId id);
+
+  /// Blocks until every op enqueued before this call has been flushed,
+  /// then returns the report of the flush that covered the last of them
+  /// (with IngestReport::queue_depth/coalesced_deltas filled in). An
+  /// immediately-satisfied Drain returns the previous flush's report.
+  Result<api::IngestReport> Drain();
+
+  /// Final flush of everything staged, then clean shutdown of the
+  /// flusher and every subscription (see class comment). Idempotent;
+  /// called by the destructor.
+  void Stop();
+
+  /// Attaches a sink; deltas of every generation published after this
+  /// call are delivered in order (plus the current state first, with
+  /// SubscribeOptions::initial_snapshot). The sink must outlive the
+  /// subscription.
+  SubscriptionId Subscribe(MatchDeltaSink* sink, SubscribeOptions = {});
+
+  /// Detaches and joins the subscription's delivery thread; after the
+  /// call returns, its sink is never invoked again. False for unknown
+  /// ids.
+  bool Unsubscribe(SubscriptionId id);
+
+  /// Lock-free consistent read view of the owned session's latest
+  /// published generation (safe concurrently with everything above).
+  api::SessionView View() const { return session_.View(); }
+  uint64_t generation() const { return session_.generation(); }
+  /// The owned session, for its read API. Ingest through the driver, not
+  /// the session — staging directly would bypass the queue accounting.
+  const api::MatchSession& session() const { return session_; }
+
+  IngestStats stats() const;
+
+ private:
+  struct StagedOp {
+    int side = 0;
+    TupleId id = 0;
+    std::optional<Tuple> tuple;  ///< nullopt = removal
+  };
+
+  struct Subscriber {
+    MatchDeltaSink* sink = nullptr;
+    size_t capacity = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<const MatchDelta>> queue;  // guarded by mu
+    bool lagging = false;  ///< overflowed (or initial_snapshot): next
+                           ///< delivery is a resync — guarded by mu
+    bool stop = false;     ///< guarded by mu
+    /// Generation the sink's state reflects — delivery thread only.
+    uint64_t last_generation = 0;
+    std::thread thread;
+  };
+
+  void FlusherLoop();
+  void RunFlushCycle(std::vector<StagedOp> batch);
+  void FanOut(const std::shared_ptr<const MatchDelta>& delta);
+  void DeliveryLoop(Subscriber* sub);
+  void StopSubscriber(Subscriber* sub);
+
+  api::MatchSession session_;
+  IngestDriverOptions options_;
+
+  /// Staging queue + everything the producer/flusher handshake needs.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;    ///< wakes the flusher
+  std::condition_variable space_cv_;    ///< wakes blocked producers
+  std::condition_variable drained_cv_;  ///< wakes Drain waiters
+  std::deque<StagedOp> queue_;
+  bool stop_ = false;
+  uint64_t ops_enqueued_ = 0;
+  uint64_t ops_flushed_through_ = 0;  ///< ops covered by completed flushes
+  size_t ops_rejected_ = 0;
+  size_t ops_ignored_ = 0;
+  size_t flushes_ = 0;
+  size_t coalesced_total_ = 0;
+  api::IngestReport last_report_;
+
+  std::mutex subs_mu_;
+  std::unordered_map<SubscriptionId, std::unique_ptr<Subscriber>>
+      subscribers_;
+  SubscriptionId next_subscription_ = 1;
+  std::atomic<size_t> deltas_delivered_{0};
+  std::atomic<size_t> resyncs_{0};
+
+  /// The generation the last fan-out described — flusher thread only.
+  api::SessionGenerationPtr prev_generation_;
+  std::thread flusher_;
+};
+
+}  // namespace mdmatch::stream
+
+#endif  // MDMATCH_STREAM_INGEST_DRIVER_H_

@@ -20,6 +20,10 @@ enum class StatusCode {
   kParseError = 4,
   kFailedPrecondition = 5,
   kInternal = 6,
+  /// A bounded staging queue is at capacity and the caller chose rejecting
+  /// backpressure (stream::IngestDriver). Retryable: the queue drains as
+  /// the background flusher makes progress.
+  kQueueFull = 7,
 };
 
 /// \brief Lightweight status object: a code plus a human-readable message.
@@ -50,6 +54,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status QueueFull(std::string msg) {
+    return Status(StatusCode::kQueueFull, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

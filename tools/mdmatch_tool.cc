@@ -32,6 +32,7 @@
 #include "core/rule_io.h"
 #include "datagen/credit_billing.h"
 #include "match/evaluation.h"
+#include "stream/ingest_driver.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -105,8 +106,22 @@ void PrintUsage(FILE* out) {
       "                                   (compare eviction rates in --stats)\n"
       "  --stats                          print per-flush phase timings\n"
       "                                   (index merge, candidate scan,\n"
-      "                                   pair eval, drift re-rank) and\n"
-      "                                   cache hit/eviction rates\n"
+      "                                   pair eval, drift re-rank), cache\n"
+      "                                   hit/eviction rates, staging queue\n"
+      "                                   depth and coalesced deltas\n"
+      "  --async                          ingest through a background\n"
+      "                                   stream::IngestDriver: ops stage\n"
+      "                                   into a bounded queue, a flusher\n"
+      "                                   thread coalesces and flushes;\n"
+      "                                   `flush` lines become Drain()\n"
+      "                                   barriers\n"
+      "  --queue N                        staging-queue bound for --async\n"
+      "                                   (default 4096; producers block\n"
+      "                                   when full)\n"
+      "  --follow                         (with --async) subscribe to the\n"
+      "                                   match-delta stream and print one\n"
+      "                                   'delta gen A -> B' line per\n"
+      "                                   published generation\n"
       "  --readers N                      spawn N concurrent query threads\n"
       "                                   (flush-independent cluster and\n"
       "                                   membership reads) for the whole\n"
@@ -214,7 +229,8 @@ class Args {
   }
   static bool IsBooleanFlag(const std::string& s) {
     return s == "--closure" || s == "--load" || s == "--stats" ||
-           s == "--doorkeeper" || s == "--help";
+           s == "--doorkeeper" || s == "--async" || s == "--follow" ||
+           s == "--help";
   }
   std::vector<std::string> args_;
 };
@@ -471,7 +487,41 @@ int CmdStream(const Args& args) {
   session_options.num_threads = args.FlagNum("--threads", 1);
   session_options.pair_cache_capacity = args.FlagNum("--cache", 0);
   session_options.cache_doorkeeper = args.HasFlag("--doorkeeper");
-  api::MatchSession session(*plan, session_options);
+
+  // Two ingest shapes over the same query surface: synchronous (a
+  // MatchSession flushed inline, `flush` lines run Flush) or --async (a
+  // stream::IngestDriver staging ops into a bounded queue for its flusher
+  // thread, `flush` lines run the Drain barrier).
+  const bool async = args.HasFlag("--async");
+  const bool follow = args.HasFlag("--follow");
+  if (follow && !async) {
+    std::fprintf(stderr, "error: --follow requires --async\n");
+    return 2;
+  }
+  std::optional<api::MatchSession> sync_session;
+  std::optional<stream::IngestDriver> driver;
+  if (async) {
+    stream::IngestDriverOptions driver_options;
+    driver_options.queue_capacity = args.FlagNum("--queue", 4096);
+    driver.emplace(*plan, session_options, driver_options);
+  } else {
+    sync_session.emplace(*plan, session_options);
+  }
+  const api::MatchSession& session =
+      async ? driver->session() : *sync_session;
+
+  // --follow: print every published generation's delta as it is
+  // delivered (from the subscription's delivery thread).
+  struct PrintSink : stream::MatchDeltaSink {
+    void OnDelta(const stream::MatchDelta& delta) override {
+      std::printf("delta gen %llu -> %llu: +%zu -%zu pairs, %zu merges%s\n",
+                  static_cast<unsigned long long>(delta.from_generation),
+                  static_cast<unsigned long long>(delta.to_generation),
+                  delta.added.size(), delta.retired.size(),
+                  delta.merges.size(), delta.resync ? " (resync)" : "");
+    }
+  } follow_sink;
+  if (follow) driver->Subscribe(&follow_sink);
 
   // Optional concurrent readers: query threads hammering the lock-free
   // cluster/membership path for the whole run, exercising generation
@@ -564,6 +614,8 @@ int CmdStream(const Args& args) {
                 report.scan_seconds, report.eval_seconds,
                 report.rerank_seconds, report.index_seconds,
                 report.match_seconds, report.cluster_seconds);
+    std::printf("  staging: %zu deltas coalesced, queue depth %zu\n",
+                report.coalesced_deltas, report.queue_depth);
     if (report.cache_lookups > 0) {
       std::printf("  cache: %zu lookups, %zu hits (%.1f%%), %zu evictions "
                   "(%.1f%%)\n",
@@ -576,16 +628,27 @@ int CmdStream(const Args& args) {
     }
   };
 
+  auto do_upsert = [&](int side, Tuple tuple) {
+    return async ? driver->Upsert(side, std::move(tuple))
+                 : sync_session->Upsert(side, std::move(tuple));
+  };
+  auto do_remove = [&](int side, TupleId id) {
+    return async ? driver->Remove(side, id) : sync_session->Remove(side, id);
+  };
+  auto do_flush = [&]() -> Result<api::IngestReport> {
+    return async ? driver->Drain() : sync_session->Flush();
+  };
+
   if (args.HasFlag("--load")) {
     for (const auto& t : instance->left().tuples()) {
-      if (auto st = session.Upsert(0, t); !st.ok()) return Fail(st);
+      if (auto st = do_upsert(0, t); !st.ok()) return Fail(st);
       note_id(0, t.id());
     }
     for (const auto& t : instance->right().tuples()) {
-      if (auto st = session.Upsert(1, t); !st.ok()) return Fail(st);
+      if (auto st = do_upsert(1, t); !st.ok()) return Fail(st);
       note_id(1, t.id());
     }
-    auto report = session.Flush();
+    auto report = do_flush();
     if (!report.ok()) return Fail(report.status());
     std::printf("loaded %s: ", dir.c_str());
     print_flush(*report);
@@ -606,7 +669,7 @@ int CmdStream(const Args& args) {
     const std::vector<std::string>& row = (*rows)[0];
 
     if (row[0] == "flush") {
-      auto report = session.Flush();
+      auto report = do_flush();
       if (!report.ok()) return Fail(report.status());
       print_flush(*report);
       continue;
@@ -627,15 +690,26 @@ int CmdStream(const Args& args) {
       return parse_fail("bad tuple id '" + row[2] + "'");
     }
     Status st = row[0] == "remove"
-                    ? session.Remove(side, id)
-                    : session.Upsert(
-                          side, Tuple(id, {row.begin() + 3, row.end()}));
+                    ? do_remove(side, id)
+                    : do_upsert(side,
+                                Tuple(id, {row.begin() + 3, row.end()}));
     if (!st.ok()) return Fail(st);
     if (row[0] == "upsert") note_id(side, id);
   }
 
-  if (session.pending_ops() > 0) {
-    auto report = session.Flush();
+  if (async) {
+    // Final flush of anything still staged, clean shutdown of the
+    // flusher and every subscription's delivery thread.
+    driver->Stop();
+    const stream::IngestStats s = driver->stats();
+    std::printf("async: %zu ops in %zu flushes (%zu coalesced, %zu "
+                "rejected, %zu ignored), %zu deltas delivered, %zu "
+                "resyncs\n",
+                s.ops_enqueued, s.flushes, s.coalesced_deltas,
+                s.ops_rejected, s.ops_ignored, s.deltas_delivered,
+                s.resyncs);
+  } else if (sync_session->pending_ops() > 0) {
+    auto report = sync_session->Flush();
     if (!report.ok()) return Fail(report.status());
     std::printf("final ");
     print_flush(*report);
@@ -727,6 +801,9 @@ int main(int argc, char** argv) {
     allowed.push_back("--doorkeeper");
     allowed.push_back("--stats");
     allowed.push_back("--readers");
+    allowed.push_back("--async");
+    allowed.push_back("--queue");
+    allowed.push_back("--follow");
   } else if (cmd == "eval") {
     allowed = {"--matches"};
   } else {
