@@ -24,12 +24,10 @@
 // MDMATCH_BENCH_TINY=1 shrinks everything for CI smoke runs.
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +37,7 @@
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
+#include "util/thread_annotations.h"
 
 using namespace mdmatch;
 
@@ -59,20 +58,20 @@ std::vector<std::pair<uint32_t, uint32_t>> SortedPairs(
 /// Counts deliveries and lets the producer block until its record's
 /// delta arrived — the latency arm's measurement endpoint.
 struct CountingSink : stream::MatchDeltaSink {
-  std::mutex mu;
-  std::condition_variable cv;
-  uint64_t delivered = 0;
+  util::Mutex mu;
+  util::CondVar cv;
+  uint64_t delivered GUARDED_BY(mu) = 0;
 
   void OnDelta(const stream::MatchDelta&) override {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(mu);
       ++delivered;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
   void AwaitAtLeast(uint64_t n) {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return delivered >= n; });
+    util::MutexLock lock(mu);
+    while (delivered < n) cv.Wait(mu);
   }
 };
 

@@ -159,6 +159,9 @@ Result<PlanPtr> PlanBuilder::Build() {
   }
   MDMATCH_RETURN_NOT_OK(ValidateSet(pair_, sigma_));
 
+  // MatchPlan's constructor is private (builder-only construction), so
+  // make_shared cannot reach it; the pointer goes straight into a
+  // shared_ptr. mdmatch-lint: allow(naked-new)
   std::shared_ptr<MatchPlan> plan(new MatchPlan());
   plan->pair_ = pair_;
   plan->target_ = target_;

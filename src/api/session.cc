@@ -117,8 +117,6 @@ MatchSession::MatchSession(PlanPtr plan, SessionOptions options)
   if (options_.num_threads == 0) options_.num_threads = 1;
   const bool windowing =
       plan_->options().candidates == PlanOptions::Candidates::kWindowing;
-  indexes_ = IndexSnapshot::Empty(
-      windowing ? plan_->sort_keys().size() : 0, !windowing);
   if (options_.catalog != nullptr) {
     catalog_entry_ =
         options_.catalog->Acquire(PlanFingerprint(*plan_), options_.corpus_id);
@@ -128,9 +126,16 @@ MatchSession::MatchSession(PlanPtr plan, SessionOptions options)
         options_.pair_cache_capacity, /*shards=*/16,
         options_.cache_doorkeeper);
   }
+  // No thread can see the session yet; the locks (taken in the same
+  // mu_ -> publish_mu_ order a Flush uses) are uncontended and keep the
+  // guarded-state discipline uniform for the analysis.
+  util::MutexLock lock(mu_);
+  indexes_ = IndexSnapshot::Empty(
+      windowing ? plan_->sort_keys().size() : 0, !windowing);
   // Generation 0: the empty corpus, queryable from the first instant.
   auto gen = std::make_shared<SessionGeneration>();
   gen->indexes = indexes_;
+  util::MutexLock publish_lock(publish_mu_);
   published_ = std::move(gen);
 }
 
@@ -155,10 +160,6 @@ std::vector<std::string> MatchSession::RenderKeys(const Tuple& tuple,
   return keys;
 }
 
-const Tuple& MatchSession::TupleBySeq(int side, uint32_t seq) const {
-  return corpus_[side][pos_by_seq_[side][seq]]->tuple;
-}
-
 void MatchSession::RenderDerived(Record* record, int side) const {
   if (plan_->evaluator().needs_profiles()) {
     record->profile = plan_->evaluator().ProfileRecord(record->tuple, side);
@@ -176,7 +177,7 @@ Status MatchSession::Upsert(int side, Tuple tuple) {
     return Status::InvalidArgument("tuple arity does not match schema " +
                                    schema.name());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto [it, inserted] =
       pending_.insert_or_assign({side, tuple.id()}, std::move(tuple));
   (void)it;
@@ -193,7 +194,7 @@ Status MatchSession::Upsert(int side, std::vector<Tuple> tuples) {
 
 Status MatchSession::Remove(int side, TupleId id) {
   MDMATCH_RETURN_NOT_OK(CheckSide(side));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (pos_by_id_[side].count(id) == 0 && pending_.count({side, id}) == 0) {
     return Status::NotFound("no record with id " + std::to_string(id) +
                             " on side " + std::to_string(side));
@@ -258,14 +259,26 @@ void MatchSession::PublishLocked(IngestReport* report) {
     // swap. The old generation's release (possibly the last reference)
     // happens after the latch is dropped.
     SessionGenerationPtr retired;
-    std::lock_guard<std::mutex> publish_lock(publish_mu_);
+    util::MutexLock publish_lock(publish_mu_);
     retired.swap(published_);
     published_ = std::move(gen);
   }
 }
 
 Result<IngestReport> MatchSession::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
+  // Lock-scope aliases for the lambdas below. The analysis treats a
+  // lambda body as a separate unannotated function (see
+  // util/thread_annotations.h), and the sharded paths run `eval` on
+  // ParallelChunks workers while this thread holds mu_ and keeps the
+  // guarded state frozen for the whole call; the lambdas therefore read
+  // that state through these aliases, bound here where the capability is
+  // visibly held.
+  auto& corpus = corpus_;
+  auto& pos_by_seq = pos_by_seq_;
+  auto& raw_matches = raw_matches_;
+  auto& retired_pairs = delta_retired_scratch_;
+  auto& indexes = indexes_;
   const MatchPlan& plan = *plan_;
   const bool windowing =
       plan.options().candidates == PlanOptions::Candidates::kWindowing;
@@ -399,7 +412,7 @@ Result<IngestReport> MatchSession::Flush() {
           [&](uint32_t l, uint32_t r) {
             const bool drop = retired.count(Handle(0, l)) > 0 ||
                               retired.count(Handle(1, r)) > 0;
-            if (drop) delta_retired_scratch_.emplace_back(l, r);
+            if (drop) retired_pairs.emplace_back(l, r);
             return drop;
           });
       clusters_stale_ = true;
@@ -415,7 +428,7 @@ Result<IngestReport> MatchSession::Flush() {
             indexes_->version(), delta_fp, &report.index_reused,
             [&](uint64_t version) {
               return IndexSnapshot::Advance(
-                  std::move(indexes_), pass_removes, std::move(pass_inserts),
+                  std::move(indexes), pass_removes, std::move(pass_inserts),
                   block_removes, block_inserts, version);
             });
       } else {
@@ -449,8 +462,8 @@ Result<IngestReport> MatchSession::Flush() {
                          delta_records >= options_.shard_min_delta;
     std::atomic<size_t> cache_hits{0};
     auto eval = [&](uint32_t l, uint32_t r) {
-      const Record& left = *corpus_[0][pos_by_seq_[0][l]];
-      const Record& right = *corpus_[1][pos_by_seq_[1][r]];
+      const Record& left = *corpus[0][pos_by_seq[0][l]];
+      const Record& right = *corpus[1][pos_by_seq[1][r]];
       auto evaluate = [&] {
         return plan.MatchesPair(left.tuple, right.tuple, &left.profile,
                                 &right.profile);
@@ -487,7 +500,7 @@ Result<IngestReport> MatchSession::Flush() {
         auto add_pair = [&](const IndexedEntry& a, const IndexedEntry& b) {
           if (a.side == b.side) return;
           auto [l, r] = seq_pair(a, b);
-          if (!raw_matches_.Contains(l, r)) cand.Add(l, r);
+          if (!raw_matches.Contains(l, r)) cand.Add(l, r);
         };
         for (size_t p = 0; p < passes; ++p) {
           const SortedKeyIndex& idx = indexes_->window_passes()[p];
@@ -602,7 +615,7 @@ Result<IngestReport> MatchSession::Flush() {
                     pl[p] > pr[p] ? pl[p] - pr[p] : pr[p] - pl[p];
                 if (dist <= window - 1) return false;  // still a candidate
               }
-              delta_retired_scratch_.emplace_back(l, r);
+              retired_pairs.emplace_back(l, r);
               return true;
             });
       } else {
@@ -618,7 +631,7 @@ Result<IngestReport> MatchSession::Flush() {
                 const size_t dist = pl > pr ? pl - pr : pr - pl;
                 if (dist <= window - 1) return false;  // still a candidate
               }
-              delta_retired_scratch_.emplace_back(l, r);
+              retired_pairs.emplace_back(l, r);
               return true;
             });
       }
@@ -725,6 +738,11 @@ size_t MatchSession::ShardedWindowFlush(
   const size_t shards = std::min(options_.num_threads, n);
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> local(shards);
   std::vector<size_t> local_evals(shards, 0);
+  // Worker-lambda aliases: the caller holds mu_ (REQUIRES above) and
+  // keeps this state frozen while the workers read it; the lambda body is
+  // outside the analysis, so it reads through aliases bound here.
+  const auto& gaps_by_pass = gaps_scratch_;
+  const auto& raw_matches = raw_matches_;
   // Each shard owns a contiguous range of positions — a contiguous range
   // of the derived-key order — in every pass; a window crossing the shard
   // boundary belongs to the shard of its left endpoint, which reads past
@@ -735,7 +753,7 @@ size_t MatchSession::ShardedWindowFlush(
       const SortedKeyIndex& idx = widx[p];
       const size_t np = idx.size();
       if (begin >= np) continue;
-      const std::vector<size_t>& gaps = gaps_scratch_[p];
+      const std::vector<size_t>& gaps = gaps_by_pass[p];
       // One contiguous walk per shard per pass: the owned range plus the
       // window tail read past the boundary.
       const auto span = idx.Span(begin, std::min(np, end + window - 1));
@@ -750,7 +768,7 @@ size_t MatchSession::ShardedWindowFlush(
             continue;
           }
           auto [l, r] = seq_pair(a, b);
-          if (raw_matches_.Contains(l, r)) continue;
+          if (raw_matches.Contains(l, r)) continue;
           if (!seen.Add(l, r)) continue;
           ++local_evals[w];
           if (eval(l, r)) local[w].emplace_back(l, r);
@@ -790,6 +808,8 @@ size_t MatchSession::ShardedBlockFlush(
   const size_t shards = std::min(options_.num_threads, touched.size());
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> local(shards);
   std::vector<size_t> local_evals(shards, 0);
+  // Worker-lambda alias; see ShardedWindowFlush.
+  const auto& raw_matches = raw_matches_;
   ParallelChunks(touched.size(), shards,
                  [&](size_t w, size_t begin, size_t end) {
                    for (size_t k = begin; k < end; ++k) {
@@ -802,7 +822,7 @@ size_t MatchSession::ShardedBlockFlush(
                              delta.count(Handle(1, r)) == 0) {
                            continue;
                          }
-                         if (raw_matches_.Contains(l, r)) continue;
+                         if (raw_matches.Contains(l, r)) continue;
                          ++local_evals[w];
                          if (eval(l, r)) local[w].emplace_back(l, r);
                        }
@@ -817,7 +837,7 @@ size_t MatchSession::ShardedBlockFlush(
 }
 
 size_t MatchSession::pending_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return pending_.size();
 }
 

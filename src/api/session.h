@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -22,6 +21,7 @@
 #include "match/pair_cache.h"
 #include "schema/instance.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mdmatch::api {
 
@@ -298,14 +298,14 @@ class MatchSession {
 
   /// Stages a record for insertion or update. The tuple's id() is its
   /// identity within `side`; its arity must match that side's schema.
-  Status Upsert(int side, Tuple tuple);
+  Status Upsert(int side, Tuple tuple) EXCLUDES(mu_);
 
   /// Stages many records for one side.
-  Status Upsert(int side, std::vector<Tuple> tuples);
+  Status Upsert(int side, std::vector<Tuple> tuples) EXCLUDES(mu_);
 
   /// Stages the removal of a record. NotFound when the id is neither in
   /// the corpus nor staged.
-  Status Remove(int side, TupleId id);
+  Status Remove(int side, TupleId id) EXCLUDES(mu_);
 
   /// Applies the staged delta: merges it into the persistent indexes
   /// (advancing the snapshot chain), matches delta-vs-corpus and
@@ -313,60 +313,72 @@ class MatchSession {
   /// updates the clustering, and publishes the result as the next
   /// generation. A flush with nothing staged is a cheap no-op that
   /// publishes nothing.
-  Result<IngestReport> Flush();
+  Result<IngestReport> Flush() EXCLUDES(mu_);
+
+  // Flush-independent queries: each call acquires the current generation
+  // once and answers from it (one View() call); none of them ever touches
+  // the writer mutex — the EXCLUDES(mu_) annotations make that PR 5
+  // guarantee a compile-time property under Clang TSA: a code path that
+  // routed a query through mu_ (or called one with mu_ held) would no
+  // longer build. Two consecutive calls may span a concurrent flush —
+  // pin a View() when several reads must agree.
 
   /// A consistent read view of the current generation — one pointer
   /// acquire through the publication latch (held for a pointer copy,
   /// never for flush work). All accessors of the returned view answer
   /// from the same generation even while flushes continue.
-  SessionView View() const {
+  SessionView View() const EXCLUDES(mu_) {
     return SessionView(plan_, CurrentGeneration());
   }
 
   /// The published generation number (0 until the first non-empty flush).
-  uint64_t generation() const { return CurrentGeneration()->generation; }
+  uint64_t generation() const EXCLUDES(mu_) {
+    return CurrentGeneration()->generation;
+  }
 
-  // Flush-independent queries: each call acquires the current generation
-  // once and answers from it (one View() call); none of them ever touches
-  // the writer mutex. Two consecutive calls may span a concurrent flush —
-  // pin a View() when several reads must agree.
+  size_t left_size() const EXCLUDES(mu_) { return View().left_size(); }
+  size_t right_size() const EXCLUDES(mu_) { return View().right_size(); }
 
-  size_t left_size() const { return View().left_size(); }
-  size_t right_size() const { return View().right_size(); }
-
-  /// Records staged but not yet flushed.
-  size_t pending_ops() const;
+  /// Records staged but not yet flushed. (A staging query, not a
+  /// generation query: it reads build-side state under the writer mutex.)
+  size_t pending_ops() const EXCLUDES(mu_);
 
   /// The current (last flushed) index snapshot — immutable; stays valid
   /// and unchanged while the session keeps flushing.
-  candidate::IndexSnapshotPtr indexes() const { return View().indexes(); }
+  candidate::IndexSnapshotPtr indexes() const EXCLUDES(mu_) {
+    return View().indexes();
+  }
 
   /// Materializes the standing corpus as an Instance (live records in
   /// ingestion order) — the "equivalent single batch" a one-shot
   /// Executor::Run reproduces this session's results on.
-  Instance Corpus() const { return View().Corpus(); }
+  Instance Corpus() const EXCLUDES(mu_) { return View().Corpus(); }
 
   /// The standing match pairs, as (left position, right position) into
   /// Corpus() *of the same generation* (see the class comment on
   /// positions across flushes). Closure plans report the transitively
   /// implied pairs, like Executor::Run does.
-  match::MatchResult Matches() const { return View().Matches(); }
+  match::MatchResult Matches() const EXCLUDES(mu_) {
+    return View().Matches();
+  }
 
   /// The entity clusters of the standing matches, numbered exactly as
   /// match::ClusterMatches over (Matches(), Corpus()).
-  match::Clustering Clusters() const { return View().Clusters(); }
+  match::Clustering Clusters() const EXCLUDES(mu_) {
+    return View().Clusters();
+  }
 
   /// Opaque cluster handle of a record: two records are in one cluster
   /// iff their handles are equal. Handles are stable between flushes
   /// (any Flush may renumber). NotFound for unknown ids.
-  Result<uint64_t> ClusterOf(int side, TupleId id) const {
+  Result<uint64_t> ClusterOf(int side, TupleId id) const EXCLUDES(mu_) {
     return View().ClusterOf(side, id);
   }
 
   /// True iff both records are currently in the same cluster (answered
   /// from one generation).
   Result<bool> SameCluster(int side_a, TupleId id_a, int side_b,
-                           TupleId id_b) const {
+                           TupleId id_b) const EXCLUDES(mu_) {
     return View().SameCluster(side_a, id_a, side_b, id_b);
   }
 
@@ -382,28 +394,31 @@ class MatchSession {
   /// Fills the record's evaluator profile and cache fingerprint (those the
   /// current configuration needs) from its tuple.
   void RenderDerived(Record* record, int side) const;
-  const Tuple& TupleBySeq(int side, uint32_t seq) const;
-  void RebuildPositionsLocked(int side);
-  void RebuildClustersLocked();
+  void RebuildPositionsLocked(int side) REQUIRES(mu_);
+  void RebuildClustersLocked() REQUIRES(mu_);
   /// Builds the next SessionGeneration from the build-side state and
   /// swaps it in (the single publication point).
-  void PublishLocked(IngestReport* report);
+  void PublishLocked(IngestReport* report) REQUIRES(mu_);
   /// The current generation, acquired through the publication latch.
-  SessionGenerationPtr CurrentGeneration() const {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+  SessionGenerationPtr CurrentGeneration() const EXCLUDES(publish_mu_) {
+    util::MutexLock lock(publish_mu_);
     return published_;
   }
 
   /// Evaluates a deduped candidate list, parallel-chunked like the
   /// Executor's match stage; appends passing pairs to `out` in
-  /// deterministic order.
+  /// deterministic order. `eval` runs on worker threads: it must capture
+  /// any mu_-guarded state through local aliases taken by the caller
+  /// (which holds mu_ and keeps that state frozen for the whole call).
   void EvaluatePairs(
       const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
       const std::function<bool(uint32_t, uint32_t)>& eval,
       std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report);
 
   /// Sharded flush paths (oversized deltas); both return the shard count
-  /// used.
+  /// used. They hold mu_ for their whole run; their ParallelChunks
+  /// workers read only snapshot state and lock-scope aliases (see
+  /// EvaluatePairs).
   size_t ShardedWindowFlush(
       const std::vector<std::pair<int, uint32_t>>& inserted,
       const std::function<bool(uint32_t, uint32_t)>& eval,
@@ -411,11 +426,12 @@ class MatchSession {
           const candidate::IndexedEntry&, const candidate::IndexedEntry&)>&
           seq_pair,
       size_t window, std::vector<std::pair<uint32_t, uint32_t>>* out,
-      IngestReport* report);
+      IngestReport* report) REQUIRES(mu_);
   size_t ShardedBlockFlush(
       const std::vector<std::pair<int, uint32_t>>& inserted,
       const std::function<bool(uint32_t, uint32_t)>& eval,
-      std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report);
+      std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report)
+      REQUIRES(mu_);
 
   PlanPtr plan_;
   SessionOptions options_;
@@ -432,46 +448,53 @@ class MatchSession {
   /// costs the same and is memory-model clean. A truly contention-free
   /// many-core acquire needs epoch/hazard machinery; see ROADMAP.)
   /// `published_` is never null.
-  mutable std::mutex publish_mu_;
-  SessionGenerationPtr published_;
+  mutable util::Mutex publish_mu_ ACQUIRED_AFTER(mu_);
+  SessionGenerationPtr published_ GUARDED_BY(publish_mu_);
 
   /// ---- build side: guarded by mu_, never read by queries ----
-  mutable std::mutex mu_;
-  std::vector<SessionRecordPtr> corpus_[2];             // ingestion order
-  std::unordered_map<TupleId, uint32_t> pos_by_id_[2];  // id -> position
+  mutable util::Mutex mu_;
+  std::vector<SessionRecordPtr> corpus_[2]
+      GUARDED_BY(mu_);  // ingestion order
+  std::unordered_map<TupleId, uint32_t> pos_by_id_[2]
+      GUARDED_BY(mu_);  // id -> position
   /// seq -> corpus position, dense (seqs are allocated consecutively;
   /// slots of removed records go stale and are never consulted). A flat
   /// array because this lookup sits on the hottest flush paths — every
   /// pair evaluation resolves both records through it.
-  std::vector<uint32_t> pos_by_seq_[2];
-  uint32_t next_seq_[2] = {0, 0};
+  std::vector<uint32_t> pos_by_seq_[2] GUARDED_BY(mu_);
+  uint32_t next_seq_[2] GUARDED_BY(mu_) = {0, 0};
 
   /// Staged delta, keyed (side, id); nullopt = removal. Ordered so flush
   /// processing (and hence seq assignment) is deterministic.
-  std::map<std::pair<int, TupleId>, std::optional<Tuple>> pending_;
+  std::map<std::pair<int, TupleId>, std::optional<Tuple>> pending_
+      GUARDED_BY(mu_);
   /// Staged ops that overwrote an already-staged (side, id) since the
   /// last flush (reported as IngestReport::coalesced_deltas).
-  size_t pending_coalesced_ = 0;
+  size_t pending_coalesced_ GUARDED_BY(mu_) = 0;
   /// Match pairs the in-progress flush added / retired, in seq space —
   /// the parent-delta the next published generation carries (see
   /// SessionGeneration::added_pairs).
-  std::vector<std::pair<uint32_t, uint32_t>> delta_added_scratch_;
-  std::vector<std::pair<uint32_t, uint32_t>> delta_retired_scratch_;
+  std::vector<std::pair<uint32_t, uint32_t>> delta_added_scratch_
+      GUARDED_BY(mu_);
+  std::vector<std::pair<uint32_t, uint32_t>> delta_retired_scratch_
+      GUARDED_BY(mu_);
 
   /// Standing raw match pairs as (left seq, right seq).
-  match::PairSet raw_matches_;
+  match::PairSet raw_matches_ GUARDED_BY(mu_);
 
   /// The current version of the persistent candidate indexes: one sorted
   /// treap per windowing pass, or the block index, frozen per flush.
   /// Readers (queries, shard workers, sibling catalog sessions) hold the
   /// snapshot through their generation; Flush advances to the next
   /// version without disturbing them.
-  candidate::IndexSnapshotPtr indexes_;
+  candidate::IndexSnapshotPtr indexes_ GUARDED_BY(mu_);
   /// Version counter for private (non-catalog) snapshot chains.
-  uint64_t next_version_ = 1;
+  uint64_t next_version_ GUARDED_BY(mu_) = 1;
   /// Publication counter behind SessionGeneration::generation.
-  uint64_t next_generation_ = 1;
+  uint64_t next_generation_ GUARDED_BY(mu_) = 1;
   /// The shared catalog entry, when SessionOptions::catalog is set.
+  /// Assigned by the constructor, immutable afterwards (the Entry locks
+  /// itself internally), so it needs no guard.
   candidate::IndexCatalog::EntryPtr catalog_entry_;
 
   /// Incremental clustering over the raw match graph. Nodes are dense ids
@@ -479,17 +502,19 @@ class MatchSession {
   /// flush rebuilds it from the surviving pairs. Queries never touch this
   /// (path compression writes) — they read the frozen handles published
   /// in the generation.
-  match::UnionFind uf_;
+  match::UnionFind uf_ GUARDED_BY(mu_);
   /// seq -> union-find node id, dense per side (stale after removal until
   /// the rebuild, like pos_by_seq_).
-  std::vector<size_t> node_by_seq_[2];
-  bool clusters_stale_ = false;
+  std::vector<size_t> node_by_seq_[2] GUARDED_BY(mu_);
+  bool clusters_stale_ GUARDED_BY(mu_) = false;
 
   /// Removal-gap positions per windowing pass, valid during one Flush
   /// (filled after the index merge, read by the scan paths).
-  std::vector<std::vector<size_t>> gaps_scratch_;
+  std::vector<std::vector<size_t>> gaps_scratch_ GUARDED_BY(mu_);
 
   /// Optional pair-decision cache (SessionOptions::pair_cache_capacity).
+  /// The pointer is set by the constructor and immutable afterwards; the
+  /// cache itself is internally sharded-locked (match/pair_cache.h).
   std::unique_ptr<match::PairDecisionCache> pair_cache_;
 };
 

@@ -53,6 +53,7 @@ BlockIndex& BlockIndex::operator=(BlockIndex&& other) noexcept {
 std::shared_ptr<BlockIndex::Node> BlockIndex::Own(const NodePtr& n) const {
   if (!shared_.load(std::memory_order_relaxed)) {
     // Never copied: every node is uniquely this index's, mutate in place.
+    // mdmatch-lint: allow(const-escape) unshared-tree fast path.
     return std::const_pointer_cast<Node>(n);
   }
   auto copy = std::make_shared<Node>();
@@ -68,6 +69,7 @@ std::shared_ptr<BlockIndex::Block> BlockIndex::OwnBlock(BlockPtr block) {
   // A snapshot (path-copied node or an older tree) may still reference
   // the payload: clone unless this reference is provably the only one.
   if (block.use_count() == 1) {
+    // mdmatch-lint: allow(const-escape) provably sole reference.
     return std::const_pointer_cast<Block>(std::move(block));
   }
   return std::make_shared<Block>(*block);

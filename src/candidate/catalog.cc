@@ -7,7 +7,7 @@ namespace mdmatch::candidate {
 IndexSnapshotPtr IndexCatalog::Entry::Advance(
     uint64_t base_version, uint64_t delta_fp, bool* reused,
     const std::function<IndexSnapshotPtr(uint64_t version)>& build) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::pair<uint64_t, uint64_t> key{base_version, delta_fp};
   if (auto found = memo_.find(key); found != memo_.end()) {
     if (reused != nullptr) *reused = true;
@@ -25,20 +25,20 @@ IndexSnapshotPtr IndexCatalog::Entry::Advance(
 }
 
 size_t IndexCatalog::Entry::memo_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return memo_.size();
 }
 
 IndexCatalog::EntryPtr IndexCatalog::Acquire(uint64_t plan_fingerprint,
                                              const std::string& corpus_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   EntryPtr& entry = entries_[{plan_fingerprint, corpus_id}];
   if (entry == nullptr) entry = std::make_shared<Entry>();
   return entry;
 }
 
 size_t IndexCatalog::num_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -6,11 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "candidate/snapshot.h"
+#include "util/thread_annotations.h"
 
 namespace mdmatch::candidate {
 
@@ -57,10 +57,12 @@ class IndexCatalog {
     /// correct, just unshared.
     static constexpr size_t kMemoCapacity = 16;
 
-    mutable std::mutex mu_;
-    uint64_t next_version_ = 1;
-    std::map<std::pair<uint64_t, uint64_t>, IndexSnapshotPtr> memo_;
-    std::deque<std::pair<uint64_t, uint64_t>> memo_order_;  // FIFO
+    mutable util::Mutex mu_;
+    uint64_t next_version_ GUARDED_BY(mu_) = 1;
+    std::map<std::pair<uint64_t, uint64_t>, IndexSnapshotPtr> memo_
+        GUARDED_BY(mu_);
+    std::deque<std::pair<uint64_t, uint64_t>> memo_order_
+        GUARDED_BY(mu_);  // FIFO
   };
   using EntryPtr = std::shared_ptr<Entry>;
 
@@ -75,8 +77,9 @@ class IndexCatalog {
   size_t num_entries() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::pair<uint64_t, std::string>, EntryPtr> entries_;
+  mutable util::Mutex mu_;
+  std::map<std::pair<uint64_t, std::string>, EntryPtr> entries_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace mdmatch::candidate

@@ -6,6 +6,8 @@
 namespace mdmatch::candidate {
 
 IndexSnapshotPtr IndexSnapshot::Empty(size_t passes, bool blocking) {
+  // mdmatch-lint: allow(naked-new) private ctor (factory-only
+  // construction): make_shared cannot reach it.
   auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
   snapshot->window_.resize(passes);
   if (blocking) snapshot->block_ = std::make_unique<BlockIndex>();
@@ -29,8 +31,10 @@ IndexSnapshotPtr IndexSnapshot::Advance(
   // here), so the const_cast does not touch a const object.
   std::shared_ptr<IndexSnapshot> next;
   if (base.use_count() == 1) {
+    // mdmatch-lint: allow(const-escape) sole-owner recycle; see above.
     next = std::const_pointer_cast<IndexSnapshot>(std::move(base));
   } else {
+    // mdmatch-lint: allow(naked-new) private ctor; see Empty().
     next = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
     next->window_ = base->window_;  // O(passes): treap roots are shared
     if (base->block_ != nullptr) {

@@ -167,6 +167,8 @@ void SortedKeyIndex::SplitFresh(std::shared_ptr<Node> t,
   }
   if (*t->entry < e) {
     std::shared_ptr<Node> right_less;
+    // mdmatch-lint: allow(const-escape) SplitFresh precondition: every
+    // node of `t` is uniquely owned (fresh batch), never published.
     SplitFresh(std::const_pointer_cast<Node>(t->right), e, &right_less,
                rest);
     t->right = std::move(right_less);
@@ -174,6 +176,7 @@ void SortedKeyIndex::SplitFresh(std::shared_ptr<Node> t,
     *less = std::move(t);
   } else {
     std::shared_ptr<Node> left_rest;
+    // mdmatch-lint: allow(const-escape) see above.
     SplitFresh(std::const_pointer_cast<Node>(t->left), e, less, &left_rest);
     t->left = std::move(left_rest);
     t->count = 1 + Count(t->left.get()) + Count(t->right.get());
@@ -191,8 +194,11 @@ SortedKeyIndex::NodePtr SortedKeyIndex::UnionFresh(
     NodePtr less;
     NodePtr rest;
     Split(shared, *fresh->entry, &less, &rest);
+    // `fresh` subtrees are uniquely owned batch nodes (see SplitFresh).
+    // mdmatch-lint: allow(const-escape)
     fresh->left = UnionFresh(std::move(less),
                              std::const_pointer_cast<Node>(fresh->left));
+    // mdmatch-lint: allow(const-escape) see above.
     fresh->right = UnionFresh(std::move(rest),
                               std::const_pointer_cast<Node>(fresh->right));
     fresh->count =

@@ -2,17 +2,17 @@
 
 #include <string>
 
-#include "candidate/block_index.h"
+#include "match/block_index.h"
 
 namespace mdmatch::match {
 
 CandidateSet BlockCandidates(const Instance& instance,
                              const KeyFunction& key) {
   CandidateSet out;
-  const candidate::BlockIndex index =
-      candidate::BlockIndex::FromInstance(instance, key);
+  const BlockIndex index =
+      BlockIndex::FromInstance(instance, key);
   index.ForEachBlock([&](const std::string&,
-                         const candidate::BlockIndex::Block& block) {
+                         const BlockIndex::Block& block) {
     for (uint32_t l : block.left) {
       for (uint32_t r : block.right) {
         out.Add(l, r);
@@ -33,12 +33,12 @@ CandidateSet BlockCandidatesMultiPass(const Instance& instance,
 
 BlockingStats AnalyzeBlocks(const Instance& instance, const KeyFunction& key) {
   BlockingStats stats;
-  candidate::BlockIndex index =
-      candidate::BlockIndex::FromInstance(instance, key);
+  BlockIndex index =
+      BlockIndex::FromInstance(instance, key);
   stats.num_blocks = index.num_blocks();
   size_t total = 0;
   index.ForEachBlock([&](const std::string&,
-                         const candidate::BlockIndex::Block& block) {
+                         const BlockIndex::Block& block) {
     size_t size = block.left.size() + block.right.size();
     total += size;
     if (size > stats.largest_block) stats.largest_block = size;

@@ -67,7 +67,7 @@ uint64_t PairDecisionCache::HashKey(const Key& key) {
 std::optional<bool> PairDecisionCache::Lookup(const Key& key) {
   const uint64_t hash = HashKey(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto found = shard.index.find(hash);
   // The index is keyed by the 64-bit hash; entries carry the full key, so
   // a hash collision degrades to a miss, never to a wrong decision.
@@ -83,7 +83,7 @@ std::optional<bool> PairDecisionCache::Lookup(const Key& key) {
 void PairDecisionCache::Insert(const Key& key, bool decision) {
   const uint64_t hash = HashKey(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto found = shard.index.find(hash);
   if (found != shard.index.end()) {
     found->second->key = key;
@@ -104,7 +104,7 @@ void PairDecisionCache::Insert(const Key& key, bool decision) {
 size_t PairDecisionCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     total += shard.lru.size();
   }
   return total;
@@ -113,7 +113,7 @@ size_t PairDecisionCache::size() const {
 PairDecisionCache::Stats PairDecisionCache::stats() const {
   Stats total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
     total.evictions += shard.stats.evictions;

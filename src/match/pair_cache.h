@@ -5,12 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "schema/tuple.h"
+#include "util/thread_annotations.h"
 
 namespace mdmatch::match {
 
@@ -106,21 +106,22 @@ class PairDecisionCache {
     bool decision = false;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
-    Stats stats;
+    mutable util::Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
+    Stats stats GUARDED_BY(mu);
     /// Doorkeeper bloom bits (empty when the doorkeeper is off) and the
     /// number of set bits since the last age-out reset.
-    std::vector<uint64_t> bloom;
-    size_t bloom_bits_set = 0;
+    std::vector<uint64_t> bloom GUARDED_BY(mu);
+    size_t bloom_bits_set GUARDED_BY(mu) = 0;
   };
 
   static uint64_t HashKey(const Key& key);
   Shard& ShardFor(uint64_t hash) { return shards_[hash % shards_.size()]; }
   /// True when `hash` was seen before (both probe bits set); records it
-  /// otherwise. Called under the shard lock.
-  bool DoorkeeperAdmit(Shard* shard, uint64_t hash);
+  /// otherwise.
+  bool DoorkeeperAdmit(Shard* shard, uint64_t hash) REQUIRES(shard->mu);
 
   size_t per_shard_capacity_;
   size_t bloom_words_ = 0;  ///< per-shard filter size; 0 = doorkeeper off

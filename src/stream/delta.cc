@@ -16,10 +16,6 @@ TupleId IdAt(const api::SessionGeneration& gen, int side, uint32_t seq) {
   return gen.corpus[side][gen.pos_by_seq[side][seq]]->tuple.id();
 }
 
-uint64_t SeqKey(uint32_t l, uint32_t r) {
-  return (static_cast<uint64_t>(l) << 32) | r;
-}
-
 /// The merge events of from→to, given the added pairs (in seq space of
 /// `to`). Connectivity in `to` equals the from-cluster contraction plus
 /// the added-pair edges — surviving pairs cannot connect two distinct

@@ -20,6 +20,27 @@ IngestDriver::IngestDriver(api::PlanPtr plan,
 
 IngestDriver::~IngestDriver() { Stop(); }
 
+Status IngestDriver::StageOp(StagedOp op) {
+  util::MutexLock lock(queue_mu_);
+  if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
+  if (queue_.size() >= options_.queue_capacity) {
+    if (options_.backpressure == IngestDriverOptions::Backpressure::kReject) {
+      ++ops_rejected_;
+      return Status::QueueFull(
+          "ingest staging queue at capacity (" +
+          std::to_string(options_.queue_capacity) + " ops)");
+    }
+    while (!stop_ && queue_.size() >= options_.queue_capacity) {
+      space_cv_.Wait(queue_mu_);
+    }
+    if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
+  }
+  queue_.push_back(std::move(op));
+  ++ops_enqueued_;
+  queue_cv_.NotifyOne();
+  return Status::OK();
+}
+
 Status IngestDriver::Upsert(int side, Tuple tuple) {
   if (side != 0 && side != 1) {
     return Status::InvalidArgument("side must be 0 (left) or 1 (right)");
@@ -30,74 +51,40 @@ Status IngestDriver::Upsert(int side, Tuple tuple) {
     return Status::InvalidArgument("tuple arity does not match schema " +
                                    schema.name());
   }
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
-  if (queue_.size() >= options_.queue_capacity) {
-    if (options_.backpressure == IngestDriverOptions::Backpressure::kReject) {
-      ++ops_rejected_;
-      return Status::QueueFull(
-          "ingest staging queue at capacity (" +
-          std::to_string(options_.queue_capacity) + " ops)");
-    }
-    space_cv_.wait(lock, [&] {
-      return stop_ || queue_.size() < options_.queue_capacity;
-    });
-    if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
-  }
   StagedOp op;
   op.side = side;
   op.id = tuple.id();
   op.tuple = std::move(tuple);
-  queue_.push_back(std::move(op));
-  ++ops_enqueued_;
-  queue_cv_.notify_one();
-  return Status::OK();
+  return StageOp(std::move(op));
 }
 
 Status IngestDriver::Remove(int side, TupleId id) {
   if (side != 0 && side != 1) {
     return Status::InvalidArgument("side must be 0 (left) or 1 (right)");
   }
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
-  if (queue_.size() >= options_.queue_capacity) {
-    if (options_.backpressure == IngestDriverOptions::Backpressure::kReject) {
-      ++ops_rejected_;
-      return Status::QueueFull(
-          "ingest staging queue at capacity (" +
-          std::to_string(options_.queue_capacity) + " ops)");
-    }
-    space_cv_.wait(lock, [&] {
-      return stop_ || queue_.size() < options_.queue_capacity;
-    });
-    if (stop_) return Status::FailedPrecondition("IngestDriver is stopped");
-  }
   StagedOp op;
   op.side = side;
   op.id = id;
-  queue_.push_back(std::move(op));
-  ++ops_enqueued_;
-  queue_cv_.notify_one();
-  return Status::OK();
+  return StageOp(std::move(op));
 }
 
 void IngestDriver::FlusherLoop() {
   for (;;) {
     std::vector<StagedOp> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(queue_mu_);
+      while (!stop_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) break;  // stop_ with nothing left
       batch.assign(std::make_move_iterator(queue_.begin()),
                    std::make_move_iterator(queue_.end()));
       queue_.clear();
       // Space freed: unblock producers parked on backpressure.
-      space_cv_.notify_all();
+      space_cv_.NotifyAll();
     }
     RunFlushCycle(std::move(batch));
   }
   // All ops are flushed; release any Drain still parked.
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
 }
 
 void IngestDriver::RunFlushCycle(std::vector<StagedOp> batch) {
@@ -130,7 +117,7 @@ void IngestDriver::RunFlushCycle(std::vector<StagedOp> batch) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     ops_flushed_through_ += batch.size();
     ops_ignored_ += ignored;
     ++flushes_;
@@ -138,14 +125,14 @@ void IngestDriver::RunFlushCycle(std::vector<StagedOp> batch) {
     report.queue_depth = queue_.size();
     last_report_ = report;
   }
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
 }
 
 void IngestDriver::FanOut(const std::shared_ptr<const MatchDelta>& delta) {
-  std::lock_guard<std::mutex> subs_lock(subs_mu_);
+  util::MutexLock subs_lock(subs_mu_);
   for (auto& [id, sub] : subscribers_) {
     (void)id;
-    std::lock_guard<std::mutex> lock(sub->mu);
+    util::MutexLock lock(sub->mu);
     if (sub->lagging) {
       // Resync pending: it will cover this generation too.
     } else if (sub->queue.size() >= sub->capacity) {
@@ -157,7 +144,7 @@ void IngestDriver::FanOut(const std::shared_ptr<const MatchDelta>& delta) {
       sub->queue.push_back(delta);
       deltas_delivered_.fetch_add(1, std::memory_order_relaxed);
     }
-    sub->cv.notify_one();
+    sub->cv.NotifyOne();
   }
 }
 
@@ -166,10 +153,10 @@ void IngestDriver::DeliveryLoop(Subscriber* sub) {
     std::shared_ptr<const MatchDelta> next;
     bool do_resync = false;
     {
-      std::unique_lock<std::mutex> lock(sub->mu);
-      sub->cv.wait(lock, [&] {
-        return sub->stop || sub->lagging || !sub->queue.empty();
-      });
+      util::MutexLock lock(sub->mu);
+      while (!sub->stop && !sub->lagging && sub->queue.empty()) {
+        sub->cv.Wait(sub->mu);
+      }
       if (sub->lagging) {
         sub->lagging = false;
         do_resync = true;
@@ -194,7 +181,7 @@ void IngestDriver::DeliveryLoop(Subscriber* sub) {
     if (next->from_generation != sub->last_generation) {
       // A gap the overflow path did not mark (cannot happen with one
       // flusher, but the invariant is cheap to enforce): resync.
-      std::lock_guard<std::mutex> lock(sub->mu);
+      util::MutexLock lock(sub->mu);
       sub->lagging = true;
       continue;
     }
@@ -205,81 +192,90 @@ void IngestDriver::DeliveryLoop(Subscriber* sub) {
 
 IngestDriver::SubscriptionId IngestDriver::Subscribe(
     MatchDeltaSink* sink, SubscribeOptions options) {
-  auto sub = std::make_unique<Subscriber>();
+  auto sub = std::make_shared<Subscriber>();
   sub->sink = sink;
   sub->capacity = options.queue_capacity > 0
                       ? options.queue_capacity
                       : options_.subscriber_queue_capacity;
-  Subscriber* raw = sub.get();
-  SubscriptionId id = 0;
+  // Registration and the generation read happen under the fan-out mutex,
+  // so the subscription either receives a generation's delta or starts at
+  // (or past) it — never misses one in between. The delivery thread also
+  // starts before subs_mu_ is released: once Subscribe returns (and a
+  // concurrent Unsubscribe of the returned id can exist at all), the
+  // thread handle is in place for StopSubscriber to claim.
+  util::MutexLock subs_lock(subs_mu_);
   {
-    // Registration and the generation read happen under the fan-out
-    // mutex, so the subscription either receives a generation's delta or
-    // starts at (or past) it — never misses one in between.
-    std::lock_guard<std::mutex> subs_lock(subs_mu_);
+    util::MutexLock lock(sub->mu);
     sub->last_generation = session_.generation();
     if (options.initial_snapshot) {
       sub->last_generation = 0;
       sub->lagging = true;  // first delivery: resync of the current state
     }
-    id = next_subscription_++;
-    subscribers_.emplace(id, std::move(sub));
+    sub->thread = std::thread(&IngestDriver::DeliveryLoop, this, sub.get());
   }
-  raw->thread = std::thread(&IngestDriver::DeliveryLoop, this, raw);
+  const SubscriptionId id = next_subscription_++;
+  subscribers_.emplace(id, std::move(sub));
   return id;
 }
 
-void IngestDriver::StopSubscriber(Subscriber* sub) {
+void IngestDriver::StopSubscriber(const SubscriberPtr& sub) {
+  std::thread thread;
   {
-    std::lock_guard<std::mutex> lock(sub->mu);
+    util::MutexLock lock(sub->mu);
     sub->stop = true;
+    // Claim the join: of two concurrent stoppers (Stop racing
+    // Unsubscribe), exactly one moves the handle out; the other finds it
+    // empty and returns without joining.
+    thread = std::move(sub->thread);
   }
-  sub->cv.notify_all();
-  if (sub->thread.joinable()) sub->thread.join();
+  sub->cv.NotifyAll();
+  if (thread.joinable()) thread.join();
 }
 
 bool IngestDriver::Unsubscribe(SubscriptionId id) {
-  std::unique_ptr<Subscriber> sub;
+  SubscriberPtr sub;
   {
-    std::lock_guard<std::mutex> subs_lock(subs_mu_);
+    util::MutexLock subs_lock(subs_mu_);
     auto found = subscribers_.find(id);
     if (found == subscribers_.end()) return false;
     sub = std::move(found->second);
     subscribers_.erase(found);
   }
-  StopSubscriber(sub.get());
+  StopSubscriber(sub);
   return true;
 }
 
 void IngestDriver::Stop() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
-  space_cv_.notify_all();
+  queue_cv_.NotifyAll();
+  space_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
 
   // Flushing is over: every remaining queued delta gets delivered, then
   // the delivery threads exit. Subscribers stay registered (Unsubscribe
-  // still works) but their sinks never run again.
-  std::vector<Subscriber*> subs;
+  // still works) but their sinks never run again. The snapshot holds
+  // shared_ptrs, so a concurrent Unsubscribe erasing an entry cannot
+  // destroy a subscriber out from under the stop below.
+  std::vector<SubscriberPtr> subs;
   {
-    std::lock_guard<std::mutex> subs_lock(subs_mu_);
+    util::MutexLock subs_lock(subs_mu_);
     subs.reserve(subscribers_.size());
     for (auto& [id, sub] : subscribers_) {
       (void)id;
-      subs.push_back(sub.get());
+      subs.push_back(sub);
     }
   }
-  for (Subscriber* sub : subs) StopSubscriber(sub);
+  for (const SubscriberPtr& sub : subs) StopSubscriber(sub);
 }
 
 IngestStats IngestDriver::stats() const {
   IngestStats stats;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     stats.ops_enqueued = ops_enqueued_;
     stats.ops_flushed = ops_flushed_through_;
     stats.ops_rejected = ops_rejected_;
@@ -295,11 +291,11 @@ IngestStats IngestDriver::stats() const {
 }
 
 Result<api::IngestReport> IngestDriver::Drain() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   const uint64_t ticket = ops_enqueued_;
-  drained_cv_.wait(lock, [&] {
-    return ops_flushed_through_ >= ticket || (stop_ && queue_.empty());
-  });
+  while (ops_flushed_through_ < ticket && !(stop_ && queue_.empty())) {
+    drained_cv_.Wait(queue_mu_);
+  }
   if (ops_flushed_through_ < ticket) {
     return Status::FailedPrecondition(
         "IngestDriver stopped before the drained ops were flushed");

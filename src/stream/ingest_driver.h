@@ -2,11 +2,9 @@
 #define MDMATCH_STREAM_INGEST_DRIVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -18,6 +16,7 @@
 #include "stream/delta.h"
 #include "stream/sink.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mdmatch::stream {
 
@@ -103,33 +102,34 @@ class IngestDriver {
   /// Stages an insert/update. Validates side and arity synchronously;
   /// queue-full handling per IngestDriverOptions::backpressure;
   /// FailedPrecondition after Stop.
-  Status Upsert(int side, Tuple tuple);
+  Status Upsert(int side, Tuple tuple) EXCLUDES(queue_mu_);
 
   /// Stages a removal (dropped silently at flush time when the id is
   /// unknown — see class comment).
-  Status Remove(int side, TupleId id);
+  Status Remove(int side, TupleId id) EXCLUDES(queue_mu_);
 
   /// Blocks until every op enqueued before this call has been flushed,
   /// then returns the report of the flush that covered the last of them
   /// (with IngestReport::queue_depth/coalesced_deltas filled in). An
   /// immediately-satisfied Drain returns the previous flush's report.
-  Result<api::IngestReport> Drain();
+  Result<api::IngestReport> Drain() EXCLUDES(queue_mu_);
 
   /// Final flush of everything staged, then clean shutdown of the
   /// flusher and every subscription (see class comment). Idempotent;
   /// called by the destructor.
-  void Stop();
+  void Stop() EXCLUDES(queue_mu_, subs_mu_);
 
   /// Attaches a sink; deltas of every generation published after this
   /// call are delivered in order (plus the current state first, with
   /// SubscribeOptions::initial_snapshot). The sink must outlive the
   /// subscription.
-  SubscriptionId Subscribe(MatchDeltaSink* sink, SubscribeOptions = {});
+  SubscriptionId Subscribe(MatchDeltaSink* sink, SubscribeOptions = {})
+      EXCLUDES(subs_mu_);
 
   /// Detaches and joins the subscription's delivery thread; after the
   /// call returns, its sink is never invoked again. False for unknown
   /// ids.
-  bool Unsubscribe(SubscriptionId id);
+  bool Unsubscribe(SubscriptionId id) EXCLUDES(subs_mu_);
 
   /// Lock-free consistent read view of the owned session's latest
   /// published generation (safe concurrently with everything above).
@@ -139,7 +139,7 @@ class IngestDriver {
   /// the session — staging directly would bypass the queue accounting.
   const api::MatchSession& session() const { return session_; }
 
-  IngestStats stats() const;
+  IngestStats stats() const EXCLUDES(queue_mu_);
 
  private:
   struct StagedOp {
@@ -151,45 +151,62 @@ class IngestDriver {
   struct Subscriber {
     MatchDeltaSink* sink = nullptr;
     size_t capacity = 0;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::shared_ptr<const MatchDelta>> queue;  // guarded by mu
-    bool lagging = false;  ///< overflowed (or initial_snapshot): next
-                           ///< delivery is a resync — guarded by mu
-    bool stop = false;     ///< guarded by mu
+    util::Mutex mu;
+    util::CondVar cv;
+    std::deque<std::shared_ptr<const MatchDelta>> queue GUARDED_BY(mu);
+    bool lagging GUARDED_BY(mu) = false;  ///< overflowed (or
+                                          ///< initial_snapshot): next
+                                          ///< delivery is a resync
+    bool stop GUARDED_BY(mu) = false;
     /// Generation the sink's state reflects — delivery thread only.
     uint64_t last_generation = 0;
-    std::thread thread;
+    /// The delivery thread. Started under subs_mu_ *and* mu in Subscribe
+    /// (so the subscription is fully registered before the loop can
+    /// observe it); joined exactly once, by whoever moves it out under mu
+    /// in StopSubscriber — a concurrent Stop/Unsubscribe pair cannot
+    /// double-join.
+    std::thread thread GUARDED_BY(mu);
   };
+  using SubscriberPtr = std::shared_ptr<Subscriber>;
 
-  void FlusherLoop();
-  void RunFlushCycle(std::vector<StagedOp> batch);
-  void FanOut(const std::shared_ptr<const MatchDelta>& delta);
+  /// Backpressure-aware staging shared by Upsert and Remove: one bounded
+  /// push that blocks or rejects at capacity per options_.backpressure.
+  Status StageOp(StagedOp op) EXCLUDES(queue_mu_);
+
+  void FlusherLoop() EXCLUDES(queue_mu_);
+  void RunFlushCycle(std::vector<StagedOp> batch) EXCLUDES(queue_mu_);
+  void FanOut(const std::shared_ptr<const MatchDelta>& delta)
+      EXCLUDES(subs_mu_);
   void DeliveryLoop(Subscriber* sub);
-  void StopSubscriber(Subscriber* sub);
+  /// Stops and joins `sub`'s delivery thread (idempotent; see
+  /// Subscriber::thread). Callers pass a shared_ptr they own, so the
+  /// subscriber outlives the join even when another thread already
+  /// erased it from subscribers_.
+  void StopSubscriber(const SubscriberPtr& sub);
 
   api::MatchSession session_;
   IngestDriverOptions options_;
 
   /// Staging queue + everything the producer/flusher handshake needs.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;    ///< wakes the flusher
-  std::condition_variable space_cv_;    ///< wakes blocked producers
-  std::condition_variable drained_cv_;  ///< wakes Drain waiters
-  std::deque<StagedOp> queue_;
-  bool stop_ = false;
-  uint64_t ops_enqueued_ = 0;
-  uint64_t ops_flushed_through_ = 0;  ///< ops covered by completed flushes
-  size_t ops_rejected_ = 0;
-  size_t ops_ignored_ = 0;
-  size_t flushes_ = 0;
-  size_t coalesced_total_ = 0;
-  api::IngestReport last_report_;
+  mutable util::Mutex queue_mu_;
+  util::CondVar queue_cv_;    ///< wakes the flusher
+  util::CondVar space_cv_;    ///< wakes blocked producers
+  util::CondVar drained_cv_;  ///< wakes Drain waiters
+  std::deque<StagedOp> queue_ GUARDED_BY(queue_mu_);
+  bool stop_ GUARDED_BY(queue_mu_) = false;
+  uint64_t ops_enqueued_ GUARDED_BY(queue_mu_) = 0;
+  /// Ops covered by completed flushes.
+  uint64_t ops_flushed_through_ GUARDED_BY(queue_mu_) = 0;
+  size_t ops_rejected_ GUARDED_BY(queue_mu_) = 0;
+  size_t ops_ignored_ GUARDED_BY(queue_mu_) = 0;
+  size_t flushes_ GUARDED_BY(queue_mu_) = 0;
+  size_t coalesced_total_ GUARDED_BY(queue_mu_) = 0;
+  api::IngestReport last_report_ GUARDED_BY(queue_mu_);
 
-  std::mutex subs_mu_;
-  std::unordered_map<SubscriptionId, std::unique_ptr<Subscriber>>
-      subscribers_;
-  SubscriptionId next_subscription_ = 1;
+  util::Mutex subs_mu_;
+  std::unordered_map<SubscriptionId, SubscriberPtr> subscribers_
+      GUARDED_BY(subs_mu_);
+  SubscriptionId next_subscription_ GUARDED_BY(subs_mu_) = 1;
   std::atomic<size_t> deltas_delivered_{0};
   std::atomic<size_t> resyncs_{0};
 

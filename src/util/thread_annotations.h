@@ -1,0 +1,156 @@
+#ifndef MDMATCH_UTIL_THREAD_ANNOTATIONS_H_
+#define MDMATCH_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis support: attribute macros plus
+// capability-annotated Mutex / MutexLock / CondVar wrappers over the
+// standard primitives.
+//
+// Under Clang with -Wthread-safety (the MDMATCH_THREAD_SAFETY build, see
+// CMakeLists.txt) the annotations turn the project's lock discipline into
+// compile errors: reading a GUARDED_BY member without its mutex, calling
+// a REQUIRES method unlocked, or taking a mutex a method EXCLUDES all
+// fail the build. Under GCC (which has no such analysis) every macro
+// expands to nothing and the wrappers cost exactly what the std types
+// cost.
+//
+// Ground rules for annotated code, enforced by mdmatch_lint and by the
+// analysis itself:
+//  - Lock through the RAII MutexLock guard, never by calling raw
+//    Lock/Unlock (the analysis accepts both; the linter bans the latter).
+//  - Condition-variable waits spell their predicate as an explicit while
+//    loop around CondVar::Wait. The analysis treats a lambda body as a
+//    separate unannotated function, so the idiomatic
+//    cv.wait(lock, [&]{ ... }) would flag every guarded read inside the
+//    predicate; the explicit loop keeps the reads in the annotated
+//    caller, where the capability is visibly held.
+//  - Work handed to other threads (ParallelChunks workers reading state
+//    the coordinating thread holds frozen under its mutex) is beyond a
+//    per-thread lock analysis; such functions take the state as explicit
+//    parameters or local aliases captured under the lock, with a comment
+//    at the capture site naming the invariant that makes it safe.
+//  - NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+//    justification comment on the same or the preceding line
+//    (mdmatch_lint's tsa-escape check fails the build otherwise).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MDMATCH_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef MDMATCH_THREAD_ANNOTATION_
+#define MDMATCH_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) MDMATCH_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY MDMATCH_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) MDMATCH_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) MDMATCH_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  MDMATCH_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  MDMATCH_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  MDMATCH_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MDMATCH_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  MDMATCH_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MDMATCH_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  MDMATCH_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MDMATCH_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  MDMATCH_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) MDMATCH_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  MDMATCH_THREAD_ANNOTATION_(assert_capability(x))
+#define RETURN_CAPABILITY(x) MDMATCH_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MDMATCH_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#include <condition_variable>
+#include <mutex>
+
+namespace mdmatch::util {
+
+/// \brief std::mutex as a Clang-TSA capability.
+///
+/// libstdc++'s std::mutex carries no capability annotations, so guarded
+/// state declared against it is invisible to the analysis; this wrapper
+/// is the annotated spelling every mdmatch component locks through. Use
+/// MutexLock to hold it; Lock/Unlock exist for the guard and for the
+/// condition-variable internals only (mdmatch_lint's raw-lock check bans
+/// direct calls outside this header).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_.lock();  // mdmatch-lint: allow(raw-lock) the one RAII-free
+                 // acquisition site, wrapped by MutexLock below
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();  // mdmatch-lint: allow(raw-lock) see Lock()
+  }
+
+  // BasicLockable spelling, so std::condition_variable_any can park on
+  // this mutex directly (CondVar::Wait). The analysis attributes live on
+  // these too: a wait's unlock/relock nets out to "still held".
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII guard over util::Mutex — the project's only sanctioned way
+/// to hold one (see mdmatch_lint raw-lock).
+///
+/// SCOPED_CAPABILITY: the analysis credits the constructor's acquisition
+/// to the enclosing scope and checks every guarded access against it
+/// until the destructor releases.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with util::Mutex.
+///
+/// Wait requires the mutex held and returns with it held — the transient
+/// release inside std::condition_variable_any is invisible to (and
+/// irrelevant for) the analysis, which only needs the net effect.
+/// Spell predicates as explicit while loops in the caller:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);   // ready_ is GUARDED_BY(mu_)
+///
+/// (cv_.wait(lock, pred) would move the ready_ read into an unannotated
+/// lambda body; see the header comment.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mdmatch::util
+
+#endif  // MDMATCH_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,22 @@
+// Seeded violations: a frozen type declaring a mutable field and
+// non-const member functions. Linted under a pretend src/ path.
+
+#include <cstdint>
+#include <vector>
+
+namespace mdmatch::candidate {
+
+class IndexSnapshot {
+ public:
+  uint64_t version() const { return version_; }
+
+  void BumpVersion() { ++version_; }  // BAD: mutator on a frozen type
+
+  void Clear();  // BAD: out-of-line mutator declaration
+
+ private:
+  uint64_t version_ = 0;
+  mutable std::vector<int> scratch_;  // BAD: mutable field
+};
+
+}  // namespace mdmatch::candidate

@@ -1,0 +1,9 @@
+// Seeded violation: linted under the pretend path src/match/bad.cc, so
+// the direct candidate/ include below is a layer-DAG back-edge (match is
+// below candidate; the sanctioned spelling is match/block_index.h).
+
+#include "candidate/block_index.h"
+#include "match/blocking.h"
+#include "util/status.h"
+
+namespace mdmatch::match {}

@@ -1,0 +1,14 @@
+// Seeded violations: naked new/delete (linted under a pretend src/
+// path, where ownership must live in smart pointers).
+
+namespace mdmatch {
+
+int* Allocate() {
+  return new int(42);  // BAD: naked new
+}
+
+void Release(int* p) {
+  delete p;  // BAD: naked delete
+}
+
+}  // namespace mdmatch

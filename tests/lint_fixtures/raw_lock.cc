@@ -1,0 +1,17 @@
+// Seeded violations: a raw std::mutex held by manual lock()/unlock()
+// calls instead of util::Mutex + util::MutexLock.
+
+#include <mutex>
+
+namespace mdmatch {
+
+std::mutex bad_mu;  // BAD: std::mutex instead of util::Mutex
+int counter = 0;
+
+void Increment() {
+  bad_mu.lock();  // BAD: raw lock
+  ++counter;
+  bad_mu.unlock();  // BAD: raw unlock
+}
+
+}  // namespace mdmatch

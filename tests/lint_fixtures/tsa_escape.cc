@@ -1,0 +1,11 @@
+#include "util/thread_annotations.h"
+
+namespace mdmatch {
+
+int racy_counter = 0;
+
+void UncheckedIncrement() NO_THREAD_SAFETY_ANALYSIS;
+
+void UncheckedIncrement() NO_THREAD_SAFETY_ANALYSIS { ++racy_counter; }
+
+}  // namespace mdmatch

@@ -250,7 +250,7 @@ TEST_F(StreamDeltaTest, FirstMatchBetweenStandingRecordsIsASingletonMerge) {
   for (size_t i = 0; i < 20; ++i) {
     api::MatchSession session(*plan);
     Tuple mangled = data_.instance.left().tuple(i);
-    for (int32_t v = 0; v < mangled.arity(); ++v) {
+    for (size_t v = 0; v < mangled.arity(); ++v) {
       mangled.set_value(v, "mangled-" + std::to_string(v));
     }
     ASSERT_TRUE(session.Upsert(0, std::move(mangled)).ok());
@@ -540,6 +540,82 @@ TEST_F(StreamIngestDriverTest, UnsubscribeStopsDeliveryImmediately) {
   }
   ASSERT_TRUE(driver.Drain().ok());
   EXPECT_EQ(sink.deliveries(), delivered);
+}
+
+TEST_F(StreamIngestDriverTest, ConcurrentStopAndUnsubscribeJoinExactlyOnce) {
+  // Regression: Stop() used to snapshot raw Subscriber pointers and join
+  // their threads while a concurrent Unsubscribe() erased (and destroyed)
+  // the same subscribers — a use-after-free plus a potential double-join
+  // (std::terminate). Both paths now funnel through StopSubscriber, which
+  // holds the subscriber alive via shared_ptr and claims the join by
+  // moving the thread handle out under the subscriber lock, so exactly
+  // one of two concurrent stoppers joins.
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok());
+  for (int round = 0; round < 8; ++round) {
+    IngestDriver driver(*plan);
+    constexpr int kSinks = 3;
+    ReplicaSink sinks[kSinks];
+    IngestDriver::SubscriptionId ids[kSinks];
+    for (int s = 0; s < kSinks; ++s) ids[s] = driver.Subscribe(&sinks[s]);
+    ASSERT_TRUE(driver.Upsert(0, data_.instance.left().tuple(round)).ok());
+
+    std::atomic<int> unsubscribed{0};
+    std::thread unsubscriber([&] {
+      for (int s = 0; s < kSinks; ++s) {
+        if (driver.Unsubscribe(ids[s])) ++unsubscribed;
+      }
+    });
+    driver.Stop();
+    unsubscriber.join();
+
+    // Subscribers the racer missed are still registered (Stop leaves the
+    // map intact); every id unsubscribes successfully exactly once.
+    for (int s = 0; s < kSinks; ++s) {
+      if (driver.Unsubscribe(ids[s])) ++unsubscribed;
+    }
+    EXPECT_EQ(unsubscribed.load(), kSinks);
+    for (int s = 0; s < kSinks; ++s) EXPECT_FALSE(driver.Unsubscribe(ids[s]));
+    for (int s = 0; s < kSinks; ++s) EXPECT_EQ(sinks[s].error(), "");
+  }
+}
+
+TEST_F(StreamIngestDriverTest, SubscribeUnsubscribeChurnDuringIngest) {
+  // Regression: Subscribe() used to assign the delivery thread handle
+  // after dropping the subscriber lock, so an immediate Unsubscribe()
+  // (or a Stop()) could observe an empty handle, skip the join, and leak
+  // a running thread into the subscriber's destruction. The handle is
+  // now in place before Subscribe() publishes the id.
+  auto plan = BuildPlan();
+  ASSERT_TRUE(plan.ok());
+  IngestDriver driver(*plan);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::thread producer([&] {
+    const size_t n = data_.instance.left().size();
+    for (size_t i = 0; !done && i < 10000; ++i) {
+      if (!driver.Upsert(0, data_.instance.left().tuple(i % n)).ok()) {
+        failed = true;
+        return;
+      }
+    }
+  });
+
+  for (int i = 0; i < 60; ++i) {
+    ReplicaSink sink;
+    SubscribeOptions options;
+    if (i % 2 == 0) options.initial_snapshot = true;
+    const IngestDriver::SubscriptionId id = driver.Subscribe(&sink, options);
+    // Unsubscribe immediately: the delivery thread may not have run yet,
+    // but its handle must already be claimable.
+    EXPECT_TRUE(driver.Unsubscribe(id));
+    EXPECT_EQ(sink.error(), "");
+  }
+  done = true;
+  producer.join();
+  EXPECT_FALSE(failed.load());
+  driver.Stop();
 }
 
 // ---------------------------------------------------------------------

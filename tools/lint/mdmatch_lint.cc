@@ -1,0 +1,92 @@
+// mdmatch_lint — the project-invariant linter (see linter.h for the
+// checks). Usage:
+//
+//   mdmatch_lint [path...]
+//
+// Paths are files or directories, repo-relative (run from the repo
+// root: the layering check keys on the src/<layer>/ prefix). Defaults
+// to `src tools bench`. Exit status 1 when any finding survives the
+// allowlist.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linter.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+/// Generic (forward-slash) relative spelling of `path`, so layering and
+/// exemption prefixes match on every platform.
+std::string Spell(const fs::path& path) {
+  return path.lexically_normal().generic_string();
+}
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    const fs::path root(arg);
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(Spell(entry.path()));
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(Spell(root));
+    } else {
+      std::fprintf(stderr, "mdmatch_lint: no such file or directory: %s\n",
+                   arg.c_str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  if (args.empty()) args = {"src", "tools", "bench"};
+
+  const std::vector<std::string> files = CollectFiles(args);
+  if (files.empty()) {
+    std::fprintf(stderr, "mdmatch_lint: nothing to lint\n");
+    return 2;
+  }
+
+  size_t total = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "mdmatch_lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    for (const auto& f : mdmatch::lint::LintFile(file, content.str())) {
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                  f.check.c_str(), f.message.c_str());
+      ++total;
+    }
+  }
+  if (total > 0) {
+    std::printf("mdmatch_lint: %zu finding%s in %zu files\n", total,
+                total == 1 ? "" : "s", files.size());
+    return 1;
+  }
+  std::printf("mdmatch_lint: OK (%zu files)\n", files.size());
+  return 0;
+}

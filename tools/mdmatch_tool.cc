@@ -19,7 +19,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "stream/ingest_driver.h"
 #include "util/csv.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 using namespace mdmatch;
 
@@ -529,10 +529,10 @@ int CmdStream(const Args& args) {
   // They sample ids the driver loop has staged so far.
   const size_t num_readers = args.FlagNum("--readers", 0);
   std::atomic<bool> readers_stop{false};
-  std::mutex ids_mu;
+  util::Mutex ids_mu;  // guards known_ids (locals can't be GUARDED_BY)
   std::vector<std::pair<int, TupleId>> known_ids;
   auto note_id = [&](int side, TupleId id) {
-    std::lock_guard<std::mutex> lock(ids_mu);
+    util::MutexLock lock(ids_mu);
     known_ids.emplace_back(side, id);
   };
   std::vector<std::thread> readers;
@@ -548,7 +548,7 @@ int CmdStream(const Args& args) {
         rng ^= rng << 17;
         std::pair<int, TupleId> pick{-1, 0};
         {
-          std::lock_guard<std::mutex> lock(ids_mu);
+          util::MutexLock lock(ids_mu);
           if (!known_ids.empty()) pick = known_ids[rng % known_ids.size()];
         }
         if (pick.first < 0) {
