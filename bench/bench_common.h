@@ -80,9 +80,12 @@ inline RckDeduction DeduceRcks(const datagen::CreditBillingData& data,
 /// cheapest-first under the quality model so non-matching pairs fail out
 /// of a rule on a short attribute ("RCKs reduce the cost of inspecting a
 /// single pair", Section 1).
+/// With relax=false the strict equality RCKs are returned as-is — the
+/// paper's key-based matching (Example 2.3's eq(cc) ∧ eq(phn) shape)
+/// before the θ = 0.8 similarity relaxation.
 inline std::vector<match::MatchRule> TopRckRules(
     const std::vector<RelativeKey>& rcks, sim::SimOpRegistry* ops,
-    const QualityModel& quality, size_t top_k = 5) {
+    const QualityModel& quality, size_t top_k = 5, bool relax = true) {
   std::vector<match::MatchRule> rules;
   for (size_t i = 0; i < rcks.size() && i < top_k; ++i) {
     std::vector<Conjunct> elems = rcks[i].elements();
@@ -92,6 +95,7 @@ inline std::vector<match::MatchRule> TopRckRules(
                      });
     rules.push_back(RelativeKey(std::move(elems)));
   }
+  if (!relax) return rules;
   return match::RelaxRulesForMatching(rules, ops->Dl(0.8));
 }
 
@@ -115,7 +119,7 @@ inline double TimedSeconds(const std::function<void()>& body) {
 /// nothing.
 inline Result<api::PlanPtr> CompileExperimentPlan(
     const datagen::CreditBillingData& data, sim::SimOpRegistry* ops,
-    api::PlanOptions options) {
+    api::PlanOptions options, bool relax_rules = true) {
   RckDeduction deduction = DeduceRcks(data, ops, options.num_rcks);
   api::PlanBuilder builder(data.pair, data.target, ops);
   builder.WithSigma(data.mds)
@@ -124,8 +128,8 @@ inline Result<api::PlanPtr> CompileExperimentPlan(
       .WithSortKeys(match::StandardWindowKeys(data.pair))
       .WithTrainingInstance(&data.instance, /*estimate_lengths=*/false);
   if (options.matcher == api::PlanOptions::Matcher::kRuleBased) {
-    builder.WithRules(
-        TopRckRules(deduction.rcks, ops, deduction.quality, options.top_k));
+    builder.WithRules(TopRckRules(deduction.rcks, ops, deduction.quality,
+                                  options.top_k, relax_rules));
   }
   builder.WithOptions(std::move(options));
   return builder.Build();

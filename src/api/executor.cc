@@ -10,6 +10,7 @@
 #include "candidate/windowing.h"
 #include "match/blocking.h"
 #include "match/clustering.h"
+#include "util/arena.h"
 #include "util/stopwatch.h"
 
 namespace mdmatch::api {
@@ -117,7 +118,98 @@ ExecutionReport Executor::RunChecked(const Instance& batch,
     }
     if (workers == 0) workers = 1;
 
-    if (workers <= 1) {
+    if (options_.batch_eval && evaluator.BatchProfitable() && !pairs.empty()) {
+      // --- SoA batch path: strips of pairs, atom-at-a-time SIMD kernels,
+      // arena-backed transients. Decisions are bit-identical to the
+      // scalar loops below.
+      util::Arena arena;
+      match::ValueInterner interner;
+      match::BatchColumns cols[2];
+      for (int side = 0; side < 2; ++side) {
+        const Relation& rel = side == 0 ? batch.left() : batch.right();
+        cols[side] = evaluator.MakeBatchColumns(side, rel.size(), &arena);
+        for (size_t i = 0; i < rel.size(); ++i) {
+          evaluator.FillBatchRow(
+              &cols[side], static_cast<uint32_t>(i), rel.tuple(i),
+              profiles[side].empty() ? nullptr : &profiles[side][i],
+              &interner);
+        }
+      }
+      // Probe the cache once per pair up front (one Lookup per pair,
+      // exactly like GetOrCompute); decided lanes skip evaluation.
+      uint8_t* decided = arena.AllocateArrayOf<uint8_t>(pairs.size());
+      uint8_t* decision = arena.AllocateArrayOf<uint8_t>(pairs.size());
+      size_t probe_hits = 0;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        decided[i] = 0;
+        decision[i] = 0;
+        if (cache == nullptr) continue;
+        const auto& [l, r] = pairs[i];
+        if (auto cached = cache->Lookup(match::PairDecisionCache::Key{
+                batch.left().tuple(l).id(), batch.right().tuple(r).id(),
+                fingerprints[0][l], fingerprints[1][r]})) {
+          decided[i] = 1;
+          decision[i] = *cached ? 1 : 0;
+          ++probe_hits;
+        }
+      }
+      const candidate::PairStrips strips =
+          candidate::BuildStrips(pairs, &arena);
+      uint8_t* lane_skip = arena.AllocateArrayOf<uint8_t>(strips.lanes);
+      uint8_t* lane_dec = arena.AllocateArrayOf<uint8_t>(strips.lanes);
+      for (size_t lane = 0; lane < strips.lanes; ++lane) {
+        lane_skip[lane] = decided[strips.lane_pair[lane]];
+        lane_dec[lane] = 0;
+      }
+      match::BatchStats stats;
+      if (workers <= 1 || strips.num_batches <= 1) {
+        for (size_t b = 0; b < strips.num_batches; ++b) {
+          const uint32_t first = strips.batch_first_lane[b];
+          evaluator.MatchesBatch(cols[0], cols[1], strips.batches[b],
+                                 lane_skip + first, lane_dec + first,
+                                 &stats);
+        }
+      } else {
+        std::vector<match::BatchStats> worker_stats(workers);
+        ParallelChunks(strips.num_batches, workers,
+                       [&](size_t w, size_t begin, size_t end) {
+                         for (size_t b = begin; b < end; ++b) {
+                           const uint32_t first = strips.batch_first_lane[b];
+                           evaluator.MatchesBatch(
+                               cols[0], cols[1], strips.batches[b],
+                               lane_skip + first, lane_dec + first,
+                               &worker_stats[w]);
+                         }
+                       });
+        for (const match::BatchStats& s : worker_stats) {
+          stats.strips += s.strips;
+          stats.lanes += s.lanes;
+          stats.simd_lanes_evaluated += s.simd_lanes_evaluated;
+        }
+      }
+      for (size_t lane = 0; lane < strips.lanes; ++lane) {
+        const uint32_t p = strips.lane_pair[lane];
+        if (decided[p] == 0) decision[p] = lane_dec[lane];
+      }
+      // Original pair order for inserts and result merging, matching the
+      // sequential scalar loop exactly.
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const auto& [l, r] = pairs[i];
+        if (cache != nullptr && decided[i] == 0) {
+          cache->Insert(
+              match::PairDecisionCache::Key{batch.left().tuple(l).id(),
+                                            batch.right().tuple(r).id(),
+                                            fingerprints[0][l],
+                                            fingerprints[1][r]},
+              decision[i] != 0);
+        }
+        if (decision[i] != 0) report.matches.Add(l, r);
+      }
+      cache_hits.store(probe_hits);
+      report.strips = stats.strips;
+      report.simd_lanes_evaluated = stats.simd_lanes_evaluated;
+      report.arena_bytes = arena.bytes_used();
+    } else if (workers <= 1) {
       for (const auto& [l, r] : pairs) {
         if (matches_pair(l, r)) report.matches.Add(l, r);
       }

@@ -42,6 +42,13 @@ struct ExecutorOptions {
   /// pairs (id-recycling churn) from evicting the hot working set.
   /// Ignored without pair_cache_capacity; never changes results.
   bool cache_doorkeeper = false;
+  /// Route the match stage through the SoA batch evaluator (pair strips,
+  /// SIMD atom kernels, arena-backed transients) when the compiled
+  /// evaluator reports the batch path profitable (an equality-only atom
+  /// basis — see CompiledEvaluator::BatchProfitable). Decisions are
+  /// bit-identical to the scalar path; set false to force scalar for A/B
+  /// measurement.
+  bool batch_eval = true;
 };
 
 /// Per-stage wall time of one execution, measured on the monotonic clock
@@ -69,6 +76,9 @@ struct ExecutionReport {
   size_t cache_hits = 0;      ///< pairs decided from the pair-decision cache
   size_t cache_lookups = 0;   ///< pair-cache probes this run (hits+misses)
   size_t cache_evictions = 0;  ///< pair-cache LRU entries evicted this run
+  size_t strips = 0;  ///< batch-eval units (strips + mixed batches) run
+  size_t simd_lanes_evaluated = 0;  ///< atom-lanes that took a SIMD kernel
+  size_t arena_bytes = 0;  ///< arena high-water of the batch transients
   // (Lookup/eviction deltas are exact for serial Run calls; concurrent
   //  Runs on one executor interleave their probes and split them
   //  arbitrarily between reports.)

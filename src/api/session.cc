@@ -7,6 +7,7 @@
 
 #include "api/parallel.h"
 #include "api/plan_io.h"
+#include "candidate/windowing.h"
 #include "util/fnv.h"
 #include "util/stopwatch.h"
 
@@ -534,7 +535,11 @@ Result<IngestReport> MatchSession::Flush() {
           }
         }
       }
-      EvaluatePairs(cand.pairs(), eval, &new_matches, &report);
+      if (options_.batch_eval && plan.evaluator().BatchProfitable()) {
+        EvaluatePairsBatch(cand.pairs(), &cache_hits, &new_matches, &report);
+      } else {
+        EvaluatePairs(cand.pairs(), eval, &new_matches, &report);
+      }
     } else if (!windowing) {
       // Delta path, blocking: each inserted record against the opposite
       // side of its block (PairSet-deduped, so intra-delta pairs emitted
@@ -557,7 +562,11 @@ Result<IngestReport> MatchSession::Flush() {
           }
         }
       }
-      EvaluatePairs(cand.pairs(), eval, &new_matches, &report);
+      if (options_.batch_eval && plan.evaluator().BatchProfitable()) {
+        EvaluatePairsBatch(cand.pairs(), &cache_hits, &new_matches, &report);
+      } else {
+        EvaluatePairs(cand.pairs(), eval, &new_matches, &report);
+      }
     }
     report.cache_hits = cache_hits.load();
     if (pair_cache_ != nullptr) {
@@ -709,6 +718,101 @@ void MatchSession::EvaluatePairs(
   for (const auto& chunk : local) {
     out->insert(out->end(), chunk.begin(), chunk.end());
   }
+}
+
+void MatchSession::EvaluatePairsBatch(
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    std::atomic<size_t>* cache_hits,
+    std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report) {
+  ScopedTimer eval_timer(&report->eval_seconds);
+  report->pairs_evaluated += pairs.size();
+  if (pairs.empty()) return;
+  const match::CompiledEvaluator& evaluator = plan_->evaluator();
+  batch_arena_.Reset();
+  util::Arena& arena = batch_arena_;
+
+  // Columns are indexed by seq (the pair elements); size them to the
+  // largest touched seq and fill only the rows some pair references.
+  uint32_t max_seq[2] = {0, 0};
+  for (const auto& [l, r] : pairs) {
+    max_seq[0] = std::max(max_seq[0], l);
+    max_seq[1] = std::max(max_seq[1], r);
+  }
+  match::ValueInterner interner;
+  match::BatchColumns cols[2];
+  uint8_t* filled[2];
+  for (int side = 0; side < 2; ++side) {
+    const size_t rows = static_cast<size_t>(max_seq[side]) + 1;
+    cols[side] = evaluator.MakeBatchColumns(side, rows, &arena);
+    filled[side] = arena.AllocateArrayOf<uint8_t>(rows);
+    std::fill_n(filled[side], rows, uint8_t{0});
+  }
+  auto fill_row = [&](int side, uint32_t seq) {
+    if (filled[side][seq] != 0) return;
+    filled[side][seq] = 1;
+    const Record& rec = *corpus_[side][pos_by_seq_[side][seq]];
+    evaluator.FillBatchRow(&cols[side], seq, rec.tuple, &rec.profile,
+                           &interner);
+  };
+  for (const auto& [l, r] : pairs) {
+    fill_row(0, l);
+    fill_row(1, r);
+  }
+
+  // One cache Lookup per pair up front (the batch-path shape of
+  // GetOrCompute); decided lanes are skipped by MatchesBatch.
+  uint8_t* decided = arena.AllocateArrayOf<uint8_t>(pairs.size());
+  uint8_t* decision = arena.AllocateArrayOf<uint8_t>(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    decided[i] = 0;
+    decision[i] = 0;
+    if (pair_cache_ == nullptr) continue;
+    const auto& [l, r] = pairs[i];
+    const Record& left = *corpus_[0][pos_by_seq_[0][l]];
+    const Record& right = *corpus_[1][pos_by_seq_[1][r]];
+    if (auto cached = pair_cache_->Lookup(match::PairDecisionCache::Key{
+            left.tuple.id(), right.tuple.id(), left.fingerprint,
+            right.fingerprint})) {
+      decided[i] = 1;
+      decision[i] = *cached ? 1 : 0;
+      cache_hits->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const candidate::PairStrips strips = candidate::BuildStrips(pairs, &arena);
+  uint8_t* lane_skip = arena.AllocateArrayOf<uint8_t>(strips.lanes);
+  uint8_t* lane_dec = arena.AllocateArrayOf<uint8_t>(strips.lanes);
+  for (size_t lane = 0; lane < strips.lanes; ++lane) {
+    lane_skip[lane] = decided[strips.lane_pair[lane]];
+    lane_dec[lane] = 0;
+  }
+  match::BatchStats stats;
+  for (size_t b = 0; b < strips.num_batches; ++b) {
+    const uint32_t first = strips.batch_first_lane[b];
+    evaluator.MatchesBatch(cols[0], cols[1], strips.batches[b],
+                           lane_skip + first, lane_dec + first, &stats);
+  }
+  for (size_t lane = 0; lane < strips.lanes; ++lane) {
+    const uint32_t p = strips.lane_pair[lane];
+    if (decided[p] == 0) decision[p] = lane_dec[lane];
+  }
+  // Inserts and output in original pair order — the order EvaluatePairs
+  // produces.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [l, r] = pairs[i];
+    if (pair_cache_ != nullptr && decided[i] == 0) {
+      const Record& left = *corpus_[0][pos_by_seq_[0][l]];
+      const Record& right = *corpus_[1][pos_by_seq_[1][r]];
+      pair_cache_->Insert(
+          match::PairDecisionCache::Key{left.tuple.id(), right.tuple.id(),
+                                        left.fingerprint, right.fingerprint},
+          decision[i] != 0);
+    }
+    if (decision[i] != 0) out->emplace_back(l, r);
+  }
+  report->strips += stats.strips;
+  report->simd_lanes_evaluated += stats.simd_lanes_evaluated;
+  report->arena_bytes += arena.bytes_used();
 }
 
 size_t MatchSession::ShardedWindowFlush(

@@ -1,6 +1,7 @@
 #ifndef MDMATCH_API_SESSION_H_
 #define MDMATCH_API_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -20,6 +21,7 @@
 #include "match/match_result.h"
 #include "match/pair_cache.h"
 #include "schema/instance.h"
+#include "util/arena.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -54,6 +56,13 @@ struct SessionOptions {
   /// IngestReport::cache_evictions with and without). Ignored without
   /// pair_cache_capacity; never changes results.
   bool cache_doorkeeper = false;
+  /// Route delta-path rule evaluation through the SoA batch evaluator
+  /// (pair strips, SIMD atom kernels, the session's reusable arena) when
+  /// the compiled evaluator reports the batch path profitable (an
+  /// equality-only atom basis — see CompiledEvaluator::BatchProfitable).
+  /// Decisions are bit-identical to the scalar path. Sharded flushes
+  /// always use the scalar per-shard loops regardless.
+  bool batch_eval = true;
   /// Optional shared index catalog. Sessions created with the same
   /// catalog, an identical compiled plan (keyed by PlanFingerprint) and
   /// the same corpus_id attach to one candidate::IndexCatalog entry: the
@@ -102,6 +111,9 @@ struct IngestReport {
   size_t corpus_left = 0;      ///< live left records after the flush
   size_t corpus_right = 0;
   size_t total_matches = 0;    ///< standing match pairs after the flush
+  size_t strips = 0;  ///< batch-eval units this flush ran (0 = scalar path)
+  size_t simd_lanes_evaluated = 0;  ///< atom-lanes that took a SIMD kernel
+  size_t arena_bytes = 0;  ///< batch-arena bytes used by this flush
   double index_seconds = 0;    ///< corpus bookkeeping + index merge
   double match_seconds = 0;    ///< candidate scans + rule evaluation
   double cluster_seconds = 0;  ///< match revalidation + union-find upkeep
@@ -415,6 +427,18 @@ class MatchSession {
       const std::function<bool(uint32_t, uint32_t)>& eval,
       std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report);
 
+  /// Batched form of EvaluatePairs for the delta paths: regroups the
+  /// candidates into strips (candidate::BuildStrips), probes the pair
+  /// cache per lane up front, and runs CompiledEvaluator::MatchesBatch
+  /// over columns built in batch_arena_. Appends passing pairs to `out`
+  /// in the same deterministic (input) order as EvaluatePairs. Requires
+  /// plan_->evaluator().SupportsBatch().
+  void EvaluatePairsBatch(
+      const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+      std::atomic<size_t>* cache_hits,
+      std::vector<std::pair<uint32_t, uint32_t>>* out, IngestReport* report)
+      REQUIRES(mu_);
+
   /// Sharded flush paths (oversized deltas); both return the shard count
   /// used. They hold mu_ for their whole run; their ParallelChunks
   /// workers read only snapshot state and lock-scope aliases (see
@@ -516,6 +540,12 @@ class MatchSession {
   /// The pointer is set by the constructor and immutable afterwards; the
   /// cache itself is internally sharded-locked (match/pair_cache.h).
   std::unique_ptr<match::PairDecisionCache> pair_cache_;
+
+  /// Reusable arena for the batch-evaluation transients of one flush
+  /// (columns, strips, lane masks). Reset at the start of every
+  /// EvaluatePairsBatch; steady-state flushes allocate from already
+  /// committed pages.
+  util::Arena batch_arena_ GUARDED_BY(mu_);
 };
 
 }  // namespace mdmatch::api

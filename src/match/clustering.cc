@@ -103,8 +103,9 @@ ClusterQuality EvaluateClusters(const Clustering& clustering,
   q.clusters = clustering.num_clusters();
   size_t records_total = 0;
   size_t records_in_majority = 0;
+  std::map<EntityId, size_t> entities;
   for (const auto& cluster : clustering.clusters()) {
-    std::map<EntityId, size_t> entities;
+    entities.clear();
     for (const auto& r : cluster) {
       const Tuple& t = r.side == 0 ? instance.left().tuple(r.index)
                                    : instance.right().tuple(r.index);

@@ -103,11 +103,13 @@ Status FellegiSunter::Train(const Instance& instance,
     model->p = init_p;
     double loglik = -1e300;
     double prev_loglik = -1e300;
+    std::vector<double> m_num(k), u_num(k);
     for (size_t iter = 0; iter < options_.em_iterations; ++iter) {
       model->iterations_run = iter + 1;
       // E-step: posterior match probability per pattern.
       double sum_w = 0;
-      std::vector<double> m_num(k, 0), u_num(k, 0);
+      m_num.assign(k, 0);
+      u_num.assign(k, 0);
       loglik = 0;
       for (const auto& [pattern, count] : pattern_counts) {
         double pm = model->p, pu = 1.0 - model->p;

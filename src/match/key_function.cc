@@ -38,10 +38,11 @@ KeyFunction KeyFunction::FromKeyElementsByCost(
 
 std::string KeyFunction::Render(const Tuple& tuple, int side) const {
   std::string out;
+  std::string encoded;
   for (const auto& e : elements_) {
     AttrId a = side == 0 ? e.attrs.left : e.attrs.right;
     const std::string& v = tuple.value(a);
-    std::string encoded = e.soundex ? sim::Soundex(v) : ToUpper(v);
+    encoded = e.soundex ? sim::Soundex(v) : ToUpper(v);
     if (e.prefix > 0 && encoded.size() > e.prefix) {
       encoded.resize(e.prefix);
     }

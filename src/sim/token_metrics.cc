@@ -11,6 +11,8 @@ namespace mdmatch::sim {
 std::vector<std::string> Tokenize(std::string_view s) {
   std::vector<std::string> out;
   for (const auto& raw : Split(s, ' ')) {
+    // mdmatch-lint: allow(hot-loop-alloc) the token IS the result element
+    // (moved into out below), not per-iteration scratch
     std::string token;
     for (char c : raw) {
       if (std::isalnum(static_cast<unsigned char>(c))) {

@@ -38,8 +38,9 @@ std::string TransformTable::Apply(std::string_view value) const {
 
   // Tokenize, strip trailing '.', apply token synonyms, collapse spaces.
   std::string out;
+  std::string token;
   for (const auto& raw : Split(upper, ' ')) {
-    std::string token = raw;
+    token = raw;
     while (!token.empty() && (token.back() == '.' || token.back() == ',')) {
       token.pop_back();
     }

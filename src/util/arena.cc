@@ -1,0 +1,153 @@
+#include "util/arena.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define MDMATCH_ARENA_MMAP 1
+#endif
+
+namespace mdmatch::util {
+
+namespace {
+
+constexpr size_t kPage = 4096;
+/// First allocation-eligible offset in a block: the header, rounded up so
+/// user memory starts max-aligned.
+constexpr size_t kHeaderSize =
+    (sizeof(void*) * 8 + alignof(max_align_t) - 1) &
+    ~(alignof(max_align_t) - 1);
+
+size_t RoundUp(size_t value, size_t to) { return (value + to - 1) & ~(to - 1); }
+
+}  // namespace
+
+Arena::Block* Arena::NewBlock(size_t reserve_bytes) {
+  const size_t reserved = RoundUp(reserve_bytes + kHeaderSize, kPage);
+  char* base = nullptr;
+#if MDMATCH_ARENA_MMAP
+  // Reserve address space only: PROT_NONE costs no physical pages until
+  // CommitTo flips a prefix to read/write.
+  void* mapping = ::mmap(nullptr, reserved, PROT_NONE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mapping == MAP_FAILED) throw std::bad_alloc();
+  base = static_cast<char*>(mapping);
+  // Commit the first page for the header.
+  if (::mprotect(base, kPage, PROT_READ | PROT_WRITE) != 0) {
+    ::munmap(base, reserved);
+    throw std::bad_alloc();
+  }
+  const size_t committed = kPage;
+#else
+  // No virtual-memory API: plain malloc of the full span (commit ==
+  // reserve). Correctness is identical, only the lazy-commit economy is
+  // lost.
+  base = static_cast<char*>(std::malloc(reserved));
+  if (base == nullptr) throw std::bad_alloc();
+  const size_t committed = reserved;
+#endif
+  static_assert(sizeof(Block) <= kPage && sizeof(Block) <= kHeaderSize);
+  // mdmatch-lint: allow(naked-new) placement header into the arena's own
+  // mapping; FreeBlock unmaps it (Block is trivially destructible).
+  Block* block = new (base) Block{};
+  block->base = base;
+  block->reserved = reserved;
+  block->committed = committed;
+  block->used = kHeaderSize;
+  return block;
+}
+
+void Arena::FreeBlock(Block* block) {
+  if (block == nullptr) return;
+  char* base = block->base;
+#if MDMATCH_ARENA_MMAP
+  ::munmap(base, block->reserved);
+#else
+  std::free(base);
+#endif
+}
+
+void Arena::CommitTo(Block* block, size_t needed) {
+  if (needed <= block->committed) return;
+  assert(needed <= block->reserved);
+  // Double the committed prefix (so a growing burst costs O(log n)
+  // mprotect calls), but never past the reservation.
+  size_t target = block->committed < (size_t{64} << 10)
+                      ? (size_t{64} << 10)
+                      : block->committed * 2;
+  while (target < needed) target *= 2;
+  target = RoundUp(target, kPage);
+  if (target > block->reserved) target = block->reserved;
+#if MDMATCH_ARENA_MMAP
+  if (::mprotect(block->base + block->committed, target - block->committed,
+                 PROT_READ | PROT_WRITE) != 0) {
+    throw std::bad_alloc();
+  }
+#endif
+  block->committed = target;
+}
+
+Arena::Arena(size_t reserve_bytes) { head_ = NewBlock(reserve_bytes); }
+
+Arena::~Arena() {
+  while (head_ != nullptr) {
+    Block* prev = head_->prev;
+    FreeBlock(head_);
+    head_ = prev;
+  }
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  assert(alignment != 0 && (alignment & (alignment - 1)) == 0 &&
+         "alignment must be a power of two");
+  assert(alignment <= kPage);
+  Block* block = head_;
+  const size_t offset = RoundUp(block->used, alignment);
+  if (bytes <= block->reserved && offset <= block->reserved - bytes) {
+    CommitTo(block, offset + bytes);
+    block->used = offset + bytes;
+    return block->base + offset;
+  }
+  // Overflow: chain a bigger block (at least 2x, and big enough for this
+  // allocation outright).
+  size_t next_reserve = block->reserved * 2;
+  if (next_reserve < bytes + kHeaderSize + alignment) {
+    next_reserve = bytes + kHeaderSize + alignment;
+  }
+  Block* grown = NewBlock(next_reserve);
+  grown->prev = head_;
+  head_ = grown;
+  return Allocate(bytes, alignment);
+}
+
+void Arena::Reset() {
+  // Drop overflow blocks; rewind the primary (bottom of the chain) while
+  // keeping its committed pages for reuse.
+  while (head_->prev != nullptr) {
+    Block* prev = head_->prev;
+    FreeBlock(head_);
+    head_ = prev;
+  }
+  head_->used = kHeaderSize;
+}
+
+size_t Arena::bytes_used() const {
+  size_t total = 0;
+  for (const Block* b = head_; b != nullptr; b = b->prev) {
+    total += b->used - kHeaderSize;
+  }
+  return total;
+}
+
+size_t Arena::bytes_committed() const {
+  size_t total = 0;
+  for (const Block* b = head_; b != nullptr; b = b->prev) {
+    total += b->committed;
+  }
+  return total;
+}
+
+}  // namespace mdmatch::util

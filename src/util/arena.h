@@ -1,0 +1,85 @@
+#ifndef MDMATCH_UTIL_ARENA_H_
+#define MDMATCH_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace mdmatch::util {
+
+/// \brief A reserve+commit bump allocator for per-flush / per-batch
+/// transients.
+///
+/// The batch evaluation path (SoA pair strips, lane masks, column
+/// buffers) allocates a burst of short-lived arrays per flush; doing that
+/// node-at-a-time on the heap would put allocator traffic inside the pair
+/// hot loop. The arena instead reserves one large virtual range up front
+/// (address space only — no physical pages), commits pages on first use,
+/// and hands out bump-pointer allocations. Reset() rewinds the bump
+/// pointer while keeping the committed pages, so a reused arena reaches
+/// steady state with zero syscalls and zero page faults per flush.
+///
+/// Allocations are uninitialized raw memory and are never individually
+/// freed — only Reset() (or destruction) reclaims, which is why
+/// AllocateArrayOf requires trivially destructible element types. If a
+/// burst outgrows the reservation, overflow chains additional
+/// reservations (each twice the last) rather than failing; Reset()
+/// releases the overflow chain and keeps only the primary block.
+///
+/// Not thread-safe: one arena per worker (the parallel batch paths give
+/// every worker its own).
+class Arena {
+ public:
+  /// Default virtual reservation: 64 MiB of address space. Physical
+  /// memory use is bounded by the high-water mark of committed pages,
+  /// not by this number.
+  static constexpr size_t kDefaultReserve = size_t{64} << 20;
+
+  explicit Arena(size_t reserve_bytes = kDefaultReserve);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `bytes` of uninitialized memory at `alignment` (a power of two).
+  /// Never returns null: growth chains a new reservation on overflow.
+  void* Allocate(size_t bytes, size_t alignment = alignof(max_align_t));
+
+  /// An uninitialized array of `count` T. T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T>
+  T* AllocateArrayOf(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty. The primary block keeps its committed pages (the
+  /// steady-state reuse path); overflow blocks are unmapped.
+  void Reset();
+
+  /// Bytes handed out since construction / the last Reset().
+  size_t bytes_used() const;
+  /// Bytes of physical commitment (high-water, survives Reset).
+  size_t bytes_committed() const;
+
+ private:
+  struct Block {
+    char* base = nullptr;
+    size_t reserved = 0;   ///< virtual span of this block
+    size_t committed = 0;  ///< readable/writable prefix
+    size_t used = 0;       ///< bump offset
+    Block* prev = nullptr;
+  };
+
+  static Block* NewBlock(size_t reserve_bytes);
+  static void FreeBlock(Block* block);
+  /// Grows `block->committed` to cover at least `needed` bytes.
+  static void CommitTo(Block* block, size_t needed);
+
+  Block* head_ = nullptr;  ///< current block; ->prev chains overflow
+};
+
+}  // namespace mdmatch::util
+
+#endif  // MDMATCH_UTIL_ARENA_H_

@@ -1,0 +1,374 @@
+#include "util/simd.h"
+
+#include <bit>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define MDMATCH_SIMD_X86 1
+#endif
+
+namespace mdmatch::util::simd {
+
+namespace {
+
+// ------------------------------------------------------------- scalar
+// The reference implementations: every SIMD path must reproduce these
+// masks exactly (simd_test checks each level against kScalar).
+
+uint64_t EqScalar(const uint32_t* a, uint32_t b, size_t n) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+uint64_t EqScalar(const uint32_t* a, const uint32_t* b, size_t n) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+uint32_t AbsDiff(uint32_t x, uint32_t y) { return x > y ? x - y : y - x; }
+
+uint64_t AbsDiffLeScalar(const uint32_t* a, uint32_t b, uint32_t limit,
+                         size_t n) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (AbsDiff(a[i], b) <= limit) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+uint64_t AbsDiffLeScalar(const uint32_t* a, const uint32_t* b,
+                         const uint32_t* limit, size_t n) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (AbsDiff(a[i], b[i]) <= limit[i]) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+uint64_t XorPopcountLeScalar(const uint64_t* a, uint64_t b, uint32_t limit,
+                             size_t n) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<uint32_t>(std::popcount(a[i] ^ b)) <= limit) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+uint64_t XorPopcountLeScalar(const uint64_t* a, const uint64_t* b,
+                             const uint32_t* limit, size_t n) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<uint32_t>(std::popcount(a[i] ^ b[i])) <= limit[i]) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+#if MDMATCH_SIMD_X86
+
+// --------------------------------------------------------------- SSE2
+// The x86-64 baseline: no target attribute needed.
+
+uint64_t EqSse2(const uint32_t* a, uint32_t b, size_t n) {
+  uint64_t mask = 0;
+  const __m128i vb = _mm_set1_epi32(static_cast<int>(b));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const int bits = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb)));
+    mask |= static_cast<uint64_t>(bits) << i;
+  }
+  if (i < n) mask |= EqScalar(a + i, b, n - i) << i;
+  return mask;
+}
+
+uint64_t EqSse2(const uint32_t* a, const uint32_t* b, size_t n) {
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const int bits = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb)));
+    mask |= static_cast<uint64_t>(bits) << i;
+  }
+  if (i < n) mask |= EqScalar(a + i, b + i, n - i) << i;
+  return mask;
+}
+
+/// Unsigned |x - y| and unsigned <= with SSE2's signed compares: bias by
+/// 0x80000000 so unsigned order maps onto signed order.
+inline __m128i AbsDiffU32Sse2(__m128i x, __m128i y, __m128i bias) {
+  const __m128i gt =
+      _mm_cmpgt_epi32(_mm_xor_si128(x, bias), _mm_xor_si128(y, bias));
+  return _mm_or_si128(_mm_and_si128(gt, _mm_sub_epi32(x, y)),
+                      _mm_andnot_si128(gt, _mm_sub_epi32(y, x)));
+}
+
+uint64_t AbsDiffLeSse2(const uint32_t* a, const uint32_t* b,
+                       const uint32_t* limit, uint32_t broadcast_b,
+                       uint32_t broadcast_limit, size_t n) {
+  uint64_t mask = 0;
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i vb_c = _mm_set1_epi32(static_cast<int>(broadcast_b));
+  const __m128i vl_c = _mm_set1_epi32(static_cast<int>(broadcast_limit));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        b != nullptr
+            ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i))
+            : vb_c;
+    const __m128i vl =
+        limit != nullptr
+            ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(limit + i))
+            : vl_c;
+    const __m128i diff = AbsDiffU32Sse2(va, vb, bias);
+    const __m128i gt = _mm_cmpgt_epi32(_mm_xor_si128(diff, bias),
+                                       _mm_xor_si128(vl, bias));
+    const int bits = _mm_movemask_ps(_mm_castsi128_ps(gt));
+    mask |= static_cast<uint64_t>(~bits & 0xf) << i;
+  }
+  for (; i < n; ++i) {
+    const uint32_t y = b != nullptr ? b[i] : broadcast_b;
+    const uint32_t l = limit != nullptr ? limit[i] : broadcast_limit;
+    if (AbsDiff(a[i], y) <= l) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+// --------------------------------------------------------------- AVX2
+// Compiled with a per-function target so the object file stays loadable
+// on SSE2-only machines; only DetectLevel routes here.
+
+__attribute__((target("avx2"))) uint64_t EqAvx2(const uint32_t* a, uint32_t b,
+                                                size_t n) {
+  uint64_t mask = 0;
+  const __m256i vb = _mm256_set1_epi32(static_cast<int>(b));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const int bits =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+    mask |= static_cast<uint64_t>(static_cast<uint32_t>(bits) & 0xffu) << i;
+  }
+  if (i < n) mask |= EqScalar(a + i, b, n - i) << i;
+  return mask;
+}
+
+__attribute__((target("avx2"))) uint64_t EqAvx2(const uint32_t* a,
+                                                const uint32_t* b, size_t n) {
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const int bits =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+    mask |= static_cast<uint64_t>(static_cast<uint32_t>(bits) & 0xffu) << i;
+  }
+  if (i < n) mask |= EqScalar(a + i, b + i, n - i) << i;
+  return mask;
+}
+
+__attribute__((target("avx2"))) uint64_t AbsDiffLeAvx2(
+    const uint32_t* a, const uint32_t* b, const uint32_t* limit,
+    uint32_t broadcast_b, uint32_t broadcast_limit, size_t n) {
+  uint64_t mask = 0;
+  const __m256i vb_c = _mm256_set1_epi32(static_cast<int>(broadcast_b));
+  const __m256i vl_c = _mm256_set1_epi32(static_cast<int>(broadcast_limit));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        b != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))
+            : vb_c;
+    const __m256i vl =
+        limit != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(limit + i))
+            : vl_c;
+    // AVX2 has unsigned min/max: |x-y| = max - min, and x <= l via
+    // min(x, l) == x.
+    const __m256i diff =
+        _mm256_sub_epi32(_mm256_max_epu32(va, vb), _mm256_min_epu32(va, vb));
+    const __m256i le =
+        _mm256_cmpeq_epi32(_mm256_min_epu32(diff, vl), diff);
+    const int bits = _mm256_movemask_ps(_mm256_castsi256_ps(le));
+    mask |= static_cast<uint64_t>(static_cast<uint32_t>(bits) & 0xffu) << i;
+  }
+  for (; i < n; ++i) {
+    const uint32_t y = b != nullptr ? b[i] : broadcast_b;
+    const uint32_t l = limit != nullptr ? limit[i] : broadcast_limit;
+    if (AbsDiff(a[i], y) <= l) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+/// Per-64-bit-lane popcount via the nibble-LUT pshufb trick + SAD
+/// horizontal byte sums.
+__attribute__((target("avx2"))) inline __m256i PopcountU64Avx2(__m256i x) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(x, nibble);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(x, 4), nibble);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) uint64_t XorPopcountLeAvx2(
+    const uint64_t* a, const uint64_t* b, const uint32_t* limit,
+    uint64_t broadcast_b, uint32_t broadcast_limit, size_t n) {
+  uint64_t mask = 0;
+  const __m256i vb_c = _mm256_set1_epi64x(static_cast<long long>(broadcast_b));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        b != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))
+            : vb_c;
+    const __m256i counts = PopcountU64Avx2(_mm256_xor_si256(va, vb));
+    // Popcounts are 0..64, limits small and non-negative: signed 64-bit
+    // compare is safe.
+    const __m256i vl =
+        limit != nullptr
+            ? _mm256_setr_epi64x(limit[i], limit[i + 1], limit[i + 2],
+                                 limit[i + 3])
+            : _mm256_set1_epi64x(broadcast_limit);
+    const __m256i gt = _mm256_cmpgt_epi64(counts, vl);
+    const int bits = _mm256_movemask_pd(_mm256_castsi256_pd(gt));
+    mask |= static_cast<uint64_t>(~bits & 0xf) << i;
+  }
+  for (; i < n; ++i) {
+    const uint64_t y = b != nullptr ? b[i] : broadcast_b;
+    const uint32_t l = limit != nullptr ? limit[i] : broadcast_limit;
+    if (static_cast<uint32_t>(std::popcount(a[i] ^ y)) <= l) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+#endif  // MDMATCH_SIMD_X86
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Level DetectLevel() {
+  const char* env = std::getenv("MDMATCH_NO_SIMD");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    return Level::kScalar;
+  }
+#if MDMATCH_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  return Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level ActiveLevel() {
+  static const Level level = DetectLevel();
+  return level;
+}
+
+uint64_t EqMaskU32(Level level, const uint32_t* a, uint32_t b, size_t n) {
+#if MDMATCH_SIMD_X86
+  if (level == Level::kAvx2) return EqAvx2(a, b, n);
+  if (level == Level::kSse2) return EqSse2(a, b, n);
+#endif
+  (void)level;
+  return EqScalar(a, b, n);
+}
+
+uint64_t EqMaskU32(Level level, const uint32_t* a, const uint32_t* b,
+                   size_t n) {
+#if MDMATCH_SIMD_X86
+  if (level == Level::kAvx2) return EqAvx2(a, b, n);
+  if (level == Level::kSse2) return EqSse2(a, b, n);
+#endif
+  (void)level;
+  return EqScalar(a, b, n);
+}
+
+uint64_t AbsDiffLeMaskU32(Level level, const uint32_t* a, uint32_t b,
+                          uint32_t limit, size_t n) {
+#if MDMATCH_SIMD_X86
+  if (level == Level::kAvx2) {
+    return AbsDiffLeAvx2(a, nullptr, nullptr, b, limit, n);
+  }
+  if (level == Level::kSse2) {
+    return AbsDiffLeSse2(a, nullptr, nullptr, b, limit, n);
+  }
+#endif
+  (void)level;
+  return AbsDiffLeScalar(a, b, limit, n);
+}
+
+uint64_t AbsDiffLeMaskU32(Level level, const uint32_t* a, const uint32_t* b,
+                          const uint32_t* limit, size_t n) {
+#if MDMATCH_SIMD_X86
+  if (level == Level::kAvx2) return AbsDiffLeAvx2(a, b, limit, 0, 0, n);
+  if (level == Level::kSse2) return AbsDiffLeSse2(a, b, limit, 0, 0, n);
+#endif
+  (void)level;
+  return AbsDiffLeScalar(a, b, limit, n);
+}
+
+uint64_t XorPopcountLeMaskU64(Level level, const uint64_t* a, uint64_t b,
+                              uint32_t limit, size_t n) {
+#if MDMATCH_SIMD_X86
+  if (level == Level::kAvx2) {
+    return XorPopcountLeAvx2(a, nullptr, nullptr, b, limit, n);
+  }
+#endif
+  // SSE2 has no byte shuffle for the nibble-LUT popcount; the scalar
+  // POPCNT loop is the fastest portable form below AVX2.
+  (void)level;
+  return XorPopcountLeScalar(a, b, limit, n);
+}
+
+uint64_t XorPopcountLeMaskU64(Level level, const uint64_t* a,
+                              const uint64_t* b, const uint32_t* limit,
+                              size_t n) {
+#if MDMATCH_SIMD_X86
+  if (level == Level::kAvx2) return XorPopcountLeAvx2(a, b, limit, 0, 0, n);
+#endif
+  (void)level;
+  return XorPopcountLeScalar(a, b, limit, n);
+}
+
+}  // namespace mdmatch::util::simd

@@ -1,0 +1,57 @@
+#ifndef MDMATCH_UTIL_SIMD_H_
+#define MDMATCH_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mdmatch::util::simd {
+
+/// Instruction-set levels the batch-evaluation kernels dispatch over.
+/// Detection happens once at runtime (ActiveLevel); every kernel also
+/// takes an explicit level so tests can force each code path and prove
+/// the levels agree bit for bit.
+enum class Level : uint8_t {
+  kScalar = 0,  ///< portable C++ (and the forced MDMATCH_NO_SIMD mode)
+  kSse2 = 1,    ///< x86-64 baseline, 4 u32 lanes per op
+  kAvx2 = 2,    ///< 8 u32 / 4 u64 lanes per op
+};
+
+const char* LevelName(Level level);
+
+/// CPU capability + environment probe, uncached. MDMATCH_NO_SIMD=1 forces
+/// kScalar regardless of hardware (the CI scalar-fallback leg).
+Level DetectLevel();
+
+/// DetectLevel(), computed once per process.
+Level ActiveLevel();
+
+// Every kernel evaluates up to 64 lanes and returns a bitmask whose bit i
+// reflects lane i; bits at or above `n` are zero. All levels return
+// identical masks — SIMD only changes cost, never bits.
+
+/// a[i] == b
+uint64_t EqMaskU32(Level level, const uint32_t* a, uint32_t b, size_t n);
+/// a[i] == b[i]
+uint64_t EqMaskU32(Level level, const uint32_t* a, const uint32_t* b,
+                   size_t n);
+
+/// |a[i] - b| <= limit (unsigned absolute difference — length gates
+/// against one shared left record)
+uint64_t AbsDiffLeMaskU32(Level level, const uint32_t* a, uint32_t b,
+                          uint32_t limit, size_t n);
+/// |a[i] - b[i]| <= limit[i] (mixed pairs / per-lane edit budgets)
+uint64_t AbsDiffLeMaskU32(Level level, const uint32_t* a, const uint32_t* b,
+                          const uint32_t* limit, size_t n);
+
+/// popcount(a[i] ^ b) <= limit (char-presence-signature prefilter for
+/// edit-distance lower bounds, strip form)
+uint64_t XorPopcountLeMaskU64(Level level, const uint64_t* a, uint64_t b,
+                              uint32_t limit, size_t n);
+/// popcount(a[i] ^ b[i]) <= limit[i]
+uint64_t XorPopcountLeMaskU64(Level level, const uint64_t* a,
+                              const uint64_t* b, const uint32_t* limit,
+                              size_t n);
+
+}  // namespace mdmatch::util::simd
+
+#endif  // MDMATCH_UTIL_SIMD_H_

@@ -1,0 +1,39 @@
+// Seeded hot-loop-alloc violations: per-iteration container churn in a
+// pretend match-layer hot loop. NOT compiled; see README.md.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdmatch::match {
+
+int EvaluateAll(const std::vector<uint32_t>& rows) {
+  int matched = 0;
+  // Hoisted scratch: the right pattern, not a finding.
+  std::vector<uint32_t> scratch;
+  for (uint32_t row : rows) {
+    std::vector<uint32_t> ids;  // finding: fresh vector every pair
+    std::string key;            // finding: fresh string every pair
+    ids.push_back(row);
+    key += 'x';
+    matched += static_cast<int>(ids.size() + key.size());
+
+    scratch.clear();                 // reuse of hoisted scratch: clean
+    const std::string& alias = key;  // reference: clean
+    std::vector<uint32_t>::size_type n = scratch.size();  // nested name:
+                                                          // clean
+    matched += static_cast<int>(alias.size() + n);
+
+    // mdmatch-lint: allow(hot-loop-alloc) cold slow path, runs once per
+    // flush not per pair
+    std::vector<uint32_t> slow_path(row % 4);
+    matched += static_cast<int>(slow_path.size());
+  }
+  while (matched > 0) {
+    std::string tail;  // finding: fresh string every iteration
+    matched -= static_cast<int>(tail.size()) + 1;
+  }
+  return matched;
+}
+
+}  // namespace mdmatch::match

@@ -120,6 +120,43 @@ TEST(LintFixtures, TsaEscapeNeedsJustification) {
   EXPECT_TRUE(LintFile("src/stream/ok.cc", justified).empty());
 }
 
+TEST(LintFixtures, HotLoopAlloc) {
+  const auto findings =
+      LintFixture("hot_loop_alloc.cc", "src/match/bad.cc");
+  EXPECT_EQ(Checks(findings), (std::set<std::string>{"hot-loop-alloc"}));
+  EXPECT_EQ(findings.size(), 3u) << "ids, key, tail";
+  // Same rules in the sim layer; everywhere else allocation is free.
+  EXPECT_EQ(LintFixture("hot_loop_alloc.cc", "src/sim/bad.cc").size(), 3u);
+  EXPECT_TRUE(LintFixture("hot_loop_alloc.cc", "src/api/bad.cc").empty());
+  EXPECT_TRUE(LintFixture("hot_loop_alloc.cc", "bench/bad.cc").empty());
+}
+
+TEST(LintFixtures, HotLoopAllocSpellings) {
+  // Outside any loop: clean even in scope.
+  EXPECT_TRUE(LintFile("src/match/x.cc",
+                       "void F() { std::vector<int> v; }\n")
+                  .empty());
+  // Inside a loop: flagged, including nested-template spellings.
+  EXPECT_EQ(LintFile("src/match/x.cc",
+                     "void F() {\n"
+                     "  for (int i = 0; i < 3; ++i) {\n"
+                     "    std::vector<std::pair<int, int>> v;\n"
+                     "  }\n"
+                     "}\n")
+                .size(),
+            1u);
+  // References and statics in a loop don't allocate per iteration.
+  EXPECT_TRUE(LintFile("src/match/x.cc",
+                       "void F(std::vector<int>& in) {\n"
+                       "  for (int i = 0; i < 3; ++i) {\n"
+                       "    const std::vector<int>& v = in;\n"
+                       "    static std::string cache;\n"
+                       "    (void)v; (void)cache;\n"
+                       "  }\n"
+                       "}\n")
+                  .empty());
+}
+
 TEST(LintFixtures, CleanFileHasNoFindings) {
   const auto findings = LintFixture("clean.cc", "src/stream/clean.cc");
   EXPECT_TRUE(findings.empty()) << findings.size() << " findings, first: "

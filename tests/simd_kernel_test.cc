@@ -1,0 +1,148 @@
+// SIMD-vs-scalar kernel tests (util/simd): every vector level available on
+// the host must return bit-identical lane masks to the scalar reference,
+// across ragged lane counts, and with bits at or above n forced to zero.
+
+#include "util/simd.h"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mdmatch::util::simd {
+namespace {
+
+std::vector<Level> TestableLevels() {
+  std::vector<Level> levels = {Level::kScalar};
+  const Level hw = DetectLevel();
+  if (hw >= Level::kSse2) levels.push_back(Level::kSse2);
+  if (hw >= Level::kAvx2) levels.push_back(Level::kAvx2);
+  return levels;
+}
+
+// Lane counts covering empty, single, every sub-register remainder, and
+// the full 64-lane chunk.
+const size_t kLaneCounts[] = {0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 63, 64};
+
+TEST(SimdKernelTest, EqMaskU32MatchesScalar) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    alignas(32) uint32_t a[64];
+    alignas(32) uint32_t b[64];
+    const uint32_t needle = static_cast<uint32_t>(rng.Uniform(4));
+    for (int i = 0; i < 64; ++i) {
+      // Small value range so equalities actually occur.
+      a[i] = static_cast<uint32_t>(rng.Uniform(4));
+      b[i] = static_cast<uint32_t>(rng.Uniform(4));
+    }
+    for (size_t n : kLaneCounts) {
+      const uint64_t want_broadcast = EqMaskU32(Level::kScalar, a, needle, n);
+      const uint64_t want_pairwise = EqMaskU32(Level::kScalar, a, b, n);
+      if (n < 64) {
+        EXPECT_EQ(want_broadcast >> n, 0u);
+        EXPECT_EQ(want_pairwise >> n, 0u);
+      }
+      for (Level level : TestableLevels()) {
+        EXPECT_EQ(EqMaskU32(level, a, needle, n), want_broadcast)
+            << LevelName(level) << " n=" << n;
+        EXPECT_EQ(EqMaskU32(level, a, b, n), want_pairwise)
+            << LevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, AbsDiffLeMaskU32MatchesScalar) {
+  Rng rng(202);
+  for (int trial = 0; trial < 50; ++trial) {
+    alignas(32) uint32_t a[64];
+    alignas(32) uint32_t b[64];
+    alignas(32) uint32_t limits[64];
+    const uint32_t pivot = static_cast<uint32_t>(rng.Uniform(40));
+    const uint32_t limit = static_cast<uint32_t>(rng.Uniform(6));
+    for (int i = 0; i < 64; ++i) {
+      a[i] = static_cast<uint32_t>(rng.Uniform(40));
+      b[i] = static_cast<uint32_t>(rng.Uniform(40));
+      limits[i] = static_cast<uint32_t>(rng.Uniform(6));
+    }
+    // The kernels must be exact at the extremes too (lengths near 0 and
+    // UINT32_MAX exercise the unsigned-difference corner).
+    a[0] = 0;
+    a[1] = UINT32_MAX;
+    b[1] = 0;
+    for (size_t n : kLaneCounts) {
+      const uint64_t want_broadcast =
+          AbsDiffLeMaskU32(Level::kScalar, a, pivot, limit, n);
+      const uint64_t want_perlane =
+          AbsDiffLeMaskU32(Level::kScalar, a, b, limits, n);
+      if (n < 64) {
+        EXPECT_EQ(want_broadcast >> n, 0u);
+        EXPECT_EQ(want_perlane >> n, 0u);
+      }
+      for (Level level : TestableLevels()) {
+        EXPECT_EQ(AbsDiffLeMaskU32(level, a, pivot, limit, n), want_broadcast)
+            << LevelName(level) << " n=" << n;
+        EXPECT_EQ(AbsDiffLeMaskU32(level, a, b, limits, n), want_perlane)
+            << LevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, XorPopcountLeMaskU64MatchesScalar) {
+  Rng rng(303);
+  for (int trial = 0; trial < 50; ++trial) {
+    alignas(32) uint64_t a[64];
+    alignas(32) uint64_t b[64];
+    alignas(32) uint32_t limits[64];
+    uint64_t pivot = 0;
+    const uint32_t limit = static_cast<uint32_t>(rng.Uniform(10));
+    for (int i = 0; i < 64; ++i) {
+      a[i] = rng.Uniform(UINT64_MAX);
+      b[i] = a[i];
+      // Flip a few bits so popcounts cluster around the limits.
+      for (uint64_t f = rng.Uniform(8); f > 0; --f) {
+        b[i] ^= uint64_t{1} << rng.Uniform(64);
+      }
+      limits[i] = static_cast<uint32_t>(rng.Uniform(10));
+    }
+    pivot = a[0];
+    a[1] = 0;
+    b[1] = ~uint64_t{0};  // popcount 64: the all-bits corner
+    for (size_t n : kLaneCounts) {
+      const uint64_t want_broadcast =
+          XorPopcountLeMaskU64(Level::kScalar, a, pivot, limit, n);
+      const uint64_t want_perlane =
+          XorPopcountLeMaskU64(Level::kScalar, a, b, limits, n);
+      if (n < 64) {
+        EXPECT_EQ(want_broadcast >> n, 0u);
+        EXPECT_EQ(want_perlane >> n, 0u);
+      }
+      for (Level level : TestableLevels()) {
+        EXPECT_EQ(XorPopcountLeMaskU64(level, a, pivot, limit, n),
+                  want_broadcast)
+            << LevelName(level) << " n=" << n;
+        EXPECT_EQ(XorPopcountLeMaskU64(level, a, b, limits, n), want_perlane)
+            << LevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, DetectLevelHonorsNoSimdEnv) {
+  // The suite runs with and without MDMATCH_NO_SIMD in CI; whichever mode
+  // is active, detection must be internally consistent.
+  const char* env = std::getenv("MDMATCH_NO_SIMD");
+  if (env != nullptr && std::string_view(env) == "1") {
+    EXPECT_EQ(DetectLevel(), Level::kScalar);
+    EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  } else {
+    EXPECT_GE(DetectLevel(), Level::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace mdmatch::util::simd

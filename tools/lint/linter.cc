@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <cstring>
 #include <iterator>
 #include <map>
 #include <set>
@@ -162,6 +163,8 @@ void CheckNakedNew(const Ctx& ctx) {
   if (ctx.path.rfind("src/", 0) != 0) return;  // src/ only
   for (size_t i = 0; i < ctx.lines.size(); ++i) {
     const std::string& line = ctx.lines[i];
+    // `#include <new>` names the header, not the operator.
+    if (line.find("#include") != std::string::npos) continue;
     size_t at = 0;
     if (FindWord(line, "new", 0, &at)) {
       ctx.Report(i + 1, "naked-new",
@@ -402,6 +405,127 @@ void CheckFrozenMutation(const Ctx& ctx) {
   }
 }
 
+// ------------------------------------------------------ hot-loop-alloc
+
+/// Container spellings whose by-value appearance inside a loop body means
+/// a fresh heap allocation every iteration.
+constexpr const char* kHeapContainers[] = {
+    "std::vector", "std::string",        "std::deque",
+    "std::map",    "std::unordered_map", "std::set",
+    "std::unordered_set", "std::list"};
+
+/// Per stripped line: is any enclosing brace frame a for/while/do body?
+/// Tracks a keyword->body handoff (parens of the loop head collapse to
+/// zero before the `{`; a `;` first means a single-statement loop or a
+/// do-while tail, neither of which can hold a declaration).
+std::vector<bool> LoopBodyLines(const std::string& code, size_t num_lines) {
+  std::vector<bool> in_loop(num_lines + 1, false);
+  std::vector<bool> frames;  // brace stack: true = loop body
+  size_t loop_frames = 0;
+  bool pending = false;
+  int pending_parens = 0;
+  size_t line = 0;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (loop_frames > 0 && line < num_lines) in_loop[line] = true;
+    if (c == '\n') {
+      ++line;
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < code.size() && IsIdentChar(code[j])) ++j;
+      if (i == 0 || !IsIdentChar(code[i - 1])) {
+        const size_t len = j - i;
+        if ((len == 3 && code.compare(i, 3, "for") == 0) ||
+            (len == 5 && code.compare(i, 5, "while") == 0) ||
+            (len == 2 && code.compare(i, 2, "do") == 0)) {
+          pending = true;
+          pending_parens = 0;
+        }
+      }
+      i = j - 1;
+      continue;
+    }
+    if (pending) {
+      if (c == '(') {
+        ++pending_parens;
+      } else if (c == ')') {
+        --pending_parens;
+      } else if (c == ';' && pending_parens == 0) {
+        pending = false;
+      }
+    }
+    if (c == '{') {
+      const bool is_loop_body = pending && pending_parens == 0;
+      frames.push_back(is_loop_body);
+      if (is_loop_body) {
+        ++loop_frames;
+        pending = false;
+      }
+    } else if (c == '}') {
+      if (!frames.empty()) {
+        if (frames.back()) --loop_frames;
+        frames.pop_back();
+      }
+    }
+  }
+  return in_loop;
+}
+
+void CheckHotLoopAlloc(const Ctx& ctx) {
+  // Scope: the per-pair evaluation layers, where a loop iteration is a
+  // candidate pair (or an atom over one) and a malloc per iteration is a
+  // measured throughput bug. Everything else allocates at will.
+  if (ctx.path.rfind("src/match/", 0) != 0 &&
+      ctx.path.rfind("src/sim/", 0) != 0) {
+    return;
+  }
+  const std::vector<bool> in_loop =
+      LoopBodyLines(ctx.code, ctx.lines.size());
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    if (!in_loop[i]) continue;
+    const std::string& line = ctx.lines[i];
+    for (const char* container : kHeapContainers) {
+      bool flagged = false;
+      size_t at = 0;
+      for (size_t from = 0; !flagged && FindWord(line, container, from, &at);
+           from = at + 1) {
+        // Skip past a template argument list to the declarator position.
+        size_t end = at + std::strlen(container);
+        if (end < line.size() && line[end] == '<') {
+          int depth = 1;
+          ++end;
+          while (end < line.size() && depth > 0) {
+            if (line[end] == '<') ++depth;
+            if (line[end] == '>') --depth;
+            ++end;
+          }
+        }
+        while (end < line.size() && line[end] == ' ') ++end;
+        // References, pointers, nested names (iterators, statics) and
+        // template-argument / parameter positions don't allocate here.
+        if (end < line.size() &&
+            (line[end] == '&' || line[end] == '*' || line[end] == ':' ||
+             line[end] == '>' || line[end] == ',' || line[end] == ')')) {
+          continue;
+        }
+        // A function-local static allocates once, not per iteration.
+        size_t static_at = 0;
+        if (FindWord(line, "static", 0, &static_at) && static_at < at) {
+          continue;
+        }
+        ctx.Report(i + 1, "hot-loop-alloc",
+                   std::string(container) +
+                       " constructed inside a hot loop: hoist it out of "
+                       "the loop or carve from util::Arena");
+        flagged = true;
+      }
+      if (flagged) break;
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- API
@@ -524,6 +648,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckTsaEscape(ctx, raw_lines);
   CheckLayering(ctx, raw_lines);
   CheckFrozenMutation(ctx);
+  CheckHotLoopAlloc(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return a.line != b.line ? a.line < b.line : a.check < b.check;

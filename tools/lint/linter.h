@@ -27,6 +27,12 @@
 //                    relocated candidate/ types are exempt).
 //   tsa-escape       NO_THREAD_SAFETY_ANALYSIS carries a justification
 //                    comment on the same or a preceding line.
+//   hot-loop-alloc   No per-iteration container construction
+//                    (std::vector, std::string, maps/sets) inside loop
+//                    bodies in src/match/ and src/sim/ — the per-pair
+//                    layers hoist scratch or carve from util::Arena.
+//                    References, pointers, nested names and statics are
+//                    exempt; deliberate cold paths carry an allow marker.
 //
 // A finding is suppressed by a marker comment on its line or within the
 // two lines above it:

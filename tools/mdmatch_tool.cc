@@ -616,6 +616,9 @@ int CmdStream(const Args& args) {
                 report.match_seconds, report.cluster_seconds);
     std::printf("  staging: %zu deltas coalesced, queue depth %zu\n",
                 report.coalesced_deltas, report.queue_depth);
+    std::printf("  batch: %zu strips, %zu simd lanes, %zu arena bytes\n",
+                report.strips, report.simd_lanes_evaluated,
+                report.arena_bytes);
     if (report.cache_lookups > 0) {
       std::printf("  cache: %zu lookups, %zu hits (%.1f%%), %zu evictions "
                   "(%.1f%%)\n",
