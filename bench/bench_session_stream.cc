@@ -87,8 +87,8 @@ int main() {
               "standing) ==\n",
               gen.num_base, base_l, base_r);
   TableWriter table({"delta", "records", "merge (s)", "scan (s)", "eval (s)",
-                     "rerank (s)", "incremental (s)", "full rerun (s)",
-                     "speedup", "matches"});
+                     "rerank (s)", "publish (s)", "incremental (s)",
+                     "full rerun (s)", "speedup", "matches"});
 
   double total_incremental = 0;
   double total_full = 0;
@@ -96,6 +96,8 @@ int main() {
   double total_scan = 0;
   double total_eval = 0;
   double total_rerank = 0;
+  double total_publish = 0;
+  size_t total_publish_bytes = 0;
   std::vector<std::string> delta_json;
   for (size_t d = 0; d < kDeltas; ++d) {
     const size_t lo_l = base_l + d * (nl - base_l) / kDeltas;
@@ -150,12 +152,15 @@ int main() {
     total_scan += report.scan_seconds;
     total_eval += report.eval_seconds;
     total_rerank += report.rerank_seconds;
+    total_publish += report.publish_seconds;
+    total_publish_bytes += report.publish_bytes_copied;
     const size_t delta_records = (hi_l - lo_l) + (hi_r - lo_r);
     table.AddRow({std::to_string(d + 1), std::to_string(delta_records),
                   TableWriter::Num(report.merge_seconds, 4),
                   TableWriter::Num(report.scan_seconds, 4),
                   TableWriter::Num(report.eval_seconds, 4),
                   TableWriter::Num(report.rerank_seconds, 4),
+                  TableWriter::Num(report.publish_seconds, 4),
                   TableWriter::Num(inc_seconds, 4),
                   TableWriter::Num(full_seconds, 4),
                   TableWriter::Num(full_seconds / std::max(1e-9, inc_seconds),
@@ -164,12 +169,14 @@ int main() {
     delta_json.push_back(StringPrintf(
         "    {\"delta\": %zu, \"records\": %zu, \"merge_seconds\": %.6f, "
         "\"scan_seconds\": %.6f, \"eval_seconds\": %.6f, "
-        "\"rerank_seconds\": %.6f, \"index_seconds\": %.6f, "
+        "\"rerank_seconds\": %.6f, \"publish_seconds\": %.6f, "
+        "\"publish_bytes_copied\": %zu, \"index_seconds\": %.6f, "
         "\"match_seconds\": %.6f, \"cluster_seconds\": %.6f, "
         "\"pairs_evaluated\": %zu, \"incremental_seconds\": %.6f, "
         "\"full_rerun_seconds\": %.6f, \"matches\": %zu}",
         d + 1, delta_records, report.merge_seconds, report.scan_seconds,
-        report.eval_seconds, report.rerank_seconds, report.index_seconds,
+        report.eval_seconds, report.rerank_seconds, report.publish_seconds,
+        report.publish_bytes_copied, report.index_seconds,
         report.match_seconds, report.cluster_seconds, report.pairs_evaluated,
         inc_seconds, full_seconds, report.total_matches));
   }
@@ -179,10 +186,11 @@ int main() {
               bulk_seconds, total_incremental, total_full,
               total_full / std::max(1e-9, total_incremental));
   std::printf("flush phases: merge %.4fs, scan %.4fs, eval %.4fs, rerank "
-              "%.4fs (bookkeeping %.4fs)\n",
+              "%.4fs, publish %.4fs / %zu bytes copied (bookkeeping %.4fs)\n",
               total_merge, total_scan, total_eval, total_rerank,
+              total_publish, total_publish_bytes,
               total_incremental - total_merge - total_scan - total_eval -
-                  total_rerank);
+                  total_rerank - total_publish);
 
   std::ofstream json("BENCH_session.json");
   json << "{\n  \"bench\": \"session_stream\",\n";
@@ -198,8 +206,11 @@ int main() {
   json << StringPrintf("  \"total_merge_seconds\": %.6f,\n"
                        "  \"total_scan_seconds\": %.6f,\n"
                        "  \"total_eval_seconds\": %.6f,\n"
-                       "  \"total_rerank_seconds\": %.6f,\n",
-                       total_merge, total_scan, total_eval, total_rerank);
+                       "  \"total_rerank_seconds\": %.6f,\n"
+                       "  \"total_publish_seconds\": %.6f,\n"
+                       "  \"total_publish_bytes_copied\": %zu,\n",
+                       total_merge, total_scan, total_eval, total_rerank,
+                       total_publish, total_publish_bytes);
   json << StringPrintf("  \"total_incremental_seconds\": %.6f,\n"
                        "  \"total_full_rerun_seconds\": %.6f,\n"
                        "  \"speedup\": %.2f\n}\n",

@@ -52,11 +52,21 @@ uint64_t FingerprintDelta(
 
 /// The view's raw match pairs translated from (left seq, right seq) to
 /// corpus positions — the addressing Matches()/Clusters() report in.
-match::MatchResult TranslatedMatches(const SessionGeneration& gen) {
-  match::MatchResult out;
-  for (const auto& [l, r] : gen.raw_matches.pairs()) {
-    out.Add(gen.pos_by_seq[0][l], gen.pos_by_seq[1][r]);
+/// Corpus enumeration is seq-ascending, so position == walk index.
+match::MatchResult TranslatedMatches(const SharedMatchState& state) {
+  std::vector<uint32_t> pos[2];
+  for (int side = 0; side < 2; ++side) {
+    pos[side].assign(state.next_seq[side], UINT32_MAX);
+    uint32_t index = 0;
+    state.corpus[side].ForEach(
+        [&pos, side, &index](uint64_t seq, const SessionRecordPtr&) {
+          pos[side][seq] = index++;
+        });
   }
+  match::MatchResult out;
+  state.matches.ForEach([&pos, &out](uint32_t l, uint32_t r) {
+    out.Add(pos[0][l], pos[1][r]);
+  });
   return out;
 }
 
@@ -67,38 +77,41 @@ match::MatchResult TranslatedMatches(const SessionGeneration& gen) {
 Instance SessionView::Corpus() const {
   Relation left(plan_->pair().left());
   Relation right(plan_->pair().right());
-  for (const SessionRecordPtr& record : gen_->corpus[0]) {
-    (void)left.AppendTuple(record->tuple);
-  }
-  for (const SessionRecordPtr& record : gen_->corpus[1]) {
-    (void)right.AppendTuple(record->tuple);
-  }
+  gen_->state->corpus[0].ForEach(
+      [&left](uint64_t, const SessionRecordPtr& record) {
+        (void)left.AppendTuple(record->tuple);
+      });
+  gen_->state->corpus[1].ForEach(
+      [&right](uint64_t, const SessionRecordPtr& record) {
+        (void)right.AppendTuple(record->tuple);
+      });
   return Instance(std::move(left), std::move(right));
 }
 
 match::MatchResult SessionView::Matches() const {
-  match::MatchResult raw = TranslatedMatches(*gen_);
+  match::MatchResult raw = TranslatedMatches(*gen_->state);
   if (!plan_->options().transitive_closure) return raw;
-  return match::ClusterPairs(raw, gen_->corpus[0].size(),
-                             gen_->corpus[1].size())
+  return match::ClusterPairs(raw, gen_->state->corpus[0].size(),
+                             gen_->state->corpus[1].size())
       .ImpliedMatches();
 }
 
 match::Clustering SessionView::Clusters() const {
-  return match::ClusterPairs(TranslatedMatches(*gen_),
-                             gen_->corpus[0].size(), gen_->corpus[1].size());
+  return match::ClusterPairs(TranslatedMatches(*gen_->state),
+                             gen_->state->corpus[0].size(),
+                             gen_->state->corpus[1].size());
 }
 
 Result<uint64_t> SessionView::ClusterOf(int side, TupleId id) const {
   if (side != 0 && side != 1) {
     return Status::InvalidArgument("side must be 0 (left) or 1 (right)");
   }
-  auto found = gen_->pos_by_id[side].find(id);
-  if (found == gen_->pos_by_id[side].end()) {
+  const IdEntry* entry = gen_->state->ids[side].Get(id);
+  if (entry == nullptr) {
     return Status::NotFound("no record with id " + std::to_string(id) +
                             " on side " + std::to_string(side));
   }
-  return gen_->cluster_handle[side][found->second];
+  return entry->handle;
 }
 
 Result<bool> SessionView::SameCluster(int side_a, TupleId id_a, int side_b,
@@ -134,8 +147,12 @@ MatchSession::MatchSession(PlanPtr plan, SessionOptions options)
   indexes_ = IndexSnapshot::Empty(
       windowing ? plan_->sort_keys().size() : 0, !windowing);
   // Generation 0: the empty corpus, queryable from the first instant.
+  // Every session numbers its initial empty state version 0 — what makes
+  // the first flushes of catalog siblings share one transition.
+  auto state = std::make_shared<SharedMatchState>();
+  state->indexes = indexes_;
   auto gen = std::make_shared<SessionGeneration>();
-  gen->indexes = indexes_;
+  gen->state = std::move(state);
   util::MutexLock publish_lock(publish_mu_);
   published_ = std::move(gen);
 }
@@ -196,7 +213,13 @@ Status MatchSession::Upsert(int side, std::vector<Tuple> tuples) {
 Status MatchSession::Remove(int side, TupleId id) {
   MDMATCH_RETURN_NOT_OK(CheckSide(side));
   util::MutexLock lock(mu_);
-  if (pos_by_id_[side].count(id) == 0 && pending_.count({side, id}) == 0) {
+  // An adopted (not yet materialized) session answers the membership
+  // check from the published state — its build-side tries are empty.
+  const bool known =
+      build_stale_
+          ? CurrentGeneration()->state->ids[side].Get(id) != nullptr
+          : ids_[side].Get(id) != nullptr;
+  if (!known && pending_.count({side, id}) == 0) {
     return Status::NotFound("no record with id " + std::to_string(id) +
                             " on side " + std::to_string(side));
   }
@@ -208,52 +231,193 @@ Status MatchSession::Remove(int side, TupleId id) {
 }
 
 void MatchSession::RebuildPositionsLocked(int side) {
-  pos_by_id_[side].clear();
   pos_by_seq_[side].assign(next_seq_[side], UINT32_MAX);
   for (uint32_t i = 0; i < corpus_[side].size(); ++i) {
-    pos_by_id_[side][corpus_[side][i]->tuple.id()] = i;
     pos_by_seq_[side][corpus_[side][i]->seq] = i;
   }
 }
 
 void MatchSession::RebuildClustersLocked() {
-  uf_ = match::UnionFind();
+  // A scratch union-find over the surviving pairs; only *changed* handles
+  // are written back into ids_ (trie path copies), so a retirement wave
+  // that splits few clusters stays cheap on the persistent side.
+  match::UnionFind uf;
+  std::vector<size_t> node[2];
   for (int side = 0; side < 2; ++side) {
-    node_by_seq_[side].assign(next_seq_[side], SIZE_MAX);
+    node[side].assign(next_seq_[side], SIZE_MAX);
+    handle_by_seq_[side].resize(next_seq_[side], 0);
     for (const SessionRecordPtr& record : corpus_[side]) {
-      node_by_seq_[side][record->seq] = uf_.Add();
+      node[side][record->seq] = uf.Add();
     }
   }
   for (const auto& [l, r] : raw_matches_.pairs()) {
-    uf_.Union(node_by_seq_[0][l], node_by_seq_[1][r]);
+    uf.Union(node[0][l], node[1][r]);
+  }
+  // The canonical handle of a component is the minimum packed (side, seq)
+  // over its members — history-independent, so every session publishing
+  // this corpus content publishes identical handles.
+  std::vector<uint64_t> min_of(uf.size(), UINT64_MAX);
+  std::vector<uint32_t> members_of(uf.size(), 0);
+  for (int side = 0; side < 2; ++side) {
+    for (const SessionRecordPtr& record : corpus_[side]) {
+      const size_t root = uf.Find(node[side][record->seq]);
+      min_of[root] = std::min(min_of[root], Handle(side, record->seq));
+      ++members_of[root];
+    }
+  }
+  cluster_members_.clear();
+  for (int side = 0; side < 2; ++side) {
+    for (const SessionRecordPtr& record : corpus_[side]) {
+      const size_t root = uf.Find(node[side][record->seq]);
+      const uint64_t handle = min_of[root];
+      if (handle_by_seq_[side][record->seq] != handle) {
+        handle_by_seq_[side][record->seq] = handle;
+        ids_[side].GetMutable(record->tuple.id())->handle = handle;
+      }
+      if (members_of[root] >= 2) {
+        cluster_members_[handle].push_back(
+            {Handle(side, record->seq), record->tuple.id()});
+      }
+    }
   }
   clusters_stale_ = false;
 }
 
-void MatchSession::PublishLocked(IngestReport* report) {
+void MatchSession::RepairClustersLocked(
+    const std::vector<std::pair<uint32_t, uint32_t>>& dropped) {
+  // Dropping edges can only split the clusters that held them: recompute
+  // connectivity over just those clusters' members and surviving pairs —
+  // O(affected members + standing pairs) — instead of rebuilding the
+  // whole union-find. Handles everywhere else cannot change.
+  std::unordered_set<uint64_t> affected;
+  for (const auto& [l, r] : dropped) {
+    // Both endpoints of a standing pair carry the same handle.
+    affected.insert(handle_by_seq_[0][l]);
+  }
+  match::UnionFind uf;
+  std::unordered_map<uint64_t, size_t> node_of;  // packed (side, seq) → node
+  std::vector<ClusterMember> members;
+  for (const uint64_t handle : affected) {
+    auto found = cluster_members_.find(handle);
+    if (found == cluster_members_.end()) continue;  // already a singleton
+    for (const ClusterMember& member : found->second) {
+      node_of.emplace(member.packed, uf.Add());
+      members.push_back(member);
+    }
+    cluster_members_.erase(found);
+  }
+  for (const auto& [l, r] : raw_matches_.pairs()) {
+    if (affected.count(handle_by_seq_[0][l]) != 0) {
+      uf.Union(node_of[Handle(0, l)], node_of[Handle(1, r)]);
+    }
+  }
+  // Per surviving component: the canonical minimum-packed handle, written
+  // back only where it changed, and the member list re-registered when
+  // the component still has two or more records.
+  std::unordered_map<size_t, std::vector<ClusterMember>> groups;
+  for (const ClusterMember& member : members) {
+    groups[uf.Find(node_of[member.packed])].push_back(member);
+  }
+  for (auto& [root, group] : groups) {
+    uint64_t handle = UINT64_MAX;
+    for (const ClusterMember& member : group) {
+      handle = std::min(handle, member.packed);
+    }
+    for (const ClusterMember& member : group) {
+      const int side = static_cast<int>(member.packed >> 32);
+      const uint32_t seq = static_cast<uint32_t>(member.packed);
+      if (handle_by_seq_[side][seq] != handle) {
+        handle_by_seq_[side][seq] = handle;
+        ids_[side].GetMutable(member.id)->handle = handle;
+      }
+    }
+    if (group.size() >= 2) cluster_members_[handle] = std::move(group);
+  }
+}
+
+void MatchSession::MergeHandlesLocked(uint32_t l, uint32_t r) {
+  const uint64_t hl = handle_by_seq_[0][l];
+  const uint64_t hr = handle_by_seq_[1][r];
+  if (hl == hr) return;  // already one cluster
+  const uint64_t winner = std::min(hl, hr);
+  const uint64_t loser = std::max(hl, hr);
+  std::vector<ClusterMember>& members = cluster_members_[winner];
+  if (members.empty()) {
+    // The winner was a singleton: its handle is its own packed (side,
+    // seq), and every cluster member is live, so resolve its id through
+    // the position tables.
+    const int side = static_cast<int>(winner >> 32);
+    const uint32_t seq = static_cast<uint32_t>(winner);
+    members.push_back(
+        {winner, corpus_[side][pos_by_seq_[side][seq]]->tuple.id()});
+  }
+  // Alias-bound like every other same-thread lambda under mu_ (the body
+  // is outside the analysis).
+  auto& handle_by_seq = handle_by_seq_;
+  auto& ids = ids_;
+  auto rewrite = [&handle_by_seq, &ids, winner](const ClusterMember& member) {
+    const int side = static_cast<int>(member.packed >> 32);
+    const uint32_t seq = static_cast<uint32_t>(member.packed);
+    handle_by_seq[side][seq] = winner;
+    ids[side].GetMutable(member.id)->handle = winner;
+  };
+  auto found = cluster_members_.find(loser);
+  if (found == cluster_members_.end()) {
+    // The loser was a singleton.
+    const ClusterMember member{
+        loser,
+        corpus_[static_cast<int>(loser >> 32)]
+               [pos_by_seq_[static_cast<int>(loser >> 32)]
+                           [static_cast<uint32_t>(loser)]]
+                   ->tuple.id()};
+    rewrite(member);
+    members.push_back(member);
+  } else {
+    for (const ClusterMember& member : found->second) {
+      rewrite(member);
+    }
+    members.insert(members.end(), found->second.begin(),
+                   found->second.end());
+    cluster_members_.erase(found);
+  }
+}
+
+size_t MatchSession::PersistentAllocBytesLocked() const {
+  return corpus_trie_[0].alloc_bytes() + corpus_trie_[1].alloc_bytes() +
+         ids_[0].alloc_bytes() + ids_[1].alloc_bytes() +
+         pairs_.alloc_bytes();
+}
+
+SharedMatchStatePtr MatchSession::PublishLocked(uint64_t version,
+                                                size_t alloc_base,
+                                                IngestReport* report) {
   ScopedTimer timer(&report->publish_seconds);
+  auto state = std::make_shared<SharedMatchState>();
+  state->version = version;
+  state->parent_version = state_version_;
+  state->indexes = indexes_;
+  state->matches = pairs_.Freeze();
+  pairs_.TakeDelta(&state->added_pairs, &state->retired_pairs);
+  for (int side = 0; side < 2; ++side) {
+    state->corpus[side] = corpus_trie_[side].Freeze();
+    state->ids[side] = ids_[side].Freeze();
+    state->next_seq[side] = next_seq_[side];
+  }
+  state->upserted = report->upserted;
+  state->removed = report->removed;
+  state->matches_added = report->matches_added;
+  state->matches_dropped = report->matches_dropped;
+  state_version_ = version;
+  // What this flush path-copied into the persistent structures — the
+  // whole structural footprint of the publish, where the previous design
+  // copied the full maps, pair set and handle arrays.
+  report->publish_bytes_copied +=
+      PersistentAllocBytesLocked() - alloc_base;
+
   auto gen = std::make_shared<SessionGeneration>();
   gen->generation = next_generation_++;
   gen->parent_generation = gen->generation - 1;
-  gen->added_pairs = std::move(delta_added_scratch_);
-  gen->retired_pairs = std::move(delta_retired_scratch_);
-  delta_added_scratch_.clear();
-  delta_retired_scratch_.clear();
-  gen->indexes = indexes_;
-  gen->raw_matches = raw_matches_;
-  // Resolve every node's representative once: queries then answer from
-  // plain array reads, with no path-compression writes to race on.
-  const match::FrozenUnionFind frozen(uf_);
-  for (int side = 0; side < 2; ++side) {
-    gen->corpus[side] = corpus_[side];
-    gen->pos_by_id[side] = pos_by_id_[side];
-    gen->pos_by_seq[side] = pos_by_seq_[side];
-    gen->cluster_handle[side].resize(corpus_[side].size());
-    for (size_t i = 0; i < corpus_[side].size(); ++i) {
-      gen->cluster_handle[side][i] = static_cast<uint64_t>(
-          frozen.Find(node_by_seq_[side][corpus_[side][i]->seq]));
-    }
-  }
+  gen->state = state;
   report->generation = gen->generation;
   {
     // The only writer-side touch of the publication latch: one pointer
@@ -264,6 +428,108 @@ void MatchSession::PublishLocked(IngestReport* report) {
     retired.swap(published_);
     published_ = std::move(gen);
   }
+  return state;
+}
+
+void MatchSession::AdoptLocked(SharedMatchStatePtr state,
+                               IngestReport* report) {
+  ScopedTimer timer(&report->publish_seconds);
+  // The sibling's flush consumed a delta identical to ours (same base
+  // version, same fingerprint), so our staging map is subsumed by the
+  // adopted state.
+  report->coalesced_deltas = pending_coalesced_;
+  pending_coalesced_ = 0;
+  pending_.clear();
+  report->index_reused = true;
+  report->match_reused = true;
+  report->upserted = state->upserted;
+  report->removed = state->removed;
+  report->matches_added = state->matches_added;
+  report->matches_dropped = state->matches_dropped;
+  indexes_ = state->indexes;
+  next_seq_[0] = state->next_seq[0];
+  next_seq_[1] = state->next_seq[1];
+  state_version_ = state->version;
+  // Drop the build-side containers: while this session keeps adopting,
+  // its per-replica match-state memory is O(1) — everything queryable
+  // lives in the shared state. The next self-built flush re-materializes
+  // them (MaterializeLocked).
+  for (int side = 0; side < 2; ++side) {
+    corpus_[side].clear();
+    corpus_[side].shrink_to_fit();
+    pos_by_seq_[side].clear();
+    pos_by_seq_[side].shrink_to_fit();
+    handle_by_seq_[side].clear();
+    handle_by_seq_[side].shrink_to_fit();
+    corpus_trie_[side] = util::PersistentTrie<SessionRecordPtr>();
+    ids_[side] = util::PersistentTrie<IdEntry>();
+  }
+  raw_matches_ = match::PairSet();
+  pairs_ = match::PersistentPairSet();
+  cluster_members_.clear();
+  clusters_stale_ = false;
+  build_stale_ = true;
+
+  auto gen = std::make_shared<SessionGeneration>();
+  gen->generation = next_generation_++;
+  gen->parent_generation = gen->generation - 1;
+  gen->state = std::move(state);
+  report->generation = gen->generation;
+  {
+    SessionGenerationPtr retired;
+    util::MutexLock publish_lock(publish_mu_);
+    retired.swap(published_);
+    published_ = std::move(gen);
+  }
+}
+
+void MatchSession::MaterializeLocked() {
+  const SharedMatchStatePtr state = CurrentGeneration()->state;
+  for (int side = 0; side < 2; ++side) {
+    next_seq_[side] = state->next_seq[side];
+    corpus_trie_[side] =
+        util::PersistentTrie<SessionRecordPtr>::FromFrozen(
+            state->corpus[side]);
+    ids_[side] = util::PersistentTrie<IdEntry>::FromFrozen(state->ids[side]);
+    corpus_[side].clear();
+    corpus_[side].reserve(state->corpus[side].size());
+    pos_by_seq_[side].assign(next_seq_[side], UINT32_MAX);
+    handle_by_seq_[side].assign(next_seq_[side], 0);
+    auto& corpus = corpus_[side];
+    auto& pos_by_seq = pos_by_seq_[side];
+    state->corpus[side].ForEach(
+        [&corpus, &pos_by_seq](uint64_t seq, const SessionRecordPtr& rec) {
+          pos_by_seq[seq] = static_cast<uint32_t>(corpus.size());
+          corpus.push_back(rec);
+        });
+  }
+  // Handles and cluster member lists from the published id tries.
+  std::unordered_map<uint64_t, std::vector<ClusterMember>> by_handle;
+  for (int side = 0; side < 2; ++side) {
+    auto& handle_by_seq = handle_by_seq_[side];
+    state->ids[side].ForEach(
+        [&handle_by_seq, &by_handle, side](uint64_t id,
+                                           const IdEntry& entry) {
+          handle_by_seq[entry.seq] = entry.handle;
+          by_handle[entry.handle].push_back(
+              {Handle(side, entry.seq), static_cast<TupleId>(id)});
+        });
+  }
+  cluster_members_.clear();
+  for (auto& [handle, members] : by_handle) {
+    if (members.size() >= 2) cluster_members_[handle] = std::move(members);
+  }
+  // Standing pairs: the hash engine from a key-ordered walk, the
+  // persistent set by adopting the frozen trie (journal starts empty).
+  raw_matches_ = match::PairSet();
+  auto& raw_matches = raw_matches_;
+  state->matches.ForEach([&raw_matches](uint32_t l, uint32_t r) {
+    raw_matches.Add(l, r);
+  });
+  pairs_ = match::PersistentPairSet::FromFrozen(state->matches);
+  indexes_ = state->indexes;
+  clusters_stale_ = false;
+  build_stale_ = false;
 }
 
 Result<IngestReport> MatchSession::Flush() {
@@ -278,7 +544,7 @@ Result<IngestReport> MatchSession::Flush() {
   auto& corpus = corpus_;
   auto& pos_by_seq = pos_by_seq_;
   auto& raw_matches = raw_matches_;
-  auto& retired_pairs = delta_retired_scratch_;
+  auto& ppairs = pairs_;
   auto& indexes = indexes_;
   const MatchPlan& plan = *plan_;
   const bool windowing =
@@ -291,12 +557,14 @@ Result<IngestReport> MatchSession::Flush() {
   // Nothing staged: report the standing state without touching the
   // snapshot chain or publishing. (Advancing a version for a no-op would
   // desynchronize this session from catalog siblings and churn the
-  // transition memo.)
+  // transition memo.) Answered from the published state so it also holds
+  // for an adopted session whose build side is dropped.
   if (pending_.empty()) {
-    report.corpus_left = corpus_[0].size();
-    report.corpus_right = corpus_[1].size();
-    report.total_matches = raw_matches_.size();
-    report.generation = next_generation_ - 1;
+    const SessionGenerationPtr current = CurrentGeneration();
+    report.corpus_left = current->state->corpus[0].size();
+    report.corpus_right = current->state->corpus[1].size();
+    report.total_matches = current->state->matches.size();
+    report.generation = current->generation;
     return report;
   }
 
@@ -304,11 +572,38 @@ Result<IngestReport> MatchSession::Flush() {
   // delta's content; fingerprint it before the staging map is consumed.
   const uint64_t delta_fp =
       catalog_entry_ != nullptr ? FingerprintDelta(pending_) : 0;
+  const uint64_t base_state_version = state_version_;
+
+  // The catalog match store first: when a sibling session already flushed
+  // this exact transition (same base version, same delta fingerprint),
+  // adopt its whole published state — no candidate generation, no
+  // evaluation, no clustering; one pointer publish. Otherwise this
+  // session becomes the builder for the transition (granted a shared
+  // state version) and MUST publish to the store when done.
+  uint64_t state_version = 0;
+  if (catalog_entry_ != nullptr) {
+    candidate::IndexCatalog::MatchStateGrant grant =
+        catalog_entry_->BeginMatchState(base_state_version, delta_fp);
+    if (grant.adopted != nullptr) {
+      SharedMatchStatePtr adopted =
+          std::static_pointer_cast<const SharedMatchState>(grant.adopted);
+      report.corpus_left = adopted->corpus[0].size();
+      report.corpus_right = adopted->corpus[1].size();
+      report.total_matches = adopted->matches.size();
+      AdoptLocked(std::move(adopted), &report);
+      return report;
+    }
+    state_version = grant.build_version;
+  } else {
+    state_version = next_state_version_++;
+  }
+  // A session that has been adopting shared states has no build-side
+  // containers; rebuild them from the published state before building.
+  if (build_stale_) MaterializeLocked();
+  const size_t alloc_base = PersistentAllocBytesLocked();
 
   report.coalesced_deltas = pending_coalesced_;
   pending_coalesced_ = 0;
-  delta_added_scratch_.clear();
-  delta_retired_scratch_.clear();
 
   // --- resolve the staged delta and update the persistent indexes ---
   // `inserted` covers new records and updated ones (an update re-enters
@@ -343,24 +638,30 @@ Result<IngestReport> MatchSession::Flush() {
 
     for (auto& [key, op] : pending_) {
       const auto [side, id] = key;
-      auto found = pos_by_id_[side].find(id);
+      const IdEntry* entry = ids_[side].Get(id);
       if (!op.has_value()) {
-        if (found == pos_by_id_[side].end()) continue;  // staged-only record
-        const Record& record = *corpus_[side][found->second];
+        if (entry == nullptr) continue;  // staged-only record
+        const uint32_t pos = pos_by_seq_[side][entry->seq];
+        const Record& record = *corpus_[side][pos];
         index_out(record, side, /*insert=*/false);
         retired.insert(Handle(side, record.seq));
-        removal_positions.emplace_back(side, found->second);
+        removal_positions.emplace_back(side, pos);
+        corpus_trie_[side].Erase(record.seq);
+        ids_[side].Erase(id);
         ++report.removed;
         continue;
       }
       ++report.upserted;
-      if (found != pos_by_id_[side].end()) {
+      if (entry != nullptr) {
         // Update in place: same seq (the corpus-order slot is kept), old
         // keys leave the indexes, new keys enter, standing matches retire
         // for re-evaluation against the new values. The old record object
         // stays untouched — published generations may still reference it;
-        // the slot gets a freshly derived record instead.
-        const Record& old = *corpus_[side][found->second];
+        // the slot gets a freshly derived record instead. The id entry
+        // (seq, handle) is unchanged; the handle resolves in the rebuild
+        // the retirement forces.
+        const uint32_t pos = pos_by_seq_[side][entry->seq];
+        const Record& old = *corpus_[side][pos];
         index_out(old, side, /*insert=*/false);
         retired.insert(Handle(side, old.seq));
         auto record = std::make_shared<Record>();
@@ -370,7 +671,8 @@ Result<IngestReport> MatchSession::Flush() {
         RenderDerived(record.get(), side);
         index_out(*record, side, /*insert=*/true);
         inserted.emplace_back(side, record->seq);
-        corpus_[side][found->second] = std::move(record);
+        corpus_trie_[side].Set(record->seq, record);
+        corpus_[side][pos] = std::move(record);
       } else {
         auto record = std::make_shared<Record>();
         record->seq = next_seq_[side]++;
@@ -378,8 +680,10 @@ Result<IngestReport> MatchSession::Flush() {
         record->tuple = std::move(*op);
         RenderDerived(record.get(), side);
         inserted.emplace_back(side, record->seq);
-        node_by_seq_[side].resize(next_seq_[side], SIZE_MAX);
-        node_by_seq_[side][record->seq] = uf_.Add();
+        handle_by_seq_[side].resize(next_seq_[side], 0);
+        handle_by_seq_[side][record->seq] = Handle(side, record->seq);
+        ids_[side].Set(id, IdEntry{record->seq, Handle(side, record->seq)});
+        corpus_trie_[side].Set(record->seq, record);
         index_out(*record, side, /*insert=*/true);
         corpus_[side].push_back(std::move(record));
       }
@@ -402,7 +706,6 @@ Result<IngestReport> MatchSession::Flush() {
         pos_by_seq_[side].resize(next_seq_[side], UINT32_MAX);
         for (uint32_t i = static_cast<uint32_t>(base_size[side]);
              i < corpus_[side].size(); ++i) {
-          pos_by_id_[side][corpus_[side][i]->tuple.id()] = i;
           pos_by_seq_[side][corpus_[side][i]->seq] = i;
         }
       }
@@ -413,7 +716,7 @@ Result<IngestReport> MatchSession::Flush() {
           [&](uint32_t l, uint32_t r) {
             const bool drop = retired.count(Handle(0, l)) > 0 ||
                               retired.count(Handle(1, r)) > 0;
-            if (drop) retired_pairs.emplace_back(l, r);
+            if (drop) ppairs.Erase(l, r);
             return drop;
           });
       clusters_stale_ = true;
@@ -587,6 +890,7 @@ Result<IngestReport> MatchSession::Flush() {
       const auto& widx = indexes_->window_passes();
       const size_t n = widx.empty() ? 0 : widx[0].size();
       size_t drifted = 0;
+      std::vector<std::pair<uint32_t, uint32_t>> dropped;
       // Two exact strategies, chosen by cost. Per-pair rank queries on
       // the treap cost a logarithmic descent of key comparisons per pair
       // per pass — fine while standing matches are few. Past that, one
@@ -601,8 +905,12 @@ Result<IngestReport> MatchSession::Flush() {
           raw_matches_.size() * 8 >= n &&
           static_cast<size_t>(next_seq_[0]) + next_seq_[1] <= 4 * n;
       if (bulk) {
-        // rank_of[side][seq * passes + p] = rank in pass p.
-        std::vector<uint32_t> rank_of[2];
+        // rank_of[side][seq * passes + p] = rank in pass p. The scratch
+        // persists across flushes: every live record appears in the
+        // full-index walks below, so each flush overwrites every entry
+        // it can later read (stale slots belong to dead seqs, which no
+        // standing pair references).
+        auto& rank_of = rank_scratch_;
         rank_of[0].resize(static_cast<size_t>(next_seq_[0]) * passes);
         rank_of[1].resize(static_cast<size_t>(next_seq_[1]) * passes);
         std::vector<const IndexedEntry*> span;
@@ -624,7 +932,8 @@ Result<IngestReport> MatchSession::Flush() {
                     pl[p] > pr[p] ? pl[p] - pr[p] : pr[p] - pl[p];
                 if (dist <= window - 1) return false;  // still a candidate
               }
-              retired_pairs.emplace_back(l, r);
+              ppairs.Erase(l, r);
+              dropped.emplace_back(l, r);
               return true;
             });
       } else {
@@ -640,49 +949,46 @@ Result<IngestReport> MatchSession::Flush() {
                 const size_t dist = pl > pr ? pl - pr : pr - pl;
                 if (dist <= window - 1) return false;  // still a candidate
               }
-              retired_pairs.emplace_back(l, r);
+              ppairs.Erase(l, r);
+              dropped.emplace_back(l, r);
               return true;
             });
       }
       if (drifted > 0) {
         report.matches_dropped += drifted;
-        clusters_stale_ = true;
+        // Drift only splits clusters that lost an edge: repair those in
+        // place unless a removal / update wave already forced the full
+        // rebuild this flush.
+        if (!clusters_stale_) RepairClustersLocked(dropped);
       }
     }
 
-    // Fold in the new matches, netting out same-flush churn for the
-    // published parent-delta: a pair retired above (its record updated or
-    // drifted) and re-established here was present before and after this
-    // flush, so it belongs in neither added_pairs nor retired_pairs.
-    std::unordered_set<uint64_t> retired_keys;
-    retired_keys.reserve(delta_retired_scratch_.size());
-    for (const auto& [l, r] : delta_retired_scratch_) {
-      retired_keys.insert((static_cast<uint64_t>(l) << 32) | r);
+    // Fold in the new matches. The persistent pair set's journal nets out
+    // same-flush churn for the published parent-delta (a pair retired
+    // above and re-established here appears in neither list); handles
+    // merge incrementally unless a retirement already scheduled the full
+    // rebuild.
+    // A bulk wave (initial load, huge catch-up delta) folds in faster
+    // through one full rebuild than through per-pair handle merges.
+    if (!clusters_stale_ &&
+        new_matches.size() * 4 >= corpus_[0].size() + corpus_[1].size()) {
+      clusters_stale_ = true;
     }
-    const size_t retired_before = retired_keys.size();
     for (const auto& [l, r] : new_matches) {
       if (raw_matches_.Add(l, r)) {
         ++report.matches_added;
-        if (!clusters_stale_) {
-          uf_.Union(node_by_seq_[0][l], node_by_seq_[1][r]);
-        }
-        if (retired_keys.erase((static_cast<uint64_t>(l) << 32) | r) == 0) {
-          delta_added_scratch_.emplace_back(l, r);
-        }
+        pairs_.Add(l, r);
+        if (!clusters_stale_) MergeHandlesLocked(l, r);
       }
-    }
-    if (retired_keys.size() != retired_before) {
-      size_t kept = 0;
-      for (const auto& [l, r] : delta_retired_scratch_) {
-        if (retired_keys.count((static_cast<uint64_t>(l) << 32) | r) > 0) {
-          delta_retired_scratch_[kept++] = {l, r};
-        }
-      }
-      delta_retired_scratch_.resize(kept);
     }
     if (clusters_stale_) RebuildClustersLocked();
 
-    PublishLocked(&report);
+    SharedMatchStatePtr published =
+        PublishLocked(state_version, alloc_base, &report);
+    if (catalog_entry_ != nullptr) {
+      catalog_entry_->PublishMatchState(base_state_version, delta_fp,
+                                        published);
+    }
   }
 
   report.corpus_left = corpus_[0].size();

@@ -20,8 +20,10 @@
 #include "match/compiled_eval.h"
 #include "match/match_result.h"
 #include "match/pair_cache.h"
+#include "match/persistent_pairs.h"
 #include "schema/instance.h"
 #include "util/arena.h"
+#include "util/persistent_trie.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -93,6 +95,11 @@ struct IngestReport {
   /// built for the same (base version, delta) through a shared
   /// candidate::IndexCatalog entry, skipping the merge entirely.
   bool index_reused = false;
+  /// True when this flush adopted a whole match state (pairs + clusters +
+  /// corpus maps) another session already published for the same (base
+  /// version, delta) through the shared catalog entry's match store,
+  /// skipping candidate generation and evaluation entirely.
+  bool match_reused = false;
   /// The generation number this flush published (unchanged by an empty
   /// flush). Every query answers from exactly one generation; a reader
   /// that remembers this number can tell whether a view already includes
@@ -126,6 +133,10 @@ struct IngestReport {
                               ///< cluster_seconds)
   double publish_seconds = 0;  ///< building + swapping in the new
                                ///< SessionGeneration (in cluster_seconds)
+  /// Bytes of queryable state the publish step copied (as opposed to
+  /// shared structurally with the previous generation) — the O(corpus)
+  /// slice an O(delta) publish eliminates.
+  size_t publish_bytes_copied = 0;
 };
 
 /// One corpus record as the session stores it: the tuple plus everything
@@ -147,52 +158,89 @@ struct SessionRecord {
 };
 using SessionRecordPtr = std::shared_ptr<const SessionRecord>;
 
-/// \brief One immutable published version of a MatchSession's queryable
-/// state: corpus, indexes, matches and clusters, all from the same flush.
+/// Per-(side, TupleId) entry of a published id trie: the record's seq and
+/// its cluster handle, together so ClusterOf() is a single trie lookup.
+struct IdEntry {
+  uint32_t seq = 0;
+  /// Cluster representative: the minimum (side << 32 | seq) over the
+  /// cluster's members — a pure function of the match graph, so every
+  /// session publishing the same corpus content publishes the same
+  /// handles (what lets catalog sessions share states bit-for-bit).
+  uint64_t handle = 0;
+};
+
+/// \brief One immutable published match state: corpus, id maps, indexes,
+/// matches and clusters, all from the same flush — *the* unit the shared
+/// catalog match store memoizes, versioned like candidate::IndexSnapshot.
 ///
-/// Flush builds the next generation off to the side and publishes it with
-/// a single pointer swap under the session's publication latch; queries
-/// acquire the pointer once and answer entirely from the acquired object,
-/// so a query can never observe a torn mix of versions (matches from one
-/// flush against a corpus from another). Everything reachable from a generation is deeply immutable
-/// and structurally shared with neighboring generations where possible
-/// (records by pointer, indexes by persistent-treap nodes).
-struct SessionGeneration {
-  /// Monotonic per-session publication counter (0 = the empty initial
-  /// generation).
-  uint64_t generation = 0;
-  /// Live records in ingestion order, per side.
-  std::vector<SessionRecordPtr> corpus[2];
-  /// TupleId -> corpus position.
-  std::unordered_map<TupleId, uint32_t> pos_by_id[2];
-  /// seq -> corpus position (dense; removed seqs hold stale values that
-  /// are never consulted — raw_matches only names live seqs).
-  std::vector<uint32_t> pos_by_seq[2];
-  /// The candidate indexes this generation's matches were computed with.
+/// Everything here is persistent: the tries share all but O(delta·log n)
+/// nodes with the parent state, records are shared by pointer, indexes by
+/// persistent-treap nodes, matches by pair-trie nodes. Building the next
+/// state from a flushed delta is therefore O(delta·log n), independent of
+/// corpus size — and N sessions adopting one state through a catalog
+/// entry pay O(1) match-state memory per replica instead of O(corpus).
+struct SharedMatchState {
+  /// Version in the state chain (0 = the empty initial state; catalog
+  /// sessions draw versions from the shared entry counter, private
+  /// sessions count locally).
+  uint64_t version = 0;
+  /// The version this state was built from — stream::GenerationDiff's
+  /// O(changes) fast path applies iff to.parent == from.version.
+  uint64_t parent_version = 0;
+  /// seq -> record, per side (live records only; enumeration order ==
+  /// seq order == ingestion order).
+  util::FrozenTrie<SessionRecordPtr> corpus[2];
+  /// TupleId -> (seq, cluster handle), per side.
+  util::FrozenTrie<IdEntry> ids[2];
+  /// The candidate indexes this state's matches were computed with.
   candidate::IndexSnapshotPtr indexes;
   /// Standing raw match pairs as (left seq, right seq).
-  match::PairSet raw_matches;
-  /// Frozen cluster representative per corpus position (resolved at
-  /// publish time; equal handle == same cluster, valid within this
-  /// generation only — a flush may renumber).
-  std::vector<uint64_t> cluster_handle[2];
+  match::FrozenPairSet matches;
+  /// Next per-side ingestion sequence (what an adopting session resumes
+  /// allocating from).
+  uint32_t next_seq[2] = {0, 0};
 
-  // --- delta vs. the parent generation (what stream::GenerationDiff
-  // consumes for its O(changes) fast path) ---
+  // --- delta vs. the parent state ---
 
-  /// The generation this one was built from (generation - 1 in an
-  /// unbroken chain; 0 for the initial generation, whose delta fields
-  /// describe it relative to the empty state).
-  uint64_t parent_generation = 0;
   /// Match pairs present here but not in the parent, as (left seq,
-  /// right seq), in publication order. Net of same-flush churn: a pair
+  /// right seq), in first-event order. Net of same-flush churn: a pair
   /// retired and re-established within one flush (an in-place update
   /// whose records still match) appears in neither list.
   std::vector<std::pair<uint32_t, uint32_t>> added_pairs;
   /// Match pairs present in the parent but not here. Seqs may name
-  /// records this generation no longer holds — translate them through
-  /// the *parent* generation's corpus.
+  /// records this state no longer holds — translate them through the
+  /// *parent* state's corpus.
   std::vector<std::pair<uint32_t, uint32_t>> retired_pairs;
+
+  // --- what the building flush did (so a session that *adopts* this
+  // state can report the work it inherited) ---
+  size_t upserted = 0;
+  size_t removed = 0;
+  size_t matches_added = 0;
+  size_t matches_dropped = 0;
+};
+using SharedMatchStatePtr = std::shared_ptr<const SharedMatchState>;
+
+/// \brief One immutable published version of a MatchSession's queryable
+/// state: a session-local generation number wrapping a SharedMatchState.
+///
+/// Flush builds the next state off to the side and publishes it with a
+/// single pointer swap under the session's publication latch; queries
+/// acquire the pointer once and answer entirely from the acquired object,
+/// so a query can never observe a torn mix of versions (matches from one
+/// flush against a corpus from another). Generation numbers are per
+/// session (every flush that publishes increments them, whether it built
+/// the state or adopted it from the catalog); state versions travel with
+/// the state and are shared across adopting sessions.
+struct SessionGeneration {
+  /// Monotonic per-session publication counter (0 = the empty initial
+  /// generation).
+  uint64_t generation = 0;
+  /// The generation this one was published after (generation - 1 in an
+  /// unbroken chain).
+  uint64_t parent_generation = 0;
+  /// The queryable state (never null).
+  SharedMatchStatePtr state;
 };
 using SessionGenerationPtr = std::shared_ptr<const SessionGeneration>;
 
@@ -207,12 +255,12 @@ using SessionGenerationPtr = std::shared_ptr<const SessionGeneration>;
 class SessionView {
  public:
   uint64_t generation() const { return gen_->generation; }
-  size_t left_size() const { return gen_->corpus[0].size(); }
-  size_t right_size() const { return gen_->corpus[1].size(); }
+  size_t left_size() const { return gen_->state->corpus[0].size(); }
+  size_t right_size() const { return gen_->state->corpus[1].size(); }
 
   /// The view's index snapshot (immutable).
   const candidate::IndexSnapshotPtr& indexes() const {
-    return gen_->indexes;
+    return gen_->state->indexes;
   }
 
   /// The pinned generation object itself (immutable, refcounted) — the
@@ -260,8 +308,12 @@ class SessionView {
 /// Flush advances the index chain in O(delta · log n) and matches only
 /// the staged delta against the indexed corpus (plus intra-delta pairs)
 /// instead of re-blocking the world. Match state is maintained
-/// incrementally — a union-find (match::UnionFind) grows with each flush,
-/// and Matches() / ClusterOf() are queryable between ingests.
+/// incrementally — standing pairs live in a persistent pair set, cluster
+/// handles merge per new match — and Matches() / ClusterOf() are
+/// queryable between ingests. Publishing is O(delta) too: the queryable
+/// state (SharedMatchState) is persistent tries frozen in O(1), and
+/// catalog sessions share whole published states through the entry's
+/// match store (IngestReport::match_reused), not just index snapshots.
 ///
 /// The contract that makes the incrementality trustworthy: after any
 /// sequence of Upsert / Remove / Flush calls, Matches() and Clusters()
@@ -407,10 +459,44 @@ class MatchSession {
   /// current configuration needs) from its tuple.
   void RenderDerived(Record* record, int side) const;
   void RebuildPositionsLocked(int side) REQUIRES(mu_);
+  /// Recomputes every cluster handle (and the member lists) from the
+  /// standing match graph with a scratch union-find — the O(corpus) slow
+  /// path a flush with retirements takes; match-only flushes maintain
+  /// handles incrementally through MergeHandlesLocked.
   void RebuildClustersLocked() REQUIRES(mu_);
-  /// Builds the next SessionGeneration from the build-side state and
-  /// swaps it in (the single publication point).
-  void PublishLocked(IngestReport* report) REQUIRES(mu_);
+  /// Localized split repair after window-drift retirements: recomputes
+  /// connectivity only for the clusters that lost an edge (`dropped`
+  /// holds the retired pairs), leaving every other handle untouched.
+  /// Exact — a dropped edge cannot split a cluster that did not hold it.
+  void RepairClustersLocked(
+      const std::vector<std::pair<uint32_t, uint32_t>>& dropped)
+      REQUIRES(mu_);
+  /// Incremental handle maintenance for one new match (l, r): unions the
+  /// two clusters under the smaller handle, rewriting only the losing
+  /// cluster's members.
+  void MergeHandlesLocked(uint32_t l, uint32_t r) REQUIRES(mu_);
+  /// Freezes the build-side state into the next SharedMatchState under
+  /// `version` and swaps in the generation wrapping it (the single
+  /// publication point). O(delta): every container is persistent or
+  /// moved. `alloc_base` is the persistent structures' alloc_bytes sum
+  /// sampled at flush start (their growth is publish_bytes_copied).
+  /// Returns the published state (for the catalog match store).
+  SharedMatchStatePtr PublishLocked(uint64_t version, size_t alloc_base,
+                                    IngestReport* report) REQUIRES(mu_);
+  /// Adopts a state a sibling catalog session already published for this
+  /// exact transition: publishes it as this session's next generation and
+  /// drops the build-side containers (build_stale_) — per-replica match
+  /// memory stays O(1) while sessions keep adopting.
+  void AdoptLocked(SharedMatchStatePtr state, IngestReport* report)
+      REQUIRES(mu_);
+  /// Reconstructs the build-side containers from the last published
+  /// state — the O(corpus) cost a previously-adopting session pays once
+  /// when it has to build a transition itself (divergence, or winning the
+  /// builder race).
+  void MaterializeLocked() REQUIRES(mu_);
+  /// The persistent structures' monotonic allocation counters, summed
+  /// (see PublishLocked's alloc_base).
+  size_t PersistentAllocBytesLocked() const REQUIRES(mu_);
   /// The current generation, acquired through the publication latch.
   SessionGenerationPtr CurrentGeneration() const EXCLUDES(publish_mu_) {
     util::MutexLock lock(publish_mu_);
@@ -479,14 +565,19 @@ class MatchSession {
   mutable util::Mutex mu_;
   std::vector<SessionRecordPtr> corpus_[2]
       GUARDED_BY(mu_);  // ingestion order
-  std::unordered_map<TupleId, uint32_t> pos_by_id_[2]
-      GUARDED_BY(mu_);  // id -> position
   /// seq -> corpus position, dense (seqs are allocated consecutively;
   /// slots of removed records go stale and are never consulted). A flat
   /// array because this lookup sits on the hottest flush paths — every
   /// pair evaluation resolves both records through it.
   std::vector<uint32_t> pos_by_seq_[2] GUARDED_BY(mu_);
   uint32_t next_seq_[2] GUARDED_BY(mu_) = {0, 0};
+
+  /// The persistent mirrors of the queryable state — what PublishLocked
+  /// freezes in O(1). corpus_trie_: seq -> record; ids_: id -> (seq,
+  /// handle). ids_ doubles as the build side's id lookup (there is no
+  /// separate pos_by_id map): position = pos_by_seq_[ids_.Get(id)->seq].
+  util::PersistentTrie<SessionRecordPtr> corpus_trie_[2] GUARDED_BY(mu_);
+  util::PersistentTrie<IdEntry> ids_[2] GUARDED_BY(mu_);
 
   /// Staged delta, keyed (side, id); nullopt = removal. Ordered so flush
   /// processing (and hence seq assignment) is deterministic.
@@ -495,16 +586,14 @@ class MatchSession {
   /// Staged ops that overwrote an already-staged (side, id) since the
   /// last flush (reported as IngestReport::coalesced_deltas).
   size_t pending_coalesced_ GUARDED_BY(mu_) = 0;
-  /// Match pairs the in-progress flush added / retired, in seq space —
-  /// the parent-delta the next published generation carries (see
-  /// SessionGeneration::added_pairs).
-  std::vector<std::pair<uint32_t, uint32_t>> delta_added_scratch_
-      GUARDED_BY(mu_);
-  std::vector<std::pair<uint32_t, uint32_t>> delta_retired_scratch_
-      GUARDED_BY(mu_);
 
-  /// Standing raw match pairs as (left seq, right seq).
+  /// Standing raw match pairs as (left seq, right seq), twice: the hash
+  /// PairSet is the O(1) Contains engine the candidate scans probe per
+  /// pair; the persistent set carries the same membership as a trie so
+  /// publishing is an O(1) freeze (it also journals the net added/retired
+  /// delta each flush publishes). Double-maintained on add/retire.
   match::PairSet raw_matches_ GUARDED_BY(mu_);
+  match::PersistentPairSet pairs_ GUARDED_BY(mu_);
 
   /// The current version of the persistent candidate indexes: one sorted
   /// treap per windowing pass, or the block index, frozen per flush.
@@ -516,25 +605,47 @@ class MatchSession {
   uint64_t next_version_ GUARDED_BY(mu_) = 1;
   /// Publication counter behind SessionGeneration::generation.
   uint64_t next_generation_ GUARDED_BY(mu_) = 1;
+  /// The version of the last published SharedMatchState — the base of the
+  /// next transition (keys the catalog match-store memo).
+  uint64_t state_version_ GUARDED_BY(mu_) = 0;
+  /// State-version counter for private (non-catalog) chains; catalog
+  /// sessions draw versions from the shared entry instead.
+  uint64_t next_state_version_ GUARDED_BY(mu_) = 1;
   /// The shared catalog entry, when SessionOptions::catalog is set.
   /// Assigned by the constructor, immutable afterwards (the Entry locks
   /// itself internally), so it needs no guard.
   candidate::IndexCatalog::EntryPtr catalog_entry_;
 
-  /// Incremental clustering over the raw match graph. Nodes are dense ids
-  /// per record handle; removals mark the structure stale and the next
-  /// flush rebuilds it from the surviving pairs. Queries never touch this
-  /// (path compression writes) — they read the frozen handles published
-  /// in the generation.
-  match::UnionFind uf_ GUARDED_BY(mu_);
-  /// seq -> union-find node id, dense per side (stale after removal until
-  /// the rebuild, like pos_by_seq_).
-  std::vector<size_t> node_by_seq_[2] GUARDED_BY(mu_);
+  /// Cluster handles, incrementally maintained: handle_by_seq_ is the
+  /// dense build-side mirror of the handles published in ids_ (stale
+  /// slots after removal, like pos_by_seq_); cluster_members_ lists the
+  /// members of every multi-record cluster, keyed by its handle
+  /// (singletons are implicit — a record's own packed (side, seq) is its
+  /// handle until it matches). Retirements make handles stale as a whole
+  /// (clusters_stale_) and the next publish rebuilds them from the
+  /// surviving pairs; match-only flushes merge incrementally.
+  struct ClusterMember {
+    uint64_t packed;  ///< (side << 32) | seq
+    TupleId id;
+  };
+  std::vector<uint64_t> handle_by_seq_[2] GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::vector<ClusterMember>> cluster_members_
+      GUARDED_BY(mu_);
   bool clusters_stale_ GUARDED_BY(mu_) = false;
+
+  /// True after AdoptLocked dropped the build-side containers: the next
+  /// flush this session has to build itself first re-materializes them
+  /// from the published state (MaterializeLocked).
+  bool build_stale_ GUARDED_BY(mu_) = false;
 
   /// Removal-gap positions per windowing pass, valid during one Flush
   /// (filled after the index merge, read by the scan paths).
   std::vector<std::vector<size_t>> gaps_scratch_ GUARDED_BY(mu_);
+
+  /// Bulk-rerank rank table, reused across flushes so the ~1 MB
+  /// allocation is paid once (every slot a flush reads is rewritten by
+  /// its own full-index walks first).
+  std::vector<uint32_t> rank_scratch_[2] GUARDED_BY(mu_);
 
   /// Optional pair-decision cache (SessionOptions::pair_cache_capacity).
   /// The pointer is set by the constructor and immutable afterwards; the

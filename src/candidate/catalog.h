@@ -27,13 +27,31 @@ namespace mdmatch::candidate {
 /// simply misses the memo and builds privately (its versions branch off;
 /// results are unaffected either way).
 ///
+/// Beyond the indexes, an entry also hosts a *match store*: the same
+/// memoized-transition protocol applied to a whole published match state
+/// (pairs + clusters + corpus maps) — see BeginMatchState. The state is
+/// type-erased (`shared_ptr<const void>`) because it is an api-layer
+/// object (api::SharedMatchState) and the candidate layer sits below api
+/// in the dependency DAG; the api layer owns the cast on both ends.
+///
 /// Thread safety: the catalog map and each entry have their own mutex. A
 /// build runs under the entry lock, which serializes index construction
 /// (not matching) across the sessions sharing the entry — the point is to
 /// do the work once, and the losers of the race want the winner's result
-/// anyway.
+/// anyway. Match states are built *outside* any entry lock (the build is
+/// a whole flush); the store serializes builders with a flag + condvar
+/// so a racing session waits for the winner's publication and then
+/// adopts it from the memo.
 class IndexCatalog {
  public:
+  /// What BeginMatchState granted: an already-published state to adopt
+  /// (memo hit), or — when `adopted` is null — the builder role with a
+  /// freshly assigned version for the state about to be built.
+  struct MatchStateGrant {
+    std::shared_ptr<const void> adopted;
+    uint64_t build_version = 0;
+  };
+
   /// One (plan fingerprint, corpus id) slot: the memoized transition
   /// chain and the version counter shared by its sessions.
   class Entry {
@@ -50,6 +68,25 @@ class IndexCatalog {
     /// Distinct transitions currently memoized (observability/tests).
     size_t memo_size() const;
 
+    /// The match-store transition for (base_version, delta_fp). A memo
+    /// hit returns the published state to adopt. Otherwise the caller
+    /// becomes the builder (grant.adopted == nullptr) and MUST follow up
+    /// with PublishMatchState for the same key once its flush completes —
+    /// other sessions flushing the same transition block on the store's
+    /// condvar until then. Distinct transitions still serialize on the
+    /// builder flag (briefly: a woken waiter whose key is absent becomes
+    /// the next builder), which is the cost of keeping version assignment
+    /// race-free without building under a lock.
+    MatchStateGrant BeginMatchState(uint64_t base_version, uint64_t delta_fp);
+
+    /// Publishes the state a BeginMatchState builder grant promised and
+    /// wakes every session waiting on the store.
+    void PublishMatchState(uint64_t base_version, uint64_t delta_fp,
+                           std::shared_ptr<const void> state);
+
+    /// Distinct match states currently memoized (observability/tests).
+    size_t match_memo_size() const;
+
    private:
     friend class IndexCatalog;
     /// Bounds memo memory: old transitions beyond this many are evicted
@@ -63,6 +100,20 @@ class IndexCatalog {
         GUARDED_BY(mu_);
     std::deque<std::pair<uint64_t, uint64_t>> memo_order_
         GUARDED_BY(mu_);  // FIFO
+
+    /// ---- match store (independent lock; never held together with mu_
+    /// except transiently by a flush that also advances the index memo —
+    /// state_mu_ acquires nothing while held, so no cycle is possible) ----
+    mutable util::Mutex state_mu_;
+    util::CondVar state_cv_;
+    bool state_building_ GUARDED_BY(state_mu_) = false;
+    /// Shared state-version counter. Starts above 0 because every session
+    /// numbers its initial empty state 0.
+    uint64_t next_state_version_ GUARDED_BY(state_mu_) = 1;
+    std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<const void>>
+        state_memo_ GUARDED_BY(state_mu_);
+    std::deque<std::pair<uint64_t, uint64_t>> state_memo_order_
+        GUARDED_BY(state_mu_);  // FIFO
   };
   using EntryPtr = std::shared_ptr<Entry>;
 

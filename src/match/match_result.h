@@ -10,6 +10,13 @@
 
 namespace mdmatch::match {
 
+/// The canonical packing of a cross-relation pair into one 64-bit key —
+/// shared by PairSet's hash index and PersistentPairSet's trie keys, so
+/// both structures agree on identity (and on key order).
+inline constexpr uint64_t PairKey(uint32_t left_index, uint32_t right_index) {
+  return (static_cast<uint64_t>(left_index) << 32) | right_index;
+}
+
 /// \brief A deduplicated set of cross-relation tuple pairs, addressed by
 /// tuple *positions* (index into instance.left() / instance.right()).
 ///
@@ -40,9 +47,7 @@ class PairSet {
       const std::function<bool(uint32_t, uint32_t)>& drop);
 
  private:
-  static uint64_t Key(uint32_t l, uint32_t r) {
-    return (static_cast<uint64_t>(l) << 32) | r;
-  }
+  static uint64_t Key(uint32_t l, uint32_t r) { return PairKey(l, r); }
   std::unordered_set<uint64_t> index_;
   std::vector<std::pair<uint32_t, uint32_t>> pairs_;
 };

@@ -1,0 +1,60 @@
+#include "match/persistent_pairs.h"
+
+namespace mdmatch::match {
+
+bool PersistentPairSet::Add(uint32_t left_seq, uint32_t right_seq) {
+  const uint64_t key = PairKey(left_seq, right_seq);
+  if (!trie_.Set(key, uint8_t{1})) return false;
+  if (retired_keys_.erase(key) == 0) {
+    // A genuinely new pair (not a same-window re-add of a retired one).
+    if (added_keys_.insert(key).second) {
+      added_.emplace_back(left_seq, right_seq);
+    }
+  }
+  return true;
+}
+
+bool PersistentPairSet::Erase(uint32_t left_seq, uint32_t right_seq) {
+  const uint64_t key = PairKey(left_seq, right_seq);
+  if (!trie_.Erase(key)) return false;
+  if (added_keys_.erase(key) == 0) {
+    // The pair predates this journal window: journal the retirement.
+    if (retired_keys_.insert(key).second) {
+      retired_.emplace_back(left_seq, right_seq);
+    }
+  }
+  return true;
+}
+
+void PersistentPairSet::TakeDelta(
+    std::vector<std::pair<uint32_t, uint32_t>>* added,
+    std::vector<std::pair<uint32_t, uint32_t>>* retired) {
+  added->clear();
+  retired->clear();
+  added->reserve(added_keys_.size());
+  retired->reserve(retired_keys_.size());
+  // Consume keys as entries are emitted: an entry whose key was netted
+  // out (or already emitted at its first event) is a tombstone.
+  for (const auto& pair : added_) {
+    if (added_keys_.erase(PairKey(pair.first, pair.second)) != 0) {
+      added->push_back(pair);
+    }
+  }
+  for (const auto& pair : retired_) {
+    if (retired_keys_.erase(PairKey(pair.first, pair.second)) != 0) {
+      retired->push_back(pair);
+    }
+  }
+  added_.clear();
+  retired_.clear();
+  added_keys_.clear();
+  retired_keys_.clear();
+}
+
+PersistentPairSet PersistentPairSet::FromFrozen(const FrozenPairSet& frozen) {
+  PersistentPairSet set;
+  set.trie_ = util::PersistentTrie<uint8_t>::FromFrozen(frozen.trie_);
+  return set;
+}
+
+}  // namespace mdmatch::match

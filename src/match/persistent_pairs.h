@@ -1,0 +1,108 @@
+#ifndef MDMATCH_MATCH_PERSISTENT_PAIRS_H_
+#define MDMATCH_MATCH_PERSISTENT_PAIRS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "match/match_result.h"
+#include "util/persistent_trie.h"
+
+namespace mdmatch::match {
+
+class PersistentPairSet;
+
+/// \brief An immutable snapshot of a PersistentPairSet — the standing
+/// match pairs a published SessionGeneration carries.
+///
+/// Cheap to copy (a trie root), safe to read from any number of threads,
+/// and structurally shared with neighboring snapshots: two generations a
+/// small delta apart share all but O(delta · log n) trie nodes. Pairs
+/// enumerate in ascending (left seq, right seq) key order.
+class FrozenPairSet {
+ public:
+  FrozenPairSet() = default;
+
+  size_t size() const { return trie_.size(); }
+  bool empty() const { return trie_.size() == 0; }
+
+  bool Contains(uint32_t left_seq, uint32_t right_seq) const {
+    return trie_.Get(PairKey(left_seq, right_seq)) != nullptr;
+  }
+
+  /// Visits every pair as (left seq, right seq), ascending by key.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    trie_.ForEach([&fn](uint64_t key, uint8_t) {
+      fn(static_cast<uint32_t>(key >> 32), static_cast<uint32_t>(key));
+    });
+  }
+
+ private:
+  friend class PersistentPairSet;
+  explicit FrozenPairSet(util::FrozenTrie<uint8_t> trie)
+      : trie_(std::move(trie)) {}
+
+  util::FrozenTrie<uint8_t> trie_;
+};
+
+/// \brief The build-side persistent pair set behind O(delta) publishing:
+/// O(log n) add/retire, O(1) frozen snapshots, and a built-in journal of
+/// the net delta since the last freeze.
+///
+/// The journal nets out same-flush churn the way the session's published
+/// deltas promise: a pair retired and re-added within one journal window
+/// (an in-place update whose records still match) appears in neither
+/// list, and entries preserve first-event order. TakeDelta() drains the
+/// journal; Freeze() snapshots the membership.
+class PersistentPairSet {
+ public:
+  PersistentPairSet() = default;
+  PersistentPairSet(const PersistentPairSet&) = delete;
+  PersistentPairSet& operator=(const PersistentPairSet&) = delete;
+  PersistentPairSet(PersistentPairSet&&) noexcept = default;
+  PersistentPairSet& operator=(PersistentPairSet&&) noexcept = default;
+
+  size_t size() const { return trie_.size(); }
+
+  bool Contains(uint32_t left_seq, uint32_t right_seq) const {
+    return trie_.Get(PairKey(left_seq, right_seq)) != nullptr;
+  }
+
+  /// Inserts the pair; returns true if newly inserted (and journals it).
+  bool Add(uint32_t left_seq, uint32_t right_seq);
+
+  /// Removes the pair; returns true if it was present (and journals it).
+  bool Erase(uint32_t left_seq, uint32_t right_seq);
+
+  /// Publishes the current membership as an immutable snapshot — O(1).
+  FrozenPairSet Freeze() { return FrozenPairSet(trie_.Freeze()); }
+
+  /// Moves the journaled net delta since the last TakeDelta into `added`
+  /// and `retired` (first-event order, same-window churn netted out) and
+  /// clears the journal.
+  void TakeDelta(std::vector<std::pair<uint32_t, uint32_t>>* added,
+                 std::vector<std::pair<uint32_t, uint32_t>>* retired);
+
+  /// A new owner continuing from a snapshot (journal starts empty).
+  static PersistentPairSet FromFrozen(const FrozenPairSet& frozen);
+
+  /// Monotonic bytes allocated for trie nodes (see
+  /// util::PersistentTrie::alloc_bytes).
+  size_t alloc_bytes() const { return trie_.alloc_bytes(); }
+
+ private:
+  util::PersistentTrie<uint8_t> trie_;
+  // Journal: vectors keep first-event order; the key sets hold the entries
+  // still live (a netted-out event stays in its vector as a tombstone
+  // until TakeDelta filters it).
+  std::vector<std::pair<uint32_t, uint32_t>> added_;
+  std::vector<std::pair<uint32_t, uint32_t>> retired_;
+  std::unordered_set<uint64_t> added_keys_;
+  std::unordered_set<uint64_t> retired_keys_;
+};
+
+}  // namespace mdmatch::match
+
+#endif  // MDMATCH_MATCH_PERSISTENT_PAIRS_H_

@@ -13,7 +13,7 @@ namespace mdmatch::stream {
 namespace {
 
 TupleId IdAt(const api::SessionGeneration& gen, int side, uint32_t seq) {
-  return gen.corpus[side][gen.pos_by_seq[side][seq]]->tuple.id();
+  return (*gen.state->corpus[side].Get(seq))->tuple.id();
 }
 
 /// The merge events of from→to, given the added pairs (in seq space of
@@ -35,13 +35,13 @@ std::vector<ClusterMergeEvent> MergeEvents(
   std::vector<size_t> handle_nodes;  // nodes that name a from-cluster
 
   auto resolve = [&](int side, TupleId id) {
-    auto found = from.pos_by_id[side].find(id);
-    if (found == from.pos_by_id[side].end()) {
+    const api::IdEntry* entry = from.state->ids[side].Get(id);
+    if (entry == nullptr) {
       auto [it, inserted] = fresh_node.try_emplace({side, id}, 0);
       if (inserted) it->second = mini.Add();
       return it->second;
     }
-    const uint64_t handle = from.cluster_handle[side][found->second];
+    const uint64_t handle = entry->handle;
     auto [it, inserted] = handle_node.try_emplace(handle, 0);
     if (inserted) {
       it->second = mini.Add();
@@ -88,26 +88,31 @@ MatchDelta GenerationDiff(const api::SessionGeneration& from,
 
   std::vector<std::pair<uint32_t, uint32_t>> added_seq;
   std::vector<std::pair<uint32_t, uint32_t>> retired_seq;
-  if (to.parent_generation == from.generation &&
-      to.generation == from.generation + 1) {
-    // Consecutive generations: the session recorded this delta at publish
-    // time, already net of same-flush churn. O(changes).
-    added_seq = to.added_pairs;
-    retired_seq = to.retired_pairs;
-  } else if (to.generation == from.generation) {
-    // Same generation: empty diff.
+  const api::SharedMatchState& fs = *from.state;
+  const api::SharedMatchState& ts = *to.state;
+  if (ts.version == fs.version) {
+    // Same state content (possibly republished under a later generation
+    // number by an adopting session): empty diff.
+  } else if (ts.parent_version == fs.version) {
+    // Consecutive states: the building session recorded this delta at
+    // publish time, already net of same-flush churn. O(changes). State
+    // versions (not generation numbers) gate this path — an adopting
+    // session's generations wrap the shared state chain, and versions
+    // travel with the states.
+    added_seq = ts.added_pairs;
+    retired_seq = ts.retired_pairs;
   } else {
-    // Gap: hashed membership over the raw pair sets. Seqs are stable per
+    // Gap: trie membership over the frozen pair sets. Seqs are stable per
     // record life and never recycled, so seq-space membership is exact —
     // a record removed and re-added under the same id gets a new seq and
     // its pairs show up as retired + added, which the id translation
     // below turns into retire-then-add of the same id pair.
-    for (const auto& [l, r] : to.raw_matches.pairs()) {
-      if (!from.raw_matches.Contains(l, r)) added_seq.emplace_back(l, r);
-    }
-    for (const auto& [l, r] : from.raw_matches.pairs()) {
-      if (!to.raw_matches.Contains(l, r)) retired_seq.emplace_back(l, r);
-    }
+    ts.matches.ForEach([&](uint32_t l, uint32_t r) {
+      if (!fs.matches.Contains(l, r)) added_seq.emplace_back(l, r);
+    });
+    fs.matches.ForEach([&](uint32_t l, uint32_t r) {
+      if (!ts.matches.Contains(l, r)) retired_seq.emplace_back(l, r);
+    });
   }
 
   delta.added.reserve(added_seq.size());
@@ -132,10 +137,10 @@ MatchDelta FullStateDelta(const api::SessionGeneration& gen) {
   delta.resync = true;
   delta.from_generation = 0;
   delta.to_generation = gen.generation;
-  delta.added.reserve(gen.raw_matches.size());
-  for (const auto& [l, r] : gen.raw_matches.pairs()) {
+  delta.added.reserve(gen.state->matches.size());
+  gen.state->matches.ForEach([&](uint32_t l, uint32_t r) {
     delta.added.push_back(IdPair{IdAt(gen, 0, l), IdAt(gen, 1, r)});
-  }
+  });
   std::sort(delta.added.begin(), delta.added.end());
   return delta;
 }

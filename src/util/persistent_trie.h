@@ -1,0 +1,319 @@
+#ifndef MDMATCH_UTIL_PERSISTENT_TRIE_H_
+#define MDMATCH_UTIL_PERSISTENT_TRIE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mdmatch::util {
+
+/// Epochs tag trie nodes with the freeze interval they were created in.
+/// The counter is global (one per process, never repeated) so a trie that
+/// adopts nodes from another trie's frozen snapshot (FromFrozen) can never
+/// mistake them for its own freshly created nodes.
+inline uint64_t NextPersistentEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+template <typename V>
+class FrozenTrie;
+
+/// \brief A persistent 64-ary bitmap-compressed radix trie over uint64_t
+/// keys — the map machinery behind O(delta) generation publishing.
+///
+/// Each node consumes 6 key bits (`(key >> shift) & 63`); present slots
+/// are recorded in a 64-bit bitmap and stored compressed, so sparse nodes
+/// cost what they hold. The root grows upward on demand: a trie over
+/// small keys (per-side seqs, tuple ids) stays 2–3 levels deep.
+///
+/// Mutation discipline — *epoch transience*: the trie stamps every node
+/// it creates with its current epoch (a globally unique counter drawn at
+/// construction and at every Freeze()). A node whose epoch matches the
+/// trie's current epoch was created after the last freeze, is therefore
+/// unreachable from any frozen snapshot, and is mutated in place; any
+/// other node (frozen here, or adopted from another trie) is path-copied.
+/// Between freezes a hot path thus converges to in-place updates, while
+/// Freeze() itself is O(1): it hands out the root and bumps the epoch, so
+/// every published snapshot is deeply immutable from that instant.
+///
+/// The owner (this class) is externally synchronized like any container;
+/// FrozenTrie snapshots are immutable and safe to read from any number of
+/// threads concurrently with further owner mutations.
+template <typename V>
+class PersistentTrie {
+ public:
+  /// One trie node: an inner node (shift > 0) holds children, a leaf
+  /// (shift == 0) holds values; `bitmap` records which of the 64 slots
+  /// are present, both vectors are slot-compressed. Nodes are frozen the
+  /// moment `epoch` falls behind the owning trie's epoch (see class
+  /// comment) and are then shared freely across snapshots and tries.
+  struct Node {
+    uint64_t bitmap = 0;
+    uint64_t epoch = 0;
+    uint8_t shift = 0;
+    std::vector<std::shared_ptr<const Node>> children;
+    std::vector<V> values;
+  };
+  using NodePtr = std::shared_ptr<const Node>;
+
+  PersistentTrie() : epoch_(NextPersistentEpoch()) {}
+
+  // One owner per epoch: copying would let two owners mutate shared
+  // nodes in place. Move transfers ownership (and the epoch) instead.
+  PersistentTrie(const PersistentTrie&) = delete;
+  PersistentTrie& operator=(const PersistentTrie&) = delete;
+  PersistentTrie(PersistentTrie&& other) noexcept = default;
+  PersistentTrie& operator=(PersistentTrie&& other) noexcept = default;
+
+  size_t size() const { return size_; }
+
+  /// The value at `key`, or nullptr. Valid until the next mutation.
+  const V* Get(uint64_t key) const {
+    return Lookup<const V>(root_.get(), root_shift_, key);
+  }
+
+  /// Inserts or overwrites `key`; returns true when newly inserted.
+  bool Set(uint64_t key, V value) {
+    GrowToCover(key);
+    if (root_ == nullptr) {
+      root_ = NewNode(ShiftFor(key));
+      root_shift_ = ShiftFor(key);
+    }
+    Node* node = Own(&root_);
+    for (;;) {
+      const uint32_t slot = (key >> node->shift) & 63;
+      const uint64_t bit = uint64_t{1} << slot;
+      const size_t idx = SlotIndex(node->bitmap, slot);
+      if (node->shift == 0) {
+        if ((node->bitmap & bit) != 0) {
+          node->values[idx] = std::move(value);
+          return false;
+        }
+        node->bitmap |= bit;
+        node->values.insert(node->values.begin() + idx, std::move(value));
+        alloc_bytes_ += sizeof(V);
+        ++size_;
+        return true;
+      }
+      if ((node->bitmap & bit) == 0) {
+        node->bitmap |= bit;
+        node->children.insert(node->children.begin() + idx,
+                              NewNode(node->shift - 6));
+        alloc_bytes_ += sizeof(NodePtr);
+      }
+      node = Own(&node->children[idx]);
+    }
+  }
+
+  /// A mutable pointer to the value at `key`, which must exist. The
+  /// touched path is made current-epoch (path-copied if frozen), so the
+  /// write never reaches a published snapshot. Valid until the next
+  /// structural mutation.
+  V* GetMutable(uint64_t key) {
+    assert(root_ != nullptr && (key >> root_shift_) < 64 &&
+           "GetMutable requires an existing key");
+    Node* node = Own(&root_);
+    for (;;) {
+      const uint32_t slot = (key >> node->shift) & 63;
+      assert((node->bitmap >> slot) & 1);
+      const size_t idx = SlotIndex(node->bitmap, slot);
+      if (node->shift == 0) return &node->values[idx];
+      node = Own(&node->children[idx]);
+    }
+  }
+
+  /// Removes `key`; returns true when it was present. Emptied nodes stay
+  /// in place (bitmap 0) — harmless, and reused if the key range returns.
+  bool Erase(uint64_t key) {
+    if (root_ == nullptr || (key >> root_shift_) >= 64 ||
+        Get(key) == nullptr) {
+      return false;
+    }
+    Node* node = Own(&root_);
+    for (;;) {
+      const uint32_t slot = (key >> node->shift) & 63;
+      const size_t idx = SlotIndex(node->bitmap, slot);
+      if (node->shift == 0) {
+        node->bitmap &= ~(uint64_t{1} << slot);
+        node->values.erase(node->values.begin() + idx);
+        --size_;
+        return true;
+      }
+      node = Own(&node->children[idx]);
+    }
+  }
+
+  /// Visits every (key, value) in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    Walk(root_.get(), 0, fn);
+  }
+
+  /// Publishes the current contents as an immutable snapshot — O(1): the
+  /// epoch bump makes every reachable node frozen, so later mutations on
+  /// this trie path-copy around the snapshot instead of touching it.
+  FrozenTrie<V> Freeze() {
+    epoch_ = NextPersistentEpoch();
+    return FrozenTrie<V>(root_, size_, root_shift_);
+  }
+
+  /// A new owner continuing from a frozen snapshot (a session
+  /// materializing adopted shared state). Every adopted node is frozen
+  /// relative to the new owner's fresh epoch, so first-touch mutations
+  /// path-copy — the snapshot stays intact.
+  static PersistentTrie FromFrozen(const FrozenTrie<V>& frozen) {
+    PersistentTrie trie;
+    trie.root_ = frozen.root();
+    trie.size_ = frozen.size();
+    trie.root_shift_ = frozen.root_shift();
+    return trie;
+  }
+
+  /// Monotonic count of bytes this owner allocated for nodes (creations
+  /// and path copies). The difference across a flush is the structural
+  /// footprint the persistent publish path copies — the figure behind
+  /// IngestReport::publish_bytes_copied.
+  size_t alloc_bytes() const { return alloc_bytes_; }
+
+ private:
+  friend class FrozenTrie<V>;
+
+  template <typename CV>
+  static CV* Lookup(const Node* node, uint8_t root_shift, uint64_t key) {
+    if (node == nullptr || (key >> root_shift) >= 64) return nullptr;
+    for (;;) {
+      const uint32_t slot = (key >> node->shift) & 63;
+      if (((node->bitmap >> slot) & 1) == 0) return nullptr;
+      const size_t idx = SlotIndex(node->bitmap, slot);
+      if (node->shift == 0) return &node->values[idx];
+      node = node->children[idx].get();
+    }
+  }
+
+  template <typename Fn>
+  static void Walk(const Node* node, uint64_t prefix, Fn& fn) {
+    if (node == nullptr) return;
+    uint64_t bitmap = node->bitmap;
+    size_t idx = 0;
+    while (bitmap != 0) {
+      const uint32_t slot = __builtin_ctzll(bitmap);
+      bitmap &= bitmap - 1;
+      const uint64_t key = prefix | (uint64_t{slot} << node->shift);
+      if (node->shift == 0) {
+        fn(key, node->values[idx]);
+      } else {
+        Walk(node->children[idx].get(), key, fn);
+      }
+      ++idx;
+    }
+  }
+
+  static size_t SlotIndex(uint64_t bitmap, uint32_t slot) {
+    return static_cast<size_t>(
+        __builtin_popcountll(bitmap & ((uint64_t{1} << slot) - 1)));
+  }
+
+  /// The leaf-aligned shift whose node covers `key` as a root (keys below
+  /// 64 fit a leaf, below 2^12 a two-level trie, ...).
+  static uint8_t ShiftFor(uint64_t key) {
+    uint8_t shift = 0;
+    while ((key >> shift) >= 64) shift = static_cast<uint8_t>(shift + 6);
+    return shift;
+  }
+
+  NodePtr NewNode(uint8_t shift) {
+    auto node = std::make_shared<Node>();
+    node->epoch = epoch_;
+    node->shift = shift;
+    alloc_bytes_ += sizeof(Node);
+    return node;
+  }
+
+  /// The in-place/path-copy decision point (see class comment): a node of
+  /// the current epoch is unreachable from any frozen snapshot and is
+  /// returned as-is; any other node is replaced in its slot by a
+  /// current-epoch copy sharing all children.
+  Node* Own(NodePtr* slot) {
+    if ((*slot)->epoch == epoch_) {
+      // Every node is created non-const (NewNode / the copy below); the
+      // epoch check proves no frozen snapshot can reach it.
+      // mdmatch-lint: allow(const-escape) current-epoch node, unreachable
+      // from any frozen snapshot; see the epoch-transience class comment.
+      return const_cast<Node*>(slot->get());
+    }
+    auto copy = std::make_shared<Node>(**slot);
+    copy->epoch = epoch_;
+    alloc_bytes_ += sizeof(Node) + copy->children.size() * sizeof(NodePtr) +
+                    copy->values.size() * sizeof(V);
+    Node* raw = copy.get();
+    *slot = std::move(copy);
+    return raw;
+  }
+
+  /// Wraps the root under higher-shift parents until `key` is covered.
+  /// The old root covers keys below its span, so it lands in slot 0.
+  void GrowToCover(uint64_t key) {
+    if (root_ == nullptr) return;
+    while ((key >> root_shift_) >= 64) {
+      const uint8_t shift = static_cast<uint8_t>(root_shift_ + 6);
+      NodePtr wrapped = NewNode(shift);
+      // mdmatch-lint: allow(const-escape) node just created above —
+      // current epoch, not yet shared.
+      Node* raw = const_cast<Node*>(wrapped.get());
+      raw->bitmap = 1;
+      raw->children.push_back(std::move(root_));
+      root_ = std::move(wrapped);
+      root_shift_ = shift;
+    }
+  }
+
+  NodePtr root_;
+  size_t size_ = 0;
+  uint8_t root_shift_ = 0;
+  uint64_t epoch_ = 0;
+  size_t alloc_bytes_ = 0;
+};
+
+/// \brief An immutable snapshot of a PersistentTrie: a root pointer and a
+/// size. Cheap to copy, safe to read concurrently, shares every node with
+/// the trie that froze it and with neighboring snapshots.
+template <typename V>
+class FrozenTrie {
+ public:
+  FrozenTrie() = default;
+
+  size_t size() const { return size_; }
+
+  /// The value at `key`, or nullptr.
+  const V* Get(uint64_t key) const {
+    return PersistentTrie<V>::template Lookup<const V>(root_.get(),
+                                                       root_shift_, key);
+  }
+
+  /// Visits every (key, value) in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    PersistentTrie<V>::Walk(root_.get(), 0, fn);
+  }
+
+  const typename PersistentTrie<V>::NodePtr& root() const { return root_; }
+  uint8_t root_shift() const { return root_shift_; }
+
+ private:
+  friend class PersistentTrie<V>;
+  FrozenTrie(typename PersistentTrie<V>::NodePtr root, size_t size,
+             uint8_t root_shift)
+      : root_(std::move(root)), size_(size), root_shift_(root_shift) {}
+
+  typename PersistentTrie<V>::NodePtr root_;
+  size_t size_ = 0;
+  uint8_t root_shift_ = 0;
+};
+
+}  // namespace mdmatch::util
+
+#endif  // MDMATCH_UTIL_PERSISTENT_TRIE_H_

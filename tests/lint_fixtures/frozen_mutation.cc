@@ -20,3 +20,26 @@ class IndexSnapshot {
 };
 
 }  // namespace mdmatch::candidate
+
+namespace mdmatch::api {
+
+struct SharedMatchState {
+  uint64_t version = 0;
+  mutable uint64_t cached_pairs = 0;  // BAD: mutable field on shared state
+};
+
+}  // namespace mdmatch::api
+
+namespace mdmatch::match {
+
+class FrozenPairSet {
+ public:
+  size_t size() const { return size_; }
+
+  void Compact() { size_ = 0; }  // BAD: mutator on a frozen type
+
+ private:
+  size_t size_ = 0;
+};
+
+}  // namespace mdmatch::match

@@ -72,8 +72,21 @@ TEST(LintFixtures, FrozenMutation) {
       LintFixture("frozen_mutation.cc", "src/candidate/snapshot_bad.cc");
   EXPECT_EQ(Checks(findings),
             (std::set<std::string>{"frozen-mutation"}));
-  // The two mutators and the mutable field are distinct findings.
-  EXPECT_EQ(findings.size(), 3u) << "BumpVersion, Clear, scratch_";
+  // The three mutators and the two mutable fields are distinct findings.
+  EXPECT_EQ(findings.size(), 5u)
+      << "BumpVersion, Clear, scratch_, cached_pairs, Compact";
+}
+
+TEST(LintFixtures, FrozenMutationPersistentTrieNodeIsPathScoped) {
+  // The persistent trie's Node is frozen only under its own path: the
+  // epoch-transience contract says published nodes never mutate.
+  const std::string node =
+      "struct Node {\n"
+      "  mutable int refs = 0;\n"
+      "};\n";
+  EXPECT_EQ(LintFile("src/util/persistent_trie.h", node).size(), 1u);
+  // An unrelated Node type elsewhere is not in scope.
+  EXPECT_TRUE(LintFile("src/api/other.h", node).empty());
 }
 
 TEST(LintFixtures, RawLock) {

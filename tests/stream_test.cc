@@ -45,11 +45,10 @@ namespace {
 /// delta stream uses — the oracle every replica is compared against.
 std::set<IdPair> SessionIdPairs(const api::SessionGeneration& gen) {
   std::set<IdPair> out;
-  for (const auto& [l, r] : gen.raw_matches.pairs()) {
-    out.insert(IdPair{
-        gen.corpus[0][gen.pos_by_seq[0][l]]->tuple.id(),
-        gen.corpus[1][gen.pos_by_seq[1][r]]->tuple.id()});
-  }
+  gen.state->matches.ForEach([&](uint32_t l, uint32_t r) {
+    out.insert(IdPair{(*gen.state->corpus[0].Get(l))->tuple.id(),
+                      (*gen.state->corpus[1].Get(r))->tuple.id()});
+  });
   return out;
 }
 
@@ -257,7 +256,7 @@ TEST_F(StreamDeltaTest, FirstMatchBetweenStandingRecordsIsASingletonMerge) {
     ASSERT_TRUE(session.Upsert(1, data_.instance.right().tuple(i)).ok());
     ASSERT_TRUE(session.Flush().ok());
     const api::SessionGenerationPtr g1 = session.View().state();
-    if (!g1->raw_matches.pairs().empty()) continue;  // mangle too weak
+    if (!g1->state->matches.empty()) continue;  // mangle too weak
 
     ASSERT_TRUE(session.Upsert(0, data_.instance.left().tuple(i)).ok());
     ASSERT_TRUE(session.Flush().ok());
@@ -300,7 +299,7 @@ TEST_F(StreamDeltaTest, MergesOnlyNameClustersThatExistedSeparately) {
         std::is_sorted(merge.members.begin(), merge.members.end()));
     for (const auto& [side, id] : merge.members) {
       // Every named cluster is anchored by a record that existed in g1.
-      EXPECT_TRUE(g1->pos_by_id[side].count(id))
+      EXPECT_TRUE(g1->state->ids[side].Get(id) != nullptr)
           << "merge member (" << side << ", " << id
           << ") did not exist in the from-generation";
     }

@@ -98,9 +98,11 @@ struct FrozenType {
   const char* path_part;
 };
 constexpr FrozenType kFrozenTypes[] = {
-    {"SessionGeneration", ""}, {"IndexSnapshot", ""},
-    {"FrozenUnionFind", ""},   {"Node", "sorted_index"},
-    {"Node", "block_index"},   {"Block", "block_index"},
+    {"SessionGeneration", ""},  {"IndexSnapshot", ""},
+    {"FrozenUnionFind", ""},    {"Node", "sorted_index"},
+    {"Node", "block_index"},    {"Block", "block_index"},
+    {"SharedMatchState", ""},   {"FrozenPairSet", ""},
+    {"FrozenTrie", ""},         {"Node", "persistent_trie"},
 };
 
 struct Ctx {

@@ -614,6 +614,10 @@ int CmdStream(const Args& args) {
                 report.scan_seconds, report.eval_seconds,
                 report.rerank_seconds, report.index_seconds,
                 report.match_seconds, report.cluster_seconds);
+    std::printf("  publish: %.4fs%s, %zu bytes copied\n",
+                report.publish_seconds,
+                report.match_reused ? " (match state reused)" : "",
+                report.publish_bytes_copied);
     std::printf("  staging: %zu deltas coalesced, queue depth %zu\n",
                 report.coalesced_deltas, report.queue_depth);
     std::printf("  batch: %zu strips, %zu simd lanes, %zu arena bytes\n",
